@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates a figure or analysis of the paper's
+evaluation (Section 5); see DESIGN.md for the experiment index and
+EXPERIMENTS.md for paper-vs-measured results.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import IntervalWorkload, ScenarioConfig, ScenarioWorkload
+
+
+@pytest.fixture
+def interval_workload():
+    """Factory for the paper's Section 5.2 interval workload."""
+
+    def make(point_fraction: float = 0.5, seed: int = 1) -> IntervalWorkload:
+        return IntervalWorkload(point_fraction=point_fraction, seed=seed)
+
+    return make
+
+
+@pytest.fixture
+def scenario_workload():
+    """Factory for the Section 5.2 full-index scenario."""
+
+    def make(predicates: int = 200, seed: int = 1) -> ScenarioWorkload:
+        return ScenarioWorkload(
+            ScenarioConfig(predicates_per_relation=predicates, seed=seed)
+        )
+
+    return make

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Print every experiment's paper-style series table.
+
+Equivalent to ``python -m repro.bench.runner``.  Individual figures::
+
+    python benchmarks/run_all.py fig7 fig8 fig9 cost space abl1 abl2 e2e
+"""
+
+import sys
+
+from repro.bench.runner import (
+    main,
+    print_ablation_balancing,
+    print_ablation_indexes,
+    print_ablation_multiclause,
+    print_ablation_selectivity,
+    print_cost_model,
+    print_e2e,
+    print_fig7,
+    print_fig8,
+    print_fig9,
+    print_space,
+)
+
+RUNNERS = {
+    "fig7": print_fig7,
+    "fig8": print_fig8,
+    "fig9": print_fig9,
+    "cost": print_cost_model,
+    "space": print_space,
+    "abl1": print_ablation_indexes,
+    "abl2": print_ablation_balancing,
+    "abl3": print_ablation_selectivity,
+    "abl4": print_ablation_multiclause,
+    "e2e": print_e2e,
+}
+
+if __name__ == "__main__":
+    selected = sys.argv[1:]
+    if not selected:
+        main()
+    else:
+        for name in selected:
+            try:
+                runner = RUNNERS[name]
+            except KeyError:
+                raise SystemExit(
+                    f"unknown experiment {name!r}; choose from {', '.join(RUNNERS)}"
+                )
+            runner()

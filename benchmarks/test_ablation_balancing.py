@@ -1,0 +1,68 @@
+"""ABL2 — balancing ablation: sorted insertion order.
+
+The paper's measured trees rely on random insertion order for balance
+(Section 5.2) and propose AVL rotations with marker rewrites for the
+general case (Section 4.3).  This ablation inserts intervals in sorted
+endpoint order — the adversarial case — and compares the unbalanced
+tree against the AVL variant.
+"""
+
+import math
+
+import pytest
+
+from repro import AVLIBSTree, IBSTree
+
+N = 400
+
+
+def sorted_intervals(interval_workload):
+    workload = interval_workload(point_fraction=0.0)
+    ordered = sorted(workload.intervals(N), key=lambda iv: (iv.low, iv.high))
+    return workload, ordered
+
+
+@pytest.mark.parametrize("variant", ["unbalanced", "avl"])
+def test_abl2_sorted_insert(benchmark, interval_workload, variant):
+    _, ordered = sorted_intervals(interval_workload)
+    factory = IBSTree if variant == "unbalanced" else AVLIBSTree
+
+    def build():
+        tree = factory()
+        for k, interval in enumerate(ordered):
+            tree.insert(interval, k)
+        return tree
+
+    tree = benchmark(build)
+    benchmark.extra_info["height"] = tree.height
+
+
+@pytest.mark.parametrize("variant", ["unbalanced", "avl"])
+def test_abl2_search_after_sorted_insert(benchmark, interval_workload, variant):
+    workload, ordered = sorted_intervals(interval_workload)
+    factory = IBSTree if variant == "unbalanced" else AVLIBSTree
+    tree = factory()
+    for k, interval in enumerate(ordered):
+        tree.insert(interval, k)
+    points = workload.query_points(256)
+
+    def search_batch():
+        for x in points:
+            tree.stab(x)
+
+    benchmark(search_batch)
+
+
+def test_abl2_avl_height_logarithmic(interval_workload):
+    _, ordered = sorted_intervals(interval_workload)
+    unbalanced, avl = IBSTree(), AVLIBSTree()
+    for k, interval in enumerate(ordered):
+        unbalanced.insert(interval, k)
+        avl.insert(interval, k)
+    assert avl.height <= 1.4405 * math.log2(avl.node_count + 2) + 1
+    assert unbalanced.height > 3 * avl.height
+
+    # both answer identically despite the height gap
+    workload = interval_workload(point_fraction=0.5, seed=77)
+    for x in workload.query_points(200):
+        assert unbalanced.stab(x) == avl.stab(x)

@@ -1,0 +1,98 @@
+"""ABL1 — dynamic interval index comparison (Section 6 future work).
+
+"An interesting area to investigate would be to implement several
+different techniques for dynamically indexing intervals, including
+1-dimensional R-trees, IBS-trees, and priority search trees, and then
+compare their implementation complexity and time and space
+requirements."  — paper, Section 6.
+
+Closed intervals only, so every structure answers exactly; the static
+segment/interval trees are charged a full rebuild per modification.
+"""
+
+import pytest
+
+from repro import AVLIBSTree, IBSTree
+from repro.baselines import (
+    IntervalList,
+    PrioritySearchTree,
+    RTree1D,
+    SegmentTree,
+    StaticIntervalTree,
+)
+
+N = 400
+DYNAMIC = {
+    "list": IntervalList,
+    "ibs": IBSTree,
+    "ibs-avl": AVLIBSTree,
+    "pst": PrioritySearchTree,
+    "rtree-1d": RTree1D,
+}
+
+
+def closed_workload(interval_workload):
+    workload = interval_workload(point_fraction=0.3)
+    return workload, list(enumerate(workload.intervals(N)))
+
+
+@pytest.mark.parametrize("structure", sorted(DYNAMIC))
+def test_abl1_insert(benchmark, interval_workload, structure):
+    _, intervals = closed_workload(interval_workload)
+
+    def build():
+        index = DYNAMIC[structure]()
+        for ident, interval in intervals:
+            index.insert(interval, ident)
+        return index
+
+    index = benchmark(build)
+    assert len(index) == N
+
+
+@pytest.mark.parametrize("structure", sorted(DYNAMIC) + ["segment", "interval"])
+def test_abl1_search(benchmark, interval_workload, structure):
+    workload, intervals = closed_workload(interval_workload)
+    if structure == "segment":
+        index = SegmentTree((iv, k) for k, iv in intervals)
+    elif structure == "interval":
+        index = StaticIntervalTree((iv, k) for k, iv in intervals)
+    else:
+        index = DYNAMIC[structure]()
+        for ident, interval in intervals:
+            index.insert(interval, ident)
+    points = workload.query_points(256)
+
+    def search_batch():
+        for x in points:
+            index.stab(x)
+
+    benchmark(search_batch)
+
+
+@pytest.mark.parametrize("structure", ["segment", "interval"])
+def test_abl1_static_rebuild(benchmark, interval_workload, structure):
+    """The price of using a static structure in a dynamic rule system."""
+    _, intervals = closed_workload(interval_workload)
+    builder = SegmentTree if structure == "segment" else StaticIntervalTree
+
+    def rebuild():
+        return builder((iv, k) for k, iv in intervals)
+
+    benchmark(rebuild)
+
+
+def test_abl1_all_structures_agree(interval_workload):
+    workload, intervals = closed_workload(interval_workload)
+    indexes = []
+    for factory in DYNAMIC.values():
+        index = factory()
+        for ident, interval in intervals:
+            index.insert(interval, ident)
+        indexes.append(index)
+    indexes.append(SegmentTree((iv, k) for k, iv in intervals))
+    indexes.append(StaticIntervalTree((iv, k) for k, iv in intervals))
+    for x in workload.query_points(100):
+        reference = indexes[0].stab(x)
+        for index in indexes[1:]:
+            assert index.stab(x) == reference

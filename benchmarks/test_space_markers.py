@@ -1,0 +1,60 @@
+"""SPACE — Section 5.1: O(N log N) markers worst case, O(N) disjoint.
+
+"Each interval places O(log N) markers in the tree, for a worst-case
+storage requirement of O(N log N) ... when intervals in the tree do
+not overlap, only O(N) markers are placed in the tree."
+"""
+
+import math
+
+import pytest
+
+from repro import IBSTree
+
+
+def build(intervals):
+    tree = IBSTree()
+    for k, interval in enumerate(intervals):
+        tree.insert(interval, k)
+    return tree
+
+
+@pytest.mark.parametrize("kind", ["overlapping", "disjoint"])
+def test_space_build(benchmark, interval_workload, kind):
+    workload = interval_workload(point_fraction=0.0)
+    n = 800
+    intervals = (
+        workload.intervals(n) if kind == "overlapping" else workload.disjoint_intervals(n)
+    )
+    tree = benchmark(build, intervals)
+    benchmark.extra_info["marker_count"] = tree.marker_count
+    benchmark.extra_info["markers_per_interval"] = tree.marker_count / n
+
+
+def test_disjoint_markers_linear(interval_workload):
+    workload = interval_workload(point_fraction=0.0)
+    for n in (200, 800):
+        tree = build(workload.disjoint_intervals(n))
+        assert tree.marker_count <= 4 * n
+
+
+def test_overlapping_markers_logarithmic_per_interval(interval_workload):
+    workload = interval_workload(point_fraction=0.0)
+    for n in (200, 800):
+        tree = build(workload.intervals(n))
+        per_interval = tree.marker_count / n
+        # per-interval markers ~ c * log2(N), with c modest
+        assert per_interval <= 4 * math.log2(n)
+        # and clearly super-constant compared to the disjoint case
+        assert per_interval > 4
+
+
+def test_marker_growth_rate_between_linear_and_nlogn(interval_workload):
+    workload = interval_workload(point_fraction=0.0)
+    small = build(workload.intervals(200)).marker_count
+    large = build(workload.intervals(1600)).marker_count
+    ratio = large / small
+    # 8x the intervals: super-linear growth (> 8, the log factor at
+    # work — denser overlap on the fixed [1, 10000] domain also raises
+    # the constant) but nowhere near quadratic (8*8 = 64).
+    assert 8 <= ratio <= 24

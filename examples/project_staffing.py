@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Three-way joins over live relational data: the DB-production bridge.
+
+The trigger engine's join layer handles two relations; for richer
+conditions — n-way joins, negation, variables — the production system
+is the right tool.  :class:`DatabaseProductionBridge` mirrors chosen
+relations into working memory so productions reason over live tuples.
+
+Scenario: staffing compliance.  Employees belong to departments,
+departments sit on floors, projects run on floors.  Rules:
+
+* flag employees co-located with a project of their own department;
+* flag departments with no employees at all (negation over data);
+* keep a live headcount per department (aggregation via modify).
+
+Run:  python examples/project_staffing.py
+"""
+
+import random
+
+from repro import Database
+from repro.production import ProductionSystem
+from repro.rules import DatabaseProductionBridge
+
+DEPTS = [("Shoe", 1), ("Toy", 2), ("Garden", 3), ("Pharmacy", 4)]
+
+
+def main() -> None:
+    db = Database()
+    db.create_relation("emp", ["name", "dept"])
+    db.create_relation("dept", ["dname", "floor"])
+    db.create_relation("proj", ["pname", "dept", "floor"])
+
+    ps = ProductionSystem()
+    colocated = []
+    ps.add_rule(
+        "colocated-project",
+        "(emp ^name ?n ^dept ?d)"
+        " (dept ^dname ?d ^floor ?f)"
+        " (proj ^pname ?p ^dept ?d ^floor ?f)",
+        lambda ctx: colocated.append((ctx["n"], ctx["p"])),
+    )
+    understaffed = []
+    ps.add_rule(
+        "empty-department",
+        "(dept ^dname ?d) -(emp ^dept ?d)",
+        lambda ctx: understaffed.append(ctx["d"]),
+    )
+
+    # live per-department headcount, maintained as working-memory facts
+    def bump(ctx):
+        ctx.modify(2, n=ctx["c"] + 1)
+
+    ps.add_rule(
+        "headcount",
+        "(emp ^dept ?d ^_tid ?t)"
+        " (count ^dept ?d ^n ?c)"
+        " -(counted ^tid ?t ^dept ?d)",
+        lambda ctx: (ctx.make("counted", tid=ctx["t"], dept=ctx["d"]), bump(ctx)),
+        priority=5,
+    )
+    for dname, _ in DEPTS:
+        ps.assert_fact("count", dept=dname, n=0)
+
+    bridge = DatabaseProductionBridge(db, ps, ["emp", "dept", "proj"])
+
+    rng = random.Random(7)
+    for k in range(12):
+        db.insert(
+            "emp",
+            {"name": f"emp-{k:02d}", "dept": rng.choice(["Shoe", "Toy", "Garden"])},
+        )
+    # departments arrive after their staff, so the negation rule only
+    # flags the genuinely empty one
+    for dname, floor in DEPTS:
+        db.insert("dept", {"dname": dname, "floor": floor})
+    for k, (dname, floor) in enumerate(DEPTS[:3]):
+        db.insert("proj", {"pname": f"proj-{k}", "dept": dname, "floor": floor})
+
+    print(f"bridge: {bridge!r}")
+    print(f"\nco-located (employee, project) pairs: {len(colocated)}")
+    for name, proj in sorted(colocated)[:6]:
+        print(f"  {name} <-> {proj}")
+    print(f"\ndepartments flagged empty on arrival: {understaffed}")
+
+    counts = sorted((w['dept'], w['n']) for w in ps.facts('count'))
+    print("\nlive headcounts:")
+    for dept, n in counts:
+        print(f"  {dept:9s} {n}")
+
+    # mutation flows through: move an employee and watch counts shift
+    emp_rel = db.relation("emp")
+    tid, tup = next(iter(emp_rel.scan()))
+    print(f"\nmoving {tup['name']} from {tup['dept']} to Pharmacy...")
+    db.update("emp", tid, {"dept": "Pharmacy"})
+    counts = sorted((w['dept'], w['n']) for w in ps.facts('count'))
+    print("headcounts after the move (per-(employee, dept) sightings):")
+    for dept, n in counts:
+        print(f"  {dept:9s} {n}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Quickstart: the IBS-tree, the predicate index, and the rule engine.
+
+Walks the three layers of the library bottom-up:
+
+1. the interval binary search tree (stabbing queries over intervals);
+2. the Figure 1 predicate index (which predicates match a tuple?);
+3. the forward-chaining rule engine (triggers over a database).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CollectAction,
+    Database,
+    IBSTree,
+    Interval,
+    PredicateIndex,
+    RuleEngine,
+    compile_condition,
+)
+
+
+def demo_ibs_tree() -> None:
+    """Layer 1: the paper's Figure 2 interval set."""
+    print("=== 1. IBS-tree: dynamic stabbing queries ===")
+    tree = IBSTree()
+    tree.insert(Interval.closed(9, 19), "A")        # 9 <= x <= 19
+    tree.insert(Interval.closed_open(2, 7), "B")    # 2 <= x < 7
+    tree.insert(Interval.closed_open(1, 3), "C")
+    tree.insert(Interval.open_closed(17, 20), "D")
+    tree.insert(Interval.closed_open(2, 12), "E")
+    tree.insert(Interval.point(18), "F")            # x = 18
+    tree.insert(Interval.at_most(17), "G")          # x <= 17
+
+    for x in (2, 12, 18):
+        print(f"  intervals containing {x}: {sorted(tree.stab(x))}")
+    tree.delete("E")
+    print(f"  after deleting E, containing 2: {sorted(tree.stab(2))}")
+    print(f"  nodes={tree.node_count} markers={tree.marker_count} height={tree.height}")
+    print()
+
+
+def demo_predicate_index() -> None:
+    """Layer 2: which rule predicates match a tuple?"""
+    print("=== 2. Predicate index (paper Figure 1) ===")
+    index = PredicateIndex()
+    functions = {"isodd": lambda x: x % 2 == 1}
+    conditions = [
+        "salary < 20000 and age > 50",
+        "20000 <= salary <= 30000",
+        'job = "Salesperson"',
+        'isodd(age) and dept = "Shoe"',
+    ]
+    idents = {}
+    for text in conditions:
+        for predicate in compile_condition("emp", text, functions).group:
+            index.add(predicate)
+            idents[predicate.ident] = text
+
+    tuples = [
+        {"name": "Lee", "age": 51, "salary": 15000, "dept": "Toy", "job": "Cashier"},
+        {"name": "Kim", "age": 33, "salary": 25000, "dept": "Shoe", "job": "Salesperson"},
+    ]
+    for tup in tuples:
+        matched = index.match("emp", tup)
+        print(f"  {tup['name']}: {len(matched)} matching predicate(s)")
+        for predicate in matched:
+            print(f"      {idents[predicate.ident]}")
+    print(f"  index layout: {index.describe()['emp']}")
+    print()
+
+
+def demo_rule_engine() -> None:
+    """Layer 3: triggers firing on database mutations."""
+    print("=== 3. Rule engine (forward-chaining triggers) ===")
+    db = Database()
+    db.create_relation("emp", ["name", "age", "salary", "dept"])
+
+    engine = RuleEngine(db)
+    collected = CollectAction()
+    engine.create_rule(
+        "well_paid",
+        on="emp",
+        condition="20000 <= salary <= 30000",
+        action=collected,
+    )
+    engine.create_rule(
+        "senior_low_pay",
+        on="emp",
+        condition="salary < 20000 and age > 50",
+        action=lambda ctx: print(f"  ALERT: {ctx.tuple['name']} is senior and underpaid"),
+    )
+
+    db.insert("emp", {"name": "Lee", "age": 51, "salary": 15000, "dept": "Toy"})
+    tid = db.insert("emp", {"name": "Kim", "age": 33, "salary": 5000, "dept": "Shoe"})
+    db.update("emp", tid, {"salary": 25000})  # now matches well_paid
+
+    print(f"  well_paid matched: {[name for _, t in collected.records for name in [t['name']]]}")
+    print(f"  engine: {engine!r}")
+
+
+if __name__ == "__main__":
+    demo_ibs_tree()
+    demo_predicate_index()
+    demo_rule_engine()

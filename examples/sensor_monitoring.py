@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Sensor-fleet monitoring: the library's extension features together.
+
+A monitoring application over a fleet of sensors, exercising features
+layered on top of the paper's core algorithm:
+
+* ``like`` conditions — prefix patterns compile to *indexable string
+  intervals* (the IBS-tree works on any ordered domain);
+* firing traces (``engine.on_fire``) — an audit log of every trigger;
+* ``engine.explain`` — why a reading did or did not match;
+* predicate subsumption analysis — flagging redundant rules at
+  registration time;
+* JSON persistence — checkpoint and reload the database.
+
+Run:  python examples/sensor_monitoring.py
+"""
+
+import io
+import random
+
+from repro import CollectAction, Database, RuleEngine
+from repro.core.subsumption import find_subsumed
+from repro.db import load_database, save_database
+
+SITES = ["lab-north", "lab-south", "plant-a", "plant-b"]
+
+
+def build() -> tuple:
+    db = Database()
+    db.create_relation("reading", ["sensor", "site", "kind", "value"])
+    db.create_relation("alerts", ["sensor", "reason"])
+
+    engine = RuleEngine(db)
+    alerts = CollectAction()
+
+    # prefix LIKE: all lab sites, via an indexable string interval
+    engine.create_rule(
+        "lab_overheat",
+        on="reading",
+        condition='site like "lab-%" and kind = "temp" and value > 80',
+        action=alerts,
+        priority=5,
+    )
+    # general LIKE pattern: falls back to an opaque clause
+    engine.create_rule(
+        "plant_b_sensors",
+        on="reading",
+        condition='sensor like "%-b-%" and value > 95',
+        action=alerts,
+    )
+    engine.create_rule(
+        "pressure_band",
+        on="reading",
+        condition='kind = "pressure" and not (30 <= value <= 70)',
+        action=alerts,
+    )
+    return db, engine, alerts
+
+
+def main() -> None:
+    db, engine, alerts = build()
+
+    # -- firing trace -----------------------------------------------------
+    audit = []
+    engine.on_fire = lambda rule, ctx: audit.append(
+        f"{rule.name}: sensor={ctx.tuple['sensor']} value={ctx.tuple['value']}"
+    )
+
+    # -- feed readings ------------------------------------------------------
+    rng = random.Random(99)
+    for k in range(400):
+        site = rng.choice(SITES)
+        db.insert(
+            "reading",
+            {
+                "sensor": f"s-{site.split('-')[1]}-{k % 37:02d}",
+                "site": site,
+                "kind": rng.choice(["temp", "pressure", "humidity"]),
+                "value": rng.randint(0, 120),
+            },
+        )
+    print(f"readings ingested : {db.count('reading')}")
+    print(f"alerts raised     : {len(alerts.records)}")
+    print("first audit lines :")
+    for line in audit[:4]:
+        print(f"  {line}")
+
+    # -- explain ------------------------------------------------------------
+    probe = {"sensor": "s-a-01", "site": "lab-north", "kind": "temp", "value": 85}
+    print("\nexplain(lab-north temp 85):")
+    for record in engine.explain("reading", probe):
+        mark = "MATCH" if record["matched"] else "  -  "
+        print(f"  [{mark}] {record['rule']}: {record['condition']}")
+
+    # -- subsumption analysis ------------------------------------------------
+    print("\nsubsumption check over registered predicates:")
+    predicates = engine.matcher.predicates_for("reading")
+    pairs = find_subsumed(predicates)
+    if pairs:
+        for general, specific in pairs:
+            print(f"  {general} subsumes {specific}")
+    else:
+        print("  no redundant predicates (good)")
+
+    # a deliberately redundant rule now shows up:
+    engine.create_rule(
+        "lab_very_hot",  # implied by lab_overheat
+        on="reading",
+        condition='site like "lab-%" and kind = "temp" and value > 100',
+        action=alerts,
+    )
+    pairs = find_subsumed(engine.matcher.predicates_for("reading"))
+    print(f"  after adding a narrower rule: {len(pairs)} subsumed pair(s)")
+    for general, specific in pairs:
+        print(f"    {general}\n      subsumes {specific}")
+
+    # -- persistence ------------------------------------------------------------
+    buffer = io.StringIO()
+    save_database(db, buffer)
+    buffer.seek(0)
+    restored = load_database(buffer)
+    print(
+        f"\npersistence round-trip: {restored.count('reading')} readings, "
+        f"{restored.count('alerts')} alerts restored "
+        f"({len(buffer.getvalue()) // 1024} KiB of JSON)"
+    )
+
+    # the index layout shows the string interval for the LIKE prefix
+    print(f"\nindex layout: {engine.matcher.describe()['reading']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""``python -m repro`` — package info and a 30-second demo.
+
+Subcommands::
+
+    python -m repro            # version, inventory, pointers
+    python -m repro demo       # run the quickstart demo inline
+    python -m repro bench      # run every paper experiment (slow)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import __version__
+
+
+def _info() -> None:
+    from . import __all__ as exported
+
+    print(f"repro {__version__}")
+    print(
+        "Reproduction of Hanson et al., 'A Predicate Matching Algorithm "
+        "for Database Rule Systems' (SIGMOD 1990)."
+    )
+    print(f"public API: {len(exported)} names (see `import repro; help(repro)`)")
+    print()
+    print("try:")
+    print("  python -m repro demo        # quick inline demo")
+    print("  python -m repro bench       # regenerate every paper experiment")
+    print("  python examples/quickstart.py")
+    print("  pytest tests/  |  pytest benchmarks/ --benchmark-only")
+
+
+def _demo() -> None:
+    from .core import IBSTree, Interval
+    from .db import Database
+    from .rules import RuleEngine
+
+    print("IBS-tree stabbing queries:")
+    tree = IBSTree()
+    tree.insert(Interval.closed(9, 19), "A")
+    tree.insert(Interval.closed_open(2, 7), "B")
+    tree.insert(Interval.at_most(17), "G")
+    for x in (5, 12, 18):
+        print(f"  stab({x}) = {sorted(tree.stab(x))}")
+
+    print("\nrule engine:")
+    db = Database()
+    db.create_relation("emp", ["name", "salary"])
+    engine = RuleEngine(db)
+    engine.create_rule(
+        "well_paid",
+        on="emp",
+        condition="20000 <= salary <= 30000",
+        action=lambda ctx: print(f"  fired for {ctx.tuple['name']}"),
+    )
+    db.insert("emp", {"name": "Lee", "salary": 25000})
+    db.insert("emp", {"name": "Kim", "salary": 5000})
+    print(f"  explain: {engine.explain('emp', {'name': 'X', 'salary': 25000})}")
+
+
+def main(argv: list) -> int:
+    command = argv[1] if len(argv) > 1 else "info"
+    if command == "info":
+        _info()
+    elif command == "demo":
+        _demo()
+    elif command == "bench":
+        from .bench.runner import main as bench_main
+
+        bench_main()
+    else:
+        print(f"unknown command {command!r}; use: info | demo | bench", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

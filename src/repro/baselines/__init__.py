@@ -1,0 +1,56 @@
+"""Baselines: the predicate-indexing methods of the paper's Section 2,
+plus the alternative interval indexes of Sections 4.1 and 6.
+
+Predicate matchers (all satisfy
+:class:`~repro.baselines.base.PredicateMatcher` and can be plugged into
+the rule engine and the end-to-end benchmarks):
+
+* :class:`SequentialMatcher` — Section 2.1, one flat list;
+* :class:`HashSequentialMatcher` — Section 2.2, OPS5-style hash on
+  relation name + per-relation list;
+* :class:`PhysicalLockingMatcher` — Section 2.3, POSTGRES-style
+  predicate locks with escalation;
+* :class:`RTreeMatcher` — Section 2.4, predicates as k-d boxes;
+* :class:`~repro.core.predicate_index.PredicateIndex` — the paper's
+  algorithm (lives in :mod:`repro.core`).
+
+Interval indexes (all satisfy
+:class:`~repro.baselines.base.IntervalIndex`, compared in the ABL1
+ablation):
+
+* :class:`IntervalList` — linear scan (the Figure 9 comparison curve);
+* :class:`~repro.core.ibs_tree.IBSTree` / AVLIBSTree — the paper's;
+* :class:`RTree1D` — dynamic, closed bounds only;
+* :class:`PrioritySearchTree` — dynamic, closed bounds only, needs the
+  unique-lower-bound transformation;
+* :class:`SegmentTree`, :class:`StaticIntervalTree` — static, exact
+  semantics, rebuilt on every change.
+"""
+
+from .base import IntervalIndex, PredicateMatcher
+from .sequential import IntervalList, SequentialMatcher
+from .hash_sequential import HashSequentialMatcher
+from .physical_locking import LockStatistics, PhysicalLockingMatcher
+from .rtree import Rect, RTree, RTree1D, RTreeMatcher
+from .rplus_tree import RPlusTree1D
+from .segment_tree import SegmentTree
+from .interval_tree import StaticIntervalTree
+from .priority_search_tree import PrioritySearchTree
+
+__all__ = [
+    "PredicateMatcher",
+    "IntervalIndex",
+    "SequentialMatcher",
+    "IntervalList",
+    "HashSequentialMatcher",
+    "PhysicalLockingMatcher",
+    "LockStatistics",
+    "RTree",
+    "RTree1D",
+    "RTreeMatcher",
+    "Rect",
+    "RPlusTree1D",
+    "SegmentTree",
+    "StaticIntervalTree",
+    "PrioritySearchTree",
+]

@@ -1,0 +1,84 @@
+"""Common interfaces for predicate matchers and interval indexes.
+
+Two protocols are defined:
+
+* :class:`PredicateMatcher` — the contract of the paper's *predicate
+  testing problem*: register/unregister conjunctive predicates, and for
+  a tuple return every matching predicate.  Implemented by the paper's
+  algorithm (:class:`~repro.core.predicate_index.PredicateIndex`
+  satisfies it structurally) and by each Section 2 baseline, so the
+  rule engine and the end-to-end benchmarks can swap strategies.
+
+* :class:`IntervalIndex` — the contract of a one-dimensional stabbing
+  index: insert/delete intervals under identifiers, and return all
+  identifiers whose interval contains a query value.  Implemented by
+  the IBS-tree and by the alternative interval structures compared in
+  the ABL1 ablation (interval list, 1-d R-tree, priority search tree,
+  segment/interval trees).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List, Mapping, Set
+
+from ..predicates.predicate import Predicate
+
+__all__ = ["PredicateMatcher", "IntervalIndex"]
+
+
+class PredicateMatcher:
+    """Abstract base for predicate matching strategies."""
+
+    #: Short machine name used in benchmark tables and engine config.
+    name: str = "abstract"
+
+    def add(self, predicate: Predicate) -> Hashable:
+        """Register a predicate; returns its identifier."""
+        raise NotImplementedError
+
+    def remove(self, ident: Hashable) -> Predicate:
+        """Unregister and return the predicate under *ident*."""
+        raise NotImplementedError
+
+    def match(self, relation: str, tup: Mapping[str, Any]) -> List[Predicate]:
+        """All registered predicates of *relation* matching the tuple."""
+        raise NotImplementedError
+
+    def match_idents(self, relation: str, tup: Mapping[str, Any]) -> Set[Hashable]:
+        """Identifiers of all matching predicates (default: via match)."""
+        return {pred.ident for pred in self.match(relation, tup)}
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class IntervalIndex:
+    """Abstract base for one-dimensional interval (stabbing) indexes."""
+
+    #: Short machine name used in ablation tables.
+    name: str = "abstract"
+
+    #: Whether intervals can be added after construction.
+    supports_dynamic_insert: bool = True
+
+    #: Whether intervals can be removed.
+    supports_dynamic_delete: bool = True
+
+    #: Whether open/half-open endpoint semantics are honoured exactly.
+    supports_open_bounds: bool = True
+
+    #: Whether -inf/+inf endpoints are honoured exactly.
+    supports_unbounded: bool = True
+
+    def insert(self, interval, ident: Hashable = None) -> Hashable:
+        raise NotImplementedError
+
+    def delete(self, ident: Hashable) -> None:
+        raise NotImplementedError
+
+    def stab(self, x: Any) -> Set[Hashable]:
+        """Identifiers of all intervals containing *x*."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError

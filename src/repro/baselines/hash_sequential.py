@@ -1,0 +1,68 @@
+"""Baseline 2.2: hash on relation name + per-relation sequential search.
+
+"The system maintains one list of predicates for each relation, and for
+each tuple modified, hashes on relation name to locate the predicate
+list for the tuple.  The predicates on the list are then tested against
+the tuple sequentially.  This is essentially the algorithm used in many
+main-memory-based production rule systems including some
+implementations of OPS5."  — paper, Section 2.2.
+
+This is the algorithm the paper's scheme improves on: it performs well
+when the average number of predicates per relation is small and evenly
+distributed, and degrades linearly as predicates concentrate on few
+relations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Mapping
+
+from ..errors import PredicateError, UnknownIntervalError
+from ..predicates.predicate import Predicate
+from .base import PredicateMatcher
+
+__all__ = ["HashSequentialMatcher"]
+
+
+class HashSequentialMatcher(PredicateMatcher):
+    """One predicate list per relation, located by hashing the name."""
+
+    name = "hash"
+
+    def __init__(self) -> None:
+        self._by_relation: Dict[str, Dict[Hashable, Predicate]] = {}
+        self._relation_of: Dict[Hashable, str] = {}
+
+    def add(self, predicate: Predicate) -> Hashable:
+        if predicate.ident in self._relation_of:
+            raise PredicateError(
+                f"predicate ident {predicate.ident!r} already registered"
+            )
+        bucket = self._by_relation.setdefault(predicate.relation, {})
+        bucket[predicate.ident] = predicate
+        self._relation_of[predicate.ident] = predicate.relation
+        return predicate.ident
+
+    def remove(self, ident: Hashable) -> Predicate:
+        try:
+            relation = self._relation_of.pop(ident)
+        except KeyError:
+            raise UnknownIntervalError(ident) from None
+        bucket = self._by_relation[relation]
+        predicate = bucket.pop(ident)
+        if not bucket:
+            del self._by_relation[relation]
+        return predicate
+
+    def match(self, relation: str, tup: Mapping[str, Any]) -> List[Predicate]:
+        bucket = self._by_relation.get(relation)
+        if not bucket:
+            return []
+        return [pred for pred in bucket.values() if pred.matches(tup)]
+
+    def predicates_for(self, relation: str) -> List[Predicate]:
+        """All predicates registered for *relation*."""
+        return list(self._by_relation.get(relation, {}).values())
+
+    def __len__(self) -> int:
+        return len(self._relation_of)

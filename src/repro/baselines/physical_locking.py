@@ -1,0 +1,199 @@
+"""Baseline 2.3: physical locking (POSTGRES rule manager style).
+
+The paper (Section 2.3, after [SSH86, SHP88]) describes predicate
+indexing via the storage layer: each predicate is run through the query
+optimizer; if its access plan uses an attribute index, persistent
+*interval locks* are placed on the index ranges it scans; if the plan is
+a sequential scan, "lock escalation" leaves a *relation-level lock*.
+When a tuple is inserted or modified the system gathers all conflicting
+locks — every relation-level lock plus the interval locks on each
+updated index that cover the tuple's value — and tests the associated
+predicates.
+
+This module simulates the scheme over our main-memory substrate:
+
+* the "query optimizer" is the same selectivity ranking the IBS scheme
+  uses, restricted to attributes that actually have an index (the
+  *indexed_attributes* constructor argument plays the role of the
+  database's physical design);
+* an index-interval lock is an entry in a per-``(relation, attribute)``
+  lock list, scanned linearly on each tuple event — faithfully
+  modelling the index-maintenance-time conflict check, which walks the
+  locks present on the index pages it touches;
+* lock escalation yields relation-level locks whose predicates are
+  tested on *every* tuple of that relation — the degenerate behaviour
+  the paper criticises: "when there are no indexes ... most predicates
+  will have a relation-level lock ... resulting in bad worst-case
+  performance".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..core.intervals import Interval
+from ..core.selectivity import DefaultEstimator, SelectivityEstimator
+from ..errors import PredicateError, UnknownIntervalError
+from ..predicates.clauses import IntervalClause
+from ..predicates.predicate import Predicate
+from .base import PredicateMatcher
+
+__all__ = ["PhysicalLockingMatcher", "LockStatistics"]
+
+
+class LockStatistics:
+    """Counters describing lock traffic (for the baseline comparison)."""
+
+    __slots__ = ("relation_locks_checked", "interval_locks_checked", "escalations")
+
+    def __init__(self) -> None:
+        self.relation_locks_checked = 0
+        self.interval_locks_checked = 0
+        self.escalations = 0
+
+    def reset(self) -> None:
+        self.relation_locks_checked = 0
+        self.interval_locks_checked = 0
+        self.escalations = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<LockStatistics relation={self.relation_locks_checked} "
+            f"interval={self.interval_locks_checked} "
+            f"escalations={self.escalations}>"
+        )
+
+
+class _RelationLocks:
+    """Lock state for one relation."""
+
+    __slots__ = ("relation_level", "interval_locks", "predicates")
+
+    def __init__(self) -> None:
+        #: idents of predicates holding a relation-level lock
+        self.relation_level: Set[Hashable] = set()
+        #: attribute -> list of (interval, ident) index-interval locks
+        self.interval_locks: Dict[str, List[Tuple[Interval, Hashable]]] = {}
+        #: ident -> full predicate (the in-memory predicate table the
+        #: paper notes this scheme still needs)
+        self.predicates: Dict[Hashable, Predicate] = {}
+
+
+class PhysicalLockingMatcher(PredicateMatcher):
+    """Lock-based predicate matching over a simulated physical design.
+
+    Parameters
+    ----------
+    indexed_attributes:
+        Mapping from relation name to the attributes that have an
+        index.  Predicates with no indexable clause on any indexed
+        attribute escalate to a relation-level lock.  An empty mapping
+        models a database with no indexes at all — the degenerate case.
+    estimator:
+        Selectivity estimator the simulated optimizer uses to choose
+        which indexed clause to lock on.
+    """
+
+    name = "locking"
+
+    def __init__(
+        self,
+        indexed_attributes: Optional[Mapping[str, Iterable[str]]] = None,
+        estimator: Optional[SelectivityEstimator] = None,
+    ):
+        self._indexed: Dict[str, Set[str]] = {
+            rel: set(attrs) for rel, attrs in (indexed_attributes or {}).items()
+        }
+        self._estimator = estimator or DefaultEstimator()
+        self._relations: Dict[str, _RelationLocks] = {}
+        self._relation_of: Dict[Hashable, str] = {}
+        self.stats = LockStatistics()
+
+    # -- physical design ----------------------------------------------------
+
+    def create_index(self, relation: str, attribute: str) -> None:
+        """Declare an index; affects only predicates added afterwards."""
+        self._indexed.setdefault(relation, set()).add(attribute)
+
+    def indexed_attributes(self, relation: str) -> Set[str]:
+        """The attributes of *relation* that have an index."""
+        return set(self._indexed.get(relation, ()))
+
+    # -- registration -------------------------------------------------------
+
+    def add(self, predicate: Predicate) -> Hashable:
+        ident = predicate.ident
+        if ident in self._relation_of:
+            raise PredicateError(f"predicate ident {ident!r} already registered")
+        locks = self._relations.setdefault(predicate.relation, _RelationLocks())
+        clause = self._plan(predicate)
+        if clause is None:
+            locks.relation_level.add(ident)
+            self.stats.escalations += 1
+        else:
+            bucket = locks.interval_locks.setdefault(clause.attribute, [])
+            bucket.append((clause.interval, ident))
+        locks.predicates[ident] = predicate
+        self._relation_of[ident] = predicate.relation
+        return ident
+
+    def _plan(self, predicate: Predicate) -> Optional[IntervalClause]:
+        """The simulated optimizer: best indexable clause on an indexed attr."""
+        indexed = self._indexed.get(predicate.relation, set())
+        best: Optional[IntervalClause] = None
+        best_score = float("inf")
+        for clause in predicate.clauses:
+            if not clause.indexable or clause.attribute not in indexed:
+                continue
+            score = self._estimator.estimate(predicate.relation, clause)
+            if score < best_score:
+                best = clause  # type: ignore[assignment]
+                best_score = score
+        return best
+
+    def remove(self, ident: Hashable) -> Predicate:
+        try:
+            relation = self._relation_of.pop(ident)
+        except KeyError:
+            raise UnknownIntervalError(ident) from None
+        locks = self._relations[relation]
+        predicate = locks.predicates.pop(ident)
+        if ident in locks.relation_level:
+            locks.relation_level.discard(ident)
+        else:
+            for attribute, bucket in locks.interval_locks.items():
+                kept = [(iv, i) for iv, i in bucket if i != ident]
+                if len(kept) != len(bucket):
+                    if kept:
+                        locks.interval_locks[attribute] = kept
+                    else:
+                        del locks.interval_locks[attribute]
+                    break
+        if not locks.predicates:
+            del self._relations[relation]
+        return predicate
+
+    # -- matching ----------------------------------------------------------
+
+    def match(self, relation: str, tup: Mapping[str, Any]) -> List[Predicate]:
+        locks = self._relations.get(relation)
+        if locks is None:
+            return []
+        candidates: Set[Hashable] = set(locks.relation_level)
+        self.stats.relation_locks_checked += len(locks.relation_level)
+        for attribute, bucket in locks.interval_locks.items():
+            value = tup.get(attribute)
+            self.stats.interval_locks_checked += len(bucket)
+            if value is None:
+                continue
+            for interval, ident in bucket:
+                if interval.contains(value):
+                    candidates.add(ident)
+        return [
+            pred
+            for ident in candidates
+            if (pred := locks.predicates[ident]).matches(tup)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._relation_of)

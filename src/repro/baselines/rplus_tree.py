@@ -1,0 +1,184 @@
+"""R+-style clipped interval index (Section 2.4's other spatial index).
+
+The paper's multi-dimensional baseline cites both the R-tree [Gut84]
+and the R+-tree [SSH86].  Where the R-tree lets node regions overlap
+(and search follow many paths), the R+-tree keeps regions **disjoint**
+and *clips* each object into every region it crosses: point search
+follows exactly one path, at the cost of duplicated entries and a
+notoriously awkward delete/merge story.
+
+:class:`RPlusTree1D` reproduces that trade-off for intervals:
+
+* the line is partitioned into disjoint half-open segments whose
+  boundaries are the inserted intervals' endpoints;
+* each interval is clipped into (registered with) every segment it
+  overlaps — the R+ duplication;
+* a stabbing query locates the single segment containing the point
+  (binary search) and filters its entries exactly — single-path
+  search, like the paged original;
+* splits propagate existing entries downward, and deletion removes a
+  clip from every segment but — faithfully to R+ maintenance — never
+  merges segments back, so the partition only refines over time.
+
+As with :class:`~repro.baselines.rtree.RTree1D`, open endpoints are
+approximated by closed ones at the partition level and corrected by
+the exact residual filter, and unbounded ends are supported through
+the sentinel ordering.  The paged tree structure of the original is
+flattened to a sorted array of segments: page management is orthogonal
+to the search/duplication behaviour this baseline exists to compare.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from typing import Any, Dict, Hashable, List, Optional, Set
+
+from ..core.intervals import MINUS_INF, Interval, is_infinite
+from ..errors import DuplicateIntervalError, UnknownIntervalError
+from .base import IntervalIndex
+
+__all__ = ["RPlusTree1D"]
+
+
+class _Segment:
+    """A half-open region ``[start, next.start)`` of the partition."""
+
+    __slots__ = ("start", "idents")
+
+    def __init__(self, start: Any):
+        self.start = start  # MINUS_INF for the leftmost segment
+        self.idents: Set[Hashable] = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<segment {self.start!r}: {len(self.idents)} clips>"
+
+
+class RPlusTree1D(IntervalIndex):
+    """Disjoint-partition interval index with R+-style clipping."""
+
+    name = "rplus"
+    supports_open_bounds = False
+    supports_unbounded = True
+
+    def __init__(self) -> None:
+        # segments sorted by start; starts[0] is a -inf sentinel so every
+        # query value falls into exactly one segment
+        self._segments: List[_Segment] = [_Segment(MINUS_INF)]
+        self._starts: List[Any] = [MINUS_INF]
+        self._intervals: Dict[Hashable, Interval] = {}
+        #: ident -> segments currently holding a clip of it
+        self._clips: Dict[Hashable, Set[_Segment]] = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __contains__(self, ident: Hashable) -> bool:
+        return ident in self._intervals
+
+    @property
+    def segment_count(self) -> int:
+        """Partition size (grows with distinct endpoints; never shrinks)."""
+        return len(self._segments)
+
+    @property
+    def clip_count(self) -> int:
+        """Total clipped entries (the R+ duplication overhead)."""
+        return sum(len(clips) for clips in self._clips.values())
+
+    # -- partition maintenance -----------------------------------------
+
+    def _segment_index(self, value: Any) -> int:
+        """Index of the segment containing *value* (rightmost start <= value)."""
+        lo, hi = 0, len(self._starts)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._value_lt(value, self._starts[mid]):
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo - 1
+
+    @staticmethod
+    def _value_lt(a: Any, b: Any) -> bool:
+        if a is b:
+            return False
+        return a < b
+
+    def _ensure_boundary(self, value: Any) -> None:
+        """Split so a segment starts exactly at *value* (clips inherited)."""
+        if is_infinite(value):
+            return
+        index = self._segment_index(value)
+        segment = self._segments[index]
+        if segment.start is value or (
+            not is_infinite(segment.start) and segment.start == value
+        ):
+            return
+        new_segment = _Segment(value)
+        # precise re-clip: each entry goes to exactly the halves its
+        # interval overlaps (naive both-halves inheritance balloons the
+        # clip count with entries the residual filter then discards)
+        for ident in list(segment.idents):
+            interval = self._intervals[ident]
+            reaches_right = is_infinite(interval.high) or not self._value_lt(
+                interval.high, value
+            )
+            if reaches_right:
+                new_segment.idents.add(ident)
+                self._clips[ident].add(new_segment)
+            touches_left = interval.low is MINUS_INF or self._value_lt(
+                interval.low, value
+            )
+            if not touches_left:
+                segment.idents.discard(ident)
+                self._clips[ident].discard(segment)
+        self._segments.insert(index + 1, new_segment)
+        self._starts.insert(index + 1, value)
+
+    # -- IntervalIndex API -------------------------------------------------
+
+    def insert(self, interval: Interval, ident: Optional[Hashable] = None) -> Hashable:
+        if ident is None:
+            ident = next(self._counter)
+            while ident in self._intervals:
+                ident = next(self._counter)
+        if ident in self._intervals:
+            raise DuplicateIntervalError(ident)
+        self._ensure_boundary(interval.low)
+        if not interval.is_point:
+            self._ensure_boundary(interval.high)
+        first = 0 if is_infinite(interval.low) else self._segment_index(interval.low)
+        last = (
+            len(self._segments) - 1
+            if is_infinite(interval.high)
+            else self._segment_index(interval.high)
+        )
+        clips = self._clips[ident] = set()
+        for segment in self._segments[first : last + 1]:
+            segment.idents.add(ident)
+            clips.add(segment)
+        self._intervals[ident] = interval
+        return ident
+
+    def delete(self, ident: Hashable) -> None:
+        try:
+            del self._intervals[ident]
+        except KeyError:
+            raise UnknownIntervalError(ident) from None
+        for segment in self._clips.pop(ident):
+            segment.idents.discard(ident)
+
+    def stab(self, x: Any) -> Set[Hashable]:
+        """Single-path search: one segment lookup + exact filter."""
+        segment = self._segments[self._segment_index(x)]
+        return {
+            ident
+            for ident in segment.idents
+            if self._intervals[ident].contains(x)
+        }
+
+    def stab_candidates(self, x: Any) -> Set[Hashable]:
+        """Raw clipped candidates of the owning segment (no filtering)."""
+        return set(self._segments[self._segment_index(x)].idents)

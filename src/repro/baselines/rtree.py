@@ -1,0 +1,588 @@
+"""Baseline 2.4: R-trees for multi-dimensional predicate indexing.
+
+The paper (Section 2.4, after [Gut84]) evaluates treating predicates as
+regions in the k-dimensional space of a relation's attributes and
+indexing them with an R-tree.  Its critique: realistic predicates
+restrict one or two of 5–25 attributes, producing heavily overlapping
+unbounded "slices" that spatial structures index poorly; and "R-trees
+cannot accommodate open intervals".
+
+This module implements:
+
+* :class:`Rect` — a k-dimensional closed box;
+* :class:`RTree` — a dynamic R-tree with Guttman's quadratic split and
+  condense-on-delete with reinsertion;
+* :class:`RTree1D` — the one-dimensional adapter with the
+  :class:`~repro.baselines.base.IntervalIndex` interface, used in the
+  ABL1 interval-index ablation (open and unbounded interval semantics
+  are *approximated* by clamping to configurable domain bounds —
+  exactly the limitation the paper points out);
+* :class:`RTreeMatcher` — the full baseline: predicates become boxes
+  over each relation's restricted attributes, tuples become query
+  points, with a residual test for function clauses and exact bound
+  semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..core.intervals import Interval, is_infinite
+from ..errors import (
+    DuplicateIntervalError,
+    PredicateError,
+    TreeError,
+    UnknownIntervalError,
+)
+from ..predicates.clauses import IntervalClause
+from ..predicates.predicate import Predicate
+from .base import IntervalIndex, PredicateMatcher
+
+__all__ = ["Rect", "RTree", "RTree1D", "RTreeMatcher"]
+
+#: Default clamp bounds used when mapping unbounded predicate clauses
+#: into closed boxes.  Wide enough for every workload in this package.
+DEFAULT_DOMAIN_LOW = -1.0e18
+DEFAULT_DOMAIN_HIGH = 1.0e18
+
+
+def _is_number(value: Any) -> bool:
+    import numbers
+
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def _numeric_intervals(predicate: Predicate) -> Dict[str, Interval]:
+    """The predicate's interval clauses whose finite bounds are numeric."""
+    result: Dict[str, Interval] = {}
+    for clause in predicate.clauses:
+        if not isinstance(clause, IntervalClause):
+            continue
+        interval = clause.interval
+        low_ok = is_infinite(interval.low) or _is_number(interval.low)
+        high_ok = is_infinite(interval.high) or _is_number(interval.high)
+        if low_ok and high_ok:
+            result[clause.attribute] = interval
+    return result
+
+
+class Rect:
+    """A k-dimensional closed box: per-dimension (low, high) pairs."""
+
+    __slots__ = ("bounds",)
+
+    def __init__(self, bounds: Sequence[Tuple[float, float]]):
+        checked = []
+        for low, high in bounds:
+            if low > high:
+                raise TreeError(f"rect bound low {low!r} exceeds high {high!r}")
+            checked.append((low, high))
+        self.bounds = tuple(checked)
+
+    @property
+    def dims(self) -> int:
+        return len(self.bounds)
+
+    @classmethod
+    def point(cls, coords: Sequence[float]) -> "Rect":
+        """A degenerate box holding a single point."""
+        return cls([(c, c) for c in coords])
+
+    def contains_point(self, coords: Sequence[float]) -> bool:
+        """True if the point lies inside the (closed) box."""
+        return all(
+            low <= coord <= high
+            for (low, high), coord in zip(self.bounds, coords)
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        return all(
+            a_low <= b_high and b_low <= a_high
+            for (a_low, a_high), (b_low, b_high) in zip(self.bounds, other.bounds)
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            [
+                (min(a_low, b_low), max(a_high, b_high))
+                for (a_low, a_high), (b_low, b_high) in zip(self.bounds, other.bounds)
+            ]
+        )
+
+    def area(self) -> float:
+        """Volume of the box (0 for degenerate boxes)."""
+        result = 1.0
+        for low, high in self.bounds:
+            result *= high - low
+        return result
+
+    def margin(self) -> float:
+        """Sum of edge lengths; tiebreaker when areas are degenerate."""
+        return sum(high - low for low, high in self.bounds)
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth (with margin tiebreak) if *other* were merged in."""
+        merged = self.union(other)
+        growth = merged.area() - self.area()
+        if growth == 0.0:
+            growth = (merged.margin() - self.margin()) * 1e-9
+        return growth
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return self.bounds == other.bounds
+
+    def __hash__(self) -> int:
+        return hash(self.bounds)
+
+    def __repr__(self) -> str:
+        body = " x ".join(f"[{low}, {high}]" for low, high in self.bounds)
+        return f"Rect({body})"
+
+
+class _RTreeNode:
+    __slots__ = ("is_leaf", "entries", "parent")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        #: leaf entries: (rect, ident); inner entries: (rect, child_node)
+        self.entries: List[Tuple[Rect, Any]] = []
+        self.parent: Optional["_RTreeNode"] = None
+
+    def mbr(self) -> Rect:
+        rect = self.entries[0][0]
+        for other, _ in self.entries[1:]:
+            rect = rect.union(other)
+        return rect
+
+
+class RTree:
+    """A dynamic R-tree (Guttman, quadratic split).
+
+    Stores rectangles under hashable identifiers; supports point and
+    window queries and deletion with tree condensation.
+    """
+
+    def __init__(self, dims: int, max_entries: int = 8):
+        if dims < 1:
+            raise TreeError("RTree needs at least one dimension")
+        if max_entries < 4:
+            raise TreeError("max_entries must be at least 4")
+        self.dims = dims
+        self.max_entries = max_entries
+        self.min_entries = max(2, max_entries // 2)
+        self._root = _RTreeNode(is_leaf=True)
+        self._rects: Dict[Hashable, Rect] = {}
+
+    def __len__(self) -> int:
+        return len(self._rects)
+
+    def __contains__(self, ident: Hashable) -> bool:
+        return ident in self._rects
+
+    # -- insertion ---------------------------------------------------------
+
+    def insert(self, rect: Rect, ident: Hashable) -> Hashable:
+        if rect.dims != self.dims:
+            raise TreeError(f"rect has {rect.dims} dims, tree has {self.dims}")
+        if ident in self._rects:
+            raise DuplicateIntervalError(ident)
+        self._rects[ident] = rect
+        leaf = self._choose_leaf(self._root, rect)
+        leaf.entries.append((rect, ident))
+        self._handle_overflow(leaf)
+        return ident
+
+    def _choose_leaf(self, node: _RTreeNode, rect: Rect) -> _RTreeNode:
+        while not node.is_leaf:
+            best = min(node.entries, key=lambda e: (e[0].enlargement(rect), e[0].area()))
+            node = best[1]
+        return node
+
+    def _handle_overflow(self, node: _RTreeNode) -> None:
+        while node is not None and len(node.entries) > self.max_entries:
+            sibling = self._split(node)
+            parent = node.parent
+            if parent is None:
+                new_root = _RTreeNode(is_leaf=False)
+                for child in (node, sibling):
+                    child.parent = new_root
+                    new_root.entries.append((child.mbr(), child))
+                self._root = new_root
+                return
+            sibling.parent = parent
+            self._refresh_entry(parent, node)
+            parent.entries.append((sibling.mbr(), sibling))
+            node = parent
+        # refresh MBRs up to the root
+        while node is not None and node.parent is not None:
+            self._refresh_entry(node.parent, node)
+            node = node.parent
+
+    @staticmethod
+    def _refresh_entry(parent: _RTreeNode, child: _RTreeNode) -> None:
+        for index, (_, value) in enumerate(parent.entries):
+            if value is child:
+                parent.entries[index] = (child.mbr(), child)
+                return
+
+    def _split(self, node: _RTreeNode) -> _RTreeNode:
+        """Quadratic split: returns the new sibling node."""
+        entries = node.entries
+        seed_a, seed_b = self._pick_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        rect_a = entries[seed_a][0]
+        rect_b = entries[seed_b][0]
+        remaining = [
+            entry for k, entry in enumerate(entries) if k not in (seed_a, seed_b)
+        ]
+        while remaining:
+            # force assignment if one group must take all the rest
+            if len(group_a) + len(remaining) == self.min_entries:
+                for entry in remaining:
+                    group_a.append(entry)
+                    rect_a = rect_a.union(entry[0])
+                break
+            if len(group_b) + len(remaining) == self.min_entries:
+                for entry in remaining:
+                    group_b.append(entry)
+                    rect_b = rect_b.union(entry[0])
+                break
+            # pick the entry with the strongest preference
+            best_index = max(
+                range(len(remaining)),
+                key=lambda k: abs(
+                    rect_a.enlargement(remaining[k][0])
+                    - rect_b.enlargement(remaining[k][0])
+                ),
+            )
+            entry = remaining.pop(best_index)
+            if rect_a.enlargement(entry[0]) <= rect_b.enlargement(entry[0]):
+                group_a.append(entry)
+                rect_a = rect_a.union(entry[0])
+            else:
+                group_b.append(entry)
+                rect_b = rect_b.union(entry[0])
+        node.entries = group_a
+        sibling = _RTreeNode(is_leaf=node.is_leaf)
+        sibling.entries = group_b
+        if not node.is_leaf:
+            for _, child in group_b:
+                child.parent = sibling
+        return sibling
+
+    @staticmethod
+    def _pick_seeds(entries: List[Tuple[Rect, Any]]) -> Tuple[int, int]:
+        worst = (-math.inf, 0, 1)
+        for a in range(len(entries)):
+            for b in range(a + 1, len(entries)):
+                waste = (
+                    entries[a][0].union(entries[b][0]).area()
+                    - entries[a][0].area()
+                    - entries[b][0].area()
+                )
+                if waste > worst[0]:
+                    worst = (waste, a, b)
+        return worst[1], worst[2]
+
+    # -- deletion -------------------------------------------------------------
+
+    def delete(self, ident: Hashable) -> None:
+        try:
+            rect = self._rects.pop(ident)
+        except KeyError:
+            raise UnknownIntervalError(ident) from None
+        leaf = self._find_leaf(self._root, rect, ident)
+        if leaf is None:  # pragma: no cover - registry guarantees presence
+            raise UnknownIntervalError(ident)
+        leaf.entries = [(r, i) for r, i in leaf.entries if i != ident]
+        self._condense(leaf)
+
+    def _find_leaf(
+        self, node: _RTreeNode, rect: Rect, ident: Hashable
+    ) -> Optional[_RTreeNode]:
+        if node.is_leaf:
+            for _, value in node.entries:
+                if value == ident:
+                    return node
+            return None
+        for entry_rect, child in node.entries:
+            if entry_rect.intersects(rect):
+                found = self._find_leaf(child, rect, ident)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, node: _RTreeNode) -> None:
+        orphans: List[Tuple[Rect, Hashable]] = []
+        while node.parent is not None:
+            parent = node.parent
+            if len(node.entries) < self.min_entries:
+                parent.entries = [(r, c) for r, c in parent.entries if c is not node]
+                orphans.extend(self._leaf_entries(node))
+            else:
+                self._refresh_entry(parent, node)
+            node = parent
+        if not self._root.is_leaf and len(self._root.entries) == 1:
+            self._root = self._root.entries[0][1]
+            self._root.parent = None
+        if not self._root.is_leaf and not self._root.entries:
+            self._root = _RTreeNode(is_leaf=True)
+        for rect, ident in orphans:
+            del self._rects[ident]  # insert() re-registers
+            self.insert(rect, ident)
+
+    def _leaf_entries(self, node: _RTreeNode) -> List[Tuple[Rect, Hashable]]:
+        if node.is_leaf:
+            return list(node.entries)
+        collected: List[Tuple[Rect, Hashable]] = []
+        for _, child in node.entries:
+            collected.extend(self._leaf_entries(child))
+        return collected
+
+    # -- queries -------------------------------------------------------------
+
+    def search_point(self, coords: Sequence[float]) -> Set[Hashable]:
+        """Identifiers of all rectangles containing the point."""
+        if len(coords) != self.dims:
+            raise TreeError(f"point has {len(coords)} dims, tree has {self.dims}")
+        result: Set[Hashable] = set()
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for rect, ident in node.entries:
+                    if rect.contains_point(coords):
+                        result.add(ident)
+            else:
+                for rect, child in node.entries:
+                    if rect.contains_point(coords):
+                        stack.append(child)
+        return result
+
+    def search_rect(self, window: Rect) -> Set[Hashable]:
+        """Identifiers of all rectangles intersecting the window."""
+        result: Set[Hashable] = set()
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for rect, ident in node.entries:
+                    if rect.intersects(window):
+                        result.add(ident)
+            else:
+                for rect, child in node.entries:
+                    if rect.intersects(window):
+                        stack.append(child)
+        return result
+
+    def height(self) -> int:
+        """Number of levels (1 for a lone leaf root)."""
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            height += 1
+            node = node.entries[0][1]
+        return height
+
+
+class RTree1D(IntervalIndex):
+    """One-dimensional R-tree with the :class:`IntervalIndex` interface.
+
+    Open endpoints are treated as closed and infinite endpoints are
+    clamped to ``[domain_low, domain_high]`` — R-trees "cannot
+    accommodate open intervals" (paper Section 4.1), so the candidate
+    set may contain false positives at interval boundaries.  The
+    ablation harness compensates with an exact residual check, which is
+    also how a real system would have to use this structure.
+    """
+
+    name = "rtree"
+    supports_open_bounds = False
+    supports_unbounded = False
+
+    def __init__(
+        self,
+        max_entries: int = 8,
+        domain_low: float = DEFAULT_DOMAIN_LOW,
+        domain_high: float = DEFAULT_DOMAIN_HIGH,
+    ):
+        self._tree = RTree(dims=1, max_entries=max_entries)
+        self._intervals: Dict[Hashable, Interval] = {}
+        self._domain = (domain_low, domain_high)
+        self._counter = itertools.count()
+
+    def insert(self, interval: Interval, ident: Optional[Hashable] = None) -> Hashable:
+        if ident is None:
+            ident = next(self._counter)
+            while ident in self._intervals:
+                ident = next(self._counter)
+        if ident in self._intervals:
+            raise DuplicateIntervalError(ident)
+        low = self._domain[0] if is_infinite(interval.low) else interval.low
+        high = self._domain[1] if is_infinite(interval.high) else interval.high
+        self._tree.insert(Rect([(low, high)]), ident)
+        self._intervals[ident] = interval
+        return ident
+
+    def delete(self, ident: Hashable) -> None:
+        if ident not in self._intervals:
+            raise UnknownIntervalError(ident)
+        self._tree.delete(ident)
+        del self._intervals[ident]
+
+    def stab(self, x: Any) -> Set[Hashable]:
+        """Exact stabbing: R-tree candidates filtered by true semantics."""
+        candidates = self._tree.search_point([x])
+        return {
+            ident for ident in candidates if self._intervals[ident].contains(x)
+        }
+
+    def stab_candidates(self, x: Any) -> Set[Hashable]:
+        """Raw R-tree candidates (closed-bound semantics, no filtering)."""
+        return self._tree.search_point([x])
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+
+class RTreeMatcher(PredicateMatcher):
+    """The full Section 2.4 baseline: predicates as k-d boxes.
+
+    Per relation, the tree's dimensions are the attributes restricted by
+    at least one indexed predicate.  Adding a predicate that restricts a
+    previously unseen attribute rebuilds that relation's tree with the
+    extra dimension (rebuilds are counted in :attr:`rebuilds`).
+
+    Spatial indexing is inherently numeric, so only clauses with numeric
+    bounds become box dimensions; string-equality and function clauses
+    are enforced by the residual test, and predicates with no numeric
+    interval clause at all go to a side list — another practical
+    shortfall of this approach that the IBS-tree (which works on any
+    ordered domain) does not share.
+    """
+
+    name = "rtree"
+
+    def __init__(
+        self,
+        max_entries: int = 8,
+        domain_low: float = DEFAULT_DOMAIN_LOW,
+        domain_high: float = DEFAULT_DOMAIN_HIGH,
+    ):
+        self._max_entries = max_entries
+        self._domain = (domain_low, domain_high)
+        self._trees: Dict[str, RTree] = {}
+        self._dims: Dict[str, List[str]] = {}
+        self._indexed: Dict[str, Dict[Hashable, Predicate]] = {}
+        self._unindexed: Dict[str, Dict[Hashable, Predicate]] = {}
+        self._relation_of: Dict[Hashable, str] = {}
+        self.rebuilds = 0
+
+    def add(self, predicate: Predicate) -> Hashable:
+        ident = predicate.ident
+        if ident in self._relation_of:
+            raise PredicateError(f"predicate ident {ident!r} already registered")
+        relation = predicate.relation
+        normalized = predicate.normalized()
+        if normalized is None:
+            raise PredicateError(f"predicate {predicate} is unsatisfiable")
+        intervals = _numeric_intervals(normalized)
+        self._relation_of[ident] = relation
+        if not intervals:
+            self._unindexed.setdefault(relation, {})[ident] = predicate
+            return ident
+        dims = self._dims.setdefault(relation, [])
+        new_attrs = [attr for attr in intervals if attr not in dims]
+        if new_attrs:
+            dims.extend(sorted(new_attrs))
+            self._rebuild(relation)
+        self._indexed.setdefault(relation, {})[ident] = predicate
+        tree = self._trees.setdefault(
+            relation, RTree(dims=len(dims), max_entries=self._max_entries)
+        )
+        tree.insert(self._predicate_rect(relation, normalized), ident)
+        return ident
+
+    def _predicate_rect(self, relation: str, predicate: Predicate) -> Rect:
+        intervals = _numeric_intervals(predicate)
+        low_clamp, high_clamp = self._domain
+        bounds: List[Tuple[float, float]] = []
+        for attr in self._dims[relation]:
+            interval = intervals.get(attr)
+            if interval is None:
+                bounds.append((low_clamp, high_clamp))
+            else:
+                low = low_clamp if is_infinite(interval.low) else interval.low
+                high = high_clamp if is_infinite(interval.high) else interval.high
+                bounds.append((low, high))
+        return Rect(bounds)
+
+    def _rebuild(self, relation: str) -> None:
+        """Rebuild a relation's tree after its dimensionality grew."""
+        registered = self._indexed.get(relation, {})
+        self._trees[relation] = tree = RTree(
+            dims=len(self._dims[relation]), max_entries=self._max_entries
+        )
+        for ident, predicate in registered.items():
+            normalized = predicate.normalized()
+            assert normalized is not None
+            tree.insert(self._predicate_rect(relation, normalized), ident)
+        if registered:
+            self.rebuilds += 1
+
+    def remove(self, ident: Hashable) -> Predicate:
+        try:
+            relation = self._relation_of.pop(ident)
+        except KeyError:
+            raise UnknownIntervalError(ident) from None
+        side = self._unindexed.get(relation, {})
+        if ident in side:
+            return side.pop(ident)
+        predicate = self._indexed[relation].pop(ident)
+        self._trees[relation].delete(ident)
+        return predicate
+
+    def match(self, relation: str, tup: Mapping[str, Any]) -> List[Predicate]:
+        results: List[Predicate] = []
+        tree = self._trees.get(relation)
+        if tree is not None and len(tree):
+            coords: List[float] = []
+            usable = True
+            for attr in self._dims[relation]:
+                value = tup.get(attr)
+                if not _is_number(value):
+                    usable = False
+                    break
+                coords.append(value)
+            indexed = self._indexed.get(relation, {})
+            if usable:
+                for ident in tree.search_point(coords):
+                    predicate = indexed[ident]
+                    if predicate.matches(tup):
+                        results.append(predicate)
+            else:
+                # NULL in an indexed dimension: fall back to testing all
+                results.extend(p for p in indexed.values() if p.matches(tup))
+        for predicate in self._unindexed.get(relation, {}).values():
+            if predicate.matches(tup):
+                results.append(predicate)
+        return results
+
+    def __len__(self) -> int:
+        return len(self._relation_of)

@@ -1,0 +1,97 @@
+"""Baseline 2.1: plain sequential search, plus a list-based interval index.
+
+"The system traverses a list of predicates sequentially, testing each
+against the tuple.  This has low overhead and works well for small
+numbers of predicates, but clearly performs badly when the number of
+predicates is large."  — paper, Section 2.1.
+
+Note the deliberate absence of any per-relation partitioning: every
+registered predicate is tested against every tuple (the relation name
+check is just the first conjunct of the test).  The per-relation
+variant is baseline 2.2 (:mod:`repro.baselines.hash_sequential`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Set
+
+from ..core.intervals import Interval
+from ..errors import DuplicateIntervalError, PredicateError, UnknownIntervalError
+from ..predicates.predicate import Predicate
+from .base import IntervalIndex, PredicateMatcher
+
+__all__ = ["SequentialMatcher", "IntervalList"]
+
+
+class SequentialMatcher(PredicateMatcher):
+    """One flat list of predicates; every match call scans all of it."""
+
+    name = "sequential"
+
+    def __init__(self) -> None:
+        self._predicates: Dict[Hashable, Predicate] = {}
+
+    def add(self, predicate: Predicate) -> Hashable:
+        if predicate.ident in self._predicates:
+            raise PredicateError(f"predicate ident {predicate.ident!r} already registered")
+        self._predicates[predicate.ident] = predicate
+        return predicate.ident
+
+    def remove(self, ident: Hashable) -> Predicate:
+        try:
+            return self._predicates.pop(ident)
+        except KeyError:
+            raise UnknownIntervalError(ident) from None
+
+    def match(self, relation: str, tup: Mapping[str, Any]) -> List[Predicate]:
+        return [
+            pred
+            for pred in self._predicates.values()
+            if pred.relation == relation and pred.matches(tup)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._predicates)
+
+
+class IntervalList(IntervalIndex):
+    """The trivial interval index: a list scanned on every stab.
+
+    This is the tree-level analogue of sequential search, used as the
+    comparison curve in the paper's Figure 9 ("the cost of finding the
+    predicates that match a value by traversing a linked list of
+    predicates and testing each one against the value").
+    """
+
+    name = "list"
+
+    def __init__(self) -> None:
+        self._intervals: Dict[Hashable, Interval] = {}
+        self._counter = itertools.count()
+
+    def insert(self, interval: Interval, ident: Optional[Hashable] = None) -> Hashable:
+        if ident is None:
+            ident = next(self._counter)
+            while ident in self._intervals:
+                ident = next(self._counter)
+        if ident in self._intervals:
+            raise DuplicateIntervalError(ident)
+        self._intervals[ident] = interval
+        return ident
+
+    def delete(self, ident: Hashable) -> None:
+        try:
+            del self._intervals[ident]
+        except KeyError:
+            raise UnknownIntervalError(ident) from None
+
+    def stab(self, x: Any) -> Set[Hashable]:
+        return {
+            ident
+            for ident, interval in self._intervals.items()
+            if interval.contains(x)
+        }
+
+    def __len__(self) -> int:
+        return len(self._intervals)

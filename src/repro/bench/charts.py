@@ -1,0 +1,110 @@
+"""Plain-text charts for the figure benchmarks.
+
+The paper presents its evaluation as line plots (Figures 7–9).  The
+tables in :mod:`repro.bench.reporting` carry the numbers; this module
+adds an ASCII rendering of the same series so the *shape* — the
+logarithmic flattening, the sequential-search wedge — is visible
+directly in terminal output.
+
+::
+
+    FIG9 (us/query)
+    10.76 |                                              s
+          |                                        s
+          |                             s    s
+          |                  s    s
+     5.54 |        s    s
+          |   s
+          |
+     0.32 |   i    i    i    i    i    i    i    i    i
+          +-----------------------------------------------
+            5    10   15   20   25   30   35   40
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_chart"]
+
+#: series glyphs, assigned in declaration order
+GLYPHS = "iabsxo*+#@"
+
+
+def ascii_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 12,
+    title: Optional[str] = None,
+) -> str:
+    """Render named ``(x, y)`` series as a fixed-size ASCII plot.
+
+    Points falling in the same character cell keep the glyph of the
+    first series plotted there (series order = legend order).  Returns
+    the multi-line chart string; empty input yields a note instead.
+    """
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return "(no data to chart)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = _assign_glyphs(list(series))
+    for (label, values), glyph in zip(series.items(), glyphs):
+        for x, y in values:
+            column = round((x - x_low) / x_span * (width - 1))
+            row = height - 1 - round((y - y_low) / y_span * (height - 1))
+            if grid[row][column] == " ":
+                grid[row][column] = glyph
+
+    label_width = max(len(_fmt(y_high)), len(_fmt(y_low)))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = _fmt(y_high).rjust(label_width)
+        elif row_index == height - 1:
+            label = _fmt(y_low).rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = (
+        " " * label_width
+        + "  "
+        + _fmt(x_low)
+        + _fmt(x_high).rjust(width - len(_fmt(x_low)) - 1)
+    )
+    lines.append(x_axis)
+    legend = "   ".join(
+        f"{glyph}={label}" for (label, _), glyph in zip(series.items(), glyphs)
+    )
+    lines.append(" " * label_width + "   " + legend)
+    return "\n".join(lines)
+
+
+def _assign_glyphs(labels: Sequence[str]) -> List[str]:
+    """Prefer each label's first letter; fall back to the glyph pool."""
+    assigned: List[str] = []
+    for label in labels:
+        first = next((ch for ch in label if ch.isalnum()), "")
+        if first and first not in assigned:
+            assigned.append(first)
+            continue
+        fallback = next(g for g in GLYPHS + "?%&" if g not in assigned)
+        assigned.append(fallback)
+    return assigned
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.2f}"

@@ -1,0 +1,41 @@
+"""Small timing helpers shared by the benchmark harness.
+
+The paper reports *average* per-operation times (total time divided by
+operation count); these helpers reproduce that methodology with
+``time.perf_counter`` and best-of-k repetition to damp scheduler noise.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Any, Callable, List, Tuple
+
+__all__ = ["time_total", "time_per_op", "best_of"]
+
+
+def time_total(fn: Callable[[], Any]) -> float:
+    """Wall-clock seconds for one call of *fn* (GC disabled around it)."""
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def time_per_op(fn: Callable[[], Any], operations: int) -> float:
+    """Average seconds per operation for one call performing *operations*."""
+    if operations <= 0:
+        raise ValueError("operations must be positive")
+    return time_total(fn) / operations
+
+
+def best_of(fn: Callable[[], float], repeats: int = 3) -> float:
+    """Minimum of *repeats* calls of a timing function (noise floor)."""
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    return min(fn() for _ in range(repeats))

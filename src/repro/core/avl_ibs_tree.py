@@ -1,0 +1,81 @@
+"""AVL-balanced IBS-tree (paper Section 4.3 + Section 5.1 analysis).
+
+The paper's empirical measurements use the unbalanced
+:class:`~repro.core.ibs_tree.IBSTree` (random insertion order keeps it
+balanced in expectation), but its analysis assumes "the AVL-tree scheme
+is used to maintain the balance of an IBS-tree".  :class:`AVLIBSTree`
+implements that scheme: every endpoint insertion and structural deletion
+retraces toward the root, applying single/double rotations wherever a
+node's balance factor leaves {-1, 0, +1}, with the Figure 6 marker
+rewrites of :mod:`repro.core.rotations` keeping the marker invariants
+intact through every rotation.
+
+With balancing, the height is at most ``1.4405 * log2(N + 2)`` so a
+stabbing query costs ``O(log N + L)`` *worst case* (not just on random
+input), insertion costs ``O(log^2 N)`` and deletion ``O(log^2 N)`` as
+derived in the paper's Section 5.1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ibs_tree import IBSNode, IBSTree
+from .rotations import balance_factor, node_height, rotate_left, rotate_right
+
+__all__ = ["AVLIBSTree"]
+
+
+class AVLIBSTree(IBSTree):
+    """An IBS-tree that stays height-balanced under any operation order.
+
+    Drop-in replacement for :class:`~repro.core.ibs_tree.IBSTree`; the
+    public API is identical.  Use it when intervals arrive in sorted or
+    otherwise adversarial order, where the unbalanced tree degenerates to
+    a linked list (see the ``ABL2`` benchmark).
+    """
+
+    def _after_endpoint_insert(self, node: IBSNode) -> None:
+        self._retrace(node.parent)
+
+    def _after_splice(self, parent: Optional[IBSNode]) -> None:
+        self._retrace(parent)
+
+    def _retrace(self, node: Optional[IBSNode]) -> None:
+        """Walk from *node* to the root, restoring heights and balance.
+
+        Runs all the way to the root (rather than stopping once heights
+        stabilise) so a single code path serves both insertions — which
+        need at most one rebalancing — and deletions, which may need a
+        rotation at every level.
+        """
+        while node is not None:
+            node.height = 1 + max(node_height(node.left), node_height(node.right))
+            bf = balance_factor(node)
+            if bf > 1:
+                if balance_factor(node.left) < 0:
+                    rotate_left(self, node.left)  # double rotation, first half
+                node = rotate_right(self, node)
+            elif bf < -1:
+                if balance_factor(node.right) > 0:
+                    rotate_right(self, node.right)  # double rotation, first half
+                node = rotate_left(self, node)
+            node = node.parent
+
+    def validate(self) -> None:
+        """All base invariants, plus the AVL balance condition."""
+        super().validate()
+        self._validate_balance(self._root)
+
+    def _validate_balance(self, node: Optional[IBSNode]) -> None:
+        if node is None:
+            return
+        from ..errors import TreeInvariantError
+
+        if abs(balance_factor(node)) > 1:
+            raise TreeInvariantError(
+                f"AVL balance violated at node {node.value!r} "
+                f"(factor {balance_factor(node)})"
+            )
+        self._validate_balance(node.left)
+        self._validate_balance(node.right)

@@ -1,0 +1,489 @@
+"""Intervals over arbitrary totally ordered domains.
+
+This module provides the :class:`Interval` value type used throughout the
+library, together with the :data:`MINUS_INF` / :data:`PLUS_INF` sentinels
+that represent unbounded interval ends.
+
+The paper (Section 1) defines range predicate clauses of the form::
+
+    const1  rho1  t.attribute  rho2  const2
+
+where ``rho1`` and ``rho2`` are drawn from ``{<, <=}``, equality clauses
+``t.attribute = const`` are degenerate intervals, and open-ended ranges
+are expressed by setting ``const1`` or ``const2`` to -infinity or
++infinity.  :class:`Interval` captures exactly this family: a pair of
+bounds, each independently inclusive or exclusive, over *any* domain for
+which ``<``, ``==`` and ``>`` are defined — integers, floats, strings,
+dates, tuples...  No per-domain adapter code is required, which the paper
+calls out as an advantage of the IBS-tree over priority search trees.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+from ..errors import IntervalError
+
+__all__ = ["Interval", "MINUS_INF", "PLUS_INF", "is_infinite"]
+
+
+class _Infinity:
+    """Sentinel comparable against values of any totally ordered domain.
+
+    Two singletons exist: :data:`MINUS_INF` (compares below everything)
+    and :data:`PLUS_INF` (compares above everything).  Sentinels compare
+    equal only to themselves, so they can safely share a search tree with
+    ordinary domain values.
+    """
+
+    __slots__ = ("_sign", "_name")
+
+    def __init__(self, sign: int, name: str):
+        self._sign = sign
+        self._name = name
+
+    def __lt__(self, other: Any) -> bool:
+        if other is self:
+            return False
+        return self._sign < 0
+
+    def __le__(self, other: Any) -> bool:
+        if other is self:
+            return True
+        return self._sign < 0
+
+    def __gt__(self, other: Any) -> bool:
+        if other is self:
+            return False
+        return self._sign > 0
+
+    def __ge__(self, other: Any) -> bool:
+        if other is self:
+            return True
+        return self._sign > 0
+
+    def __eq__(self, other: Any) -> bool:
+        return other is self
+
+    def __ne__(self, other: Any) -> bool:
+        return other is not self
+
+    def __hash__(self) -> int:
+        return hash(self._name)
+
+    def __repr__(self) -> str:
+        return self._name
+
+    def __reduce__(self):
+        # Preserve singleton identity across pickling.
+        return (_resolve_infinity, (self._sign,))
+
+
+MINUS_INF = _Infinity(-1, "-inf")
+"""Sentinel for an unbounded lower end; compares below every value."""
+
+PLUS_INF = _Infinity(+1, "+inf")
+"""Sentinel for an unbounded upper end; compares above every value."""
+
+
+def _resolve_infinity(sign: int) -> _Infinity:
+    return MINUS_INF if sign < 0 else PLUS_INF
+
+
+def is_infinite(value: Any) -> bool:
+    """Return True if *value* is one of the infinity sentinels."""
+    return value is MINUS_INF or value is PLUS_INF
+
+
+class Interval:
+    """An interval over a totally ordered domain.
+
+    Each end has a bound value and an inclusivity flag.  The constructor
+    validates that the interval is non-empty:
+
+    * ``low`` must not exceed ``high``;
+    * a degenerate interval (``low == high``) must be closed on both
+      ends, otherwise it would denote the empty set;
+    * an infinite bound is never inclusive (no value equals infinity).
+
+    Instances are immutable and hashable, so they can serve as dictionary
+    keys and set members.
+
+    Prefer the named constructors over the raw constructor::
+
+        Interval.closed(2, 7)        # [2, 7]
+        Interval.open(2, 7)          # (2, 7)
+        Interval.closed_open(2, 7)   # [2, 7)
+        Interval.open_closed(2, 7)   # (2, 7]
+        Interval.point(5)            # [5, 5]
+        Interval.at_most(9)          # (-inf, 9]
+        Interval.less_than(9)        # (-inf, 9)
+        Interval.at_least(3)         # [3, +inf)
+        Interval.greater_than(3)     # (3, +inf)
+        Interval.unbounded()         # (-inf, +inf)
+    """
+
+    __slots__ = ("low", "high", "low_inclusive", "high_inclusive")
+
+    def __init__(
+        self,
+        low: Any = MINUS_INF,
+        high: Any = PLUS_INF,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ):
+        if low is MINUS_INF:
+            low_inclusive = False
+        if high is PLUS_INF:
+            high_inclusive = False
+        if low is PLUS_INF or high is MINUS_INF:
+            raise IntervalError(
+                "low bound may not be +inf and high bound may not be -inf"
+            )
+        if _gt(low, high):
+            raise IntervalError(f"interval low bound {low!r} exceeds high bound {high!r}")
+        if _eq(low, high) and not (low_inclusive and high_inclusive):
+            raise IntervalError(
+                f"degenerate interval at {low!r} must be closed on both ends"
+            )
+        object.__setattr__(self, "low", low)
+        object.__setattr__(self, "high", high)
+        object.__setattr__(self, "low_inclusive", bool(low_inclusive))
+        object.__setattr__(self, "high_inclusive", bool(high_inclusive))
+
+    # -- immutability -------------------------------------------------
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Interval instances are immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("Interval instances are immutable")
+
+    def __reduce__(self):
+        # Rebuild through the constructor: slots + immutability make the
+        # default pickle path unusable, and this also revalidates.
+        return (
+            Interval,
+            (self.low, self.high, self.low_inclusive, self.high_inclusive),
+        )
+
+    # -- named constructors -------------------------------------------
+
+    @classmethod
+    def closed(cls, low: Any, high: Any) -> "Interval":
+        """The closed interval ``[low, high]``."""
+        return cls(low, high, True, True)
+
+    @classmethod
+    def open(cls, low: Any, high: Any) -> "Interval":
+        """The open interval ``(low, high)``."""
+        return cls(low, high, False, False)
+
+    @classmethod
+    def closed_open(cls, low: Any, high: Any) -> "Interval":
+        """The half-open interval ``[low, high)``."""
+        return cls(low, high, True, False)
+
+    @classmethod
+    def open_closed(cls, low: Any, high: Any) -> "Interval":
+        """The half-open interval ``(low, high]``."""
+        return cls(low, high, False, True)
+
+    @classmethod
+    def point(cls, value: Any) -> "Interval":
+        """The degenerate interval ``[value, value]`` (an equality test)."""
+        return cls(value, value, True, True)
+
+    @classmethod
+    def at_most(cls, high: Any) -> "Interval":
+        """The interval ``(-inf, high]``."""
+        return cls(MINUS_INF, high, False, True)
+
+    @classmethod
+    def less_than(cls, high: Any) -> "Interval":
+        """The interval ``(-inf, high)``."""
+        return cls(MINUS_INF, high, False, False)
+
+    @classmethod
+    def at_least(cls, low: Any) -> "Interval":
+        """The interval ``[low, +inf)``."""
+        return cls(low, PLUS_INF, True, False)
+
+    @classmethod
+    def greater_than(cls, low: Any) -> "Interval":
+        """The interval ``(low, +inf)``."""
+        return cls(low, PLUS_INF, False, False)
+
+    @classmethod
+    def unbounded(cls) -> "Interval":
+        """The interval ``(-inf, +inf)`` — matches every value."""
+        return cls(MINUS_INF, PLUS_INF, False, False)
+
+    @classmethod
+    def from_operator(cls, op: str, value: Any) -> "Interval":
+        """Build the interval equivalent of a single comparison clause.
+
+        ``op`` is one of ``=  ==  <  <=  >  >=``; for example
+        ``from_operator("<=", 9)`` returns ``(-inf, 9]``.
+        """
+        table = {
+            "=": cls.point,
+            "==": cls.point,
+            "<": cls.less_than,
+            "<=": cls.at_most,
+            ">": cls.greater_than,
+            ">=": cls.at_least,
+        }
+        try:
+            builder = table[op]
+        except KeyError:
+            raise IntervalError(f"unsupported comparison operator {op!r}") from None
+        return builder(value)
+
+    # -- predicates on the interval ------------------------------------
+
+    @property
+    def is_point(self) -> bool:
+        """True if this interval contains exactly one value."""
+        return _eq(self.low, self.high)
+
+    @property
+    def is_low_unbounded(self) -> bool:
+        """True if the low end is -infinity."""
+        return self.low is MINUS_INF
+
+    @property
+    def is_high_unbounded(self) -> bool:
+        """True if the high end is +infinity."""
+        return self.high is PLUS_INF
+
+    @property
+    def is_unbounded(self) -> bool:
+        """True if either end is infinite."""
+        return self.is_low_unbounded or self.is_high_unbounded
+
+    def contains(self, value: Any) -> bool:
+        """Return True if *value* lies within this interval.
+
+        The infinity sentinels are never contained in any interval; they
+        denote unboundedness, not values.
+        """
+        if is_infinite(value):
+            return False
+        if self.low_inclusive:
+            if _lt(value, self.low):
+                return False
+        else:
+            if _le(value, self.low):
+                return False
+        if self.high_inclusive:
+            if _gt(value, self.high):
+                return False
+        else:
+            if _ge(value, self.high):
+                return False
+        return True
+
+    __contains__ = contains
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Return True if this interval shares at least one value with *other*.
+
+        Adjacency counts as overlap only if the shared endpoint is
+        inclusive on both sides, e.g. ``[1, 3]`` overlaps ``[3, 5]`` but
+        ``[1, 3)`` does not.
+        """
+        if _lt(self.high, other.low) or _lt(other.high, self.low):
+            return False
+        if _eq(self.high, other.low):
+            return self.high_inclusive and other.low_inclusive
+        if _eq(other.high, self.low):
+            return other.high_inclusive and self.low_inclusive
+        return True
+
+    def covers(self, other: "Interval") -> bool:
+        """Return True if every value of *other* lies within this interval."""
+        if _lt(other.low, self.low):
+            return False
+        if _eq(other.low, self.low) and other.low_inclusive and not self.low_inclusive:
+            return False
+        if _gt(other.high, self.high):
+            return False
+        if (
+            _eq(other.high, self.high)
+            and other.high_inclusive
+            and not self.high_inclusive
+        ):
+            return False
+        return True
+
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        """The interval of values in both, or None when they are disjoint."""
+        if not self.overlaps(other):
+            return None
+        if _gt(other.low, self.low):
+            low, low_inc = other.low, other.low_inclusive
+        elif _eq(self.low, other.low):
+            low, low_inc = self.low, self.low_inclusive and other.low_inclusive
+        else:
+            low, low_inc = self.low, self.low_inclusive
+        if _gt(self.high, other.high):
+            high, high_inc = other.high, other.high_inclusive
+        elif _eq(self.high, other.high):
+            high, high_inc = (
+                self.high,
+                self.high_inclusive and other.high_inclusive,
+            )
+        else:
+            high, high_inc = self.high, self.high_inclusive
+        try:
+            return Interval(low, high, low_inc, high_inc)
+        except IntervalError:
+            # touching endpoints with incompatible inclusivity
+            return None
+
+    def endpoints(self) -> Iterator[Any]:
+        """Yield the finite endpoints of this interval (0, 1 or 2 values)."""
+        if self.low is not MINUS_INF:
+            yield self.low
+        if self.high is not PLUS_INF and not self.is_point:
+            yield self.high
+
+    def measure(self) -> Optional[float]:
+        """Return ``high - low`` for numeric bounded intervals, else None."""
+        if self.is_unbounded:
+            return None
+        try:
+            return float(self.high - self.low)
+        except TypeError:
+            return None
+
+    # -- value semantics ------------------------------------------------
+
+    def _key(self) -> Tuple[Any, Any, bool, bool]:
+        return (
+            id(self.low) if is_infinite(self.low) else self.low,
+            id(self.high) if is_infinite(self.high) else self.high,
+            self.low_inclusive,
+            self.high_inclusive,
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __ne__(self, other: Any) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return f"Interval.parse({str(self)!r})"
+
+    def __str__(self) -> str:
+        lo_br = "[" if self.low_inclusive else "("
+        hi_br = "]" if self.high_inclusive else ")"
+        return f"{lo_br}{self.low!r}, {self.high!r}{hi_br}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Interval":
+        """Parse the ``str()`` representation back into an Interval.
+
+        Only literal bounds understood by :func:`ast.literal_eval` (plus
+        ``-inf`` / ``+inf``) are supported; this exists mainly so reprs
+        round-trip in doctests and logs.
+        """
+        import ast
+
+        text = text.strip()
+        if len(text) < 2 or text[0] not in "[(" or text[-1] not in "])":
+            raise IntervalError(f"cannot parse interval from {text!r}")
+        low_inclusive = text[0] == "["
+        high_inclusive = text[-1] == "]"
+        body = text[1:-1]
+        parts = _split_top_level(body)
+        if len(parts) != 2:
+            raise IntervalError(f"cannot parse interval from {text!r}")
+
+        def parse_bound(token: str, sign: int) -> Any:
+            token = token.strip()
+            if token in ("-inf", "'-inf'"):
+                return MINUS_INF
+            if token in ("+inf", "inf", "'+inf'"):
+                return PLUS_INF
+            try:
+                return ast.literal_eval(token)
+            except (ValueError, SyntaxError):
+                raise IntervalError(
+                    f"cannot parse interval bound {token!r}"
+                ) from None
+
+        low = parse_bound(parts[0], -1)
+        high = parse_bound(parts[1], +1)
+        return cls(low, high, low_inclusive, high_inclusive)
+
+
+def _split_top_level(body: str) -> list:
+    """Split *body* on commas that are not nested in brackets or quotes."""
+    parts = []
+    depth = 0
+    quote = None
+    current = []
+    for ch in body:
+        if quote is not None:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in "'\"":
+            quote = ch
+            current.append(ch)
+        elif ch in "([{":
+            depth += 1
+            current.append(ch)
+        elif ch in ")]}":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts
+
+
+# -- comparison helpers ------------------------------------------------
+#
+# These wrappers exist so that comparisons involving the infinity
+# sentinels always dispatch through the sentinel's rich-comparison
+# methods (Python falls back to the reflected operation when the left
+# operand returns NotImplemented, which ordinary types do when compared
+# against a foreign object).
+
+
+def _lt(a: Any, b: Any) -> bool:
+    return a < b
+
+
+def _le(a: Any, b: Any) -> bool:
+    return a <= b
+
+
+def _gt(a: Any, b: Any) -> bool:
+    return a > b
+
+
+def _ge(a: Any, b: Any) -> bool:
+    return a >= b
+
+
+def _eq(a: Any, b: Any) -> bool:
+    if is_infinite(a) or is_infinite(b):
+        return a is b
+    return a == b

@@ -1,0 +1,365 @@
+"""The paper's two-level predicate index (Figure 1).
+
+Structure::
+
+    inserted or modified tuples enter here
+                    |
+          hash on relation name
+        /                       \\
+    [relation R1]            [relation Rn]
+      |- list of non-indexable predicates for Ri
+      |- one IBS-tree per attribute with >= 1 indexable clause
+      |       (each predicate's MOST SELECTIVE indexable clause
+      |        is entered into the tree for its attribute)
+      '- PREDICATES table: ident -> full predicate
+
+Matching a tuple *t* of relation *R*:
+
+1. hash on the relation name to find R's second-level index;
+2. for every attribute of *t* that has an IBS-tree, stab the tree with
+   t's value for that attribute, collecting *partial match* candidates;
+3. add every non-indexable predicate of R as a candidate;
+4. retrieve each candidate from the PREDICATES table and test the full
+   conjunction against *t*; the survivors are the complete matches.
+
+Step 4 is sound because a predicate is indexed under exactly one of its
+clauses: if that clause does not match, the conjunction cannot match,
+so skipping the predicate is safe; if it does match, the residual test
+decides.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..errors import PredicateError, UnknownIntervalError
+from ..predicates.clauses import IntervalClause
+from ..predicates.predicate import Predicate
+from .ibs_tree import IBSTree
+from .selectivity import DefaultEstimator, SelectivityEstimator, choose_index_clause
+
+__all__ = ["PredicateIndex", "MatchStatistics"]
+
+TreeFactory = Callable[[], IBSTree]
+
+
+class MatchStatistics:
+    """Counters describing the work done by :meth:`PredicateIndex.match`.
+
+    These feed the cost model of the paper's Section 5.2 (hash probes,
+    per-attribute tree searches, partial matches requiring a residual
+    test, and non-indexable predicates tested by brute force).
+    """
+
+    __slots__ = (
+        "tuples_matched",
+        "trees_searched",
+        "partial_matches",
+        "non_indexable_tested",
+        "full_matches",
+    )
+
+    def __init__(self) -> None:
+        self.tuples_matched = 0
+        self.trees_searched = 0
+        self.partial_matches = 0
+        self.non_indexable_tested = 0
+        self.full_matches = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.tuples_matched = 0
+        self.trees_searched = 0
+        self.partial_matches = 0
+        self.non_indexable_tested = 0
+        self.full_matches = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict (for reports)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"<MatchStatistics {body}>"
+
+
+class _RelationIndex:
+    """Second-level index for one relation (Figure 1, lower half)."""
+
+    __slots__ = ("trees", "non_indexable", "indexed_under", "predicates")
+
+    def __init__(self) -> None:
+        #: attribute name -> IBS-tree over that attribute's clause intervals
+        self.trees: Dict[str, IBSTree] = {}
+        #: idents of predicates with no indexable clause
+        self.non_indexable: Set[Hashable] = set()
+        #: ident -> attributes whose trees hold the predicate's entry
+        #: clause(s); a single attribute in the paper's scheme, possibly
+        #: several under multi-clause indexing
+        self.indexed_under: Dict[Hashable, Tuple[str, ...]] = {}
+        #: the PREDICATES table: ident -> full predicate
+        self.predicates: Dict[Hashable, Predicate] = {}
+
+
+class PredicateIndex:
+    """Figure 1: hash on relation name + per-attribute IBS-trees.
+
+    Parameters
+    ----------
+    tree_factory:
+        Constructor for the per-attribute interval index.  Defaults to
+        the unbalanced :class:`~repro.core.ibs_tree.IBSTree` (as in the
+        paper's measurements); pass
+        :class:`~repro.core.avl_ibs_tree.AVLIBSTree` for guaranteed
+        balance, or any object with the same ``insert/delete/stab``
+        interface (see :mod:`repro.baselines`).
+    estimator:
+        Selectivity estimator used to pick each predicate's entry
+        clause; defaults to the System R style constants.
+    multi_clause:
+        The paper indexes exactly **one** clause per predicate — the
+        most selective — and relies on the residual test for the rest.
+        With ``multi_clause=True`` every indexable clause enters its
+        attribute's tree and a predicate is a candidate only when
+        *all* of its indexed clauses match (set intersection): fewer
+        residual tests at the price of more tree probes and markers.
+        The ABL4 benchmark quantifies the trade-off the paper chose.
+    """
+
+    #: Strategy name (matches the PredicateMatcher convention).
+    name = "ibs"
+
+    def __init__(
+        self,
+        tree_factory: TreeFactory = IBSTree,
+        estimator: Optional[SelectivityEstimator] = None,
+        multi_clause: bool = False,
+    ):
+        self._tree_factory = tree_factory
+        self._estimator = estimator or DefaultEstimator()
+        self._multi_clause = bool(multi_clause)
+        self._relations: Dict[str, _RelationIndex] = {}
+        self._relation_of: Dict[Hashable, str] = {}
+        self.stats = MatchStatistics()
+
+    # -- registration -------------------------------------------------------
+
+    def add(self, predicate: Predicate) -> Hashable:
+        """Index *predicate*; returns its identifier.
+
+        The predicate is normalized first (same-attribute interval
+        clauses merged); a contradictory predicate is rejected since it
+        can never match.
+        """
+        normalized = predicate.normalized()
+        if normalized is None:
+            raise PredicateError(
+                f"predicate {predicate} is unsatisfiable and cannot be indexed"
+            )
+        ident = normalized.ident
+        if ident in self._relation_of:
+            raise PredicateError(f"predicate ident {ident!r} already indexed")
+        rel_index = self._relations.setdefault(normalized.relation, _RelationIndex())
+        if self._multi_clause:
+            entry_clauses = list(normalized.indexable_clauses())
+        else:
+            chosen = choose_index_clause(normalized, self._estimator)
+            entry_clauses = [chosen] if chosen is not None else []
+        if not entry_clauses:
+            rel_index.non_indexable.add(ident)
+        else:
+            for clause in entry_clauses:
+                tree = rel_index.trees.get(clause.attribute)
+                if tree is None:
+                    tree = rel_index.trees[clause.attribute] = self._tree_factory()
+                tree.insert(clause.interval, ident)
+            rel_index.indexed_under[ident] = tuple(
+                clause.attribute for clause in entry_clauses
+            )
+        rel_index.predicates[ident] = normalized
+        self._relation_of[ident] = normalized.relation
+        return ident
+
+    def remove(self, ident: Hashable) -> Predicate:
+        """Un-index and return the predicate registered under *ident*."""
+        try:
+            relation = self._relation_of.pop(ident)
+        except KeyError:
+            raise UnknownIntervalError(ident) from None
+        rel_index = self._relations[relation]
+        predicate = rel_index.predicates.pop(ident)
+        attributes = rel_index.indexed_under.pop(ident, None)
+        if attributes is None:
+            rel_index.non_indexable.discard(ident)
+        else:
+            for attribute in attributes:
+                tree = rel_index.trees[attribute]
+                tree.delete(ident)
+                if not tree:
+                    del rel_index.trees[attribute]
+        if not rel_index.predicates:
+            del self._relations[relation]
+        return predicate
+
+    # -- matching ----------------------------------------------------------
+
+    def match(self, relation: str, tup: Mapping[str, Any]) -> List[Predicate]:
+        """All predicates of *relation* that fully match the tuple."""
+        return [
+            pred
+            for pred, _ in self.match_with_candidates(relation, tup)
+            if pred is not None
+        ]
+
+    def match_idents(self, relation: str, tup: Mapping[str, Any]) -> Set[Hashable]:
+        """Identifiers of all fully matching predicates."""
+        return {
+            pred.ident
+            for pred, _ in self.match_with_candidates(relation, tup)
+            if pred is not None
+        }
+
+    def match_with_candidates(
+        self, relation: str, tup: Mapping[str, Any]
+    ) -> Iterator[Tuple[Optional[Predicate], Hashable]]:
+        """Yield ``(predicate_or_None, ident)`` for each candidate.
+
+        A candidate whose residual test fails yields ``(None, ident)``;
+        a full match yields the predicate.  Exposed so benchmarks can
+        count partial matches exactly as the cost model does.
+        """
+        self.stats.tuples_matched += 1
+        rel_index = self._relations.get(relation)
+        if rel_index is None:
+            return
+        if self._multi_clause:
+            candidates = self._intersect_candidates(rel_index, tup)
+        else:
+            candidates = set()
+            for attribute, tree in rel_index.trees.items():
+                value = tup.get(attribute)
+                if value is None:
+                    continue  # NULL matches no clause: no tree entry applies
+                self.stats.trees_searched += 1
+                try:
+                    candidates |= tree.stab(value)
+                except TypeError:
+                    # the value's type is incomparable with this
+                    # attribute's indexed bounds (mixed-domain data): no
+                    # interval clause on this attribute can match it
+                    continue
+        self.stats.partial_matches += len(candidates)
+        self.stats.non_indexable_tested += len(rel_index.non_indexable)
+        candidates |= rel_index.non_indexable
+        for ident in candidates:
+            predicate = rel_index.predicates[ident]
+            if predicate.matches(tup):
+                self.stats.full_matches += 1
+                yield predicate, ident
+            else:
+                yield None, ident
+
+    def _intersect_candidates(
+        self, rel_index: _RelationIndex, tup: Mapping[str, Any]
+    ) -> Set[Hashable]:
+        """Multi-clause candidates: hit in *every* indexed attribute.
+
+        An ident is a candidate only if every tree it is indexed under
+        was probed and reported it — a NULL or incomparable value in
+        any indexed attribute disqualifies the predicate outright
+        (that clause cannot match).
+        """
+        hits: Dict[Hashable, int] = {}
+        probed: Set[str] = set()
+        for attribute, tree in rel_index.trees.items():
+            value = tup.get(attribute)
+            if value is None:
+                continue
+            self.stats.trees_searched += 1
+            try:
+                stabbed = tree.stab(value)
+            except TypeError:
+                continue
+            probed.add(attribute)
+            for ident in stabbed:
+                hits[ident] = hits.get(ident, 0) + 1
+        candidates: Set[Hashable] = set()
+        for ident, count in hits.items():
+            attributes = rel_index.indexed_under[ident]
+            if count == len(attributes) and all(a in probed for a in attributes):
+                candidates.add(ident)
+        return candidates
+
+    # -- introspection ---------------------------------------------------------
+
+    def get(self, ident: Hashable) -> Predicate:
+        """Return the predicate registered under *ident*."""
+        try:
+            relation = self._relation_of[ident]
+        except KeyError:
+            raise UnknownIntervalError(ident) from None
+        return self._relations[relation].predicates[ident]
+
+    def __contains__(self, ident: Hashable) -> bool:
+        return ident in self._relation_of
+
+    def __len__(self) -> int:
+        """Total number of indexed predicates across all relations."""
+        return len(self._relation_of)
+
+    def predicates_for(self, relation: str) -> List[Predicate]:
+        """All predicates registered for *relation*."""
+        rel_index = self._relations.get(relation)
+        if rel_index is None:
+            return []
+        return list(rel_index.predicates.values())
+
+    def relations(self) -> List[str]:
+        """Relations with at least one registered predicate."""
+        return list(self._relations)
+
+    def indexed_attribute(self, ident: Hashable) -> Optional[str]:
+        """The (first) attribute whose tree holds this predicate, or None."""
+        attributes = self.indexed_attributes(ident)
+        return attributes[0] if attributes else None
+
+    def indexed_attributes(self, ident: Hashable) -> Tuple[str, ...]:
+        """Every attribute whose tree holds this predicate (may be empty)."""
+        relation = self._relation_of.get(ident)
+        if relation is None:
+            raise UnknownIntervalError(ident)
+        return self._relations[relation].indexed_under.get(ident, ())
+
+    def tree_for(self, relation: str, attribute: str) -> Optional[IBSTree]:
+        """The IBS-tree for ``relation.attribute``, if one exists."""
+        rel_index = self._relations.get(relation)
+        if rel_index is None:
+            return None
+        return rel_index.trees.get(attribute)
+
+    def describe(self) -> Dict[str, Dict[str, Any]]:
+        """Structural summary per relation (for reports and debugging)."""
+        summary: Dict[str, Dict[str, Any]] = {}
+        for relation, rel_index in self._relations.items():
+            summary[relation] = {
+                "predicates": len(rel_index.predicates),
+                "non_indexable": len(rel_index.non_indexable),
+                "trees": {
+                    attr: len(tree) for attr, tree in rel_index.trees.items()
+                },
+            }
+        return summary
+
+    def __repr__(self) -> str:
+        return f"<PredicateIndex {len(self)} predicates over {len(self._relations)} relations>"

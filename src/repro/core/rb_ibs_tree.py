@@ -1,0 +1,178 @@
+"""Red-black balanced IBS-tree.
+
+The paper's Section 4.3 lists the balanced-tree schemes whose
+rebalancing reduces to single/double rotations: AVL trees [AL62],
+"balanced binary trees (or red-black trees)" [Bay72, GS78], and
+self-adjusting trees [Tar83].  Since Figure 6 makes rotations
+marker-safe, any of them can balance an IBS-tree;
+:class:`~repro.core.avl_ibs_tree.AVLIBSTree` implements the AVL scheme
+and this module the red-black scheme (CLRS-style insert and delete
+fixups, colors on nodes, rotations through
+:mod:`repro.core.rotations`).
+
+Red-black trees guarantee height ≤ 2·log2(N+1) — slightly taller than
+AVL's 1.44·log2(N+2) — but rebalance with at most O(1) rotations per
+*deletion* as well as per insertion, which matters for the IBS-tree
+because each rotation costs O(log N) marker work on average (paper
+Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import TreeInvariantError
+from .ibs_tree import IBSNode, IBSTree
+from .rotations import rotate_left, rotate_right
+
+__all__ = ["RBIBSTree"]
+
+
+def _is_red(node: Optional[IBSNode]) -> bool:
+    """None children are black (the classic sentinel convention)."""
+    return node is not None and node.red
+
+
+class RBIBSTree(IBSTree):
+    """An IBS-tree kept balanced with red-black recolouring + rotations.
+
+    Drop-in replacement for :class:`~repro.core.ibs_tree.IBSTree`;
+    public API identical.  Compared with the AVL variant it tolerates
+    slightly deeper trees in exchange for fewer delete-time rotations.
+    """
+
+    # -- insertion -----------------------------------------------------
+
+    def _after_endpoint_insert(self, node: IBSNode) -> None:
+        # freshly created nodes are red (IBSNode default)
+        self._insert_fixup(node)
+        self._update_heights_upward(node)
+
+    def _insert_fixup(self, node: IBSNode) -> None:
+        while node.parent is not None and node.parent.red:
+            parent = node.parent
+            grand = parent.parent
+            if grand is None:  # pragma: no cover - red root is fixed below
+                break
+            if parent is grand.left:
+                uncle = grand.right
+                if _is_red(uncle):
+                    parent.red = False
+                    uncle.red = False
+                    grand.red = True
+                    node = grand
+                    continue
+                if node is parent.right:
+                    rotate_left(self, parent)
+                    node, parent = parent, node
+                parent.red = False
+                grand.red = True
+                rotate_right(self, grand)
+            else:
+                uncle = grand.left
+                if _is_red(uncle):
+                    parent.red = False
+                    uncle.red = False
+                    grand.red = True
+                    node = grand
+                    continue
+                if node is parent.left:
+                    rotate_right(self, parent)
+                    node, parent = parent, node
+                parent.red = False
+                grand.red = True
+                rotate_left(self, grand)
+        self._root.red = False
+
+    # -- deletion -------------------------------------------------------
+
+    def _splice(self, node: IBSNode) -> None:
+        was_red = node.red
+        child = node.left if node.left is not None else node.right
+        parent = node.parent
+        super()._splice(node)
+        if not was_red:
+            self._delete_fixup(child, parent)
+        if self._root is not None:
+            self._root.red = False
+
+    def _delete_fixup(
+        self, x: Optional[IBSNode], parent: Optional[IBSNode]
+    ) -> None:
+        """Restore the equal-black-height invariant after removing a
+        black node whose (possibly None) child *x* took its place."""
+        while x is not self._root and not _is_red(x) and parent is not None:
+            if x is parent.left:
+                sibling = parent.right
+                if sibling is None:  # pragma: no cover - impossible in valid RB
+                    break
+                if sibling.red:
+                    sibling.red = False
+                    parent.red = True
+                    rotate_left(self, parent)
+                    sibling = parent.right
+                if not _is_red(sibling.left) and not _is_red(sibling.right):
+                    sibling.red = True
+                    x, parent = parent, parent.parent
+                    continue
+                if not _is_red(sibling.right):
+                    sibling.left.red = False
+                    sibling.red = True
+                    rotate_right(self, sibling)
+                    sibling = parent.right
+                sibling.red = parent.red
+                parent.red = False
+                if sibling.right is not None:
+                    sibling.right.red = False
+                rotate_left(self, parent)
+                x, parent = self._root, None
+            else:
+                sibling = parent.left
+                if sibling is None:  # pragma: no cover - impossible in valid RB
+                    break
+                if sibling.red:
+                    sibling.red = False
+                    parent.red = True
+                    rotate_right(self, parent)
+                    sibling = parent.left
+                if not _is_red(sibling.right) and not _is_red(sibling.left):
+                    sibling.red = True
+                    x, parent = parent, parent.parent
+                    continue
+                if not _is_red(sibling.left):
+                    sibling.right.red = False
+                    sibling.red = True
+                    rotate_left(self, sibling)
+                    sibling = parent.left
+                sibling.red = parent.red
+                parent.red = False
+                if sibling.left is not None:
+                    sibling.left.red = False
+                rotate_right(self, parent)
+                x, parent = self._root, None
+        if x is not None:
+            x.red = False
+
+    # -- validation -------------------------------------------------------
+
+    def validate(self) -> None:
+        """All base invariants, plus the red-black colour rules."""
+        super().validate()
+        if self._root is not None and self._root.red:
+            raise TreeInvariantError("red-black violation: red root")
+        self._black_height(self._root)
+
+    def _black_height(self, node: Optional[IBSNode]) -> int:
+        if node is None:
+            return 1
+        if node.red and (_is_red(node.left) or _is_red(node.right)):
+            raise TreeInvariantError(
+                f"red-black violation: red node {node.value!r} has a red child"
+            )
+        left = self._black_height(node.left)
+        right = self._black_height(node.right)
+        if left != right:
+            raise TreeInvariantError(
+                f"red-black violation: unequal black heights at {node.value!r}"
+            )
+        return left + (0 if node.red else 1)

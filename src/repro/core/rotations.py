@@ -1,0 +1,171 @@
+"""Rotations that preserve IBS-tree marker invariants (paper Section 4.3).
+
+Balanced binary tree schemes — AVL, red-black, splay — all rebalance via
+single and double rotations (paper Figure 5).  A double rotation is two
+single rotations, so balancing an IBS-tree only requires knowing how the
+``<``/``=``/``>`` marker sets of the two nodes involved in a *single*
+rotation must be rewritten (paper Figure 6).
+
+For a **right rotation** about node ``z`` with left child ``y``
+(subtrees: ``A`` = y.left, ``B`` = y.right, ``D`` = z.right)::
+
+          z                    y
+         / \\                  / \\
+        y   D     ==>        A   z
+       / \\                      / \\
+      A   B                    B   D
+
+the three rules of Figure 6 are:
+
+1. every mark in ``z.<`` is **copied** into ``y.<`` and ``y.=`` (a mark
+   in ``z.<`` covered all of ``A``, ``y`` and ``B``; after the rotation
+   ``A`` is reached through ``y.<``, ``y`` itself through ``y.=``, and
+   ``B`` still through ``z.<``, which keeps the mark);
+2. a mark in ``y.>`` **but not** in ``z.>`` is **moved** to ``z.<``
+   (it covered exactly ``B``, which is now z's left subtree);
+3. a mark in **both** ``y.>`` and ``z.>`` is removed from ``z.=`` and
+   ``z.>`` (it stays in ``y.>``, which after the rotation covers the
+   whole subtree ``B``-``z``-``D``; the copies on ``z`` would be
+   redundant).
+
+The left rotation is the exact mirror.  Both functions perform the
+pointer surgery, refresh cached heights, keep the tree's marker registry
+in sync, and return the new subtree root.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .ibs_tree import EQ, GT, LT, IBSNode
+from .intervals import MINUS_INF, PLUS_INF, is_infinite
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .ibs_tree import IBSTree
+
+__all__ = ["rotate_right", "rotate_left", "node_height", "balance_factor"]
+
+
+def _placement_vacuous(node: IBSNode, slot: int) -> bool:
+    """True when a mark in *slot* of *node* could never be collected.
+
+    The sentinel-valued nodes make some placements vacuous: the -inf
+    node has no left subtree and its value matches no query, the +inf
+    node symmetrically.  Skipping them keeps every stored marker sound
+    (each ``=`` mark's interval really contains its node's value).
+    """
+    if slot == EQ:
+        return is_infinite(node.value)
+    if slot == LT:
+        return node.value is MINUS_INF
+    return node.value is PLUS_INF
+
+
+def node_height(node) -> int:
+    """Height of an (optional) node; 0 for None."""
+    return node.height if node is not None else 0
+
+
+def balance_factor(node: IBSNode) -> int:
+    """AVL balance factor: height(left) - height(right)."""
+    return node_height(node.left) - node_height(node.right)
+
+
+def rotate_right(tree: "IBSTree", z: IBSNode) -> IBSNode:
+    """Rotate right about *z*; returns the new subtree root (old z.left).
+
+    Applies the Figure 6 marker rewrites before the pointer surgery so
+    that the rewritten sets are computed from the pre-rotation roles.
+    """
+    y = z.left
+    if y is None:
+        raise ValueError("rotate_right requires a left child")
+
+    _fixup_marks(tree, promoted=y, demoted=z, promoted_outer=GT, demoted_inner=LT)
+    _relink(tree, z, y, right=True)
+    return y
+
+
+def rotate_left(tree: "IBSTree", z: IBSNode) -> IBSNode:
+    """Rotate left about *z*; returns the new subtree root (old z.right)."""
+    y = z.right
+    if y is None:
+        raise ValueError("rotate_left requires a right child")
+
+    _fixup_marks(tree, promoted=y, demoted=z, promoted_outer=LT, demoted_inner=GT)
+    _relink(tree, z, y, right=False)
+    return y
+
+
+def _fixup_marks(
+    tree: "IBSTree",
+    promoted: IBSNode,
+    demoted: IBSNode,
+    promoted_outer: int,
+    demoted_inner: int,
+) -> None:
+    """Apply the Figure 6 marker rewrites for a single rotation.
+
+    ``promoted`` is the child that becomes the subtree root (``y``),
+    ``demoted`` the old root (``z``).  For a right rotation the
+    "outer" slot of ``y`` is ``>`` and the "inner" slot of ``z`` is
+    ``<``; a left rotation mirrors both.
+    """
+    locs = tree._marker_locs
+
+    # Rule 1: copy the demoted node's inner marks onto the promoted node.
+    inner_marks = tuple(demoted.slots[demoted_inner])
+    for ident in inner_marks:
+        for slot in (demoted_inner, EQ):
+            if _placement_vacuous(promoted, slot):
+                continue
+            if ident not in promoted.slots[slot]:
+                promoted.slots[slot].add(ident)
+                locs[ident].add((promoted, slot))
+
+    outer_marks = promoted.slots[promoted_outer]
+    shared = outer_marks & demoted.slots[promoted_outer]
+
+    # Rule 2: marks covering only the middle subtree move across.
+    for ident in tuple(outer_marks - shared):
+        outer_marks.discard(ident)
+        locs[ident].discard((promoted, promoted_outer))
+        if _placement_vacuous(demoted, demoted_inner):
+            continue
+        if ident not in demoted.slots[demoted_inner]:
+            demoted.slots[demoted_inner].add(ident)
+            locs[ident].add((demoted, demoted_inner))
+
+    # Rule 3: marks now fully covered by the promoted node's outer slot
+    # lose their redundant copies on the demoted node.
+    for ident in tuple(shared):
+        for slot in (EQ, promoted_outer):
+            if ident in demoted.slots[slot]:
+                demoted.slots[slot].discard(ident)
+                locs[ident].discard((demoted, slot))
+
+
+def _relink(tree: "IBSTree", z: IBSNode, y: IBSNode, right: bool) -> None:
+    """Pointer surgery for a single rotation, plus height refresh."""
+    if right:
+        middle = y.right
+        z.left = middle
+        y.right = z
+    else:
+        middle = y.left
+        z.right = middle
+        y.left = z
+    if middle is not None:
+        middle.parent = z
+    parent = z.parent
+    y.parent = parent
+    z.parent = y
+    if parent is None:
+        tree._root = y
+    elif parent.left is z:
+        parent.left = y
+    else:
+        parent.right = y
+    z.height = 1 + max(node_height(z.left), node_height(z.right))
+    y.height = 1 + max(node_height(y.left), node_height(y.right))
+    tree._update_heights_upward(y.parent)

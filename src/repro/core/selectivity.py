@@ -1,0 +1,114 @@
+"""Clause selectivity estimation for index-clause selection.
+
+The paper: "for predicates that are a conjunction of selection clauses,
+if there is an indexable clause, the most selective one is placed in the
+IBS-tree (selectivity estimates are obtained from the query optimizer)".
+
+Two estimators are provided:
+
+* :class:`DefaultEstimator` — System R style constants by clause shape;
+  needs no data and is fully deterministic;
+* :class:`StatisticsEstimator` — consults a database's incrementally
+  maintained :class:`~repro.db.statistics.RelationStatistics`, falling
+  back to the defaults when a relation or attribute has no data yet.
+
+Both return a number in ``[0, 1]``: the estimated fraction of tuples
+matched by the clause.  Lower is more selective.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..predicates.clauses import Clause, EqualityClause, FunctionClause, IntervalClause
+from ..predicates.predicate import Predicate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..db.database import Database
+
+__all__ = [
+    "SelectivityEstimator",
+    "DefaultEstimator",
+    "StatisticsEstimator",
+    "choose_index_clause",
+]
+
+
+class SelectivityEstimator:
+    """Interface: estimate the matched fraction for one clause."""
+
+    def estimate(self, relation: str, clause: Clause) -> float:
+        raise NotImplementedError
+
+
+class DefaultEstimator(SelectivityEstimator):
+    """Shape-based constants in the System R tradition.
+
+    Equality is assumed most selective, bounded ranges next, half-open
+    ranges after that, and opaque functions are assumed to match
+    everything (nothing is known about them).
+    """
+
+    EQUALITY = 0.10
+    BOUNDED = 0.25
+    HALF_OPEN = 0.33
+    UNBOUNDED = 1.0
+    FUNCTION = 1.0
+
+    def estimate(self, relation: str, clause: Clause) -> float:
+        if isinstance(clause, FunctionClause):
+            return self.FUNCTION
+        if isinstance(clause, EqualityClause):
+            return self.EQUALITY
+        if isinstance(clause, IntervalClause):
+            interval = clause.interval
+            if interval.is_point:
+                return self.EQUALITY
+            if interval.is_low_unbounded and interval.is_high_unbounded:
+                return self.UNBOUNDED
+            if interval.is_unbounded:
+                return self.HALF_OPEN
+            return self.BOUNDED
+        return 1.0
+
+
+class StatisticsEstimator(SelectivityEstimator):
+    """Data-driven estimates from a database's relation statistics."""
+
+    def __init__(self, db: "Database", fallback: Optional[SelectivityEstimator] = None):
+        self._db = db
+        self._fallback = fallback or DefaultEstimator()
+
+    def estimate(self, relation: str, clause: Clause) -> float:
+        from ..errors import UnknownRelationError
+
+        try:
+            rel = self._db.relation(relation)
+        except UnknownRelationError:
+            return self._fallback.estimate(relation, clause)
+        stats = rel.statistics
+        if stats.row_count == 0:
+            return self._fallback.estimate(relation, clause)
+        return stats.clause_selectivity(clause)
+
+
+def choose_index_clause(
+    predicate: Predicate, estimator: Optional[SelectivityEstimator] = None
+) -> Optional[IntervalClause]:
+    """Pick the predicate's most selective indexable clause (or None).
+
+    Ties are broken by clause order, so the choice is deterministic.
+    Returns None when the predicate has no indexable clause (it then
+    belongs on the relation's non-indexable list in Figure 1).
+    """
+    estimator = estimator or DefaultEstimator()
+    best: Optional[IntervalClause] = None
+    best_score = float("inf")
+    for clause in predicate.clauses:
+        if not clause.indexable:
+            continue
+        score = estimator.estimate(predicate.relation, clause)
+        if score < best_score:
+            best = clause  # type: ignore[assignment]
+            best_score = score
+    return best

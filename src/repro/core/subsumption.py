@@ -1,0 +1,130 @@
+"""Predicate subsumption and overlap analysis.
+
+Rule bases accumulate redundancy: a new trigger's condition may be
+implied by (or contradict) an existing one.  This module provides the
+static analysis over compiled predicates:
+
+* :func:`clause_subsumes` / :func:`predicate_subsumes` — does every
+  tuple matched by one predicate necessarily match another?
+* :func:`predicates_disjoint` — can any tuple match both?
+* :func:`find_subsumed` — all (general, specific) pairs in a
+  collection, grouped per relation.
+
+Subsumption here is *sound but incomplete*: opaque function clauses
+are compared by identity (the paper assumes "nothing ... about the
+function except that it returns true or false"), so a report of
+subsumption is always correct, while some semantic subsumptions
+involving functions go undetected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..predicates.clauses import Clause, FunctionClause, IntervalClause
+from ..predicates.predicate import Predicate
+
+__all__ = [
+    "clause_subsumes",
+    "predicate_subsumes",
+    "predicates_disjoint",
+    "find_subsumed",
+]
+
+
+def clause_subsumes(general: Clause, specific: Clause) -> bool:
+    """True if every tuple satisfying *specific* satisfies *general*.
+
+    Interval clauses subsume by interval coverage; function clauses
+    only subsume identical function clauses (identity + polarity).
+    """
+    if general.attribute != specific.attribute:
+        return False
+    if isinstance(general, IntervalClause) and isinstance(specific, IntervalClause):
+        return general.interval.covers(specific.interval)
+    if isinstance(general, FunctionClause) and isinstance(specific, FunctionClause):
+        return (
+            general.function is specific.function
+            and general.negated == specific.negated
+        )
+    return False
+
+
+def predicate_subsumes(general: Predicate, specific: Predicate) -> bool:
+    """True if *general*'s match set provably contains *specific*'s.
+
+    Both predicates are normalized first (same-attribute interval
+    clauses merged).  The check: every clause of the general predicate
+    must be implied by some clause of the specific one — the specific
+    predicate carries at least the general one's constraints,
+    tightened.  An unsatisfiable specific predicate is subsumed by
+    everything over the same relation (vacuously).
+    """
+    if general.relation != specific.relation:
+        return False
+    general_n = general.normalized()
+    specific_n = specific.normalized()
+    if general_n is None:
+        # an unsatisfiable predicate matches nothing: it subsumes only
+        # other unsatisfiable predicates
+        return specific_n is None
+    if specific_n is None:
+        return True
+    for g_clause in general_n.clauses:
+        if not any(
+            clause_subsumes(g_clause, s_clause) for s_clause in specific_n.clauses
+        ):
+            return False
+    return True
+
+
+def predicates_disjoint(first: Predicate, second: Predicate) -> bool:
+    """True if provably no tuple can match both predicates.
+
+    Detected when some attribute is constrained by both predicates
+    with non-overlapping intervals.  (Function clauses never prove
+    disjointness.)  A False result means "may overlap", not "do".
+    """
+    if first.relation != second.relation:
+        return True
+    first_n = first.normalized()
+    second_n = second.normalized()
+    if first_n is None or second_n is None:
+        return True  # an unsatisfiable predicate matches nothing
+    intervals_first = {
+        clause.attribute: clause.interval
+        for clause in first_n.clauses
+        if isinstance(clause, IntervalClause)
+    }
+    for clause in second_n.clauses:
+        if not isinstance(clause, IntervalClause):
+            continue
+        other = intervals_first.get(clause.attribute)
+        if other is not None and not other.overlaps(clause.interval):
+            return True
+    return False
+
+
+def find_subsumed(
+    predicates: Iterable[Predicate],
+) -> List[Tuple[Predicate, Predicate]]:
+    """All ordered pairs ``(general, specific)`` with strict subsumption.
+
+    Mutually subsuming (equivalent) predicates are reported once, in
+    input order, as ``(earlier, later)``.  Pairwise within relation
+    groups, so cost is quadratic per relation, not globally.
+    """
+    by_relation: Dict[str, List[Predicate]] = {}
+    for predicate in predicates:
+        by_relation.setdefault(predicate.relation, []).append(predicate)
+    pairs: List[Tuple[Predicate, Predicate]] = []
+    for group in by_relation.values():
+        for i, first in enumerate(group):
+            for second in group[i + 1 :]:
+                forward = predicate_subsumes(first, second)
+                backward = predicate_subsumes(second, first)
+                if forward:
+                    pairs.append((first, second))
+                elif backward:
+                    pairs.append((second, first))
+    return pairs

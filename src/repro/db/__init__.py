@@ -1,0 +1,45 @@
+"""Main-memory relational database substrate.
+
+The rule system (and the paper's Figure 1 index) sits on this small
+DBMS: schemas with typed attribute domains, tuple storage with
+incremental statistics, and a synchronous mutation-event bus.
+"""
+
+from .database import AbortMutation, Database
+from .events import DeleteEvent, Event, InsertEvent, UpdateEvent
+from .persistence import (
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    save_database,
+)
+from .relation import Relation
+from .schema import Attribute, Schema
+from .statistics import AttributeStatistics, RelationStatistics
+from .types import ANY, BOOLEAN, FLOAT, INTEGER, NUMBER, STRING, Domain, integer_range
+
+__all__ = [
+    "Database",
+    "AbortMutation",
+    "Relation",
+    "Schema",
+    "Attribute",
+    "Domain",
+    "INTEGER",
+    "FLOAT",
+    "NUMBER",
+    "STRING",
+    "BOOLEAN",
+    "ANY",
+    "integer_range",
+    "Event",
+    "InsertEvent",
+    "UpdateEvent",
+    "DeleteEvent",
+    "RelationStatistics",
+    "AttributeStatistics",
+    "save_database",
+    "load_database",
+    "database_to_dict",
+    "database_from_dict",
+]

@@ -1,0 +1,186 @@
+"""The main-memory database: catalog, mutations, and event delivery.
+
+:class:`Database` is the substrate the rule system sits on: a catalog of
+:class:`~repro.db.relation.Relation` objects plus a synchronous event
+bus.  Every successful insert/update/delete produces an event delivered
+to subscribers in registration order — the rule engine subscribes to
+drive predicate matching, exactly the "inserted or deleted tuples enter
+here" arrow at the top of the paper's Figure 1.
+
+A subscriber may veto a mutation by raising
+:class:`~repro.db.database.AbortMutation` (used by integrity rules):
+the database rolls the mutation back and re-raises, so the caller sees
+the mutation never happened.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..errors import DatabaseError, SchemaError, UnknownRelationError
+from .events import DeleteEvent, Event, InsertEvent, UpdateEvent
+from .relation import Relation
+from .schema import AttributeSpec, Schema
+
+__all__ = ["Database", "AbortMutation"]
+
+Subscriber = Callable[[Event], None]
+
+
+class AbortMutation(DatabaseError):
+    """Raised by a subscriber (e.g. an integrity rule) to veto a mutation.
+
+    The database undoes the mutation before propagating this exception,
+    so state is as if the call never happened.
+    """
+
+    def __init__(self, reason: str = "mutation aborted by rule"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class Database:
+    """A catalog of main-memory relations with synchronous mutation events."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, Relation] = {}
+        self._subscribers: List[Subscriber] = []
+
+    # -- catalog --------------------------------------------------------
+
+    def create_relation(
+        self,
+        name: str,
+        attributes: Iterable[AttributeSpec],
+        track_statistics: bool = True,
+    ) -> Relation:
+        """Create and register a relation; returns it.
+
+        ``attributes`` accepts the same specs as
+        :class:`~repro.db.schema.Schema`: names, ``(name, Domain)``
+        pairs, or :class:`~repro.db.schema.Attribute` objects.
+        """
+        if name in self._relations:
+            raise SchemaError(f"relation {name!r} already exists")
+        relation = Relation(Schema(name, attributes), track_statistics)
+        self._relations[name] = relation
+        return relation
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a relation and all its tuples from the catalog."""
+        if name not in self._relations:
+            raise UnknownRelationError(name)
+        del self._relations[name]
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def relations(self) -> List[str]:
+        """Names of all relations, in creation order."""
+        return list(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    # -- event bus ---------------------------------------------------------
+
+    def subscribe(self, subscriber: Subscriber) -> Callable[[], None]:
+        """Register an event callback; returns an unsubscribe function."""
+        self._subscribers.append(subscriber)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(subscriber)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def _notify(self, event: Event) -> None:
+        for subscriber in list(self._subscribers):
+            subscriber(event)
+
+    # -- mutations ------------------------------------------------------------
+
+    def insert(self, relation_name: str, values: Mapping[str, Any]) -> int:
+        """Insert a tuple; fires an InsertEvent; returns the new tid.
+
+        If a subscriber raises :class:`AbortMutation` the tuple is
+        removed again and the exception propagates.
+        """
+        relation = self.relation(relation_name)
+        tid, tup = relation.insert(values)
+        try:
+            self._notify(InsertEvent(relation_name, tid, dict(tup)))
+        except AbortMutation:
+            relation.delete(tid)
+            raise
+        return tid
+
+    def update(
+        self, relation_name: str, tid: int, changes: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        """Update a tuple; fires an UpdateEvent; returns the new image."""
+        relation = self.relation(relation_name)
+        old, new = relation.update(tid, changes)
+        try:
+            self._notify(UpdateEvent(relation_name, tid, dict(old), dict(new)))
+        except AbortMutation:
+            relation._tuples[tid] = old  # direct rollback, stats re-adjusted
+            if relation.track_statistics:
+                relation.statistics.observe_update(new, old)
+            raise
+        return dict(new)
+
+    def delete(self, relation_name: str, tid: int) -> Dict[str, Any]:
+        """Delete a tuple; fires a DeleteEvent; returns its final image."""
+        relation = self.relation(relation_name)
+        old = relation.delete(tid)
+        try:
+            self._notify(DeleteEvent(relation_name, tid, dict(old)))
+        except AbortMutation:
+            relation.restore(tid, old)
+            raise
+        return dict(old)
+
+    # -- convenience ------------------------------------------------------------
+
+    def insert_many(
+        self, relation_name: str, rows: Iterable[Mapping[str, Any]]
+    ) -> List[int]:
+        """Insert several tuples; returns their tids."""
+        return [self.insert(relation_name, row) for row in rows]
+
+    def select(
+        self,
+        relation_name: str,
+        condition: Optional[str] = None,
+        functions: Optional[Mapping[str, Callable[[Any], bool]]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Scan a relation, optionally filtered by a condition string.
+
+        This is a convenience for examples and tests, not a query
+        engine: the condition is compiled with
+        :func:`repro.lang.compile_condition` and evaluated per tuple.
+        """
+        relation = self.relation(relation_name)
+        if condition is None:
+            return [dict(tup) for _, tup in relation.scan()]
+        from ..lang import compile_condition
+
+        compiled = compile_condition(relation_name, condition, functions)
+        return [dict(tup) for _, tup in relation.scan() if compiled.matches(tup)]
+
+    def count(self, relation_name: str) -> int:
+        """Number of tuples currently in the relation."""
+        return len(self.relation(relation_name))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}({len(rel)})" for name, rel in self._relations.items()
+        )
+        return f"<Database {parts or '(empty)'}>"

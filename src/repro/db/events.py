@@ -1,0 +1,79 @@
+"""Database mutation events.
+
+The rule engine is driven by these events: every insert, update, and
+delete on a :class:`~repro.db.database.Database` produces one event,
+delivered synchronously to subscribers in registration order.  The
+paper's matching problem is exactly "given the tuple carried by one of
+these events, find every predicate that matches it".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["Event", "InsertEvent", "UpdateEvent", "DeleteEvent"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for database mutation events."""
+
+    relation: str
+    tid: int
+
+    @property
+    def kind(self) -> str:
+        """One of ``"insert"``, ``"update"``, ``"delete"``."""
+        raise NotImplementedError
+
+    @property
+    def tuple(self) -> Optional[Dict[str, Any]]:
+        """The tuple a predicate should be matched against (None for deletes)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class InsertEvent(Event):
+    """A new tuple was inserted."""
+
+    new: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def kind(self) -> str:
+        return "insert"
+
+    @property
+    def tuple(self) -> Dict[str, Any]:
+        return self.new
+
+
+@dataclass(frozen=True)
+class UpdateEvent(Event):
+    """An existing tuple was modified; carries both images."""
+
+    old: Dict[str, Any] = field(default_factory=dict)
+    new: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def kind(self) -> str:
+        return "update"
+
+    @property
+    def tuple(self) -> Dict[str, Any]:
+        return self.new
+
+
+@dataclass(frozen=True)
+class DeleteEvent(Event):
+    """A tuple was removed; carries its final image."""
+
+    old: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def kind(self) -> str:
+        return "delete"
+
+    @property
+    def tuple(self) -> Optional[Dict[str, Any]]:
+        return self.old

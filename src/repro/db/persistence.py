@@ -1,0 +1,134 @@
+"""Save and load databases as JSON.
+
+Rule systems hold their *rules* in code, but the data they monitor is
+ordinary relational content; this module persists that content so
+examples and experiments can checkpoint and reload state::
+
+    from repro.db import Database, save_database, load_database
+
+    save_database(db, "snapshot.json")
+    db2 = load_database("snapshot.json")
+
+Format: one JSON object with a ``relations`` list; each relation
+carries its schema (attribute names + domain descriptors) and its
+tuples in insertion order.  Built-in domains round-trip by name;
+bounded integer domains keep their bounds; custom check functions
+cannot be serialised and degrade to ``any`` (a warning is attached to
+the loaded relation's schema via the domain name).
+
+Tuple identifiers are not preserved — they are storage-level handles,
+not data.  Values must be JSON-representable (int, float, str, bool,
+None); anything else raises :class:`~repro.errors.DatabaseError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, IO, List, Union
+
+from ..errors import DatabaseError
+from .database import Database
+from .schema import Attribute
+from .types import ANY, BOOLEAN, Domain, FLOAT, INTEGER, NUMBER, STRING, integer_range
+
+__all__ = ["save_database", "load_database", "database_to_dict", "database_from_dict"]
+
+FORMAT_VERSION = 1
+
+_BUILTIN_DOMAINS: Dict[str, Domain] = {
+    "integer": INTEGER,
+    "float": FLOAT,
+    "number": NUMBER,
+    "string": STRING,
+    "boolean": BOOLEAN,
+    "any": ANY,
+}
+
+_JSON_SAFE = (int, float, str, bool, type(None))
+
+
+def _domain_descriptor(domain: Domain) -> Dict[str, Any]:
+    if domain.name in _BUILTIN_DOMAINS:
+        return {"kind": domain.name}
+    if domain.name.startswith("integer[") and domain.low is not None:
+        return {"kind": "integer_range", "low": domain.low, "high": domain.high}
+    # custom domain: not serialisable; degrade explicitly
+    return {"kind": "any", "original": domain.name}
+
+
+def _domain_from_descriptor(descriptor: Dict[str, Any]) -> Domain:
+    kind = descriptor.get("kind", "any")
+    if kind == "integer_range":
+        return integer_range(descriptor["low"], descriptor["high"])
+    try:
+        return _BUILTIN_DOMAINS[kind]
+    except KeyError:
+        raise DatabaseError(f"unknown domain kind {kind!r} in snapshot") from None
+
+
+def database_to_dict(db: Database) -> Dict[str, Any]:
+    """Serialise *db* (schemas + tuples) into a JSON-safe dict."""
+    relations: List[Dict[str, Any]] = []
+    for name in db.relations():
+        relation = db.relation(name)
+        schema = relation.schema
+        for _, tup in relation.scan():
+            for attr, value in tup.items():
+                if not isinstance(value, _JSON_SAFE):
+                    raise DatabaseError(
+                        f"cannot serialise {name}.{attr} value {value!r} "
+                        f"of type {type(value).__name__}"
+                    )
+        relations.append(
+            {
+                "name": name,
+                "attributes": [
+                    {"name": attr.name, "domain": _domain_descriptor(attr.domain)}
+                    for attr in schema.attributes
+                ],
+                "tuples": [dict(tup) for _, tup in relation.scan()],
+            }
+        )
+    return {"format": "repro-database", "version": FORMAT_VERSION, "relations": relations}
+
+
+def database_from_dict(data: Dict[str, Any]) -> Database:
+    """Rebuild a database from :func:`database_to_dict` output."""
+    if data.get("format") != "repro-database":
+        raise DatabaseError("not a repro database snapshot")
+    if data.get("version") != FORMAT_VERSION:
+        raise DatabaseError(
+            f"unsupported snapshot version {data.get('version')!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    db = Database()
+    for relation_data in data.get("relations", []):
+        attributes = [
+            Attribute(spec["name"], _domain_from_descriptor(spec.get("domain", {})))
+            for spec in relation_data["attributes"]
+        ]
+        db.create_relation(relation_data["name"], attributes)
+        for tup in relation_data.get("tuples", []):
+            db.insert(relation_data["name"], tup)
+    return db
+
+
+def save_database(db: Database, target: Union[str, os.PathLike, IO[str]]) -> None:
+    """Write *db* as JSON to a path or open text file."""
+    data = database_to_dict(db)
+    if hasattr(target, "write"):
+        json.dump(data, target, indent=1)
+        return
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=1)
+
+
+def load_database(source: Union[str, os.PathLike, IO[str]]) -> Database:
+    """Read a database from a JSON path or open text file."""
+    if hasattr(source, "read"):
+        data = json.load(source)
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    return database_from_dict(data)

@@ -1,0 +1,123 @@
+"""A main-memory relation: tuple storage with statistics and scans.
+
+Tuples are plain dicts keyed by attribute name, stored under
+monotonically increasing tuple identifiers (tids).  The relation keeps
+its :class:`~repro.db.statistics.RelationStatistics` up to date on
+every mutation, and offers simple scan/lookup helpers used by the
+examples, the physical-locking baseline, and the join layer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..errors import TupleError
+from .schema import Schema
+from .statistics import RelationStatistics
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """Tuple storage for one schema.
+
+    Not usually constructed directly — use
+    :meth:`repro.db.Database.create_relation`, which also wires up event
+    delivery to the rule engine.
+    """
+
+    __slots__ = ("schema", "_tuples", "_tid_counter", "statistics", "track_statistics")
+
+    def __init__(self, schema: Schema, track_statistics: bool = True):
+        self.schema = schema
+        self._tuples: Dict[int, Dict[str, Any]] = {}
+        self._tid_counter = itertools.count(1)
+        self.statistics = RelationStatistics()
+        self.track_statistics = track_statistics
+
+    @property
+    def name(self) -> str:
+        """The relation's name (from its schema)."""
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._tuples
+
+    # -- mutations ---------------------------------------------------------
+
+    def insert(self, values: Mapping[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """Validate and store a tuple; returns ``(tid, stored_tuple)``."""
+        tup = self.schema.validate_tuple(values)
+        tid = next(self._tid_counter)
+        self._tuples[tid] = tup
+        if self.track_statistics:
+            self.statistics.observe_insert(tup)
+        return tid, tup
+
+    def update(
+        self, tid: int, changes: Mapping[str, Any]
+    ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """Apply *changes* to the tuple at *tid*; returns ``(old, new)``."""
+        old = self._require(tid)
+        validated = self.schema.validate_update(changes)
+        new = dict(old)
+        new.update(validated)
+        self._tuples[tid] = new
+        if self.track_statistics:
+            self.statistics.observe_update(old, new)
+        return old, new
+
+    def delete(self, tid: int) -> Dict[str, Any]:
+        """Remove and return the tuple at *tid*."""
+        old = self._require(tid)
+        del self._tuples[tid]
+        if self.track_statistics:
+            self.statistics.observe_delete(old)
+        return old
+
+    def restore(self, tid: int, tup: Dict[str, Any]) -> None:
+        """Re-install a tuple under its original tid (rule-abort rollback)."""
+        if tid in self._tuples:
+            raise TupleError(f"tid {tid} already present in {self.name!r}")
+        self._tuples[tid] = dict(tup)
+        if self.track_statistics:
+            self.statistics.observe_insert(tup)
+
+    def _require(self, tid: int) -> Dict[str, Any]:
+        try:
+            return self._tuples[tid]
+        except KeyError:
+            raise TupleError(f"relation {self.name!r} has no tuple {tid}") from None
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, tid: int) -> Dict[str, Any]:
+        """Return (a copy of) the tuple stored at *tid*."""
+        return dict(self._require(tid))
+
+    def scan(self) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        """Iterate ``(tid, tuple)`` pairs; tuples are live references.
+
+        Callers must not mutate the yielded dicts; use :meth:`update`.
+        """
+        return iter(self._tuples.items())
+
+    def select(
+        self, predicate: Callable[[Mapping[str, Any]], bool]
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        """All ``(tid, tuple)`` pairs satisfying *predicate* (full scan)."""
+        return [(tid, dict(tup)) for tid, tup in self._tuples.items() if predicate(tup)]
+
+    def lookup(self, attribute: str, value: Any) -> List[int]:
+        """Tids of tuples whose *attribute* equals *value* (full scan)."""
+        self.schema.attribute(attribute)  # validates the name
+        return [
+            tid for tid, tup in self._tuples.items() if tup.get(attribute) == value
+        ]
+
+    def __repr__(self) -> str:
+        return f"<Relation {self.name} ({len(self)} tuples)>"

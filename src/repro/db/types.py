@@ -1,0 +1,108 @@
+"""Attribute domains for the main-memory DBMS substrate.
+
+A :class:`Domain` describes the legal values of an attribute: a
+validation predicate plus optional bounds used by the statistics module
+and the workload generators.  Domains are deliberately lightweight —
+the paper's algorithm only needs attributes to come from *totally
+ordered* domains with ``<``, ``=``, ``>`` defined.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Any, Callable, Optional
+
+from ..errors import SchemaError
+
+__all__ = [
+    "Domain",
+    "INTEGER",
+    "FLOAT",
+    "NUMBER",
+    "STRING",
+    "BOOLEAN",
+    "ANY",
+    "integer_range",
+]
+
+
+class Domain:
+    """A named value domain with an optional membership check and bounds.
+
+    Parameters
+    ----------
+    name:
+        Display name (``"integer"``, ``"string"``...).
+    check:
+        Optional predicate; values failing it are rejected at insert
+        time.  None accepts everything (except that None itself always
+        denotes SQL-style NULL and bypasses the check).
+    low, high:
+        Optional inclusive bounds, used both for validation and as the
+        default value range for statistics and workload generation.
+    """
+
+    __slots__ = ("name", "check", "low", "high")
+
+    def __init__(
+        self,
+        name: str,
+        check: Optional[Callable[[Any], bool]] = None,
+        low: Any = None,
+        high: Any = None,
+    ):
+        self.name = name
+        self.check = check
+        self.low = low
+        self.high = high
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`~repro.errors.SchemaError` if *value* is illegal.
+
+        None (NULL) is always accepted; nullability is not modelled.
+        """
+        if value is None:
+            return
+        if self.check is not None and not self.check(value):
+            raise SchemaError(f"value {value!r} is not in domain {self.name}")
+        if self.low is not None and value < self.low:
+            raise SchemaError(
+                f"value {value!r} below domain {self.name} minimum {self.low!r}"
+            )
+        if self.high is not None and value > self.high:
+            raise SchemaError(
+                f"value {value!r} above domain {self.name} maximum {self.high!r}"
+            )
+
+    def bounded(self) -> bool:
+        """True if both bounds are set (useful for selectivity estimates)."""
+        return self.low is not None and self.high is not None
+
+    def __repr__(self) -> str:
+        bounds = ""
+        if self.low is not None or self.high is not None:
+            bounds = f" [{self.low!r}..{self.high!r}]"
+        return f"<Domain {self.name}{bounds}>"
+
+
+def _is_integer(value: Any) -> bool:
+    return isinstance(value, numbers.Integral) and not isinstance(value, bool)
+
+
+def _is_float(value: Any) -> bool:
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+INTEGER = Domain("integer", _is_integer)
+FLOAT = Domain("float", _is_float)
+NUMBER = Domain("number", _is_float)
+STRING = Domain("string", lambda v: isinstance(v, str))
+BOOLEAN = Domain("boolean", lambda v: isinstance(v, bool))
+ANY = Domain("any", None)
+
+
+def integer_range(low: int, high: int) -> Domain:
+    """An integer domain restricted to ``[low, high]`` inclusive."""
+    if low > high:
+        raise SchemaError(f"integer_range low {low!r} exceeds high {high!r}")
+    return Domain(f"integer[{low}..{high}]", _is_integer, low, high)

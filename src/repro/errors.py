@@ -1,0 +1,132 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every exception raised by this library derives from :class:`ReproError`,
+so callers can catch the whole family with a single ``except`` clause.
+The hierarchy mirrors the package layout: interval/tree errors, predicate
+and language errors, database errors, and rule-engine errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "IntervalError",
+    "TreeError",
+    "UnknownIntervalError",
+    "DuplicateIntervalError",
+    "TreeInvariantError",
+    "PredicateError",
+    "ClauseError",
+    "ParseError",
+    "LexError",
+    "DatabaseError",
+    "SchemaError",
+    "UnknownRelationError",
+    "UnknownAttributeError",
+    "TupleError",
+    "RuleError",
+    "UnknownRuleError",
+    "DuplicateRuleError",
+    "RuleCycleError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class IntervalError(ReproError, ValueError):
+    """An interval was constructed with inconsistent bounds.
+
+    Raised, for example, when ``low > high`` or when a degenerate
+    interval (``low == high``) has an open endpoint, which would denote
+    the empty set.
+    """
+
+
+class TreeError(ReproError):
+    """Base class for errors raised by interval index structures."""
+
+
+class UnknownIntervalError(TreeError, KeyError):
+    """An operation referenced an interval identifier not in the index."""
+
+
+class DuplicateIntervalError(TreeError, KeyError):
+    """An interval identifier was inserted twice into the same index."""
+
+
+class TreeInvariantError(TreeError, AssertionError):
+    """An internal structural invariant of a tree was violated.
+
+    This is raised only by explicit ``validate()`` calls (used heavily in
+    the test suite); it indicates a bug in the library, never bad user
+    input.
+    """
+
+
+class PredicateError(ReproError):
+    """Base class for errors in predicate construction or evaluation."""
+
+
+class ClauseError(PredicateError, ValueError):
+    """A predicate clause was malformed (bad operator, bad bounds...)."""
+
+
+class LexError(PredicateError, ValueError):
+    """The predicate-language lexer met an unexpected character."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(PredicateError, ValueError):
+    """The predicate-language parser met an unexpected token."""
+
+    def __init__(self, message: str, position: int = -1):
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class DatabaseError(ReproError):
+    """Base class for errors raised by the main-memory DBMS substrate."""
+
+
+class SchemaError(DatabaseError, ValueError):
+    """A relation schema was malformed or violated."""
+
+
+class UnknownRelationError(DatabaseError, KeyError):
+    """A relation name was referenced that is not in the catalog."""
+
+
+class UnknownAttributeError(DatabaseError, KeyError):
+    """An attribute name was referenced that is not in a schema."""
+
+
+class TupleError(DatabaseError, ValueError):
+    """A tuple did not conform to its relation's schema."""
+
+
+class RuleError(ReproError):
+    """Base class for errors raised by the rule engine."""
+
+
+class UnknownRuleError(RuleError, KeyError):
+    """A rule name was referenced that is not registered."""
+
+
+class DuplicateRuleError(RuleError, KeyError):
+    """A rule name was registered twice."""
+
+
+class RuleCycleError(RuleError, RuntimeError):
+    """Rule firing failed to reach a fixpoint within the firing limit."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """A workload generator was configured with inconsistent parameters."""

@@ -1,0 +1,41 @@
+"""Rule-condition language: lexer, parser, and predicate compiler.
+
+The public entry point is :func:`compile_condition`, which turns a
+condition string like ``'20000 <= salary <= 30000 and dept = "Shoe"'``
+into a :class:`~repro.predicates.PredicateGroup` of disjunction-free
+conjunctive predicates, exactly the normal form the paper's matching
+algorithm consumes.
+"""
+
+from .ast_nodes import (
+    AndNode,
+    ComparisonNode,
+    FunctionNode,
+    LikeNode,
+    LiteralNode,
+    Node,
+    NotNode,
+    OrNode,
+)
+from .compiler import MAX_DNF_CONJUNCTS, CompiledCondition, compile_condition
+from .lexer import tokenize
+from .parser import parse_condition
+from .tokens import Token, TokenType
+
+__all__ = [
+    "compile_condition",
+    "CompiledCondition",
+    "MAX_DNF_CONJUNCTS",
+    "parse_condition",
+    "tokenize",
+    "Token",
+    "TokenType",
+    "Node",
+    "AndNode",
+    "OrNode",
+    "NotNode",
+    "ComparisonNode",
+    "FunctionNode",
+    "LikeNode",
+    "LiteralNode",
+]

@@ -1,0 +1,125 @@
+"""AST for rule-condition expressions.
+
+The parser produces this small tree language; the compiler lowers it to
+disjunctive normal form and then to predicate clauses.  Nodes are plain
+immutable dataclasses; logical structure only — no evaluation here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+__all__ = [
+    "Node",
+    "AndNode",
+    "OrNode",
+    "NotNode",
+    "ComparisonNode",
+    "FunctionNode",
+    "LikeNode",
+    "LiteralNode",
+]
+
+
+class Node:
+    """Base class for condition AST nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class AndNode(Node):
+    """Conjunction of two or more sub-expressions."""
+
+    children: Tuple[Node, ...]
+
+    def __str__(self) -> str:
+        return "(" + " and ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class OrNode(Node):
+    """Disjunction of two or more sub-expressions."""
+
+    children: Tuple[Node, ...]
+
+    def __str__(self) -> str:
+        return "(" + " or ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class NotNode(Node):
+    """Logical negation of a sub-expression."""
+
+    child: Node
+
+    def __str__(self) -> str:
+        return f"(not {self.child})"
+
+
+@dataclass(frozen=True)
+class ComparisonNode(Node):
+    """A (possibly chained) comparison.
+
+    ``operands`` alternates attribute names and literal constants;
+    ``operators`` holds the comparison between each adjacent pair.  For
+    example ``20000 <= salary <= 30000`` parses to
+    ``operands=(20000, 'salary', 30000)``, ``operators=('<=', '<=')``
+    with ``attr_positions=(1,)`` marking which operands are attribute
+    references.
+    """
+
+    operands: Tuple[Any, ...]
+    operators: Tuple[str, ...]
+    attr_positions: Tuple[int, ...]
+
+    def __str__(self) -> str:
+        parts = [self._show(0)]
+        for k, op in enumerate(self.operators):
+            parts.append(op)
+            parts.append(self._show(k + 1))
+        return " ".join(parts)
+
+    def _show(self, index: int) -> str:
+        value = self.operands[index]
+        if index in self.attr_positions:
+            return str(value)
+        return repr(value)
+
+
+@dataclass(frozen=True)
+class FunctionNode(Node):
+    """An opaque boolean function applied to a single attribute."""
+
+    name: str
+    attribute: str
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.attribute})"
+
+
+@dataclass(frozen=True)
+class LikeNode(Node):
+    """A SQL-style pattern test: ``attribute LIKE 'pattern'``.
+
+    ``%`` matches any run of characters and ``_`` any single character.
+    Pure-prefix patterns (``'Ab%'``) compile to indexable string
+    intervals; anything else becomes an opaque clause.
+    """
+
+    attribute: str
+    pattern: str
+
+    def __str__(self) -> str:
+        return f"{self.attribute} like {self.pattern!r}"
+
+
+@dataclass(frozen=True)
+class LiteralNode(Node):
+    """A bare boolean literal (``true`` / ``false``) used as a condition."""
+
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"

@@ -1,0 +1,444 @@
+"""Compile condition ASTs into predicate groups.
+
+The paper assumes "any predicate containing a disjunction is broken up
+into two or more predicates that do not have disjunction, and these
+predicates are treated separately".  This module performs that
+normalization:
+
+1. **lowering** — comparison chains become conjunctions of binary
+   constraints; ``<>`` and negation expand into complementary ranges;
+   opaque functions resolve against a caller-supplied registry;
+2. **DNF conversion** — ``and`` distributes over ``or``;
+3. **clause extraction** — each DNF conjunct becomes one
+   :class:`~repro.predicates.Predicate`, with same-attribute interval
+   clauses intersected and contradictory conjuncts dropped.
+
+The result is a :class:`~repro.predicates.PredicateGroup`: the original
+condition matches a tuple iff any member predicate does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ParseError
+from ..core.intervals import Interval
+from ..predicates.clauses import (
+    Clause,
+    EqualityClause,
+    FunctionClause,
+    IntervalClause,
+)
+from ..predicates.predicate import Predicate, PredicateGroup, _Contradiction, normalize_clauses
+from .ast_nodes import (
+    AndNode,
+    ComparisonNode,
+    FunctionNode,
+    LikeNode,
+    LiteralNode,
+    Node,
+    NotNode,
+    OrNode,
+)
+from .parser import parse_condition
+
+__all__ = [
+    "compile_condition",
+    "compile_ast",
+    "CompiledCondition",
+    "MAX_DNF_CONJUNCTS",
+]
+
+#: Safety valve: conditions whose DNF exceeds this many conjuncts are
+#: rejected rather than silently exploding memory.
+MAX_DNF_CONJUNCTS = 4096
+
+FunctionRegistry = Mapping[str, Callable[[Any], bool]]
+
+
+class CompiledCondition:
+    """The result of compiling a condition string.
+
+    Attributes
+    ----------
+    group:
+        The :class:`~repro.predicates.PredicateGroup` implementing the
+        condition (empty when the condition is unsatisfiable).
+    always_true:
+        True when the condition matches every tuple of the relation
+        (e.g. the literal ``true``); the group then holds one
+        clause-free predicate.
+    source:
+        The original condition text.
+    """
+
+    __slots__ = ("group", "always_true", "source")
+
+    def __init__(self, group: PredicateGroup, always_true: bool, source: str):
+        self.group = group
+        self.always_true = always_true
+        self.source = source
+
+    def matches(self, tup: Mapping[str, Any]) -> bool:
+        """Evaluate the compiled condition against a tuple."""
+        return self.group.matches(tup)
+
+    def __repr__(self) -> str:
+        return f"<CompiledCondition {self.source!r} -> {self.group}>"
+
+
+def compile_condition(
+    relation: str,
+    text: str,
+    functions: Optional[FunctionRegistry] = None,
+) -> CompiledCondition:
+    """Compile a single-relation selection condition.
+
+    Parameters
+    ----------
+    relation:
+        The relation the condition applies to.  Qualified attribute
+        references (``emp.salary``) must use this relation name.
+    text:
+        The condition source, e.g.
+        ``'salary < 20000 and age > 50'``.
+    functions:
+        Registry of opaque boolean functions by (case-insensitive)
+        name, e.g. ``{"isodd": lambda x: x % 2 == 1}``.
+
+    Raises :class:`~repro.errors.ParseError` on malformed input,
+    unknown functions, attribute-to-attribute comparisons, or a DNF
+    explosion beyond :data:`MAX_DNF_CONJUNCTS`.
+    """
+    return compile_ast(relation, parse_condition(text), functions, source=text)
+
+
+def compile_ast(
+    relation: str,
+    ast: Node,
+    functions: Optional[FunctionRegistry] = None,
+    source: str = "",
+) -> CompiledCondition:
+    """Compile an already-parsed condition AST (see :func:`compile_condition`).
+
+    Used directly by the join layer, which parses a two-relation
+    condition once and compiles each relation's selection part
+    separately.
+    """
+    text = source or str(ast)
+    registry = {name.lower(): fn for name, fn in (functions or {}).items()}
+    lowered = _lower(ast, relation, registry, negate=False)
+    conjuncts = _to_dnf(lowered)
+    predicates: List[Predicate] = []
+    seen: set = set()
+    always_true = False
+    for conjunct in conjuncts:
+        clauses = _conjunct_clauses(conjunct)
+        if clauses is None:
+            continue  # contains a false literal
+        try:
+            merged = normalize_clauses(clauses)
+        except _Contradiction:
+            continue  # unsatisfiable conjunct, e.g. x < 1 and x > 2
+        key = _conjunct_key(merged)
+        if key in seen:
+            continue
+        seen.add(key)
+        if not merged:
+            always_true = True
+            predicates = [Predicate(relation, (), source=text)]
+            break
+        predicates.append(Predicate(relation, merged, source=text))
+    group = PredicateGroup(relation, predicates, source=text)
+    return CompiledCondition(group, always_true, text)
+
+
+# ----------------------------------------------------------------------
+# lowering: AST -> {And, Or, atoms}
+# ----------------------------------------------------------------------
+
+
+class _ClauseAtom(Node):
+    """A ready-made clause used as an AST leaf during normalization."""
+
+    __slots__ = ("clause",)
+
+    def __init__(self, clause: Clause):
+        self.clause = clause
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.clause}>"
+
+
+class _BoolAtom(Node):
+    """A constant truth value used as an AST leaf during normalization."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = value
+
+
+_NEGATED_OP = {"=": "<>", "<>": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+_FLIPPED_OP = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _lower(
+    node: Node,
+    relation: str,
+    functions: Dict[str, Callable[[Any], bool]],
+    negate: bool,
+) -> Node:
+    """Lower *node* to an AST of And/Or over clause atoms, in NNF."""
+    if isinstance(node, NotNode):
+        return _lower(node.child, relation, functions, not negate)
+    if isinstance(node, AndNode):
+        children = tuple(_lower(c, relation, functions, negate) for c in node.children)
+        return OrNode(children) if negate else AndNode(children)
+    if isinstance(node, OrNode):
+        children = tuple(_lower(c, relation, functions, negate) for c in node.children)
+        return AndNode(children) if negate else OrNode(children)
+    if isinstance(node, LiteralNode):
+        return _BoolAtom(node.value != negate)
+    if isinstance(node, FunctionNode):
+        name = node.name.lower()
+        try:
+            fn = functions[name]
+        except KeyError:
+            known = ", ".join(sorted(functions)) or "(none registered)"
+            raise ParseError(
+                f"unknown function {node.name!r}; known functions: {known}"
+            ) from None
+        attribute = _resolve_attribute(node.attribute, relation)
+        return _ClauseAtom(
+            FunctionClause(attribute, fn, name=node.name, negated=negate)
+        )
+    if isinstance(node, ComparisonNode):
+        return _lower_comparison(node, relation, negate)
+    if isinstance(node, LikeNode):
+        return _lower_like(node, relation, negate)
+    raise ParseError(f"unsupported AST node {node!r}")
+
+
+def _lower_like(node: LikeNode, relation: str, negate: bool) -> Node:
+    """Lower ``attr LIKE pattern``.
+
+    Pure-prefix patterns (``'Ab%'``) become indexable string ranges
+    ``[prefix, next_prefix)`` — the IBS-tree works on any ordered
+    domain, strings included; all other patterns become opaque
+    function clauses evaluated by regex.
+    """
+    attribute = _resolve_attribute(node.attribute, relation)
+    pattern = node.pattern
+    prefix = pattern[:-1]
+    is_prefix_pattern = (
+        pattern.endswith("%")
+        and "%" not in prefix
+        and "_" not in prefix
+    )
+    if is_prefix_pattern and not negate:
+        if not prefix:
+            # 'x like "%"' matches every string value
+            return _ClauseAtom(
+                FunctionClause(
+                    attribute, _is_string, name="like_any"
+                )
+            )
+        upper = _prefix_upper_bound(prefix)
+        if upper is not None:
+            return _ClauseAtom(
+                IntervalClause(attribute, Interval.closed_open(prefix, upper))
+            )
+    if is_prefix_pattern and negate and prefix:
+        upper = _prefix_upper_bound(prefix)
+        if upper is not None:
+            return OrNode(
+                (
+                    _ClauseAtom(
+                        IntervalClause(attribute, Interval.less_than(prefix))
+                    ),
+                    _ClauseAtom(
+                        IntervalClause(attribute, Interval.at_least(upper))
+                    ),
+                )
+            )
+    matcher = _like_regex(pattern)
+
+    def test(value: Any, _matcher=matcher) -> bool:
+        return isinstance(value, str) and _matcher.fullmatch(value) is not None
+
+    return _ClauseAtom(
+        FunctionClause(attribute, test, name=f"like_{pattern!r}", negated=negate)
+    )
+
+
+def _is_string(value: Any) -> bool:
+    return isinstance(value, str)
+
+
+def _prefix_upper_bound(prefix: str) -> Optional[str]:
+    """The smallest string greater than every string with *prefix*.
+
+    Increment the last character; if it is already the maximum code
+    point, no closed-form bound exists and the caller falls back to a
+    function clause.
+    """
+    last = prefix[-1]
+    if ord(last) >= 0x10FFFF:
+        return None
+    return prefix[:-1] + chr(ord(last) + 1)
+
+
+def _like_regex(pattern: str):
+    """Compile a SQL LIKE pattern (% and _) into a regex."""
+    import re
+
+    parts = []
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.compile("".join(parts), re.DOTALL)
+
+
+def _lower_comparison(node: ComparisonNode, relation: str, negate: bool) -> Node:
+    """Turn a comparison chain into And/Or over clause atoms.
+
+    The chain ``o0 op0 o1 op1 o2 ...`` is the conjunction of its
+    adjacent binary constraints.  Negation applies De Morgan: the
+    negated chain is the disjunction of the negated constraints.
+    """
+    constraints: List[Node] = []
+    attr_positions = set(node.attr_positions)
+    for k, op in enumerate(node.operators):
+        left, right = node.operands[k], node.operands[k + 1]
+        left_attr = k in attr_positions
+        right_attr = (k + 1) in attr_positions
+        effective_op = _NEGATED_OP[op] if negate else op
+        if left_attr and right_attr:
+            raise ParseError(
+                f"attribute-to-attribute comparison "
+                f"{left!r} {op} {right!r} is not a selection clause "
+                f"(join conditions belong in the rule's join part)"
+            )
+        if not left_attr and not right_attr:
+            constraints.append(_BoolAtom(_eval_const(left, effective_op, right)))
+            continue
+        if left_attr:
+            attribute, constant, final_op = left, right, effective_op
+        else:
+            attribute, constant, final_op = right, left, _FLIPPED_OP[effective_op]
+        attribute = _resolve_attribute(attribute, relation)
+        constraints.append(_binary_constraint(attribute, final_op, constant))
+    if len(constraints) == 1:
+        return constraints[0]
+    return OrNode(tuple(constraints)) if negate else AndNode(tuple(constraints))
+
+
+def _binary_constraint(attribute: str, op: str, constant: Any) -> Node:
+    """One clause atom for ``attribute op constant`` (``<>`` expands)."""
+    if op == "=":
+        return _ClauseAtom(EqualityClause(attribute, constant))
+    if op == "<>":
+        return OrNode(
+            (
+                _ClauseAtom(IntervalClause(attribute, Interval.less_than(constant))),
+                _ClauseAtom(IntervalClause(attribute, Interval.greater_than(constant))),
+            )
+        )
+    builders = {
+        "<": Interval.less_than,
+        "<=": Interval.at_most,
+        ">": Interval.greater_than,
+        ">=": Interval.at_least,
+    }
+    return _ClauseAtom(IntervalClause(attribute, builders[op](constant)))
+
+
+def _eval_const(left: Any, op: str, right: Any) -> bool:
+    """Statically evaluate a constant-to-constant comparison."""
+    try:
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        return left >= right
+    except TypeError:
+        raise ParseError(
+            f"cannot compare constants {left!r} and {right!r}"
+        ) from None
+
+
+def _resolve_attribute(reference: str, relation: str) -> str:
+    """Strip (and validate) an optional relation qualifier."""
+    if "." not in reference:
+        return reference
+    qualifier, attribute = reference.split(".", 1)
+    if qualifier != relation:
+        raise ParseError(
+            f"attribute {reference!r} is qualified with {qualifier!r} but the "
+            f"condition applies to relation {relation!r}"
+        )
+    return attribute
+
+
+# ----------------------------------------------------------------------
+# DNF conversion
+# ----------------------------------------------------------------------
+
+
+def _to_dnf(node: Node) -> List[List[Node]]:
+    """Convert a lowered AST into a list of conjuncts of atoms."""
+    if isinstance(node, (_ClauseAtom, _BoolAtom)):
+        return [[node]]
+    if isinstance(node, OrNode):
+        conjuncts: List[List[Node]] = []
+        for child in node.children:
+            conjuncts.extend(_to_dnf(child))
+            _check_dnf_size(len(conjuncts))
+        return conjuncts
+    if isinstance(node, AndNode):
+        product: List[List[Node]] = [[]]
+        for child in node.children:
+            child_dnf = _to_dnf(child)
+            product = [
+                existing + extra for existing in product for extra in child_dnf
+            ]
+            _check_dnf_size(len(product))
+        return product
+    raise ParseError(f"unexpected node in lowered AST: {node!r}")
+
+
+def _check_dnf_size(count: int) -> None:
+    if count > MAX_DNF_CONJUNCTS:
+        raise ParseError(
+            f"condition expands to more than {MAX_DNF_CONJUNCTS} disjuncts; "
+            "simplify the expression"
+        )
+
+
+def _conjunct_clauses(conjunct: Sequence[Node]) -> Optional[List[Clause]]:
+    """Extract clauses from a conjunct; None if it contains ``false``."""
+    clauses: List[Clause] = []
+    for atom in conjunct:
+        if isinstance(atom, _BoolAtom):
+            if not atom.value:
+                return None
+            continue  # a true literal adds no constraint
+        assert isinstance(atom, _ClauseAtom)
+        clauses.append(atom.clause)
+    return clauses
+
+
+def _conjunct_key(clauses: Tuple[Clause, ...]) -> Tuple:
+    """A hashable key identifying a normalized conjunct, for dedup."""
+    return tuple(sorted((str(c) for c in clauses)))

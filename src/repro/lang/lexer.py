@@ -1,0 +1,159 @@
+"""Lexer for the rule-condition language.
+
+The language covers the predicate grammar of the paper's Section 1 plus
+the convenience forms that compile down to it (``between``, ``in``,
+``not``, disjunction).  Example conditions::
+
+    salary < 20000 and age > 50
+    20000 <= salary <= 30000
+    job = "Salesperson"
+    isodd(age) and dept = "Shoe"
+    dept in ("Shoe", "Toy") or not (10 <= age <= 20)
+
+Tokens:
+
+* identifiers: ``[A-Za-z_][A-Za-z0-9_]*`` (attribute and function
+  names; the keywords ``and or not in between true false`` are
+  case-insensitive);
+* numbers: integers and floats, with optional sign handled by the
+  parser as part of the literal;
+* strings: single- or double-quoted, with backslash escapes;
+* operators: ``= == != <> < <= > >=``;
+* punctuation: ``( ) , .``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..errors import LexError
+from .tokens import Token, TokenType
+
+__all__ = ["tokenize"]
+
+_KEYWORDS = {
+    "and": TokenType.AND,
+    "or": TokenType.OR,
+    "not": TokenType.NOT,
+    "in": TokenType.IN,
+    "between": TokenType.BETWEEN,
+    "like": TokenType.LIKE,
+}
+
+_BOOLEANS = {"true": True, "false": False}
+
+_TWO_CHAR_OPS = {"==", "!=", "<>", "<=", ">="}
+_ONE_CHAR_OPS = {"=", "<", ">"}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize *text*; returns a list ending with an EOF token.
+
+    Raises :class:`~repro.errors.LexError` on unexpected characters or
+    unterminated strings.
+    """
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            lowered = word.lower()
+            if lowered in _KEYWORDS:
+                yield Token(_KEYWORDS[lowered], lowered, start)
+            elif lowered in _BOOLEANS:
+                yield Token(TokenType.BOOLEAN, _BOOLEANS[lowered], start)
+            else:
+                yield Token(TokenType.IDENT, word, start)
+            continue
+        signed = ch in "+-" and i + 1 < n and (
+            text[i + 1].isdigit()
+            or (text[i + 1] == "." and i + 2 < n and text[i + 2].isdigit())
+        )
+        if ch.isdigit() or signed or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            start = i
+            if signed:
+                i += 1
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = text[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # A dot not followed by a digit terminates the number
+                    # (it could be attribute qualification like r.attr).
+                    if i + 1 < n and text[i + 1].isdigit():
+                        seen_dot = True
+                        i += 1
+                    else:
+                        break
+                elif c in "eE" and not seen_exp and i + 1 < n and (
+                    text[i + 1].isdigit()
+                    or (text[i + 1] in "+-" and i + 2 < n and text[i + 2].isdigit())
+                ):
+                    seen_exp = True
+                    i += 2 if text[i + 1] in "+-" else 1
+                else:
+                    break
+            literal = text[start:i]
+            value = float(literal) if (seen_dot or seen_exp) else int(literal)
+            yield Token(TokenType.NUMBER, value, start)
+            continue
+        if ch in "'\"":
+            start = i
+            quote = ch
+            i += 1
+            chars: List[str] = []
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    escape = text[i + 1]
+                    chars.append({"n": "\n", "t": "\t"}.get(escape, escape))
+                    i += 2
+                else:
+                    chars.append(text[i])
+                    i += 1
+            if i >= n:
+                raise LexError("unterminated string literal", start)
+            i += 1  # consume closing quote
+            yield Token(TokenType.STRING, "".join(chars), start)
+            continue
+        two = text[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            yield Token(TokenType.OPERATOR, "<>" if two == "!=" else two, i)
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            yield Token(TokenType.OPERATOR, ch, i)
+            i += 1
+            continue
+        if ch == "(":
+            yield Token(TokenType.LPAREN, ch, i)
+            i += 1
+            continue
+        if ch == ")":
+            yield Token(TokenType.RPAREN, ch, i)
+            i += 1
+            continue
+        if ch == ",":
+            yield Token(TokenType.COMMA, ch, i)
+            i += 1
+            continue
+        if ch == ".":
+            yield Token(TokenType.DOT, ch, i)
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", i)
+    yield Token(TokenType.EOF, None, n)

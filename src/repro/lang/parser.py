@@ -1,0 +1,279 @@
+"""Recursive-descent parser for rule-condition expressions.
+
+Grammar (operator precedence low to high: ``or``, ``and``, ``not``)::
+
+    condition   := or_expr EOF
+    or_expr     := and_expr ( OR and_expr )*
+    and_expr    := unary ( AND unary )*
+    unary       := NOT unary | primary
+    primary     := '(' or_expr ')'
+                 | BOOLEAN
+                 | func_call
+                 | membership
+                 | between
+                 | comparison
+    func_call   := IDENT '(' attr_ref ')'
+    membership  := attr_ref [NOT] IN '(' literal (',' literal)* ')'
+    between     := attr_ref [NOT] BETWEEN literal AND literal
+    comparison  := operand ( OP operand )+        -- chains allowed
+    operand     := attr_ref | literal
+    attr_ref    := IDENT | IDENT '.' IDENT        -- optional relation prefix
+    literal     := NUMBER | STRING | BOOLEAN
+
+Attribute references may be qualified (``emp.salary``); the qualifier is
+validated against the target relation by the compiler.  ``x in (...)``
+desugars to a disjunction of equalities and ``between`` to a two-sided
+comparison chain, both at parse time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from ..errors import ParseError
+from .ast_nodes import (
+    AndNode,
+    ComparisonNode,
+    FunctionNode,
+    LikeNode,
+    LiteralNode,
+    Node,
+    NotNode,
+    OrNode,
+)
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+__all__ = ["parse_condition"]
+
+_LITERAL_TYPES = (TokenType.NUMBER, TokenType.STRING, TokenType.BOOLEAN)
+
+
+def parse_condition(text: str) -> Node:
+    """Parse a condition string into an AST.
+
+    Raises :class:`~repro.errors.ParseError` (or
+    :class:`~repro.errors.LexError`) on malformed input.
+    """
+    parser = _Parser(tokenize(text))
+    node = parser.parse_or()
+    parser.expect(TokenType.EOF)
+    return node
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type != TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def accept(self, token_type: str) -> bool:
+        if self.current.type == token_type:
+            self.advance()
+            return True
+        return False
+
+    def expect(self, token_type: str) -> Token:
+        if self.current.type != token_type:
+            raise ParseError(
+                f"expected {token_type}, found {self.current.type}"
+                f" {self.current.value!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    # -- grammar productions ---------------------------------------------
+
+    def parse_or(self) -> Node:
+        children = [self.parse_and()]
+        while self.accept(TokenType.OR):
+            children.append(self.parse_and())
+        if len(children) == 1:
+            return children[0]
+        return OrNode(tuple(children))
+
+    def parse_and(self) -> Node:
+        children = [self.parse_unary()]
+        while self.accept(TokenType.AND):
+            children.append(self.parse_unary())
+        if len(children) == 1:
+            return children[0]
+        return AndNode(tuple(children))
+
+    def parse_unary(self) -> Node:
+        if self.accept(TokenType.NOT):
+            return NotNode(self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Node:
+        token = self.current
+        if token.type == TokenType.LPAREN:
+            self.advance()
+            node = self.parse_or()
+            self.expect(TokenType.RPAREN)
+            return node
+        if token.type == TokenType.BOOLEAN and not self._looks_like_comparison():
+            self.advance()
+            return LiteralNode(bool(token.value))
+        if token.type == TokenType.IDENT and self.peek().type == TokenType.LPAREN:
+            return self.parse_function_call()
+        return self.parse_relational()
+
+    def _looks_like_comparison(self) -> bool:
+        return self.peek().type == TokenType.OPERATOR
+
+    def parse_function_call(self) -> Node:
+        name = self.expect(TokenType.IDENT).value
+        self.expect(TokenType.LPAREN)
+        attribute = self.parse_attr_ref()
+        self.expect(TokenType.RPAREN)
+        return FunctionNode(name=name, attribute=attribute)
+
+    def parse_attr_ref(self) -> str:
+        first = self.expect(TokenType.IDENT).value
+        if self.accept(TokenType.DOT):
+            second = self.expect(TokenType.IDENT).value
+            return f"{first}.{second}"
+        return first
+
+    def parse_relational(self) -> Node:
+        """Comparison chain, IN membership, or BETWEEN range."""
+        operand, is_attr = self.parse_operand()
+        token = self.current
+
+        negated = False
+        if token.type == TokenType.NOT and self.peek().type in (
+            TokenType.IN,
+            TokenType.BETWEEN,
+            TokenType.LIKE,
+        ):
+            self.advance()
+            negated = True
+            token = self.current
+
+        if token.type == TokenType.IN:
+            node = self.parse_membership(operand, is_attr)
+            return NotNode(node) if negated else node
+        if token.type == TokenType.BETWEEN:
+            node = self.parse_between(operand, is_attr)
+            return NotNode(node) if negated else node
+        if token.type == TokenType.LIKE:
+            node = self.parse_like(operand, is_attr)
+            return NotNode(node) if negated else node
+        if negated:
+            raise ParseError("dangling 'not' in expression", token.position)
+        return self.parse_comparison_chain(operand, is_attr)
+
+    def parse_like(self, operand: Any, is_attr: bool) -> Node:
+        if not is_attr:
+            raise ParseError(
+                "left side of 'like' must be an attribute", self.current.position
+            )
+        self.expect(TokenType.LIKE)
+        token = self.current
+        if token.type != TokenType.STRING:
+            raise ParseError(
+                f"'like' requires a string pattern, found {token.type}",
+                token.position,
+            )
+        self.advance()
+        return LikeNode(attribute=operand, pattern=token.value)
+
+    def parse_operand(self) -> Tuple[Any, bool]:
+        """Return (value, is_attribute_reference)."""
+        token = self.current
+        if token.type == TokenType.IDENT:
+            return self.parse_attr_ref(), True
+        if token.type in _LITERAL_TYPES:
+            self.advance()
+            return token.value, False
+        raise ParseError(
+            f"expected attribute or literal, found {token.type} {token.value!r}",
+            token.position,
+        )
+
+    def parse_comparison_chain(self, first: Any, first_is_attr: bool) -> Node:
+        operands: List[Any] = [first]
+        attr_positions: List[int] = [0] if first_is_attr else []
+        operators: List[str] = []
+        while self.current.type == TokenType.OPERATOR:
+            operators.append(self.advance().value)
+            operand, is_attr = self.parse_operand()
+            if is_attr:
+                attr_positions.append(len(operands))
+            operands.append(operand)
+        if not operators:
+            raise ParseError(
+                "expected a comparison operator", self.current.position
+            )
+        # Constant-only chains (no attribute) are allowed: the compiler
+        # folds them to a boolean.
+        return ComparisonNode(
+            operands=tuple(operands),
+            operators=tuple(operators),
+            attr_positions=tuple(attr_positions),
+        )
+
+    def parse_membership(self, operand: Any, is_attr: bool) -> Node:
+        if not is_attr:
+            raise ParseError(
+                "left side of 'in' must be an attribute", self.current.position
+            )
+        self.expect(TokenType.IN)
+        self.expect(TokenType.LPAREN)
+        values: List[Any] = [self.parse_literal()]
+        while self.accept(TokenType.COMMA):
+            values.append(self.parse_literal())
+        self.expect(TokenType.RPAREN)
+        equalities = tuple(
+            ComparisonNode(
+                operands=(operand, value),
+                operators=("=",),
+                attr_positions=(0,),
+            )
+            for value in values
+        )
+        if len(equalities) == 1:
+            return equalities[0]
+        return OrNode(equalities)
+
+    def parse_between(self, operand: Any, is_attr: bool) -> Node:
+        if not is_attr:
+            raise ParseError(
+                "left side of 'between' must be an attribute",
+                self.current.position,
+            )
+        self.expect(TokenType.BETWEEN)
+        low = self.parse_literal()
+        self.expect(TokenType.AND)
+        high = self.parse_literal()
+        return ComparisonNode(
+            operands=(low, operand, high),
+            operators=("<=", "<="),
+            attr_positions=(1,),
+        )
+
+    def parse_literal(self) -> Any:
+        token = self.current
+        if token.type not in _LITERAL_TYPES:
+            raise ParseError(
+                f"expected a literal, found {token.type} {token.value!r}",
+                token.position,
+            )
+        self.advance()
+        return token.value

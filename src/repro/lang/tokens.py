@@ -1,0 +1,39 @@
+"""Token definitions for the rule-condition language."""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple
+
+__all__ = ["Token", "TokenType"]
+
+
+class TokenType:
+    """Token kinds (plain string constants; no enum overhead needed)."""
+
+    IDENT = "IDENT"          # attribute or function name
+    NUMBER = "NUMBER"        # int or float literal
+    STRING = "STRING"        # quoted string literal
+    BOOLEAN = "BOOLEAN"      # true / false
+    OPERATOR = "OPERATOR"    # = == != <> < <= > >=
+    AND = "AND"
+    OR = "OR"
+    NOT = "NOT"
+    IN = "IN"
+    BETWEEN = "BETWEEN"
+    LIKE = "LIKE"
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    COMMA = "COMMA"
+    DOT = "DOT"
+    EOF = "EOF"
+
+
+class Token(NamedTuple):
+    """A lexed token: kind, value, and source offset (for error messages)."""
+
+    type: str
+    value: Any
+    position: int
+
+    def __str__(self) -> str:
+        return f"{self.type}({self.value!r})@{self.position}"

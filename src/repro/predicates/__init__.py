@@ -1,0 +1,28 @@
+"""Predicate model: clauses, conjunctive predicates, and groups.
+
+See the paper's Section 1 for the predicate grammar this subpackage
+implements.  Use :class:`PredicateBuilder` for a fluent code-first API,
+or :func:`repro.lang.compile_condition` to compile condition strings.
+"""
+
+from .clauses import (
+    Clause,
+    EqualityClause,
+    FunctionClause,
+    IntervalClause,
+    comparison_clause,
+)
+from .predicate import Predicate, PredicateGroup, normalize_clauses
+from .builder import PredicateBuilder
+
+__all__ = [
+    "Clause",
+    "IntervalClause",
+    "EqualityClause",
+    "FunctionClause",
+    "comparison_clause",
+    "Predicate",
+    "PredicateGroup",
+    "normalize_clauses",
+    "PredicateBuilder",
+]

@@ -1,0 +1,112 @@
+"""Fluent builder for constructing predicates programmatically.
+
+For string conditions use :mod:`repro.lang`; the builder is the
+code-first alternative::
+
+    from repro.predicates import PredicateBuilder
+
+    pred = (
+        PredicateBuilder("emp")
+        .between("salary", 20000, 30000)
+        .eq("dept", "Shoe")
+        .where("age", is_odd)
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, List, Optional
+
+from ..core.intervals import Interval
+from ..errors import ClauseError
+from .clauses import Clause, EqualityClause, FunctionClause, IntervalClause
+from .predicate import Predicate
+
+__all__ = ["PredicateBuilder"]
+
+
+class PredicateBuilder:
+    """Accumulates clauses and builds a :class:`Predicate`.
+
+    All clause methods return ``self`` so calls chain.  ``build()`` may
+    be called once; the builder may keep being extended afterwards to
+    derive further predicates (each ``build`` snapshots the clauses).
+    """
+
+    def __init__(self, relation: str):
+        self._relation = relation
+        self._clauses: List[Clause] = []
+
+    # -- clause constructors ------------------------------------------
+
+    def eq(self, attribute: str, value: Any) -> "PredicateBuilder":
+        """Add ``attribute = value``."""
+        self._clauses.append(EqualityClause(attribute, value))
+        return self
+
+    def lt(self, attribute: str, value: Any) -> "PredicateBuilder":
+        """Add ``attribute < value``."""
+        self._clauses.append(IntervalClause(attribute, Interval.less_than(value)))
+        return self
+
+    def le(self, attribute: str, value: Any) -> "PredicateBuilder":
+        """Add ``attribute <= value``."""
+        self._clauses.append(IntervalClause(attribute, Interval.at_most(value)))
+        return self
+
+    def gt(self, attribute: str, value: Any) -> "PredicateBuilder":
+        """Add ``attribute > value``."""
+        self._clauses.append(IntervalClause(attribute, Interval.greater_than(value)))
+        return self
+
+    def ge(self, attribute: str, value: Any) -> "PredicateBuilder":
+        """Add ``attribute >= value``."""
+        self._clauses.append(IntervalClause(attribute, Interval.at_least(value)))
+        return self
+
+    def between(
+        self,
+        attribute: str,
+        low: Any,
+        high: Any,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> "PredicateBuilder":
+        """Add ``low <= attribute <= high`` (inclusivity configurable)."""
+        interval = Interval(low, high, low_inclusive, high_inclusive)
+        self._clauses.append(IntervalClause(attribute, interval))
+        return self
+
+    def in_interval(self, attribute: str, interval: Interval) -> "PredicateBuilder":
+        """Add a clause restricting *attribute* to an existing Interval."""
+        self._clauses.append(IntervalClause(attribute, interval))
+        return self
+
+    def where(
+        self,
+        attribute: str,
+        function: Callable[[Any], bool],
+        name: Optional[str] = None,
+    ) -> "PredicateBuilder":
+        """Add an opaque boolean test ``function(attribute)``."""
+        self._clauses.append(FunctionClause(attribute, function, name=name))
+        return self
+
+    def clause(self, clause: Clause) -> "PredicateBuilder":
+        """Add an already-constructed clause."""
+        if not isinstance(clause, Clause):
+            raise ClauseError(f"not a Clause: {clause!r}")
+        self._clauses.append(clause)
+        return self
+
+    # -- terminal --------------------------------------------------------
+
+    def build(
+        self, ident: Optional[Hashable] = None, source: Optional[str] = None
+    ) -> Predicate:
+        """Snapshot the accumulated clauses into a Predicate."""
+        return Predicate(self._relation, list(self._clauses), ident=ident, source=source)
+
+    def __len__(self) -> int:
+        return len(self._clauses)

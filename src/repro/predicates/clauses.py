@@ -1,0 +1,226 @@
+"""Predicate clauses: the atoms of rule selection conditions.
+
+The paper (Section 1) defines a predicate as a conjunction of clauses,
+where each clause takes one of three forms::
+
+    C ::= const1 rho1 t.attribute rho2 const2      (interval clause)
+    C ::= t.attribute = const                      (equality clause)
+    C ::= function(t.attribute)                    (function clause)
+
+with ``rho1, rho2`` drawn from ``{<, <=}`` and open ends expressed with
+infinite constants.  Equality clauses are "a special case of interval
+predicates, but since they are so common, they are listed separately";
+we model them the same way, as degenerate point intervals, while keeping
+a distinct class so workloads and statistics can treat them specially.
+
+Interval and equality clauses are *indexable* — they can be entered into
+an IBS-tree.  Function clauses are opaque ("nothing is assumed about the
+function except that it returns true or false") and therefore
+non-indexable; a predicate consisting solely of function clauses falls
+back to the per-relation sequential list of Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional
+
+from ..errors import ClauseError
+from ..core.intervals import Interval
+
+__all__ = [
+    "Clause",
+    "IntervalClause",
+    "EqualityClause",
+    "FunctionClause",
+    "comparison_clause",
+]
+
+
+class Clause:
+    """Base class for a single-attribute restriction on a tuple.
+
+    Subclasses implement :meth:`matches` and declare whether the clause
+    can be entered into a one-dimensional interval index via
+    :attr:`indexable`.
+    """
+
+    __slots__ = ("attribute",)
+
+    #: Whether this clause can be placed in an IBS-tree.
+    indexable: bool = False
+
+    def __init__(self, attribute: str):
+        if not attribute or not isinstance(attribute, str):
+            raise ClauseError(f"clause attribute must be a non-empty string, got {attribute!r}")
+        self.attribute = attribute
+
+    def matches(self, tup: Mapping[str, Any]) -> bool:
+        """Return True if the tuple satisfies this clause.
+
+        A missing or None attribute value never matches (three-valued
+        logic collapsed to False, as in SQL WHERE).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self}>"
+
+
+class IntervalClause(Clause):
+    """A range restriction: ``attribute`` must lie within ``interval``.
+
+    Covers every comparison shape of the paper's grammar: two-sided
+    ranges (``20000 <= salary <= 30000``), one-sided comparisons
+    (``age > 50`` is the interval ``(50, +inf)``), and — through
+    degenerate point intervals — equality.
+    """
+
+    __slots__ = ("interval",)
+
+    indexable = True
+
+    def __init__(self, attribute: str, interval: Interval):
+        super().__init__(attribute)
+        if not isinstance(interval, Interval):
+            raise ClauseError(f"IntervalClause requires an Interval, got {interval!r}")
+        self.interval = interval
+
+    def matches(self, tup: Mapping[str, Any]) -> bool:
+        value = tup.get(self.attribute)
+        if value is None:
+            return False
+        try:
+            return self.interval.contains(value)
+        except TypeError:
+            # a value from a different domain (e.g. an int against a
+            # string range) can never satisfy the clause
+            return False
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, IntervalClause):
+            return NotImplemented
+        return (self.attribute, self.interval) == (other.attribute, other.interval)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.attribute, self.interval))
+
+    def __str__(self) -> str:
+        iv = self.interval
+        if iv.is_point:
+            return f"{self.attribute} = {iv.low!r}"
+        parts = []
+        if not iv.is_low_unbounded:
+            op = ">=" if iv.low_inclusive else ">"
+            parts.append(f"{self.attribute} {op} {iv.low!r}")
+        if not iv.is_high_unbounded:
+            op = "<=" if iv.high_inclusive else "<"
+            parts.append(f"{self.attribute} {op} {iv.high!r}")
+        if not parts:
+            return f"{self.attribute} unbounded"
+        return " and ".join(parts)
+
+
+class EqualityClause(IntervalClause):
+    """``attribute = const``, stored as the point interval ``[const, const]``.
+
+    Functionally identical to an :class:`IntervalClause` holding a point
+    interval; kept distinct because the paper calls equality predicates
+    out separately and the workload generators / statistics distinguish
+    the two (the ``a`` parameter of Figures 7–8 is the fraction of
+    point predicates).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, attribute: str, value: Any):
+        super().__init__(attribute, Interval.point(value))
+
+    @property
+    def value(self) -> Any:
+        """The constant this clause compares against."""
+        return self.interval.low
+
+    def __str__(self) -> str:
+        return f"{self.attribute} = {self.value!r}"
+
+
+class FunctionClause(Clause):
+    """An opaque boolean test ``function(t.attribute)``.
+
+    The function receives the attribute's value and must return a
+    truthy/falsy result; any exception it raises propagates to the
+    caller.  Function clauses are never indexable.
+    """
+
+    __slots__ = ("function", "name", "negated")
+
+    indexable = False
+
+    def __init__(
+        self,
+        attribute: str,
+        function: Callable[[Any], bool],
+        name: Optional[str] = None,
+        negated: bool = False,
+    ):
+        super().__init__(attribute)
+        if not callable(function):
+            raise ClauseError(f"FunctionClause requires a callable, got {function!r}")
+        self.function = function
+        self.name = name or getattr(function, "__name__", "<function>")
+        self.negated = bool(negated)
+
+    def matches(self, tup: Mapping[str, Any]) -> bool:
+        value = tup.get(self.attribute)
+        if value is None:
+            return False
+        result = bool(self.function(value))
+        return (not result) if self.negated else result
+
+    def negate(self) -> "FunctionClause":
+        """Return the logical complement of this clause."""
+        return FunctionClause(
+            self.attribute, self.function, name=self.name, negated=not self.negated
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, FunctionClause):
+            return NotImplemented
+        return (
+            self.attribute == other.attribute
+            and self.function is other.function
+            and self.negated == other.negated
+        )
+
+    def __hash__(self) -> int:
+        return hash(("FunctionClause", self.attribute, id(self.function), self.negated))
+
+    def __str__(self) -> str:
+        prefix = "not " if self.negated else ""
+        return f"{prefix}{self.name}({self.attribute})"
+
+
+_OPERATOR_BUILDERS = {
+    "=": Interval.point,
+    "==": Interval.point,
+    "<": Interval.less_than,
+    "<=": Interval.at_most,
+    ">": Interval.greater_than,
+    ">=": Interval.at_least,
+}
+
+
+def comparison_clause(attribute: str, op: str, value: Any) -> IntervalClause:
+    """Build the clause for a single comparison ``attribute op value``.
+
+    ``op`` is one of ``=  ==  <  <=  >  >=``.  Equality yields an
+    :class:`EqualityClause`; the rest yield one-sided
+    :class:`IntervalClause` instances.
+    """
+    if op in ("=", "=="):
+        return EqualityClause(attribute, value)
+    try:
+        builder = _OPERATOR_BUILDERS[op]
+    except KeyError:
+        raise ClauseError(f"unsupported comparison operator {op!r}") from None
+    return IntervalClause(attribute, builder(value))

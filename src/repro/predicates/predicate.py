@@ -1,0 +1,225 @@
+"""Conjunctive predicates over a single relation.
+
+A :class:`Predicate` is the unit the paper's matching algorithm works
+with: a relation name plus a conjunction of clauses (Section 1)::
+
+    P ::= (t in R) and C1 and C2 and ... and Cq
+
+Disjunctive conditions are split into several predicates *before* this
+layer (the paper: "we assume that any predicate containing a disjunction
+is broken up into two or more predicates"); the language compiler in
+:mod:`repro.lang.compiler` performs that DNF split and wraps the pieces
+in a :class:`PredicateGroup`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import PredicateError
+from ..core.intervals import Interval
+from .clauses import Clause, EqualityClause, FunctionClause, IntervalClause
+
+__all__ = ["Predicate", "PredicateGroup", "normalize_clauses"]
+
+_predicate_ids = itertools.count(1)
+
+
+class Predicate:
+    """A conjunction of clauses restricting tuples of one relation.
+
+    Parameters
+    ----------
+    relation:
+        Name of the relation whose tuples this predicate tests.
+    clauses:
+        The conjunct clauses.  An empty sequence is allowed and matches
+        every tuple of the relation (a pure relation-membership test).
+    ident:
+        Optional stable identifier; a fresh integer is assigned if
+        omitted.  Identifiers key the PREDICATES table of Figure 1.
+    source:
+        Optional original condition text, for diagnostics.
+    """
+
+    __slots__ = ("relation", "clauses", "ident", "source")
+
+    def __init__(
+        self,
+        relation: str,
+        clauses: Iterable[Clause] = (),
+        ident: Optional[Hashable] = None,
+        source: Optional[str] = None,
+    ):
+        if not relation or not isinstance(relation, str):
+            raise PredicateError(
+                f"predicate relation must be a non-empty string, got {relation!r}"
+            )
+        clause_tuple = tuple(clauses)
+        for clause in clause_tuple:
+            if not isinstance(clause, Clause):
+                raise PredicateError(f"not a Clause: {clause!r}")
+        self.relation = relation
+        self.clauses = clause_tuple
+        self.ident = next(_predicate_ids) if ident is None else ident
+        self.source = source
+
+    # -- evaluation -----------------------------------------------------
+
+    def matches(self, tup: Mapping[str, Any]) -> bool:
+        """Return True if the tuple satisfies every clause."""
+        for clause in self.clauses:
+            if not clause.matches(tup):
+                return False
+        return True
+
+    # -- index support ----------------------------------------------------
+
+    def indexable_clauses(self) -> List[IntervalClause]:
+        """The clauses that may be entered into an IBS-tree."""
+        return [c for c in self.clauses if c.indexable]
+
+    def non_indexable_clauses(self) -> List[Clause]:
+        """The clauses that cannot be indexed (function clauses)."""
+        return [c for c in self.clauses if not c.indexable]
+
+    @property
+    def is_indexable(self) -> bool:
+        """True if at least one clause can be entered into an IBS-tree."""
+        return any(c.indexable for c in self.clauses)
+
+    def attributes(self) -> List[str]:
+        """The distinct attribute names this predicate restricts."""
+        seen: List[str] = []
+        for clause in self.clauses:
+            if clause.attribute not in seen:
+                seen.append(clause.attribute)
+        return seen
+
+    def normalized(self) -> Optional["Predicate"]:
+        """Return an equivalent predicate with merged interval clauses.
+
+        Multiple indexable clauses on the same attribute are intersected
+        into a single clause.  Returns None if the intersection of any
+        attribute's clauses is empty (the predicate can never match).
+        """
+        try:
+            clauses = normalize_clauses(self.clauses)
+        except _Contradiction:
+            return None
+        return Predicate(self.relation, clauses, ident=self.ident, source=self.source)
+
+    # -- value semantics -------------------------------------------------
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Predicate):
+            return NotImplemented
+        return self.ident == other.ident
+
+    def __hash__(self) -> int:
+        return hash(("Predicate", self.ident))
+
+    def __str__(self) -> str:
+        if not self.clauses:
+            return f"{self.relation}: true"
+        body = " and ".join(str(c) for c in self.clauses)
+        return f"{self.relation}: {body}"
+
+    def __repr__(self) -> str:
+        return f"<Predicate #{self.ident} {self}>"
+
+
+class PredicateGroup:
+    """A disjunction of conjunctive predicates over one relation.
+
+    Produced by the condition compiler when the source expression
+    contains ``or`` (or constructs that expand to it, such as ``in``
+    lists and negated ranges).  The group matches a tuple if *any*
+    member predicate matches — the paper's "treated separately"
+    semantics, with the group tracking which pieces came from the same
+    rule condition.
+    """
+
+    __slots__ = ("relation", "predicates", "source")
+
+    def __init__(
+        self,
+        relation: str,
+        predicates: Sequence[Predicate],
+        source: Optional[str] = None,
+    ):
+        preds = tuple(predicates)
+        for pred in preds:
+            if pred.relation != relation:
+                raise PredicateError(
+                    f"group relation {relation!r} does not match predicate "
+                    f"relation {pred.relation!r}"
+                )
+        self.relation = relation
+        self.predicates = preds
+        self.source = source
+
+    def matches(self, tup: Mapping[str, Any]) -> bool:
+        """True if any member predicate matches the tuple."""
+        return any(pred.matches(tup) for pred in self.predicates)
+
+    @property
+    def is_empty(self) -> bool:
+        """True if the group has no members (condition was contradictory)."""
+        return not self.predicates
+
+    def __iter__(self):
+        return iter(self.predicates)
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    def __str__(self) -> str:
+        if not self.predicates:
+            return f"{self.relation}: false"
+        return " or ".join(f"({p})" for p in self.predicates)
+
+
+class _Contradiction(Exception):
+    """Internal: a conjunction of clauses is unsatisfiable."""
+
+
+def normalize_clauses(clauses: Iterable[Clause]) -> Tuple[Clause, ...]:
+    """Merge same-attribute interval clauses by intersection.
+
+    Raises the internal ``_Contradiction`` if any attribute's clauses
+    intersect to the empty set.  Function clauses pass through
+    untouched.  The result orders merged interval clauses first (in
+    first-appearance attribute order) followed by function clauses in
+    their original order.
+    """
+    by_attr: dict = {}
+    attr_order: List[str] = []
+    functions: List[Clause] = []
+    for clause in clauses:
+        if isinstance(clause, IntervalClause):
+            if clause.attribute in by_attr:
+                merged = _intersect(by_attr[clause.attribute], clause.interval)
+                if merged is None:
+                    raise _Contradiction(clause.attribute)
+                by_attr[clause.attribute] = merged
+            else:
+                by_attr[clause.attribute] = clause.interval
+                attr_order.append(clause.attribute)
+        else:
+            functions.append(clause)
+    merged_clauses: List[Clause] = []
+    for attr in attr_order:
+        interval = by_attr[attr]
+        if interval.is_point:
+            merged_clauses.append(EqualityClause(attr, interval.low))
+        else:
+            merged_clauses.append(IntervalClause(attr, interval))
+    merged_clauses.extend(functions)
+    return tuple(merged_clauses)
+
+
+def _intersect(a: Interval, b: Interval) -> Optional[Interval]:
+    """Intersection of two intervals, or None if empty."""
+    return a.intersection(b)

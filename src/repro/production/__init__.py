@@ -1,0 +1,41 @@
+"""OPS5-style production system on the IBS-tree alpha network.
+
+The paper's abstract promises the algorithm "could also be used to
+improve the performance of forward-chaining inference engines for
+large expert systems applications"; this subpackage is that engine:
+
+* :class:`~repro.production.memory.WorkingMemory` — typed
+  attribute/value facts with timetags;
+* :class:`~repro.production.patterns.Pattern` /
+  :class:`~repro.production.patterns.Var` — condition elements with
+  variables, inequality tests, and negation;
+* :class:`~repro.production.network.TreatNetwork` — TREAT matching
+  with the paper's predicate index as the alpha layer;
+* :class:`~repro.production.system.ProductionSystem` — conflict
+  resolution (priority + LEX recency), refraction, and the
+  recognize–act cycle;
+* :func:`~repro.production.parser.parse_lhs` — the classic
+  ``(type ^attr value ...)`` textual syntax.
+"""
+
+from .memory import WME, WorkingMemory
+from .network import Instantiation, ProductionRule, TreatNetwork
+from .parser import parse_lhs, parse_pattern
+from .patterns import Pattern, Test, Var
+from .system import Halt, ProductionContext, ProductionSystem
+
+__all__ = [
+    "ProductionSystem",
+    "ProductionContext",
+    "ProductionRule",
+    "Instantiation",
+    "TreatNetwork",
+    "WorkingMemory",
+    "WME",
+    "Pattern",
+    "Test",
+    "Var",
+    "Halt",
+    "parse_pattern",
+    "parse_lhs",
+]

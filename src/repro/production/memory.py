@@ -1,0 +1,102 @@
+"""Working memory for the production system.
+
+Working-memory elements (WMEs) are typed attribute/value facts.  Each
+carries a monotonically increasing *timetag* (its recency, used by
+conflict resolution) and a stable identifier.  The paper's matching
+problem is "test each newly asserted fact against a collection of
+predicates"; working memory is where those facts live.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+from ..errors import RuleError
+
+__all__ = ["WME", "WorkingMemory"]
+
+
+class WME:
+    """A working-memory element: type, attribute map, identity, recency."""
+
+    __slots__ = ("wme_id", "wme_type", "attributes", "timetag")
+
+    def __init__(self, wme_id: int, wme_type: str, attributes: Dict[str, Any], timetag: int):
+        self.wme_id = wme_id
+        self.wme_type = wme_type
+        self.attributes = attributes
+        self.timetag = timetag
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        """Attribute access with a default (mapping-style)."""
+        return self.attributes.get(attribute, default)
+
+    def __getitem__(self, attribute: str) -> Any:
+        return self.attributes[attribute]
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def __repr__(self) -> str:
+        body = " ".join(f"^{k} {v!r}" for k, v in self.attributes.items())
+        return f"<wme {self.wme_id} ({self.wme_type}{(' ' + body) if body else ''})>"
+
+
+class WorkingMemory:
+    """The set of current WMEs, with assert/retract/modify."""
+
+    def __init__(self) -> None:
+        self._elements: Dict[int, WME] = {}
+        self._id_counter = itertools.count(1)
+        self._time_counter = itertools.count(1)
+
+    def insert(self, wme_type: str, attributes: Mapping[str, Any]) -> WME:
+        """Create and store a WME; returns it."""
+        if not wme_type or not isinstance(wme_type, str):
+            raise RuleError(f"WME type must be a non-empty string, got {wme_type!r}")
+        wme = WME(
+            next(self._id_counter),
+            wme_type,
+            dict(attributes),
+            next(self._time_counter),
+        )
+        self._elements[wme.wme_id] = wme
+        return wme
+
+    def remove(self, wme_id: int) -> WME:
+        """Remove and return a WME by identifier."""
+        try:
+            return self._elements.pop(wme_id)
+        except KeyError:
+            raise RuleError(f"no working-memory element {wme_id}") from None
+
+    def touch(self, wme_id: int, changes: Mapping[str, Any]) -> Tuple[WME, WME]:
+        """OPS5 ``modify``: new attribute values + fresh timetag.
+
+        Returns ``(old_image, new_wme)``; the WME identity is kept, so
+        references in match structures must be refreshed by the caller.
+        """
+        old = self.remove(wme_id)
+        merged = dict(old.attributes)
+        merged.update(changes)
+        new = WME(wme_id, old.wme_type, merged, next(self._time_counter))
+        self._elements[wme_id] = new
+        return old, new
+
+    def get(self, wme_id: int) -> Optional[WME]:
+        """The WME stored under *wme_id*, or None."""
+        return self._elements.get(wme_id)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[WME]:
+        return iter(self._elements.values())
+
+    def __contains__(self, wme_id: int) -> bool:
+        return wme_id in self._elements
+
+    def by_type(self, wme_type: str) -> Iterator[WME]:
+        """All WMEs of one type (full scan; match structures index better)."""
+        return (wme for wme in self._elements.values() if wme.wme_type == wme_type)

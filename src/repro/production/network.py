@@ -1,0 +1,325 @@
+"""TREAT-style match network for the production system.
+
+The paper's abstract: "the algorithm could also be used to improve the
+performance of forward-chaining inference engines for large expert
+systems applications".  This module is that application: a production
+system match network whose **alpha layer is the paper's predicate
+index** — each condition element's constant tests compile into a
+conjunctive predicate indexed by the IBS-tree scheme — and whose join
+layer is TREAT [Mir87]: no cached beta memories, just per-condition
+alpha memories joined on demand with variable-consistency tests.
+
+Data flow on ``assert(wme)``:
+
+1. the predicate index reports every condition element whose constant
+   part matches the WME (one stab per restricted attribute instead of
+   testing every rule — the paper's speed-up);
+2. the WME enters those condition elements' alpha memories;
+3. for each *positive* matched condition element, the join phase pins
+   the new WME there and extends bindings through the rule's other
+   positive elements (smallest-memory-first would be TREAT's seed
+   ordering; we keep declaration order so variable binders precede
+   their uses, which the rule validator enforces);
+4. fully joined instantiations are checked against the rule's
+   *negated* elements and emitted;
+5. a WME matching a negated element instead *invalidates* pending
+   instantiations, and its later retraction re-enables them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..core.predicate_index import PredicateIndex
+from ..errors import RuleError
+from .memory import WME, WorkingMemory
+from .patterns import Pattern
+
+__all__ = ["ProductionRule", "Instantiation", "TreatNetwork"]
+
+
+class ProductionRule:
+    """A compiled production: patterns, action, priority.
+
+    Validation performed at construction:
+
+    * at least one positive (non-negated) condition element;
+    * variables used in non-``=`` tests (or in negated elements) must
+      be bound by an earlier positive element's ``=`` test, so the
+      in-order join always has their values.
+    """
+
+    __slots__ = ("name", "patterns", "action", "priority", "fire_count")
+
+    def __init__(
+        self,
+        name: str,
+        patterns: Sequence[Pattern],
+        action: Callable[..., Any],
+        priority: int = 0,
+    ):
+        if not callable(action):
+            raise RuleError(f"production {name!r} action must be callable")
+        patterns = tuple(patterns)
+        if not patterns:
+            raise RuleError(f"production {name!r} needs at least one pattern")
+        if all(p.negated for p in patterns):
+            raise RuleError(
+                f"production {name!r} needs at least one positive pattern"
+            )
+        self._validate_variable_order(name, patterns)
+        self.name = name
+        self.patterns = patterns
+        self.action = action
+        self.priority = priority
+        self.fire_count = 0
+
+    @staticmethod
+    def _validate_variable_order(name: str, patterns: Sequence[Pattern]) -> None:
+        bound: Set[str] = set()
+        for pattern in patterns:
+            if pattern.negated:
+                continue
+            for test in pattern.variable_tests():
+                var = test.operand.name
+                if test.op == "=":
+                    bound.add(var)
+                elif var not in bound:
+                    raise RuleError(
+                        f"production {name!r}: variable ?{var} is tested with "
+                        f"{test.op!r} before any pattern binds it"
+                    )
+        for pattern in patterns:
+            if not pattern.negated:
+                continue
+            for test in pattern.variable_tests():
+                var = test.operand.name
+                if var not in bound:
+                    raise RuleError(
+                        f"production {name!r}: variable ?{var} in a negated "
+                        f"pattern is never bound by a positive pattern"
+                    )
+
+    def positive_indexes(self) -> List[int]:
+        """Indexes of the positive condition elements, in order."""
+        return [k for k, p in enumerate(self.patterns) if not p.negated]
+
+    def negated_indexes(self) -> List[int]:
+        """Indexes of the negated condition elements."""
+        return [k for k, p in enumerate(self.patterns) if p.negated]
+
+    def __repr__(self) -> str:
+        return f"<ProductionRule {self.name!r} ({len(self.patterns)} CEs)>"
+
+
+class Instantiation:
+    """One complete match of a rule: the WMEs filling its positive CEs."""
+
+    __slots__ = ("rule", "wmes", "bindings")
+
+    def __init__(
+        self,
+        rule: ProductionRule,
+        wmes: Tuple[WME, ...],
+        bindings: Dict[str, Any],
+    ):
+        self.rule = rule
+        self.wmes = wmes
+        self.bindings = bindings
+
+    @property
+    def key(self) -> Tuple:
+        """Identity for refraction / conflict-set dedup."""
+        return (self.rule.name,) + tuple(w.wme_id for w in self.wmes)
+
+    @property
+    def recency(self) -> Tuple[int, ...]:
+        """Timetags, most recent first (OPS5 LEX ordering key)."""
+        return tuple(sorted((w.timetag for w in self.wmes), reverse=True))
+
+    def __repr__(self) -> str:
+        ids = ",".join(str(w.wme_id) for w in self.wmes)
+        return f"<Instantiation {self.rule.name} [{ids}]>"
+
+
+class TreatNetwork:
+    """Alpha memories over a predicate index + on-demand joins."""
+
+    def __init__(self, working_memory: WorkingMemory, alpha_index: Optional[PredicateIndex] = None):
+        self._wm = working_memory
+        self._alpha = alpha_index if alpha_index is not None else PredicateIndex()
+        #: predicate ident -> (rule, ce_index)
+        self._hooks: Dict[Hashable, Tuple[ProductionRule, int]] = {}
+        #: (rule name, ce index) -> {wme_id: WME}
+        self._memories: Dict[Tuple[str, int], Dict[int, WME]] = {}
+        self._rules: Dict[str, ProductionRule] = {}
+
+    # -- rule management -------------------------------------------------
+
+    def add_rule(self, rule: ProductionRule) -> None:
+        if rule.name in self._rules:
+            raise RuleError(f"production {rule.name!r} already exists")
+        registered: List[Hashable] = []
+        try:
+            for ce_index, pattern in enumerate(rule.patterns):
+                predicate = pattern.alpha_predicate()
+                self._alpha.add(predicate)
+                registered.append(predicate.ident)
+                self._hooks[predicate.ident] = (rule, ce_index)
+                memory = self._memories[(rule.name, ce_index)] = {}
+                # seed from existing working memory
+                for wme in self._wm.by_type(pattern.wme_type):
+                    if predicate.matches(wme.attributes):
+                        memory[wme.wme_id] = wme
+        except Exception:
+            for ident in registered:
+                self._alpha.remove(ident)
+                self._hooks.pop(ident, None)
+            for ce_index in range(len(rule.patterns)):
+                self._memories.pop((rule.name, ce_index), None)
+            raise
+        self._rules[rule.name] = rule
+
+    def remove_rule(self, name: str) -> ProductionRule:
+        try:
+            rule = self._rules.pop(name)
+        except KeyError:
+            from ..errors import UnknownRuleError
+
+            raise UnknownRuleError(name) from None
+        for ident, (hooked_rule, ce_index) in list(self._hooks.items()):
+            if hooked_rule is rule:
+                self._alpha.remove(ident)
+                del self._hooks[ident]
+                del self._memories[(name, ce_index)]
+        return rule
+
+    def rules(self) -> List[ProductionRule]:
+        return list(self._rules.values())
+
+    def memory(self, rule_name: str, ce_index: int) -> Dict[int, WME]:
+        """The alpha memory of one condition element (live view)."""
+        return self._memories[(rule_name, ce_index)]
+
+    @property
+    def alpha_index(self) -> PredicateIndex:
+        """The underlying Figure 1 predicate index (for telemetry)."""
+        return self._alpha
+
+    # -- WME events --------------------------------------------------------
+
+    def assert_wme(self, wme: WME) -> Tuple[List[Instantiation], Set[str]]:
+        """Admit a WME; returns (new instantiations, rules to re-check).
+
+        The second element names rules one of whose *negated* elements
+        matched the WME: pending instantiations of those rules may now
+        be blocked and must be re-validated by the caller.
+        """
+        new_instantiations: List[Instantiation] = []
+        blocked_rules: Set[str] = set()
+        for predicate in self._alpha.match(wme.wme_type, wme.attributes):
+            rule, ce_index = self._hooks[predicate.ident]
+            self._memories[(rule.name, ce_index)][wme.wme_id] = wme
+            if rule.patterns[ce_index].negated:
+                blocked_rules.add(rule.name)
+            else:
+                new_instantiations.extend(
+                    self._join_with_pinned(rule, ce_index, wme)
+                )
+        return new_instantiations, blocked_rules
+
+    def retract_wme(self, wme: WME) -> Tuple[Set[int], List[Instantiation]]:
+        """Remove a WME; returns (its id as a set, newly enabled matches).
+
+        Retraction from a *negated* element's memory can unblock
+        instantiations, which are recomputed for the affected rules.
+        """
+        enabled: List[Instantiation] = []
+        recheck: Set[str] = set()
+        for (rule_name, ce_index), memory in self._memories.items():
+            if memory.pop(wme.wme_id, None) is not None:
+                rule = self._rules[rule_name]
+                if rule.patterns[ce_index].negated:
+                    recheck.add(rule_name)
+        for rule_name in recheck:
+            enabled.extend(self.all_instantiations(self._rules[rule_name]))
+        return {wme.wme_id}, enabled
+
+    # -- joining -----------------------------------------------------------
+
+    def all_instantiations(self, rule: ProductionRule) -> List[Instantiation]:
+        """Every current complete match of *rule* (used for re-checks)."""
+        return list(self._join(rule, pinned_ce=None, pinned_wme=None))
+
+    def _join_with_pinned(
+        self, rule: ProductionRule, ce_index: int, wme: WME
+    ) -> List[Instantiation]:
+        return list(self._join(rule, pinned_ce=ce_index, pinned_wme=wme))
+
+    def _join(
+        self,
+        rule: ProductionRule,
+        pinned_ce: Optional[int],
+        pinned_wme: Optional[WME],
+    ) -> Iterator[Instantiation]:
+        positives = rule.positive_indexes()
+
+        def extend(
+            position: int, chosen: List[WME], bindings: Dict[str, Any]
+        ) -> Iterator[Instantiation]:
+            if position == len(positives):
+                if self._negations_clear(rule, bindings):
+                    yield Instantiation(rule, tuple(chosen), dict(bindings))
+                return
+            ce_index = positives[position]
+            pattern = rule.patterns[ce_index]
+            if pinned_ce is not None and ce_index == pinned_ce:
+                candidates: Iterator[WME] = iter((pinned_wme,))
+            else:
+                candidates = iter(
+                    list(self._memories[(rule.name, ce_index)].values())
+                )
+            for candidate in candidates:
+                extended = pattern.bind(candidate.attributes, bindings)
+                if extended is None:
+                    continue
+                chosen.append(candidate)
+                yield from extend(position + 1, chosen, extended)
+                chosen.pop()
+
+        yield from extend(0, [], {})
+
+    def _negations_clear(
+        self, rule: ProductionRule, bindings: Mapping[str, Any]
+    ) -> bool:
+        """True if no WME satisfies any negated element under *bindings*."""
+        for ce_index in rule.negated_indexes():
+            pattern = rule.patterns[ce_index]
+            memory = self._memories[(rule.name, ce_index)]
+            for wme in memory.values():
+                if pattern.bind(wme.attributes, bindings) is not None:
+                    return False
+        return True
+
+    def check_instantiation(self, instantiation: Instantiation) -> bool:
+        """Is this instantiation still valid (WMEs live, negations clear)?"""
+        rule = instantiation.rule
+        if rule.name not in self._rules:
+            return False
+        for wme in instantiation.wmes:
+            if self._wm.get(wme.wme_id) is not wme:
+                return False
+        return self._negations_clear(rule, instantiation.bindings)

@@ -1,0 +1,188 @@
+"""OPS5-flavoured textual syntax for condition elements.
+
+Writing patterns as data structures is verbose; this parser accepts
+the classic parenthesised form::
+
+    (emp ^salary > 50000 ^dept ?d)
+    (dept ^name ?d ^budget >= 100000)
+    -(alarm ^severity "high")
+
+Grammar per condition element::
+
+    ce      := ['-'] '(' TYPE test* ')'
+    test    := '^' ATTR [op] value
+    op      := '=' | '<>' | '<' | '<=' | '>' | '>='     (default '=')
+    value   := NUMBER | STRING | true | false | '?' VAR
+
+A left-hand side is one or more condition elements, whitespace- or
+newline-separated.  :func:`parse_lhs` returns the
+:class:`~repro.production.patterns.Pattern` list that
+:meth:`ProductionSystem.add_rule` accepts directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from ..errors import ParseError
+from .patterns import COMPARATORS, Pattern, Test, Var
+
+__all__ = ["parse_pattern", "parse_lhs"]
+
+_OPS = sorted(COMPARATORS, key=len, reverse=True)  # longest first: <= before <
+
+
+def _tokenize(text: str) -> List[Tuple[str, Any, int]]:
+    tokens: List[Tuple[str, Any, int]] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in "()^-?":
+            tokens.append((ch, ch, i))
+            i += 1
+            continue
+        if ch in "'\"":
+            quote = ch
+            start = i
+            i += 1
+            chars: List[str] = []
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    chars.append(text[i + 1])
+                    i += 2
+                else:
+                    chars.append(text[i])
+                    i += 1
+            if i >= n:
+                raise ParseError("unterminated string in pattern", start)
+            i += 1
+            tokens.append(("string", "".join(chars), start))
+            continue
+        matched_op = next((op for op in _OPS if text.startswith(op, i)), None)
+        if matched_op:
+            tokens.append(("op", matched_op, i))
+            i += len(matched_op)
+            continue
+        if ch.isdigit() or (
+            ch in "+." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            start = i
+            while i < n and (text[i].isdigit() or text[i] in ".+eE-"):
+                if text[i] == "-" and text[i - 1] not in "eE":
+                    break
+                i += 1
+            literal = text[start:i]
+            value = float(literal) if any(c in literal for c in ".eE") else int(literal)
+            tokens.append(("number", value, start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] in "_-"):
+                # hyphenated names (find-pair) are idiomatic OPS5; a
+                # hyphen is part of the word unless followed by '('
+                if text[i] == "-" and i + 1 < n and text[i + 1] == "(":
+                    break
+                i += 1
+            word = text[start:i]
+            lowered = word.lower()
+            if lowered == "true":
+                tokens.append(("boolean", True, start))
+            elif lowered == "false":
+                tokens.append(("boolean", False, start))
+            else:
+                tokens.append(("word", word, start))
+            continue
+        raise ParseError(f"unexpected character {ch!r} in pattern", i)
+    tokens.append(("eof", None, n))
+    return tokens
+
+
+class _PatternParser:
+    def __init__(self, tokens: List[Tuple[str, Any, int]]):
+        self._tokens = tokens
+        self._pos = 0
+
+    @property
+    def current(self) -> Tuple[str, Any, int]:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Tuple[str, Any, int]:
+        token = self._tokens[self._pos]
+        if token[0] != "eof":
+            self._pos += 1
+        return token
+
+    def expect(self, kind: str) -> Tuple[str, Any, int]:
+        token = self.current
+        if token[0] != kind:
+            raise ParseError(
+                f"expected {kind!r}, found {token[0]!r} {token[1]!r}", token[2]
+            )
+        return self.advance()
+
+    def at_end(self) -> bool:
+        return self.current[0] == "eof"
+
+    def parse_ce(self) -> Pattern:
+        negated = False
+        if self.current[0] == "-":
+            self.advance()
+            negated = True
+        self.expect("(")
+        wme_type = self.expect("word")[1]
+        tests: List[Test] = []
+        while self.current[0] == "^":
+            self.advance()
+            attribute = self.expect("word")[1]
+            op = "="
+            if self.current[0] == "op":
+                op = self.advance()[1]
+            tests.append(Test(attribute, op, self.parse_value()))
+        self.expect(")")
+        return Pattern(wme_type, tests, negated=negated)
+
+    def parse_value(self) -> Any:
+        kind, value, position = self.current
+        if kind == "?":
+            self.advance()
+            name = self.expect("word")[1]
+            return Var(name)
+        if kind in ("number", "string", "boolean"):
+            self.advance()
+            return value
+        if kind == "-":
+            self.advance()
+            number = self.expect("number")
+            return -number[1]
+        if kind == "word":
+            # bare words read as symbols (string constants), OPS5-style
+            self.advance()
+            return value
+        raise ParseError(f"expected a value, found {kind!r} {value!r}", position)
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse a single condition element."""
+    parser = _PatternParser(_tokenize(text))
+    pattern = parser.parse_ce()
+    if not parser.at_end():
+        token = parser.current
+        raise ParseError(
+            f"unexpected trailing input {token[1]!r}", token[2]
+        )
+    return pattern
+
+
+def parse_lhs(text: str) -> List[Pattern]:
+    """Parse one or more condition elements (a rule's whole LHS)."""
+    parser = _PatternParser(_tokenize(text))
+    patterns: List[Pattern] = []
+    while not parser.at_end():
+        patterns.append(parser.parse_ce())
+    if not patterns:
+        raise ParseError("left-hand side has no condition elements")
+    return patterns

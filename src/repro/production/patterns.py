@@ -1,0 +1,225 @@
+"""Condition-element patterns for the production system.
+
+A production rule's left-hand side is a sequence of *condition
+elements* (OPS5 terminology), each matching working-memory elements of
+one type.  A condition element is a :class:`Pattern`: a WME type plus
+a list of :class:`Test` objects over attributes.  Tests against
+constants compile into the IBS-tree predicate index (the "alpha
+network"); tests involving :class:`Var` bindings are evaluated during
+the join phase with the bindings accumulated from earlier condition
+elements.
+
+Examples::
+
+    Pattern("emp", [Test("salary", ">", 50_000), Test("dept", "=", Var("d"))])
+    Pattern("dept", [Test("name", "=", Var("d"))])
+    Pattern("alarm", [], negated=True)       # "no alarm exists"
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import RuleError
+from ..core.intervals import Interval
+from ..predicates.clauses import (
+    Clause,
+    EqualityClause,
+    FunctionClause,
+    IntervalClause,
+)
+from ..predicates.predicate import Predicate
+
+__all__ = ["Var", "Test", "Pattern", "COMPARATORS"]
+
+COMPARATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_INTERVAL_BUILDERS = {
+    "<": Interval.less_than,
+    "<=": Interval.at_most,
+    ">": Interval.greater_than,
+    ">=": Interval.at_least,
+}
+
+
+class Var:
+    """A pattern variable (OPS5's ``?x``).
+
+    The first occurrence of a variable in a rule's condition elements
+    *binds* it (for ``=`` tests) and later occurrences *test* against
+    the bound value.  Variables are compared by name.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise RuleError(f"variable name must be a non-empty string, got {name!r}")
+        self.name = name
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Var):
+            return NotImplemented
+        return self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+class Test:
+    """One attribute test inside a pattern: ``attr op operand``.
+
+    ``operand`` is a constant or a :class:`Var`.  ``op`` defaults to
+    equality; the full set is ``= <> < <= > >=``.  A callable operand
+    with op ``"?"`` denotes an opaque boolean test on the attribute
+    (the paper's ``function(t.attribute)`` clause shape).
+    """
+
+    __slots__ = ("attribute", "op", "operand")
+
+    #: pytest hint: this is a library class, not a test case.
+    __test__ = False
+
+    def __init__(self, attribute: str, op: str = "=", operand: Any = None):
+        if op != "?" and op not in COMPARATORS:
+            raise RuleError(f"unsupported test operator {op!r}")
+        if op == "?" and not callable(operand):
+            raise RuleError("op '?' requires a callable operand")
+        self.attribute = attribute
+        self.op = op
+        self.operand = operand
+
+    @property
+    def is_variable(self) -> bool:
+        return isinstance(self.operand, Var)
+
+    @property
+    def is_function(self) -> bool:
+        return self.op == "?"
+
+    def __repr__(self) -> str:
+        return f"^{self.attribute} {self.op} {self.operand!r}"
+
+
+class Pattern:
+    """A condition element: WME type + tests (+ optional negation).
+
+    The constant tests compile to a conjunctive
+    :class:`~repro.predicates.Predicate` (via :meth:`alpha_predicate`)
+    that the selection layer indexes; variable tests are evaluated by
+    :meth:`bind` during joins.
+    """
+
+    __slots__ = ("wme_type", "tests", "negated")
+
+    def __init__(
+        self,
+        wme_type: str,
+        tests: Sequence[Test] = (),
+        negated: bool = False,
+    ):
+        if not wme_type or not isinstance(wme_type, str):
+            raise RuleError(f"pattern type must be a non-empty string, got {wme_type!r}")
+        for test in tests:
+            if not isinstance(test, Test):
+                raise RuleError(f"not a Test: {test!r}")
+        self.wme_type = wme_type
+        self.tests = tuple(tests)
+        self.negated = bool(negated)
+
+    # -- alpha compilation ------------------------------------------------
+
+    def alpha_predicate(self) -> Predicate:
+        """The constant part of the pattern as an indexable predicate."""
+        clauses: List[Clause] = []
+        for test in self.tests:
+            if test.is_variable:
+                continue
+            if test.is_function:
+                clauses.append(
+                    FunctionClause(test.attribute, test.operand)
+                )
+            elif test.op == "=":
+                clauses.append(EqualityClause(test.attribute, test.operand))
+            elif test.op == "<>":
+                # non-indexable as a single clause; keep it opaque so the
+                # pattern stays one predicate (exactness preserved)
+                constant = test.operand
+                clauses.append(
+                    FunctionClause(
+                        test.attribute,
+                        lambda v, _c=constant: v != _c,
+                        name=f"ne_{constant!r}",
+                    )
+                )
+            else:
+                clauses.append(
+                    IntervalClause(
+                        test.attribute, _INTERVAL_BUILDERS[test.op](test.operand)
+                    )
+                )
+        return Predicate(self.wme_type, clauses)
+
+    # -- variable handling ---------------------------------------------------
+
+    def variable_tests(self) -> List[Test]:
+        """The tests that reference variables (join-phase work)."""
+        return [test for test in self.tests if test.is_variable]
+
+    def bind(
+        self, wme: Mapping[str, Any], bindings: Mapping[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        """Extend *bindings* with this pattern's variables against *wme*.
+
+        Returns the extended bindings dict, or None if any variable
+        test fails (an unbound variable with a non-``=`` operator also
+        fails: ordering requires binders before testers).
+        """
+        extended: Optional[Dict[str, Any]] = None
+        current: Mapping[str, Any] = bindings
+        for test in self.variable_tests():
+            value = wme.get(test.attribute)
+            if value is None:
+                return None
+            var_name = test.operand.name
+            if var_name in current:
+                bound = current[var_name]
+                try:
+                    ok = COMPARATORS[test.op](value, bound)
+                except TypeError:
+                    return None
+                if not ok:
+                    return None
+            else:
+                if test.op != "=":
+                    return None  # cannot bind through an inequality
+                if extended is None:
+                    extended = dict(bindings)
+                    current = extended
+                extended[var_name] = value
+        if extended is not None:
+            return extended
+        return dict(bindings)
+
+    def binds(self) -> List[str]:
+        """Names of variables this pattern can bind (``=`` var tests)."""
+        return [
+            test.operand.name
+            for test in self.tests
+            if test.is_variable and test.op == "="
+        ]
+
+    def __repr__(self) -> str:
+        sign = "-" if self.negated else ""
+        body = " ".join(repr(test) for test in self.tests)
+        return f"{sign}({self.wme_type}{(' ' + body) if body else ''})"

@@ -1,0 +1,298 @@
+"""The production system facade: recognize–act cycle over the network.
+
+:class:`ProductionSystem` ties together working memory, the TREAT
+network (whose alpha layer is the paper's predicate index), a conflict
+set with OPS5-style resolution (priority, then LEX recency, then rule
+age), refraction, and the recognize–act loop::
+
+    ps = ProductionSystem()
+    ps.add_rule(
+        "greet",
+        patterns=[Pattern("person", [Test("name", "=", Var("n"))])],
+        action=lambda ctx: print("hello", ctx["n"]),
+    )
+    ps.assert_fact("person", name="Ada")
+    ps.run()        # -> hello Ada
+
+Actions receive a :class:`ProductionContext` giving variable bindings
+(``ctx["n"]``), the matched WMEs (``ctx.wmes``), and the OPS5 verbs
+``make`` / ``remove`` / ``modify`` / ``halt``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import RuleCycleError, RuleError, UnknownRuleError
+from .memory import WME, WorkingMemory
+from .network import Instantiation, ProductionRule, TreatNetwork
+from .patterns import Pattern
+
+__all__ = ["ProductionSystem", "ProductionContext", "Halt"]
+
+
+class Halt(Exception):
+    """Raised by ``ctx.halt()`` to stop the recognize–act cycle."""
+
+
+class ProductionContext:
+    """What an action sees when its rule fires."""
+
+    __slots__ = ("system", "rule", "wmes", "bindings", "_halted")
+
+    def __init__(
+        self,
+        system: "ProductionSystem",
+        rule: ProductionRule,
+        wmes: Tuple[WME, ...],
+        bindings: Dict[str, Any],
+    ):
+        self.system = system
+        self.rule = rule
+        self.wmes = wmes
+        self.bindings = bindings
+        self._halted = False
+
+    def __getitem__(self, var_name: str) -> Any:
+        """Value of a bound variable (``ctx["x"]``)."""
+        try:
+            return self.bindings[var_name]
+        except KeyError:
+            raise RuleError(
+                f"rule {self.rule.name!r} did not bind variable ?{var_name}"
+            ) from None
+
+    def get(self, var_name: str, default: Any = None) -> Any:
+        return self.bindings.get(var_name, default)
+
+    # -- the OPS5 action verbs -----------------------------------------
+
+    def make(self, wme_type: str, **attributes: Any) -> WME:
+        """Assert a new fact (OPS5 ``make``)."""
+        return self.system.assert_fact(wme_type, **attributes)
+
+    def remove(self, target: Union[int, WME]) -> None:
+        """Retract a matched element (OPS5 ``remove``).
+
+        *target* is a WME, a WME id, or a 1-based index into the
+        rule's positive condition elements (OPS5's ``remove 2``).
+        """
+        self.system.retract(self._resolve(target))
+
+    def modify(self, target: Union[int, WME], **changes: Any) -> WME:
+        """Change attributes of a matched element (OPS5 ``modify``)."""
+        return self.system.modify(self._resolve(target), **changes)
+
+    def halt(self) -> None:
+        """Stop the recognize–act cycle after this action returns."""
+        self._halted = True
+
+    def _resolve(self, target: Union[int, WME]) -> WME:
+        if isinstance(target, WME):
+            return target
+        if isinstance(target, int) and 1 <= target <= len(self.wmes):
+            return self.wmes[target - 1]
+        wme = self.system.working_memory.get(target) if isinstance(target, int) else None
+        if wme is None:
+            raise RuleError(f"cannot resolve WME reference {target!r}")
+        return wme
+
+    def __repr__(self) -> str:
+        return f"<ProductionContext {self.rule.name} {self.bindings}>"
+
+
+class ProductionSystem:
+    """An OPS5-style forward-chaining production system.
+
+    The alpha network is the paper's two-level predicate index, so the
+    per-fact matching cost is what the paper's evaluation measures —
+    the expert-system application called out in its abstract.
+    """
+
+    def __init__(self, alpha_index=None) -> None:
+        """*alpha_index* overrides the alpha-layer matcher (default:
+        the paper's :class:`~repro.core.predicate_index.PredicateIndex`;
+        any Section 2 baseline matcher also works — used by the
+        expert-system scale benchmark)."""
+        self.working_memory = WorkingMemory()
+        self.network = TreatNetwork(self.working_memory, alpha_index)
+        #: key -> live instantiation (the conflict set)
+        self._conflict_set: Dict[Tuple, Instantiation] = {}
+        #: refraction: keys that already fired (and whose WMEs still live)
+        self._fired: set = set()
+        self._halted = False
+        self.total_fired = 0
+        #: optional tracer called with each Instantiation as it fires
+        #: (OPS5's ``watch`` facility)
+        self.trace: Optional[Callable[[Instantiation], Any]] = None
+
+    # -- rule management -------------------------------------------------
+
+    def add_rule(
+        self,
+        name: str,
+        patterns: Union[str, Sequence[Pattern]],
+        action: Callable[[ProductionContext], Any],
+        priority: int = 0,
+    ) -> ProductionRule:
+        """Compile and install a production; matches existing facts.
+
+        ``patterns`` is a Pattern sequence or the textual OPS5 form::
+
+            ps.add_rule(
+                "over-budget",
+                '(emp ^salary ?s ^dept ?d) (dept ^name ?d ^budget < ?s)',
+                action,
+            )
+
+        (note: inequality against a *variable* is written with the
+        variable on the right, and the variable must be bound by an
+        earlier element).  Instantiations over already-present WMEs
+        enter the conflict set immediately — productions are
+        declarative, so rule/fact arrival order must not change the
+        result.
+        """
+        if isinstance(patterns, str):
+            from .parser import parse_lhs
+
+            patterns = parse_lhs(patterns)
+        rule = ProductionRule(name, patterns, action, priority)
+        self.network.add_rule(rule)
+        for instantiation in self.network.all_instantiations(rule):
+            self._conflict_set[instantiation.key] = instantiation
+        return rule
+
+    def remove_rule(self, name: str) -> None:
+        """Uninstall a production and drop its pending instantiations."""
+        self.network.remove_rule(name)
+        for key in [k for k in self._conflict_set if k[0] == name]:
+            del self._conflict_set[key]
+        self._fired = {k for k in self._fired if k[0] != name}
+
+    def rule(self, name: str) -> ProductionRule:
+        for rule in self.network.rules():
+            if rule.name == name:
+                return rule
+        raise UnknownRuleError(name)
+
+    # -- working-memory verbs ------------------------------------------------
+
+    def assert_fact(self, wme_type: str, **attributes: Any) -> WME:
+        """Add a fact; updates the conflict set incrementally."""
+        wme = self.working_memory.insert(wme_type, attributes)
+        new_instantiations, blocked_rules = self.network.assert_wme(wme)
+        for instantiation in new_instantiations:
+            self._conflict_set.setdefault(instantiation.key, instantiation)
+        if blocked_rules:
+            self._revalidate(blocked_rules)
+        return wme
+
+    def retract(self, target: Union[int, WME]) -> WME:
+        """Remove a fact; prunes and re-enables instantiations."""
+        wme = target if isinstance(target, WME) else self._require(target)
+        self.working_memory.remove(wme.wme_id)
+        removed_ids, enabled = self.network.retract_wme(wme)
+        for key in [
+            k
+            for k in self._conflict_set
+            if any(wme_id in removed_ids for wme_id in k[1:])
+        ]:
+            del self._conflict_set[key]
+        self._fired = {
+            k for k in self._fired if not any(w in removed_ids for w in k[1:])
+        }
+        for instantiation in enabled:
+            if instantiation.key not in self._fired:
+                self._conflict_set.setdefault(instantiation.key, instantiation)
+        return wme
+
+    def modify(self, target: Union[int, WME], **changes: Any) -> WME:
+        """OPS5 ``modify``: retract + re-assert with a fresh timetag."""
+        wme = target if isinstance(target, WME) else self._require(target)
+        self.retract(wme)
+        return self.assert_fact(wme.wme_type, **{**wme.attributes, **changes})
+
+    def _require(self, wme_id: int) -> WME:
+        wme = self.working_memory.get(wme_id)
+        if wme is None:
+            raise RuleError(f"no working-memory element {wme_id}")
+        return wme
+
+    def facts(self, wme_type: Optional[str] = None) -> List[WME]:
+        """Current WMEs, optionally filtered by type."""
+        if wme_type is None:
+            return list(self.working_memory)
+        return list(self.working_memory.by_type(wme_type))
+
+    def _revalidate(self, rule_names) -> None:
+        """Drop conflict-set entries newly blocked by a negated match."""
+        for key in [k for k in self._conflict_set if k[0] in rule_names]:
+            if not self.network.check_instantiation(self._conflict_set[key]):
+                del self._conflict_set[key]
+
+    # -- recognize-act cycle -----------------------------------------------
+
+    def conflict_set(self) -> List[Instantiation]:
+        """Pending instantiations, best-first (resolution order)."""
+        pending = [
+            inst
+            for key, inst in self._conflict_set.items()
+            if key not in self._fired
+        ]
+        pending.sort(key=self._resolution_key, reverse=True)
+        return pending
+
+    @staticmethod
+    def _resolution_key(instantiation: Instantiation) -> Tuple:
+        """Priority, then LEX recency (most recent timetags first)."""
+        return (
+            instantiation.rule.priority,
+            instantiation.recency,
+        )
+
+    def step(self) -> Optional[Instantiation]:
+        """Fire the single best instantiation; None if nothing to fire."""
+        pending = self.conflict_set()
+        if not pending:
+            return None
+        best = pending[0]
+        self._fired.add(best.key)
+        self._conflict_set.pop(best.key, None)
+        best.rule.fire_count += 1
+        self.total_fired += 1
+        if self.trace is not None:
+            self.trace(best)
+        context = ProductionContext(self, best.rule, best.wmes, best.bindings)
+        try:
+            best.rule.action(context)
+        except Halt:
+            context._halted = True
+        if context._halted:
+            self._halted = True
+        return best
+
+    def run(self, limit: int = 10_000) -> int:
+        """Recognize–act until quiescence, halt, or the firing limit.
+
+        Returns the number of firings.  Exceeding *limit* raises
+        :class:`~repro.errors.RuleCycleError`.
+        """
+        self._halted = False
+        fired = 0
+        while not self._halted:
+            if fired >= limit:
+                raise RuleCycleError(
+                    f"production system did not reach quiescence within "
+                    f"{limit} firings"
+                )
+            if self.step() is None:
+                break
+            fired += 1
+        return fired
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProductionSystem {len(self.network.rules())} rules, "
+            f"{len(self.working_memory)} facts, "
+            f"{len(self.conflict_set())} pending>"
+        )

@@ -1,0 +1,42 @@
+"""Forward-chaining rule system (triggers) over the database substrate.
+
+The engine matches every inserted/updated tuple against its rules'
+selection conditions through a pluggable predicate matcher — by default
+the paper's IBS-tree index — and fires actions in conflict-resolution
+order.  Two-relation rules are handled by the TREAT-style join layer
+(the paper's Section 6 "two-layer network" future work).
+"""
+
+from .actions import (
+    AbortAction,
+    CollectAction,
+    DeleteAction,
+    InsertAction,
+    UpdateAction,
+    chain,
+)
+from .agenda import Agenda
+from .bridge import DatabaseProductionBridge
+from .engine import MATCHER_STRATEGIES, RuleEngine
+from .join_layer import JoinClause, JoinLayer, JoinRule
+from .monitor import Monitor
+from .rule import Rule, RuleContext
+
+__all__ = [
+    "RuleEngine",
+    "MATCHER_STRATEGIES",
+    "Rule",
+    "RuleContext",
+    "Agenda",
+    "JoinRule",
+    "JoinClause",
+    "JoinLayer",
+    "Monitor",
+    "DatabaseProductionBridge",
+    "InsertAction",
+    "UpdateAction",
+    "DeleteAction",
+    "AbortAction",
+    "CollectAction",
+    "chain",
+]

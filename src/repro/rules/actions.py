@@ -1,0 +1,156 @@
+"""Declarative rule actions.
+
+Any callable accepting a :class:`~repro.rules.rule.RuleContext` can be a
+rule action.  This module adds composable declarative actions for the
+common trigger idioms:
+
+* :class:`InsertAction` — derive and insert a tuple into a relation
+  (audit trails, materialised alerts);
+* :class:`UpdateAction` — modify the triggering tuple;
+* :class:`DeleteAction` — remove the triggering tuple;
+* :class:`AbortAction` — veto the triggering mutation (integrity
+  constraints): the database rolls back and the caller sees an
+  :class:`~repro.db.database.AbortMutation`;
+* :class:`CollectAction` — append match records to a list (testing,
+  monitoring);
+* :func:`chain` — run several actions in order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+from ..db.database import AbortMutation
+from ..errors import RuleError
+from .rule import RuleContext
+
+__all__ = [
+    "InsertAction",
+    "UpdateAction",
+    "DeleteAction",
+    "AbortAction",
+    "CollectAction",
+    "chain",
+]
+
+TupleSource = Union[
+    Mapping[str, Any], Callable[[RuleContext], Mapping[str, Any]]
+]
+
+
+def _resolve(source: TupleSource, ctx: RuleContext) -> Dict[str, Any]:
+    if callable(source):
+        return dict(source(ctx))
+    return dict(source)
+
+
+class InsertAction:
+    """Insert a derived tuple into *relation* when the rule fires.
+
+    ``values`` is either a constant mapping or a function of the rule
+    context returning one, e.g.::
+
+        InsertAction("alerts", lambda ctx: {
+            "message": f"low stock: {ctx.tuple['item']}",
+        })
+    """
+
+    def __init__(self, relation: str, values: TupleSource):
+        self.relation = relation
+        self.values = values
+
+    def __call__(self, ctx: RuleContext) -> int:
+        return ctx.db.insert(self.relation, _resolve(self.values, ctx))
+
+    def __repr__(self) -> str:
+        return f"InsertAction({self.relation!r})"
+
+
+class UpdateAction:
+    """Update the triggering tuple with derived changes.
+
+    Guarded against trivial self-triggering: if the computed changes
+    leave every attribute unchanged, no update is issued.  (Rules whose
+    updates keep genuinely changing values will re-trigger; the
+    engine's firing limit turns runaway loops into
+    :class:`~repro.errors.RuleCycleError`.)
+    """
+
+    def __init__(self, changes: TupleSource):
+        self.changes = changes
+
+    def __call__(self, ctx: RuleContext) -> None:
+        changes = _resolve(self.changes, ctx)
+        current = ctx.tuple
+        if all(current.get(key) == value for key, value in changes.items()):
+            return
+        ctx.db.update(ctx.relation, ctx.tid, changes)
+
+    def __repr__(self) -> str:
+        return "UpdateAction(...)"
+
+
+class DeleteAction:
+    """Delete the triggering tuple."""
+
+    def __call__(self, ctx: RuleContext) -> None:
+        ctx.db.delete(ctx.relation, ctx.tid)
+
+    def __repr__(self) -> str:
+        return "DeleteAction()"
+
+
+class AbortAction:
+    """Veto the triggering mutation (integrity-constraint rules).
+
+    Only meaningful in ``immediate`` firing mode, where rule actions run
+    inside the mutation call; in deferred mode the mutation has already
+    committed by the time rules fire, and aborting raises
+    :class:`~repro.errors.RuleError` instead.
+    """
+
+    def __init__(self, reason: Optional[str] = None):
+        self.reason = reason
+
+    def __call__(self, ctx: RuleContext) -> None:
+        if ctx.engine.mode != "immediate":
+            raise RuleError(
+                f"rule {ctx.rule.name!r}: AbortAction requires immediate mode"
+            )
+        reason = self.reason or f"aborted by rule {ctx.rule.name!r}"
+        raise AbortMutation(reason)
+
+    def __repr__(self) -> str:
+        return f"AbortAction({self.reason!r})"
+
+
+class CollectAction:
+    """Append ``(rule_name, tuple)`` records to a list as matches occur."""
+
+    def __init__(self, sink: Optional[List] = None):
+        self.records: List = sink if sink is not None else []
+
+    def __call__(self, ctx: RuleContext) -> None:
+        self.records.append((ctx.rule.name, dict(ctx.tuple)))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __repr__(self) -> str:
+        return f"CollectAction({len(self.records)} records)"
+
+
+def chain(*actions: Callable[[RuleContext], Any]) -> Callable[[RuleContext], None]:
+    """Compose actions left to right into a single action."""
+    for action in actions:
+        if not callable(action):
+            raise RuleError(f"chain() argument {action!r} is not callable")
+
+    def run(ctx: RuleContext) -> None:
+        for action in actions:
+            action(ctx)
+
+    return run

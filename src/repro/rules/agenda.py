@@ -1,0 +1,74 @@
+"""The agenda (conflict set) of a forward-chaining rule engine.
+
+When a tuple event matches several rules, their instantiations enter
+the agenda and fire in *conflict-resolution order*: higher priority
+first, and among equal priorities most-recent-first (the OPS5 recency
+heuristic, which makes rule cascades depth-first).
+
+The agenda also enforces the engine's firing limit: a rule cascade that
+exceeds it raises :class:`~repro.errors.RuleCycleError` rather than
+looping forever.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import RuleCycleError
+from .rule import Rule, RuleContext
+
+__all__ = ["Agenda"]
+
+
+class Agenda:
+    """A priority queue of pending rule instantiations."""
+
+    def __init__(self, max_firings: int = 10_000):
+        # heap entries: (-priority, -recency, seq, rule, context)
+        self._heap: List[Tuple[int, int, int, Rule, RuleContext]] = []
+        self._seq = itertools.count()
+        self.max_firings = max_firings
+        self.total_fired = 0
+
+    def post(self, rule: Rule, context: RuleContext) -> None:
+        """Add one instantiation to the agenda."""
+        seq = next(self._seq)
+        heapq.heappush(self._heap, (-rule.priority, -seq, seq, rule, context))
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def pop(self) -> Tuple[Rule, RuleContext]:
+        """Remove and return the next instantiation to fire."""
+        _, _, _, rule, context = heapq.heappop(self._heap)
+        return rule, context
+
+    def drain(self) -> Iterator[Tuple[Rule, RuleContext]]:
+        """Yield instantiations in firing order until the agenda is empty.
+
+        New instantiations posted while draining (by rule actions) are
+        included.  Raises :class:`~repro.errors.RuleCycleError` when the
+        cumulative firing count passes :attr:`max_firings`.
+        """
+        while self._heap:
+            self.total_fired += 1
+            if self.total_fired > self.max_firings:
+                self._heap.clear()
+                raise RuleCycleError(
+                    f"rule firing did not reach a fixpoint within "
+                    f"{self.max_firings} firings (likely a rule cycle)"
+                )
+            yield self.pop()
+
+    def clear(self) -> None:
+        """Discard all pending instantiations."""
+        self._heap.clear()
+
+    def reset_counter(self) -> None:
+        """Reset the cumulative firing count (new top-level transaction)."""
+        self.total_fired = 0

@@ -1,0 +1,128 @@
+"""Bridge: mirror database relations into a production system.
+
+The trigger engine handles selection rules and two-relation joins; the
+production system handles n-way joins, variables, and negation — but
+over its own working memory.  :class:`DatabaseProductionBridge` wires
+them together: tuples of chosen relations are mirrored into working
+memory (one WME type per relation, attributes copied verbatim, plus a
+``_tid`` attribute carrying the tuple id), and every database
+insert/update/delete becomes the corresponding working-memory
+operation.  Production rules can then reason over live relational data
+with the full OPS5 feature set::
+
+    db = Database()
+    ...
+    ps = ProductionSystem()
+    bridge = DatabaseProductionBridge(db, ps, relations=["emp", "dept", "proj"])
+    ps.add_rule(
+        "staffed-everywhere",
+        '(emp ^name ?n ^dept ?d) (dept ^dname ?d ^floor ?f)'
+        ' (proj ^floor ?f)',
+        action,
+    )
+    db.insert("emp", {...})     # flows straight into the match network
+    ps.run()
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+from ..db.database import Database
+from ..db.events import Event
+from ..errors import RuleError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..production.memory import WME
+    from ..production.system import ProductionSystem
+
+__all__ = ["DatabaseProductionBridge"]
+
+
+class DatabaseProductionBridge:
+    """Keeps a production system's working memory in sync with a database.
+
+    Parameters
+    ----------
+    db:
+        The source database.
+    production_system:
+        The production system whose working memory mirrors the data.
+    relations:
+        The relations to mirror.  Existing tuples are mirrored
+        immediately; subsequent mutations stream through.
+    auto_run:
+        When True (default), the production system's recognize–act
+        cycle runs after every mirrored mutation, so productions fire
+        as eagerly as database triggers do.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        production_system: "ProductionSystem",
+        relations: Iterable[str],
+        auto_run: bool = True,
+    ):
+        self.db = db
+        self.production_system = production_system
+        self.relations = frozenset(relations)
+        if not self.relations:
+            raise RuleError("bridge needs at least one relation to mirror")
+        for name in self.relations:
+            db.relation(name)  # validates existence
+        self.auto_run = auto_run
+        #: (relation, tid) -> mirrored WME
+        self._mirrored: Dict[tuple, "WME"] = {}
+        # seed from current contents
+        for name in self.relations:
+            for tid, tup in db.relation(name).scan():
+                self._mirror_insert(name, tid, dict(tup))
+        self._unsubscribe = db.subscribe(self._on_event)
+        if self.auto_run:
+            self.production_system.run()
+
+    def close(self) -> None:
+        """Stop mirroring (working memory keeps its current facts)."""
+        self._unsubscribe()
+
+    # -- event handling ----------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        if event.relation not in self.relations:
+            return
+        key = (event.relation, event.tid)
+        if event.kind == "insert":
+            self._mirror_insert(event.relation, event.tid, dict(event.new))
+        elif event.kind == "update":
+            wme = self._mirrored.get(key)
+            if wme is not None:
+                self.production_system.retract(wme)
+            self._mirror_insert(event.relation, event.tid, dict(event.new))
+        else:  # delete
+            wme = self._mirrored.pop(key, None)
+            if wme is not None:
+                self.production_system.retract(wme)
+        if self.auto_run:
+            self.production_system.run()
+
+    def _mirror_insert(self, relation: str, tid: int, tup: Dict) -> None:
+        attributes = dict(tup)
+        attributes["_tid"] = tid
+        wme = self.production_system.assert_fact(relation, **attributes)
+        self._mirrored[(relation, tid)] = wme
+
+    # -- introspection -------------------------------------------------------
+
+    def wme_for(self, relation: str, tid: int) -> Optional["WME"]:
+        """The WME mirroring a tuple, or None."""
+        return self._mirrored.get((relation, tid))
+
+    def __len__(self) -> int:
+        return len(self._mirrored)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DatabaseProductionBridge {sorted(self.relations)} "
+            f"({len(self._mirrored)} mirrored)>"
+        )

@@ -1,0 +1,411 @@
+"""The forward-chaining rule engine (trigger subsystem).
+
+:class:`RuleEngine` subscribes to a
+:class:`~repro.db.database.Database`'s mutation events and, for every
+inserted or modified tuple, finds the matching rules through a
+pluggable *predicate matcher* — by default the paper's two-level
+IBS-tree index, optionally any of the Section 2 baselines — and fires
+their actions in conflict-resolution order.
+
+Firing modes:
+
+``immediate`` (default)
+    Rules fire synchronously inside the mutation call, and their
+    actions' own mutations cascade until a fixpoint.  Integrity rules
+    may veto the outermost mutation with
+    :class:`~repro.rules.actions.AbortAction`.
+
+``deferred``
+    Matches accumulate on the agenda; nothing fires until
+    :meth:`RuleEngine.run` is called (set-oriented batch processing).
+
+Example::
+
+    db = Database()
+    db.create_relation("emp", ["name", "age", "salary", "dept"])
+    engine = RuleEngine(db)
+    engine.create_rule(
+        "well_paid",
+        on="emp",
+        condition="20000 <= salary <= 30000",
+        action=lambda ctx: print("matched", ctx.tuple["name"]),
+    )
+    db.insert("emp", {"name": "Lee", "age": 41, "salary": 25000,
+                      "dept": "Shoe"})     # prints: matched Lee
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Union,
+)
+
+from ..baselines.base import PredicateMatcher
+from ..baselines.hash_sequential import HashSequentialMatcher
+from ..baselines.physical_locking import PhysicalLockingMatcher
+from ..baselines.rtree import RTreeMatcher
+from ..baselines.sequential import SequentialMatcher
+from ..core.avl_ibs_tree import AVLIBSTree
+from ..core.rb_ibs_tree import RBIBSTree
+from ..core.predicate_index import PredicateIndex
+from ..core.selectivity import StatisticsEstimator
+from ..db.database import Database
+from ..db.events import Event
+from ..errors import DuplicateRuleError, RuleError, UnknownRuleError
+from ..lang.compiler import compile_condition
+from .agenda import Agenda
+from .rule import Rule, RuleContext
+
+__all__ = ["RuleEngine", "MATCHER_STRATEGIES"]
+
+#: Named matcher strategies accepted by ``RuleEngine(matcher=...)``.
+MATCHER_STRATEGIES = (
+    "ibs",
+    "ibs-avl",
+    "ibs-rb",
+    "sequential",
+    "hash",
+    "locking",
+    "rtree",
+)
+
+
+class RuleEngine:
+    """Forward-chaining trigger engine over a database.
+
+    Parameters
+    ----------
+    db:
+        The database to watch.
+    matcher:
+        A strategy name from :data:`MATCHER_STRATEGIES` or a ready
+        :class:`~repro.baselines.base.PredicateMatcher` instance.  The
+        default ``"ibs"`` is the paper's algorithm with data-driven
+        selectivity estimates.
+    functions:
+        Opaque boolean functions available to rule conditions, by name.
+    mode:
+        ``"immediate"`` or ``"deferred"`` (see module docstring).
+    max_firings:
+        Cascade limit before :class:`~repro.errors.RuleCycleError`.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        matcher: Union[str, PredicateMatcher] = "ibs",
+        functions: Optional[Mapping[str, Callable[[Any], bool]]] = None,
+        mode: str = "immediate",
+        max_firings: int = 10_000,
+    ):
+        if mode not in ("immediate", "deferred"):
+            raise RuleError(f"unknown firing mode {mode!r}")
+        self.db = db
+        self.mode = mode
+        self.functions: Dict[str, Callable[[Any], bool]] = dict(functions or {})
+        self.matcher = self._build_matcher(matcher)
+        self.agenda = Agenda(max_firings=max_firings)
+        self._rules: Dict[str, Rule] = {}
+        self._rule_of_ident: Dict[Hashable, Rule] = {}
+        self._idents_of_rule: Dict[str, List[Hashable]] = {}
+        self._draining = False
+        #: optional tracer called with (rule, context) as each rule fires
+        self.on_fire: Optional[Callable[[Any, RuleContext], Any]] = None
+        from .join_layer import JoinLayer
+
+        self.joins = JoinLayer(self)
+        self._monitors: Dict[str, Any] = {}
+        self._unsubscribe = db.subscribe(self._on_event)
+
+    def _build_matcher(self, matcher: Union[str, PredicateMatcher]) -> PredicateMatcher:
+        if not isinstance(matcher, str):
+            return matcher
+        if matcher == "ibs":
+            return PredicateIndex(estimator=StatisticsEstimator(self.db))
+        if matcher == "ibs-avl":
+            return PredicateIndex(
+                tree_factory=AVLIBSTree, estimator=StatisticsEstimator(self.db)
+            )
+        if matcher == "ibs-rb":
+            return PredicateIndex(
+                tree_factory=RBIBSTree, estimator=StatisticsEstimator(self.db)
+            )
+        if matcher == "sequential":
+            return SequentialMatcher()
+        if matcher == "hash":
+            return HashSequentialMatcher()
+        if matcher == "locking":
+            return PhysicalLockingMatcher()
+        if matcher == "rtree":
+            return RTreeMatcher()
+        raise RuleError(
+            f"unknown matcher strategy {matcher!r}; "
+            f"choose one of {', '.join(MATCHER_STRATEGIES)}"
+        )
+
+    # -- rule management -------------------------------------------------
+
+    def create_rule(
+        self,
+        name: str,
+        on: str,
+        condition: Optional[str],
+        action: Callable[[RuleContext], Any],
+        priority: int = 0,
+        on_events: Optional[Iterable[str]] = None,
+        when_old: Optional[str] = None,
+    ) -> Rule:
+        """Compile and register a trigger; returns the Rule.
+
+        ``condition`` of None (or ``"true"``) matches every tuple of the
+        relation.  A condition that can never match (e.g.
+        ``"age > 9 and age < 3"``) is rejected, since the rule would be
+        dead weight in the index.
+
+        ``when_old`` turns the rule into an Ariel-style *transition*
+        rule: it fires only on updates whose **pre-update** image
+        matched ``when_old`` and whose new image matches ``condition``
+        — e.g. ``condition="salary > 30000",
+        when_old="salary <= 30000"`` fires exactly when a salary
+        crosses the threshold upward.  Transition rules default to
+        update events only.
+        """
+        if name in self._rules:
+            raise DuplicateRuleError(name)
+        self.db.relation(on)  # validates the relation exists
+        source = condition if condition is not None else "true"
+        compiled = compile_condition(on, source, self.functions)
+        group = compiled.group
+        if group.is_empty:
+            raise RuleError(
+                f"rule {name!r} condition {source!r} can never match any tuple"
+            )
+        old_group = None
+        if when_old is not None:
+            old_compiled = compile_condition(on, when_old, self.functions)
+            old_group = old_compiled.group
+            if old_group.is_empty:
+                raise RuleError(
+                    f"rule {name!r} old-condition {when_old!r} can never match"
+                )
+            if on_events is None:
+                on_events = ("update",)
+        events = frozenset(on_events) if on_events is not None else None
+        rule = Rule(
+            name,
+            on,
+            group,
+            action,
+            priority=priority,
+            on_events=events,
+            source=source,
+            old_group=old_group,
+            old_source=when_old,
+        )
+        idents: List[Hashable] = []
+        try:
+            for predicate in group:
+                self.matcher.add(predicate)
+                idents.append(predicate.ident)
+        except Exception:
+            for ident in idents:
+                self.matcher.remove(ident)
+            raise
+        for ident in idents:
+            self._rule_of_ident[ident] = rule
+        self._idents_of_rule[name] = idents
+        self._rules[name] = rule
+        return rule
+
+    def drop_rule(self, name: str) -> None:
+        """Unregister a rule and all its predicates."""
+        try:
+            del self._rules[name]
+        except KeyError:
+            raise UnknownRuleError(name) from None
+        for ident in self._idents_of_rule.pop(name):
+            self.matcher.remove(ident)
+            del self._rule_of_ident[ident]
+
+    def rule(self, name: str) -> Rule:
+        """Look up a rule by name."""
+        try:
+            return self._rules[name]
+        except KeyError:
+            raise UnknownRuleError(name) from None
+
+    def rules(self) -> List[Rule]:
+        """All registered rules, in creation order."""
+        return list(self._rules.values())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def close(self) -> None:
+        """Detach from the database's event bus."""
+        self._unsubscribe()
+
+    # -- matching and firing -------------------------------------------------
+
+    def match_tuple(self, relation: str, tup: Mapping[str, Any]) -> List[Rule]:
+        """The rules whose condition matches *tup* (no firing).
+
+        A rule matches if any of its disjunct predicates matches; each
+        rule is reported once.
+        """
+        matched: List[Rule] = []
+        seen: Set[str] = set()
+        for predicate in self.matcher.match(relation, tup):
+            rule = self._rule_of_ident.get(predicate.ident)
+            if rule is not None and rule.name not in seen:
+                seen.add(rule.name)
+                matched.append(rule)
+        return matched
+
+    def create_join_rule(
+        self,
+        name: str,
+        left: str,
+        right: str,
+        condition: str,
+        action: Callable[[RuleContext], Any],
+        priority: int = 0,
+    ):
+        """Register a two-relation rule (see :mod:`repro.rules.join_layer`).
+
+        The condition must qualify every attribute with its relation
+        (``"emp.dept = dept.name and emp.salary > 50000"``); the
+        single-relation parts enter the selection index and the
+        inter-relation comparisons are tested TREAT-style against alpha
+        memories.
+        """
+        return self.joins.create_rule(name, left, right, condition, action, priority)
+
+    def drop_join_rule(self, name: str) -> None:
+        """Unregister a join rule."""
+        self.joins.drop_rule(name)
+
+    def explain(self, relation: str, tup: Mapping[str, Any]) -> List[Dict[str, Any]]:
+        """Explain how *tup* would match: one record per rule of *relation*.
+
+        Each record reports whether the rule's condition matches and,
+        when it does, the disjunct predicate(s) it matched through —
+        handy when debugging why a trigger did or did not fire::
+
+            >>> engine.explain("emp", {"age": 60, "salary": 1000})
+            [{'rule': 'senior_low_pay', 'matched': True,
+              'via': ['emp: salary < 20000 and age > 50'], ...}]
+        """
+        matched_idents = {
+            pred.ident for pred in self.matcher.match(relation, tup)
+        }
+        report: List[Dict[str, Any]] = []
+        for rule in self._rules.values():
+            if rule.relation != relation:
+                continue
+            via = [
+                str(predicate)
+                for predicate in rule.group
+                if predicate.ident in matched_idents
+            ]
+            report.append(
+                {
+                    "rule": rule.name,
+                    "matched": bool(via),
+                    "via": via,
+                    "enabled": rule.enabled,
+                    "events": sorted(rule.on_events),
+                    "condition": rule.source,
+                }
+            )
+        return report
+
+    def monitor(self, name: str, on: str, condition: Optional[str] = None):
+        """Create a live view of *on* tuples satisfying *condition*.
+
+        Returns a :class:`~repro.rules.monitor.Monitor` that tracks the
+        matching tuple set continuously (seeded from current contents)
+        and offers edge-triggered ``on_enter`` / ``on_leave`` hooks.
+        """
+        from .monitor import Monitor
+
+        if name in self._monitors:
+            raise DuplicateRuleError(name)
+        self.db.relation(on)
+        compiled = compile_condition(on, condition or "true", self.functions)
+        live = Monitor(self, name, on, compiled)
+        self._monitors[name] = live
+        return live
+
+    def _drop_monitor(self, live) -> None:
+        self._monitors.pop(live.name, None)
+
+    def monitors(self) -> List[Any]:
+        """The currently active monitors."""
+        return list(self._monitors.values())
+
+    def _on_event(self, event: Event) -> None:
+        for live in list(self._monitors.values()):
+            live._handle(event)
+        image = event.tuple
+        if image is None:
+            return
+        matched_predicates = self.matcher.match(event.relation, image)
+        matched_idents = {pred.ident for pred in matched_predicates}
+        posted = False
+        old = getattr(event, "old", None)
+        seen: Set[str] = set()
+        for predicate in matched_predicates:
+            rule = self._rule_of_ident.get(predicate.ident)
+            if rule is None or rule.name in seen or not rule.reacts_to(event):
+                continue
+            seen.add(rule.name)
+            context = RuleContext(self.db, self, rule, event, dict(image), old)
+            self.agenda.post(rule, context)
+            posted = True
+        if self.joins.process(event, matched_idents):
+            posted = True
+        if posted and self.mode == "immediate":
+            self._drain()
+
+    def _drain(self) -> int:
+        """Fire until the agenda is empty; returns the number fired.
+
+        Reentrancy-safe: rule actions whose mutations re-enter
+        ``_on_event`` merely post to the agenda, and the outer drain
+        loop picks the new instantiations up.  Each top-level drain
+        gets a fresh firing budget.
+        """
+        if self._draining:
+            return 0
+        self._draining = True
+        self.agenda.reset_counter()
+        try:
+            for rule, context in self.agenda.drain():
+                rule.fire_count += 1
+                if self.on_fire is not None:
+                    self.on_fire(rule, context)
+                rule.action(context)
+        finally:
+            self._draining = False
+        return self.agenda.total_fired
+
+    def run(self) -> int:
+        """Deferred mode: fire everything on the agenda; returns the count."""
+        return self._drain()
+
+    def __repr__(self) -> str:
+        return (
+            f"<RuleEngine {len(self._rules)} rules, "
+            f"matcher={getattr(self.matcher, 'name', type(self.matcher).__name__)}, "
+            f"mode={self.mode}>"
+        )

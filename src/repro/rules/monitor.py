@@ -1,0 +1,115 @@
+"""Live monitors: continuous queries maintained by the rule engine.
+
+A :class:`Monitor` is a continuously maintained view over one
+relation: the set of tuples currently satisfying a condition, kept up
+to date as inserts, updates, and deletes flow through the predicate
+index — the "monitoring capability" the paper lists among the rule
+system's applications (Section 3).
+
+::
+
+    monitor = engine.monitor("hot", on="reading", condition="value > 90")
+    db.insert("reading", {...})           # may enter the view
+    monitor.tids                           # live tid set
+    monitor.rows()                         # current matching tuples
+    monitor.on_enter = lambda tid, tup: ...
+    monitor.on_leave = lambda tid, tup: ...
+
+Entering/leaving is edge-triggered: ``on_enter`` fires when a tuple
+starts matching (insert or update), ``on_leave`` when it stops
+(update out of the condition, or delete).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+from ..db.events import Event
+from ..lang.compiler import CompiledCondition, compile_condition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import RuleEngine
+
+__all__ = ["Monitor"]
+
+ChangeHook = Optional[Callable[[int, Dict[str, Any]], Any]]
+
+
+class Monitor:
+    """A live set of tuples matching a condition (continuous query)."""
+
+    def __init__(
+        self,
+        engine: "RuleEngine",
+        name: str,
+        relation: str,
+        compiled: CompiledCondition,
+    ):
+        self.name = name
+        self.relation = relation
+        self._engine = engine
+        self._compiled = compiled
+        self._members: Dict[int, Dict[str, Any]] = {}
+        self.on_enter: ChangeHook = None
+        self.on_leave: ChangeHook = None
+        self.active = True
+        # seed from current contents
+        for tid, tup in engine.db.relation(relation).scan():
+            if compiled.matches(tup):
+                self._members[tid] = dict(tup)
+
+    # -- view access -----------------------------------------------------
+
+    @property
+    def tids(self) -> List[int]:
+        """Tuple ids currently in the view."""
+        return list(self._members)
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Copies of the tuples currently in the view."""
+        return [dict(tup) for tup in self._members.values()]
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._members
+
+    def close(self) -> None:
+        """Stop maintaining the view (it freezes at its current state)."""
+        if self.active:
+            self.active = False
+            self._engine._drop_monitor(self)
+
+    # -- maintenance (driven by the engine) ---------------------------------
+
+    def _handle(self, event: Event) -> None:
+        if not self.active or event.relation != self.relation:
+            return
+        tid = event.tid
+        if event.kind == "delete":
+            self._exit(tid)
+            return
+        image = event.tuple
+        if image is not None and self._compiled.matches(image):
+            self._enter(tid, dict(image))
+        else:
+            self._exit(tid)
+
+    def _enter(self, tid: int, tup: Dict[str, Any]) -> None:
+        was_member = tid in self._members
+        self._members[tid] = tup
+        if not was_member and self.on_enter is not None:
+            self.on_enter(tid, dict(tup))
+
+    def _exit(self, tid: int) -> None:
+        tup = self._members.pop(tid, None)
+        if tup is not None and self.on_leave is not None:
+            self.on_leave(tid, dict(tup))
+
+    def __repr__(self) -> str:
+        state = "live" if self.active else "closed"
+        return (
+            f"<Monitor {self.name!r} on {self.relation} "
+            f"({len(self._members)} rows, {state})>"
+        )

@@ -1,0 +1,31 @@
+"""Workload generators for experiments and examples."""
+
+from .generator import (
+    IntervalWorkload,
+    ScenarioConfig,
+    ScenarioWorkload,
+    non_indexable_probe,
+)
+from .schemas import (
+    DEPARTMENTS,
+    JOBS,
+    emp_schema,
+    grocery_schema,
+    random_emp,
+    random_item,
+    wide_schema,
+)
+
+__all__ = [
+    "IntervalWorkload",
+    "ScenarioConfig",
+    "ScenarioWorkload",
+    "non_indexable_probe",
+    "emp_schema",
+    "grocery_schema",
+    "wide_schema",
+    "random_emp",
+    "random_item",
+    "DEPARTMENTS",
+    "JOBS",
+]

@@ -1,0 +1,106 @@
+"""Example schemas drawn from the paper's running examples.
+
+* :func:`emp_schema` — the ``EMP(name, age, salary, dept)`` relation of
+  the paper's Section 1 examples;
+* :func:`grocery_schema` — the grocery-store stock-reorder application
+  of Section 3, used to demonstrate the "few rules + data table"
+  design the paper recommends over one-rule-per-item;
+* :func:`wide_schema` — an n-attribute relation matching the paper's
+  observation that real relations commonly have 5–25 attributes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..db.database import Database
+from ..db.types import INTEGER, NUMBER, STRING
+
+__all__ = [
+    "emp_schema",
+    "grocery_schema",
+    "wide_schema",
+    "random_emp",
+    "random_item",
+    "DEPARTMENTS",
+    "JOBS",
+]
+
+DEPARTMENTS = ["Shoe", "Toy", "Grocery", "Hardware", "Pharmacy", "Garden"]
+JOBS = ["Salesperson", "Manager", "Cashier", "Stocker", "Buyer"]
+
+_FIRST_NAMES = [
+    "Alex", "Brook", "Casey", "Drew", "Emery", "Flynn", "Gray", "Harper",
+    "Indra", "Jules", "Kiran", "Lee", "Morgan", "Noor", "Oak", "Parker",
+]
+
+
+def emp_schema(db: Database) -> None:
+    """Create the paper's EMP relation (plus a job attribute used in
+    the Section 1 examples)."""
+    db.create_relation(
+        "emp",
+        [
+            ("name", STRING),
+            ("age", INTEGER),
+            ("salary", NUMBER),
+            ("dept", STRING),
+            ("job", STRING),
+        ],
+    )
+
+
+def grocery_schema(db: Database) -> None:
+    """Create the Section 3 grocery relations: items and reorder log.
+
+    ``items`` carries the per-item re-order threshold as *data* — the
+    paper's recommended design, where a single rule compares
+    ``stock`` to ``reorder_level`` instead of one rule per item.
+    """
+    db.create_relation(
+        "items",
+        [
+            ("item", STRING),
+            ("stock", INTEGER),
+            ("reorder_level", INTEGER),
+            ("reorder_qty", INTEGER),
+            ("price", NUMBER),
+        ],
+    )
+    db.create_relation(
+        "orders",
+        [
+            ("item", STRING),
+            ("qty", INTEGER),
+            ("status", STRING),
+        ],
+    )
+
+
+def wide_schema(db: Database, name: str = "wide", attributes: int = 15) -> None:
+    """Create an n-attribute integer relation (default: the paper's 15)."""
+    db.create_relation(name, [(f"a{k}", INTEGER) for k in range(attributes)])
+
+
+def random_emp(rng: random.Random) -> Dict[str, Any]:
+    """One random EMP tuple."""
+    return {
+        "name": f"{rng.choice(_FIRST_NAMES)}-{rng.randint(1, 9999)}",
+        "age": rng.randint(18, 70),
+        "salary": rng.randint(8_000, 90_000),
+        "dept": rng.choice(DEPARTMENTS),
+        "job": rng.choice(JOBS),
+    }
+
+
+def random_item(rng: random.Random, item_id: int) -> Dict[str, Any]:
+    """One random grocery item tuple."""
+    reorder = rng.randint(5, 50)
+    return {
+        "item": f"sku-{item_id:05d}",
+        "stock": rng.randint(0, 200),
+        "reorder_level": reorder,
+        "reorder_qty": reorder * rng.randint(2, 5),
+        "price": round(rng.uniform(0.5, 40.0), 2),
+    }

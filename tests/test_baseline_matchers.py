@@ -1,0 +1,215 @@
+"""Tests for the Section 2 baseline predicate matchers."""
+
+import random
+
+import pytest
+
+from repro import (
+    EqualityClause,
+    FunctionClause,
+    Interval,
+    IntervalClause,
+    Predicate,
+    PredicateIndex,
+)
+from repro.baselines import (
+    HashSequentialMatcher,
+    PhysicalLockingMatcher,
+    RTreeMatcher,
+    SequentialMatcher,
+)
+from repro.errors import PredicateError, UnknownIntervalError
+
+
+def is_odd(x):
+    return x % 2 == 1
+
+
+def make_predicates(seed=0, count=60, relations=("r", "s")):
+    rng = random.Random(seed)
+    predicates = []
+    for _ in range(count):
+        clauses = []
+        for _ in range(rng.randint(1, 2)):
+            attr = rng.choice(["a", "b", "c"])
+            kind = rng.random()
+            if kind < 0.3:
+                clauses.append(EqualityClause(attr, rng.randint(0, 15)))
+            elif kind < 0.8:
+                lo = rng.randint(0, 12)
+                clauses.append(
+                    IntervalClause(attr, Interval.closed(lo, lo + rng.randint(0, 6)))
+                )
+            else:
+                clauses.append(FunctionClause(attr, is_odd))
+        pred = Predicate(rng.choice(relations), clauses).normalized()
+        if pred is not None:
+            predicates.append(pred)
+    return predicates
+
+
+ALL_MATCHERS = [
+    ("sequential", SequentialMatcher),
+    ("hash", HashSequentialMatcher),
+    ("locking-noindex", PhysicalLockingMatcher),
+    (
+        "locking-indexed",
+        lambda: PhysicalLockingMatcher({"r": {"a", "b"}, "s": {"a"}}),
+    ),
+    ("rtree", RTreeMatcher),
+    ("ibs", PredicateIndex),
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name,factory", ALL_MATCHERS)
+    def test_matches_brute_force(self, name, factory):
+        predicates = make_predicates(seed=5)
+        matcher = factory()
+        for pred in predicates:
+            matcher.add(pred)
+        rng = random.Random(55)
+        for _ in range(150):
+            relation = rng.choice(["r", "s"])
+            tup = {attr: rng.randint(0, 18) for attr in ["a", "b", "c"]}
+            expected = {
+                p.ident for p in predicates if p.relation == relation and p.matches(tup)
+            }
+            got = {p.ident for p in matcher.match(relation, tup)}
+            assert got == expected, (name, relation, tup)
+
+    @pytest.mark.parametrize("name,factory", ALL_MATCHERS)
+    def test_removal(self, name, factory):
+        predicates = make_predicates(seed=9, count=30)
+        matcher = factory()
+        for pred in predicates:
+            matcher.add(pred)
+        rng = random.Random(99)
+        removed = rng.sample(predicates, 15)
+        for pred in removed:
+            matcher.remove(pred.ident)
+        assert len(matcher) == len(predicates) - 15
+        remaining = [p for p in predicates if p not in removed]
+        for _ in range(80):
+            relation = rng.choice(["r", "s"])
+            tup = {attr: rng.randint(0, 18) for attr in ["a", "b", "c"]}
+            expected = {
+                p.ident for p in remaining if p.relation == relation and p.matches(tup)
+            }
+            got = {p.ident for p in matcher.match(relation, tup)}
+            assert got == expected, name
+
+    @pytest.mark.parametrize("name,factory", ALL_MATCHERS)
+    def test_duplicate_and_unknown(self, name, factory):
+        matcher = factory()
+        pred = Predicate("r", [EqualityClause("a", 1)])
+        matcher.add(pred)
+        with pytest.raises((PredicateError, Exception)):
+            matcher.add(pred)
+        with pytest.raises((UnknownIntervalError, KeyError)):
+            matcher.remove("nope")
+
+    @pytest.mark.parametrize("name,factory", ALL_MATCHERS)
+    def test_match_idents_helper(self, name, factory):
+        matcher = factory()
+        pred = Predicate("r", [EqualityClause("a", 1)])
+        matcher.add(pred)
+        assert matcher.match_idents("r", {"a": 1}) == {pred.ident}
+
+
+class TestSequentialSpecifics:
+    def test_scans_all_relations(self):
+        """2.1 has no per-relation partitioning: relation check is a test."""
+        matcher = SequentialMatcher()
+        for k in range(10):
+            matcher.add(Predicate(f"rel{k}", [EqualityClause("a", 1)], ident=k))
+        assert matcher.match_idents("rel3", {"a": 1}) == {3}
+
+
+class TestHashSpecifics:
+    def test_predicates_for(self):
+        matcher = HashSequentialMatcher()
+        p1 = Predicate("r", [], ident="p1")
+        p2 = Predicate("s", [], ident="p2")
+        matcher.add(p1)
+        matcher.add(p2)
+        assert [p.ident for p in matcher.predicates_for("r")] == ["p1"]
+        assert matcher.predicates_for("ghost") == []
+        matcher.remove("p1")
+        assert matcher.predicates_for("r") == []
+
+
+class TestPhysicalLockingSpecifics:
+    def test_escalation_without_indexes(self):
+        matcher = PhysicalLockingMatcher()
+        pred = Predicate("r", [EqualityClause("a", 1)])
+        matcher.add(pred)
+        assert matcher.stats.escalations == 1
+        matcher.match("r", {"a": 2})
+        # escalated predicates are tested on every tuple
+        assert matcher.stats.relation_locks_checked == 1
+
+    def test_interval_locks_with_indexes(self):
+        matcher = PhysicalLockingMatcher({"r": {"a"}})
+        pred = Predicate("r", [EqualityClause("a", 1)])
+        matcher.add(pred)
+        assert matcher.stats.escalations == 0
+        matcher.match("r", {"a": 2})
+        assert matcher.stats.interval_locks_checked == 1
+
+    def test_create_index_later(self):
+        matcher = PhysicalLockingMatcher()
+        matcher.create_index("r", "a")
+        assert matcher.indexed_attributes("r") == {"a"}
+        pred = Predicate("r", [EqualityClause("a", 1)])
+        matcher.add(pred)
+        assert matcher.stats.escalations == 0
+
+    def test_function_only_predicate_escalates(self):
+        matcher = PhysicalLockingMatcher({"r": {"a"}})
+        pred = Predicate("r", [FunctionClause("a", is_odd)])
+        matcher.add(pred)
+        assert matcher.stats.escalations == 1
+        assert matcher.match_idents("r", {"a": 3}) == {pred.ident}
+
+    def test_stats_reset(self):
+        matcher = PhysicalLockingMatcher()
+        matcher.add(Predicate("r", [EqualityClause("a", 1)]))
+        matcher.match("r", {"a": 1})
+        matcher.stats.reset()
+        assert matcher.stats.relation_locks_checked == 0
+
+
+class TestRTreeMatcherSpecifics:
+    def test_string_clauses_fall_to_residual(self):
+        matcher = RTreeMatcher()
+        pred = Predicate(
+            "r", [EqualityClause("dept", "Shoe"), IntervalClause("a", Interval.closed(1, 9))]
+        )
+        matcher.add(pred)
+        assert matcher.match_idents("r", {"dept": "Shoe", "a": 5}) == {pred.ident}
+        assert matcher.match_idents("r", {"dept": "Toy", "a": 5}) == set()
+
+    def test_pure_string_predicate_unindexed(self):
+        matcher = RTreeMatcher()
+        pred = Predicate("r", [EqualityClause("dept", "Shoe")])
+        matcher.add(pred)
+        assert matcher.match_idents("r", {"dept": "Shoe"}) == {pred.ident}
+
+    def test_dimension_growth_rebuilds(self):
+        matcher = RTreeMatcher()
+        p1 = Predicate("r", [EqualityClause("a", 1)])
+        matcher.add(p1)
+        p2 = Predicate("r", [EqualityClause("b", 2)])
+        matcher.add(p2)
+        assert matcher.rebuilds >= 1
+        assert matcher.match_idents("r", {"a": 1, "b": 5}) == {p1.ident}
+        assert matcher.match_idents("r", {"a": 9, "b": 2}) == {p2.ident}
+
+    def test_null_in_indexed_dimension_falls_back(self):
+        matcher = RTreeMatcher()
+        pred = Predicate("r", [IntervalClause("a", Interval.at_least(0))])
+        matcher.add(pred)
+        other = Predicate("r", [EqualityClause("b", 3)])
+        matcher.add(other)
+        assert matcher.match_idents("r", {"a": None, "b": 3}) == {other.ident}

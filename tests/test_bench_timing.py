@@ -1,0 +1,88 @@
+"""Tests for the timing helpers and working-memory internals."""
+
+import time
+
+import pytest
+
+from repro.bench.timing import best_of, time_per_op, time_total
+from repro.errors import RuleError
+from repro.production.memory import WorkingMemory
+
+
+class TestTiming:
+    def test_time_total_positive(self):
+        elapsed = time_total(lambda: sum(range(1000)))
+        assert elapsed >= 0
+
+    def test_time_per_op_divides(self):
+        per_op = time_per_op(lambda: time.sleep(0.01), operations=10)
+        assert 0.0005 < per_op < 0.05
+
+    def test_time_per_op_validates(self):
+        with pytest.raises(ValueError):
+            time_per_op(lambda: None, operations=0)
+
+    def test_best_of_takes_minimum(self):
+        values = iter([3.0, 1.0, 2.0])
+        assert best_of(lambda: next(values), repeats=3) == 1.0
+        with pytest.raises(ValueError):
+            best_of(lambda: 1.0, repeats=0)
+
+    def test_gc_state_restored(self):
+        import gc
+
+        assert gc.isenabled()
+        time_total(lambda: None)
+        assert gc.isenabled()
+        gc.disable()
+        try:
+            time_total(lambda: None)
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
+
+
+class TestWorkingMemory:
+    def test_insert_assigns_ids_and_timetags(self):
+        wm = WorkingMemory()
+        a = wm.insert("t", {"v": 1})
+        b = wm.insert("t", {"v": 2})
+        assert b.wme_id > a.wme_id
+        assert b.timetag > a.timetag
+        assert len(wm) == 2
+        assert a.wme_id in wm
+
+    def test_remove(self):
+        wm = WorkingMemory()
+        wme = wm.insert("t", {})
+        assert wm.remove(wme.wme_id) is wme
+        with pytest.raises(RuleError):
+            wm.remove(wme.wme_id)
+        assert wm.get(wme.wme_id) is None
+
+    def test_touch_refreshes_timetag(self):
+        wm = WorkingMemory()
+        wme = wm.insert("t", {"v": 1, "w": 2})
+        old, new = wm.touch(wme.wme_id, {"v": 9})
+        assert old.attributes == {"v": 1, "w": 2}
+        assert new.attributes == {"v": 9, "w": 2}
+        assert new.timetag > old.timetag
+        assert new.wme_id == old.wme_id
+        assert wm.get(wme.wme_id) is new
+
+    def test_by_type(self):
+        wm = WorkingMemory()
+        wm.insert("a", {})
+        wm.insert("b", {})
+        wm.insert("a", {})
+        assert len(list(wm.by_type("a"))) == 2
+        assert len(list(wm.by_type("c"))) == 0
+
+    def test_type_validated(self):
+        with pytest.raises(RuleError):
+            WorkingMemory().insert("", {})
+
+    def test_iteration(self):
+        wm = WorkingMemory()
+        wm.insert("a", {"k": 1})
+        assert [w.wme_type for w in wm] == ["a"]

@@ -1,0 +1,133 @@
+"""Tests for the database <-> production-system bridge."""
+
+import pytest
+
+from repro import Database
+from repro.errors import RuleError
+from repro.production import ProductionSystem
+from repro.rules import DatabaseProductionBridge
+
+
+@pytest.fixture
+def setup():
+    db = Database()
+    db.create_relation("emp", ["name", "dept", "salary"])
+    db.create_relation("dept", ["dname", "floor"])
+    db.create_relation("proj", ["pname", "floor"])
+    ps = ProductionSystem()
+    return db, ps
+
+
+class TestMirroring:
+    def test_existing_tuples_seeded(self, setup):
+        db, ps = setup
+        db.insert("emp", {"name": "A", "dept": "Shoe", "salary": 1})
+        bridge = DatabaseProductionBridge(db, ps, ["emp"])
+        facts = ps.facts("emp")
+        assert len(facts) == 1
+        assert facts[0]["name"] == "A"
+        assert facts[0]["_tid"] == 1
+        assert len(bridge) == 1
+
+    def test_insert_update_delete_stream(self, setup):
+        db, ps = setup
+        bridge = DatabaseProductionBridge(db, ps, ["emp"])
+        tid = db.insert("emp", {"name": "A", "dept": "Shoe", "salary": 1})
+        assert len(ps.facts("emp")) == 1
+        db.update("emp", tid, {"salary": 2})
+        facts = ps.facts("emp")
+        assert len(facts) == 1
+        assert facts[0]["salary"] == 2
+        db.delete("emp", tid)
+        assert ps.facts("emp") == []
+        assert bridge.wme_for("emp", tid) is None
+
+    def test_unmirrored_relations_ignored(self, setup):
+        db, ps = setup
+        DatabaseProductionBridge(db, ps, ["emp"])
+        db.insert("dept", {"dname": "Shoe", "floor": 3})
+        assert ps.facts("dept") == []
+
+    def test_close_stops_mirroring(self, setup):
+        db, ps = setup
+        bridge = DatabaseProductionBridge(db, ps, ["emp"])
+        bridge.close()
+        db.insert("emp", {"name": "A", "dept": "Shoe", "salary": 1})
+        assert ps.facts("emp") == []
+
+    def test_validation(self, setup):
+        db, ps = setup
+        with pytest.raises(RuleError):
+            DatabaseProductionBridge(db, ps, [])
+        from repro.errors import UnknownRelationError
+
+        with pytest.raises(UnknownRelationError):
+            DatabaseProductionBridge(db, ps, ["ghost"])
+
+
+class TestThreeWayJoin:
+    """The payoff: n-way joins over relational data."""
+
+    def test_three_relation_join_fires(self, setup):
+        db, ps = setup
+        hits = []
+        ps.add_rule(
+            "colocated",
+            "(emp ^name ?n ^dept ?d)"
+            " (dept ^dname ?d ^floor ?f)"
+            " (proj ^pname ?p ^floor ?f)",
+            lambda ctx: hits.append((ctx["n"], ctx["p"])),
+        )
+        DatabaseProductionBridge(db, ps, ["emp", "dept", "proj"])
+        db.insert("emp", {"name": "A", "dept": "Shoe", "salary": 1})
+        db.insert("dept", {"dname": "Shoe", "floor": 3})
+        assert hits == []  # no project on floor 3 yet
+        db.insert("proj", {"pname": "P1", "floor": 3})
+        assert hits == [("A", "P1")]
+        db.insert("proj", {"pname": "P2", "floor": 4})
+        assert hits == [("A", "P1")]  # wrong floor
+
+    def test_update_retracts_old_join(self, setup):
+        db, ps = setup
+        hits = []
+        ps.add_rule(
+            "pair",
+            "(emp ^dept ?d ^name ?n) (dept ^dname ?d)",
+            lambda ctx: hits.append(ctx["n"]),
+        )
+        DatabaseProductionBridge(db, ps, ["emp", "dept"])
+        tid = db.insert("emp", {"name": "A", "dept": "Shoe", "salary": 1})
+        db.insert("dept", {"dname": "Shoe", "floor": 1})
+        assert hits == ["A"]
+        # moving the employee to a department with no dept row: the
+        # modified WME (fresh timetag) no longer joins
+        db.update("emp", tid, {"dept": "Ghost"})
+        assert hits == ["A"]
+        # moving back re-joins (fresh instantiation: refraction reset)
+        db.update("emp", tid, {"dept": "Shoe"})
+        assert hits == ["A", "A"]
+
+    def test_negation_over_relational_data(self, setup):
+        db, ps = setup
+        lonely = []
+        ps.add_rule(
+            "dept-without-emps",
+            "(dept ^dname ?d) -(emp ^dept ?d)",
+            lambda ctx: lonely.append(ctx["d"]),
+        )
+        DatabaseProductionBridge(db, ps, ["emp", "dept"])
+        db.insert("dept", {"dname": "Empty", "floor": 9})
+        assert lonely == ["Empty"]
+        db.insert("dept", {"dname": "Shoe", "floor": 1})
+        db.insert("emp", {"name": "A", "dept": "Shoe", "salary": 1})
+        assert lonely == ["Empty", "Shoe"]  # fired before the emp arrived
+
+    def test_auto_run_disabled(self, setup):
+        db, ps = setup
+        hits = []
+        ps.add_rule("any", "(emp ^name ?n)", lambda ctx: hits.append(ctx["n"]))
+        DatabaseProductionBridge(db, ps, ["emp"], auto_run=False)
+        db.insert("emp", {"name": "A", "dept": "Shoe", "salary": 1})
+        assert hits == []
+        ps.run()
+        assert hits == ["A"]

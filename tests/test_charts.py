@@ -1,0 +1,66 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.charts import _assign_glyphs, ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_rendering(self):
+        chart = ascii_chart(
+            {"up": [(0, 0), (5, 5), (10, 10)], "flat": [(0, 2), (10, 2)]},
+            width=20,
+            height=5,
+        )
+        lines = chart.splitlines()
+        assert any("u=up" in line for line in lines)
+        assert any("f=flat" in line for line in lines)
+        assert "+" + "-" * 20 in chart
+
+    def test_empty(self):
+        assert "no data" in ascii_chart({})
+        assert "no data" in ascii_chart({"a": []})
+
+    def test_title(self):
+        chart = ascii_chart({"s": [(0, 1)]}, title="hello")
+        assert chart.splitlines()[0] == "hello"
+
+    def test_extremes_on_axes(self):
+        chart = ascii_chart({"s": [(2, 3), (8, 9)]}, width=10, height=4)
+        assert "9" in chart  # y max label
+        assert "3" in chart  # y min label
+        assert "2" in chart and "8" in chart  # x labels
+
+    def test_single_point(self):
+        chart = ascii_chart({"s": [(5, 5)]}, width=10, height=4)
+        assert "s=s" in chart
+
+    def test_monotone_series_renders_monotone(self):
+        chart = ascii_chart({"up": [(k, k) for k in range(10)]}, width=30, height=10)
+        rows = [line.split("|", 1)[1] for line in chart.splitlines() if "|" in line]
+        columns = [row.index("u") for row in rows if "u" in row]
+        # rows render top (large y) to bottom (small y): for y = x the
+        # top rows hold the rightmost points, so columns descend
+        assert columns == sorted(columns, reverse=True)
+
+    def test_first_cell_wins(self):
+        chart = ascii_chart(
+            {"a": [(0, 0)], "b": [(0, 0)]}, width=5, height=3
+        )
+        body = "\n".join(line for line in chart.splitlines() if "|" in line)
+        assert "a" in body
+        assert "b" not in body  # same cell: first series keeps it
+
+
+class TestGlyphAssignment:
+    def test_first_letters(self):
+        assert _assign_glyphs(["ibs", "sequential"]) == ["i", "s"]
+
+    def test_collision_falls_back(self):
+        glyphs = _assign_glyphs(["seq", "set", "sort"])
+        assert glyphs[0] == "s"
+        assert len(set(glyphs)) == 3
+
+    def test_non_alnum_label(self):
+        glyphs = _assign_glyphs(["---", "***"])
+        assert len(set(glyphs)) == 2

@@ -1,0 +1,135 @@
+"""Unit tests for predicate clauses."""
+
+import pytest
+
+from repro import (
+    ClauseError,
+    EqualityClause,
+    FunctionClause,
+    Interval,
+    IntervalClause,
+)
+from repro.predicates import comparison_clause
+
+
+def is_odd(x):
+    return x % 2 == 1
+
+
+class TestIntervalClause:
+    def test_matches(self):
+        clause = IntervalClause("salary", Interval.closed(20000, 30000))
+        assert clause.matches({"salary": 25000})
+        assert clause.matches({"salary": 20000})
+        assert not clause.matches({"salary": 19999})
+
+    def test_null_never_matches(self):
+        clause = IntervalClause("salary", Interval.unbounded())
+        assert not clause.matches({"salary": None})
+        assert not clause.matches({})
+
+    def test_indexable(self):
+        assert IntervalClause("x", Interval.closed(1, 2)).indexable
+
+    def test_requires_interval(self):
+        with pytest.raises(ClauseError):
+            IntervalClause("x", (1, 2))
+
+    def test_requires_attribute_name(self):
+        with pytest.raises(ClauseError):
+            IntervalClause("", Interval.closed(1, 2))
+        with pytest.raises(ClauseError):
+            IntervalClause(None, Interval.closed(1, 2))
+
+    def test_equality_and_hash(self):
+        a = IntervalClause("x", Interval.closed(1, 2))
+        b = IntervalClause("x", Interval.closed(1, 2))
+        c = IntervalClause("y", Interval.closed(1, 2))
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_str_shapes(self):
+        assert "20000" in str(IntervalClause("s", Interval.at_least(20000)))
+        assert "=" in str(IntervalClause("s", Interval.point(5)))
+        assert "unbounded" in str(IntervalClause("s", Interval.unbounded()))
+        both = str(IntervalClause("s", Interval.closed(1, 9)))
+        assert ">=" in both and "<=" in both
+
+
+class TestEqualityClause:
+    def test_matches(self):
+        clause = EqualityClause("dept", "Shoe")
+        assert clause.matches({"dept": "Shoe"})
+        assert not clause.matches({"dept": "Toy"})
+
+    def test_is_point_interval(self):
+        clause = EqualityClause("x", 5)
+        assert clause.interval == Interval.point(5)
+        assert clause.value == 5
+        assert clause.indexable
+
+    def test_str(self):
+        assert str(EqualityClause("dept", "Shoe")) == "dept = 'Shoe'"
+
+
+class TestFunctionClause:
+    def test_matches(self):
+        clause = FunctionClause("age", is_odd)
+        assert clause.matches({"age": 3})
+        assert not clause.matches({"age": 4})
+
+    def test_negate(self):
+        clause = FunctionClause("age", is_odd).negate()
+        assert clause.matches({"age": 4})
+        assert not clause.matches({"age": 3})
+        assert clause.negate().matches({"age": 3})
+
+    def test_null_never_matches(self):
+        assert not FunctionClause("age", is_odd).matches({"age": None})
+        assert not FunctionClause("age", is_odd).negate().matches({})
+
+    def test_not_indexable(self):
+        assert not FunctionClause("age", is_odd).indexable
+
+    def test_requires_callable(self):
+        with pytest.raises(ClauseError):
+            FunctionClause("age", 42)
+
+    def test_name_and_str(self):
+        clause = FunctionClause("age", is_odd)
+        assert clause.name == "is_odd"
+        assert str(clause) == "is_odd(age)"
+        assert str(clause.negate()) == "not is_odd(age)"
+        named = FunctionClause("age", lambda x: True, name="always")
+        assert str(named) == "always(age)"
+
+    def test_equality(self):
+        a = FunctionClause("age", is_odd)
+        b = FunctionClause("age", is_odd)
+        assert a == b
+        assert a != a.negate()
+
+
+class TestComparisonClause:
+    @pytest.mark.parametrize(
+        "op,value,hit,miss",
+        [
+            ("=", 5, 5, 6),
+            ("==", 5, 5, 4),
+            ("<", 5, 4, 5),
+            ("<=", 5, 5, 6),
+            (">", 5, 6, 5),
+            (">=", 5, 5, 4),
+        ],
+    )
+    def test_operators(self, op, value, hit, miss):
+        clause = comparison_clause("x", op, value)
+        assert clause.matches({"x": hit})
+        assert not clause.matches({"x": miss})
+
+    def test_equality_yields_equality_clause(self):
+        assert isinstance(comparison_clause("x", "=", 5), EqualityClause)
+
+    def test_unknown_operator(self):
+        with pytest.raises(ClauseError):
+            comparison_clause("x", "!", 5)

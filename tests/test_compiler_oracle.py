@@ -1,0 +1,169 @@
+"""Property test: compiled conditions vs a direct AST evaluator.
+
+The compiler lowers conditions through NNF and DNF into disjoint
+predicate machinery; this oracle evaluates the *parsed AST* directly
+(short-circuit boolean semantics over the tuple), so any divergence
+exposes a normalization bug.
+"""
+
+from typing import Any, Dict, Optional
+
+from hypothesis import given, strategies as st
+
+from repro.lang import compile_condition, parse_condition
+from repro.lang.ast_nodes import (
+    AndNode,
+    ComparisonNode,
+    FunctionNode,
+    LikeNode,
+    LiteralNode,
+    Node,
+    NotNode,
+    OrNode,
+)
+
+FNS = {"isodd": lambda x: x % 2 == 1}
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def evaluate_ast(node: Node, tup: Dict[str, Any]) -> bool:
+    """Direct three-valued-collapsed evaluation of a condition AST."""
+    if isinstance(node, LiteralNode):
+        return node.value
+    if isinstance(node, AndNode):
+        return all(evaluate_ast(child, tup) for child in node.children)
+    if isinstance(node, OrNode):
+        return any(evaluate_ast(child, tup) for child in node.children)
+    if isinstance(node, NotNode):
+        return not evaluate_ast(node.child, tup)
+    if isinstance(node, FunctionNode):
+        value = tup.get(node.attribute)
+        if value is None:
+            return False
+        return bool(FNS[node.name.lower()](value))
+    if isinstance(node, LikeNode):
+        raise NotImplementedError  # not generated below
+    assert isinstance(node, ComparisonNode)
+    attr_positions = set(node.attr_positions)
+    for index, op in enumerate(node.operators):
+        left = node.operands[index]
+        right = node.operands[index + 1]
+        left_value = tup.get(left) if index in attr_positions else left
+        right_value = tup.get(right) if (index + 1) in attr_positions else right
+        if (index in attr_positions and left_value is None) or (
+            (index + 1) in attr_positions and right_value is None
+        ):
+            return False
+        if not _OPS[op](left_value, right_value):
+            return False
+    return True
+
+
+# -- random condition text generation -----------------------------------
+
+attributes = st.sampled_from(["x", "y"])
+constants = st.integers(min_value=0, max_value=12)
+operators = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+
+
+@st.composite
+def comparison_text(draw) -> str:
+    attr = draw(attributes)
+    op = draw(operators)
+    const = draw(constants)
+    if draw(st.booleans()):
+        return f"{attr} {op} {const}"
+    flipped = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+    return f"{const} {flipped[op]} {attr}"
+
+
+@st.composite
+def chain_text(draw) -> str:
+    lo = draw(constants)
+    hi = lo + draw(st.integers(min_value=0, max_value=8))
+    attr = draw(attributes)
+    return f"{lo} <= {attr} <= {hi}"
+
+
+@st.composite
+def atom_text(draw) -> str:
+    kind = draw(st.integers(min_value=0, max_value=3))
+    if kind == 0:
+        return draw(comparison_text())
+    if kind == 1:
+        return draw(chain_text())
+    if kind == 2:
+        return f"isodd({draw(attributes)})"
+    return draw(st.sampled_from(["true", "false"]))
+
+
+@st.composite
+def condition_text(draw, depth: int = 2) -> str:
+    if depth == 0:
+        return draw(atom_text())
+    kind = draw(st.integers(min_value=0, max_value=3))
+    if kind == 0:
+        return draw(atom_text())
+    if kind == 1:
+        left = draw(condition_text(depth=depth - 1))
+        right = draw(condition_text(depth=depth - 1))
+        return f"({left} and {right})"
+    if kind == 2:
+        left = draw(condition_text(depth=depth - 1))
+        right = draw(condition_text(depth=depth - 1))
+        return f"({left} or {right})"
+    inner = draw(condition_text(depth=depth - 1))
+    return f"not ({inner})"
+
+
+tuples = st.fixed_dictionaries(
+    {
+        "x": st.one_of(st.none(), st.integers(min_value=-2, max_value=14)),
+        "y": st.one_of(st.none(), st.integers(min_value=-2, max_value=14)),
+    }
+)
+
+
+class TestCompilerAgainstOracle:
+    from hypothesis import settings
+
+    @settings(max_examples=300, deadline=None)
+    @given(text=condition_text(), tup=tuples)
+    def test_compiled_equals_direct_evaluation(self, text, tup):
+        ast = parse_condition(text)
+        compiled = compile_condition("r", text, FNS)
+        expected = evaluate_ast(ast, tup)
+        if tup["x"] is None or tup["y"] is None:
+            # NULL semantics diverge from boolean logic under negation
+            # (SQL-style: clauses on NULL are false, and the compiler
+            # pushes negation into clauses).  Only compare when the
+            # condition never touches the NULL attribute.
+            touched = _touched_attributes(ast)
+            if ("x" in touched and tup["x"] is None) or (
+                "y" in touched and tup["y"] is None
+            ):
+                return
+        assert compiled.matches(tup) == expected, text
+
+
+def _touched_attributes(node: Node) -> set:
+    if isinstance(node, ComparisonNode):
+        return {node.operands[k] for k in node.attr_positions}
+    if isinstance(node, FunctionNode):
+        return {node.attribute}
+    if isinstance(node, NotNode):
+        return _touched_attributes(node.child)
+    if isinstance(node, (AndNode, OrNode)):
+        out = set()
+        for child in node.children:
+            out |= _touched_attributes(child)
+        return out
+    return set()

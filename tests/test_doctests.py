@@ -1,0 +1,26 @@
+"""Run the doctest examples embedded in module and class docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.ibs_tree
+import repro.core.intervals
+import repro.predicates.builder
+
+MODULES = [
+    repro.core.ibs_tree,
+    repro.core.intervals,
+    repro.predicates.builder,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+
+
+def test_ibs_tree_docstring_example_is_checked():
+    """The IBSTree class docstring carries a runnable example."""
+    assert ">>>" in repro.core.ibs_tree.IBSTree.__doc__

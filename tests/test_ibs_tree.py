@@ -1,0 +1,231 @@
+"""Unit tests for the IBS-tree, including the paper's Figure 2 example."""
+
+import pytest
+
+from repro import IBSTree, Interval, MINUS_INF
+from repro.errors import DuplicateIntervalError, UnknownIntervalError
+
+#: The interval set of the paper's Figure 2 (OCR-corrected):
+#: A [9,19], B [2,7), C [1,3), D (17,20], E [2,12), F [18,18], G (-inf,17]
+FIGURE2 = {
+    "A": Interval.closed(9, 19),
+    "B": Interval.closed_open(2, 7),
+    "C": Interval.closed_open(1, 3),
+    "D": Interval.open_closed(17, 20),
+    "E": Interval.closed_open(2, 12),
+    "F": Interval.point(18),
+    "G": Interval.at_most(17),
+}
+
+
+def figure2_tree() -> IBSTree:
+    tree = IBSTree()
+    for name, interval in FIGURE2.items():
+        tree.insert(interval, name)
+    return tree
+
+
+class TestFigure2:
+    """Stabbing queries on the paper's running example."""
+
+    def test_matches_brute_force_on_grid(self):
+        tree = figure2_tree()
+        for x in [v / 2 for v in range(-4, 50)]:
+            expected = {n for n, iv in FIGURE2.items() if iv.contains(x)}
+            assert tree.stab(x) == expected, x
+
+    @pytest.mark.parametrize(
+        "x,expected",
+        [
+            (0, {"G"}),
+            (1, {"C", "G"}),
+            (2, {"B", "C", "E", "G"}),
+            (3, {"B", "E", "G"}),
+            (7, {"E", "G"}),
+            (9, {"A", "E", "G"}),
+            (12, {"A", "G"}),
+            (17, {"A", "G"}),
+            (17.5, {"A", "D"}),
+            (18, {"A", "D", "F"}),
+            (19, {"A", "D"}),
+            (20, {"D"}),
+            (21, set()),
+            (-100, {"G"}),
+        ],
+    )
+    def test_selected_points(self, x, expected):
+        assert figure2_tree().stab(x) == expected
+
+    def test_validate(self):
+        figure2_tree().validate()
+
+    def test_find_intervals_alias(self):
+        tree = figure2_tree()
+        assert tree.find_intervals(18) == tree.stab(18)
+
+    def test_delete_each_interval(self):
+        for victim in FIGURE2:
+            tree = figure2_tree()
+            tree.delete(victim)
+            tree.validate()
+            remaining = {n: iv for n, iv in FIGURE2.items() if n != victim}
+            for x in [v / 2 for v in range(-4, 50)]:
+                expected = {n for n, iv in remaining.items() if iv.contains(x)}
+                assert tree.stab(x) == expected, (victim, x)
+
+
+class TestBasicOperations:
+    def test_empty_tree(self):
+        tree = IBSTree()
+        assert len(tree) == 0
+        assert not tree
+        assert tree.stab(5) == set()
+        assert tree.height == 0
+        assert tree.node_count == 0
+        tree.validate()
+
+    def test_auto_idents(self):
+        tree = IBSTree()
+        a = tree.insert(Interval.closed(1, 5))
+        b = tree.insert(Interval.closed(2, 6))
+        assert a != b
+        assert tree.stab(3) == {a, b}
+
+    def test_auto_ident_skips_taken(self):
+        tree = IBSTree()
+        tree.insert(Interval.point(1), 0)
+        auto = tree.insert(Interval.point(2))
+        assert auto != 0
+
+    def test_duplicate_ident_rejected(self):
+        tree = IBSTree()
+        tree.insert(Interval.closed(1, 5), "x")
+        with pytest.raises(DuplicateIntervalError):
+            tree.insert(Interval.closed(2, 6), "x")
+
+    def test_unknown_delete_rejected(self):
+        with pytest.raises(UnknownIntervalError):
+            IBSTree().delete("nope")
+
+    def test_get_and_contains(self):
+        tree = IBSTree()
+        tree.insert(Interval.closed(1, 5), "x")
+        assert tree.get("x") == Interval.closed(1, 5)
+        assert "x" in tree
+        assert "y" not in tree
+        with pytest.raises(UnknownIntervalError):
+            tree.get("y")
+
+    def test_items_iteration(self):
+        tree = figure2_tree()
+        assert dict(tree.items()) == FIGURE2
+        assert set(iter(tree)) == set(FIGURE2)
+
+    def test_clear(self):
+        tree = figure2_tree()
+        tree.clear()
+        assert len(tree) == 0
+        assert tree.stab(10) == set()
+        tree.validate()
+
+    def test_same_bounds_many_idents(self):
+        """Multiple intervals sharing bounds — the PST pain point."""
+        tree = IBSTree()
+        for k in range(10):
+            tree.insert(Interval.closed(3, 8), k)
+        assert tree.stab(5) == set(range(10))
+        assert tree.node_count == 2  # endpoints shared
+        tree.delete(4)
+        assert tree.stab(5) == set(range(10)) - {4}
+        tree.validate()
+
+    def test_shared_endpoint_refcounting(self):
+        tree = IBSTree()
+        tree.insert(Interval.closed(1, 5), "a")
+        tree.insert(Interval.closed(5, 9), "b")
+        assert tree.node_count == 3  # 1, 5, 9
+        tree.delete("a")
+        assert tree.node_count == 2  # 5 still used by b
+        assert tree.stab(5) == {"b"}
+        tree.validate()
+
+    def test_point_interval(self):
+        tree = IBSTree()
+        tree.insert(Interval.point(7), "p")
+        assert tree.stab(7) == {"p"}
+        assert tree.stab(6.999) == set()
+        assert tree.stab(7.001) == set()
+        assert tree.node_count == 1
+
+    def test_unbounded_intervals(self):
+        tree = IBSTree()
+        tree.insert(Interval.at_most(10), "low")
+        tree.insert(Interval.at_least(5), "high")
+        tree.insert(Interval.unbounded(), "all")
+        assert tree.stab(0) == {"low", "all"}
+        assert tree.stab(7) == {"low", "high", "all"}
+        assert tree.stab(100) == {"high", "all"}
+        tree.validate()
+        tree.delete("all")
+        assert tree.stab(7) == {"low", "high"}
+        tree.validate()
+
+    def test_insert_delete_insert_same_ident(self):
+        tree = IBSTree()
+        tree.insert(Interval.closed(1, 3), "x")
+        tree.delete("x")
+        tree.insert(Interval.closed(5, 9), "x")
+        assert tree.stab(2) == set()
+        assert tree.stab(6) == {"x"}
+
+    def test_string_domain_tree(self):
+        tree = IBSTree()
+        tree.insert(Interval.closed("apple", "mango"), "fruit")
+        tree.insert(Interval.point("zebra"), "z")
+        tree.insert(Interval.at_least("n"), "late")
+        assert tree.stab("banana") == {"fruit"}
+        assert tree.stab("zebra") == {"z", "late"}
+        assert tree.stab("pear") == {"late"}
+        tree.validate()
+
+    def test_markers_of(self):
+        tree = figure2_tree()
+        for name in FIGURE2:
+            assert tree.markers_of(name) >= 1
+        with pytest.raises(UnknownIntervalError):
+            tree.markers_of("nope")
+
+    def test_marker_count_totals(self):
+        tree = figure2_tree()
+        assert tree.marker_count == sum(tree.markers_of(n) for n in FIGURE2)
+
+    def test_dump_smoke(self):
+        text = figure2_tree().dump()
+        assert "17" in text  # G's endpoint appears somewhere
+
+    def test_delete_to_empty_and_reuse(self):
+        tree = figure2_tree()
+        for name in list(FIGURE2):
+            tree.delete(name)
+            tree.validate()
+        assert len(tree) == 0
+        assert tree.node_count == 0
+        assert tree._root is None
+        tree.insert(Interval.closed(1, 2), "fresh")
+        assert tree.stab(1.5) == {"fresh"}
+
+
+class TestHeights:
+    def test_height_maintained_on_insert(self):
+        tree = IBSTree()
+        for k in range(20):
+            tree.insert(Interval.point(k * 7 % 20), f"p{k}")
+        tree.validate()  # validates cached heights
+
+    def test_height_maintained_on_delete(self):
+        tree = IBSTree()
+        for k in range(20):
+            tree.insert(Interval.closed(k, k + 3), k)
+        for k in range(0, 20, 2):
+            tree.delete(k)
+            tree.validate()

@@ -1,0 +1,132 @@
+"""Property-based tests: IBS-tree invariants against brute force."""
+
+from typing import Dict, List, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro import AVLIBSTree, IBSTree, Interval
+from tests.conftest import intervals, query_points
+
+#: an operation script: insert (interval) / delete (index into live set)
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), intervals()),
+        st.tuples(st.just("delete"), st.integers(min_value=0, max_value=10**6)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+TREE_CLASSES = [IBSTree, AVLIBSTree]
+
+
+def apply_script(tree, script) -> Dict[int, Interval]:
+    """Run an op script against a tree, mirroring into a dict."""
+    live: Dict[int, Interval] = {}
+    next_id = 0
+    for op, arg in script:
+        if op == "insert":
+            tree.insert(arg, next_id)
+            live[next_id] = arg
+            next_id += 1
+        elif live:
+            victim = sorted(live)[arg % len(live)]
+            tree.delete(victim)
+            del live[victim]
+    return live
+
+
+class TestStabbingCompleteness:
+    """stab(x) == {I : x in I} for arbitrary operation sequences."""
+
+    @given(script=ops, xs=st.lists(query_points, min_size=1, max_size=15))
+    def test_ibs(self, script, xs):
+        tree = IBSTree()
+        live = apply_script(tree, script)
+        for x in xs:
+            expected = {i for i, iv in live.items() if iv.contains(x)}
+            assert tree.stab(x) == expected
+
+    @given(script=ops, xs=st.lists(query_points, min_size=1, max_size=15))
+    def test_avl(self, script, xs):
+        tree = AVLIBSTree()
+        live = apply_script(tree, script)
+        for x in xs:
+            expected = {i for i, iv in live.items() if iv.contains(x)}
+            assert tree.stab(x) == expected
+
+
+class TestStructuralInvariants:
+    """validate() passes after arbitrary operation sequences."""
+
+    @given(script=ops)
+    def test_ibs_invariants(self, script):
+        tree = IBSTree()
+        apply_script(tree, script)
+        tree.validate()
+
+    @given(script=ops)
+    def test_avl_invariants(self, script):
+        tree = AVLIBSTree()
+        apply_script(tree, script)
+        tree.validate()  # includes AVL balance
+
+
+class TestDeleteIsInverse:
+    """insert(I); delete(I) leaves queries over other intervals unchanged."""
+
+    @given(
+        base=st.lists(intervals(), min_size=0, max_size=12),
+        extra=intervals(),
+        xs=st.lists(query_points, min_size=1, max_size=10),
+    )
+    def test_insert_then_delete_restores_answers(self, base, extra, xs):
+        for cls in TREE_CLASSES:
+            tree = cls()
+            for k, iv in enumerate(base):
+                tree.insert(iv, k)
+            before = {x: tree.stab(x) for x in xs}
+            tree.insert(extra, "extra")
+            tree.delete("extra")
+            tree.validate()
+            for x in xs:
+                assert tree.stab(x) == before[x]
+
+
+class TestAVLBalance:
+    @given(script=ops)
+    def test_height_bound(self, script):
+        import math
+
+        tree = AVLIBSTree()
+        apply_script(tree, script)
+        n = tree.node_count
+        if n:
+            assert tree.height <= 1.4405 * math.log2(n + 2) + 1
+
+
+class TestMarkerEconomy:
+    def test_disjoint_intervals_linear_markers(self):
+        """Section 5.1: non-overlapping intervals place O(N) markers."""
+        tree = IBSTree()
+        n = 200
+        for k in range(n):
+            tree.insert(Interval.closed(10 * k, 10 * k + 5), k)
+        # each closed interval needs >= 2 markers (its two endpoints);
+        # a small constant factor on top is allowed, but no log factor.
+        assert tree.marker_count <= 4 * n
+
+    def test_each_interval_logarithmic_markers(self):
+        """No interval should ever hold more than O(log N) markers."""
+        import math
+        import random
+
+        rng = random.Random(4)
+        tree = AVLIBSTree()
+        n = 300
+        for k in range(n):
+            a = rng.randint(0, 10_000)
+            tree.insert(Interval.closed(a, a + rng.randint(0, 2_000)), k)
+        bound = 6 * math.log2(n + 2)
+        for k in range(n):
+            assert tree.markers_of(k) <= bound

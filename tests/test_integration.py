@@ -1,0 +1,164 @@
+"""End-to-end integration scenarios combining multiple subsystems."""
+
+import io
+import random
+
+import pytest
+
+from repro import (
+    CollectAction,
+    Database,
+    InsertAction,
+    RuleEngine,
+    UpdateAction,
+)
+from repro.db import load_database, save_database
+from repro.production import ProductionSystem
+from repro.workloads import emp_schema, random_emp
+
+
+class TestFullPipeline:
+    """DB + triggers + joins + persistence in one coherent scenario."""
+
+    def test_payroll_scenario(self):
+        db = Database()
+        emp_schema(db)
+        db.create_relation("dept", ["dname", "budget"])
+        db.create_relation("audit", ["event", "who"])
+
+        engine = RuleEngine(db)
+        raises_given = []
+
+        # derived-data trigger with a cascade guard
+        engine.create_rule(
+            "min_wage",
+            on="emp",
+            condition="salary < 10000",
+            action=UpdateAction(lambda ctx: {"salary": 10000}),
+            priority=10,
+        )
+        engine.create_rule(
+            "audit_hire",
+            on="emp",
+            condition=None,
+            action=InsertAction(
+                "audit", lambda ctx: {"event": "hire", "who": ctx.tuple["name"]}
+            ),
+            on_events=("insert",),
+        )
+        engine.create_join_rule(
+            "over_budget",
+            "emp",
+            "dept",
+            "emp.dept = dept.dname and emp.salary > dept.budget",
+            action=lambda ctx: raises_given.append(ctx.bindings["emp"]["name"]),
+        )
+
+        rng = random.Random(42)
+        for name in ["Shoe", "Toy"]:
+            db.insert("dept", {"dname": name, "budget": 50_000})
+        hires = 0
+        for _ in range(60):
+            emp = random_emp(rng)
+            emp["dept"] = rng.choice(["Shoe", "Toy"])
+            db.insert("emp", emp)
+            hires += 1
+
+        # every insert audited exactly once
+        assert db.count("audit") == hires
+        # min-wage floor enforced by the cascading update rule
+        assert all(row["salary"] >= 10000 for row in db.select("emp"))
+        # join rule found exactly the over-budget employees
+        expected = [
+            row["name"] for row in db.select("emp", "salary > 50000")
+        ]
+        assert sorted(raises_given) == sorted(expected)
+
+        # checkpoint and reload: data identical, rules reattach cleanly
+        buffer = io.StringIO()
+        save_database(db, buffer)
+        buffer.seek(0)
+        restored = load_database(buffer)
+        assert restored.count("emp") == db.count("emp")
+        engine2 = RuleEngine(restored)
+        collect = CollectAction()
+        engine2.create_rule(
+            "verify", on="emp", condition="salary >= 10000", action=collect
+        )
+        restored.insert(
+            "emp",
+            {"name": "late", "age": 30, "salary": 20000, "dept": "Shoe",
+             "job": "Cashier"},
+        )
+        assert len(collect.records) == 1
+
+    def test_trigger_feeding_production_system(self):
+        """Database triggers exporting facts into the expert system."""
+        db = Database()
+        db.create_relation("reading", ["sensor", "value"])
+        engine = RuleEngine(db)
+
+        ps = ProductionSystem()
+        diagnoses = []
+        ps.add_rule(
+            "spike",
+            "(hot ^sensor ?s ^at ?t) (hot ^sensor ?s ^at > ?t)",
+            lambda ctx: None,
+        )
+        ps.remove_rule("spike")  # exercise removal of a join-ish rule
+        ps.add_rule(
+            "two-hot-readings",
+            "(hot ^sensor ?s ^at ?t1) (hot ^sensor ?s ^at > ?t1)"
+            " -(diagnosed ^sensor ?s)",
+            lambda ctx: (
+                diagnoses.append(ctx["s"]),
+                ctx.make("diagnosed", sensor=ctx["s"]),
+            ),
+        )
+
+        tick = {"n": 0}
+
+        def export(ctx):
+            tick["n"] += 1
+            ps.assert_fact(
+                "hot", sensor=ctx.tuple["sensor"], at=tick["n"]
+            )
+            ps.run()
+
+        engine.create_rule(
+            "export_hot", on="reading", condition="value > 90", action=export
+        )
+
+        for value in [50, 95, 99, 10, 97]:
+            db.insert("reading", {"sensor": "s1", "value": value})
+        db.insert("reading", {"sensor": "s2", "value": 99})
+
+        # s1 had three hot readings -> diagnosed once; s2 only one -> not
+        assert diagnoses == ["s1"]
+
+    def test_all_tree_variants_through_engine(self):
+        rows = [
+            {"name": f"e{k}", "age": k % 70, "salary": (k * 137) % 60000,
+             "dept": "Shoe" if k % 3 else "Toy", "job": "Cashier"}
+            for k in range(80)
+        ]
+        results = {}
+        for strategy in ("ibs", "ibs-avl", "ibs-rb"):
+            db = Database()
+            emp_schema(db)
+            collect = CollectAction()
+            engine = RuleEngine(db, matcher=strategy)
+            engine.create_rule(
+                "band", on="emp", condition="20000 <= salary <= 40000",
+                action=collect,
+            )
+            engine.create_rule(
+                "young_shoe", on="emp",
+                condition='age < 30 and dept = "Shoe"', action=collect,
+            )
+            for row in rows:
+                db.insert("emp", dict(row))
+            results[strategy] = sorted(
+                (name, tup["name"]) for name, tup in collect.records
+            )
+        assert results["ibs"] == results["ibs-avl"] == results["ibs-rb"]

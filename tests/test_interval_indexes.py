@@ -1,0 +1,265 @@
+"""Tests for the alternative interval indexes (ablation competitors)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import IBSTree, Interval
+from repro.baselines import (
+    IntervalList,
+    PrioritySearchTree,
+    RTree1D,
+    SegmentTree,
+    StaticIntervalTree,
+)
+from repro.errors import DuplicateIntervalError, TreeError, UnknownIntervalError
+from tests.conftest import intervals, query_points
+
+
+def closed_intervals(seed, n):
+    rng = random.Random(seed)
+    out = {}
+    for k in range(n):
+        a, b = rng.randint(0, 50), rng.randint(0, 50)
+        lo, hi = min(a, b), max(a, b)
+        r = rng.random()
+        if r < 0.2:
+            out[k] = Interval.point(lo)
+        elif r < 0.3:
+            out[k] = Interval.at_most(hi)
+        elif r < 0.4:
+            out[k] = Interval.at_least(lo)
+        else:
+            out[k] = Interval.closed(lo, hi)
+    return out
+
+
+def exact_intervals(seed, n):
+    """Intervals with open/closed/unbounded variety."""
+    rng = random.Random(seed)
+    out = {}
+    for k in range(n):
+        a, b = rng.randint(0, 50), rng.randint(0, 50)
+        lo, hi = min(a, b), max(a, b)
+        r = rng.random()
+        if r < 0.25:
+            out[k] = Interval.point(lo)
+        elif r < 0.35:
+            out[k] = Interval.less_than(hi)
+        elif r < 0.45:
+            out[k] = Interval.greater_than(lo)
+        else:
+            out[k] = Interval(
+                lo, hi, rng.random() < 0.5 or lo == hi, rng.random() < 0.5 or lo == hi
+            )
+    return out
+
+
+GRID = [v / 2 for v in range(-4, 104)]
+
+
+class TestIntervalList:
+    def test_brute_force_equivalence(self):
+        ivs = exact_intervals(1, 40)
+        index = IntervalList()
+        for k, iv in ivs.items():
+            index.insert(iv, k)
+        for x in GRID:
+            assert index.stab(x) == {k for k, iv in ivs.items() if iv.contains(x)}
+
+    def test_auto_ident_and_errors(self):
+        index = IntervalList()
+        ident = index.insert(Interval.point(1))
+        assert ident in index.stab(1)
+        with pytest.raises(DuplicateIntervalError):
+            index.insert(Interval.point(2), ident)
+        index.delete(ident)
+        with pytest.raises(UnknownIntervalError):
+            index.delete(ident)
+        assert len(index) == 0
+
+
+class TestSegmentTree:
+    def test_exact_semantics(self):
+        ivs = exact_intervals(2, 40)
+        tree = SegmentTree((iv, k) for k, iv in ivs.items())
+        for x in GRID:
+            assert tree.stab(x) == {k for k, iv in ivs.items() if iv.contains(x)}
+
+    def test_static_raises_on_mutation(self):
+        tree = SegmentTree([(Interval.closed(1, 5), "a")])
+        with pytest.raises(TreeError):
+            tree.insert(Interval.closed(2, 6), "b")
+        with pytest.raises(TreeError):
+            tree.delete("a")
+
+    def test_rebuild_helpers(self):
+        tree = SegmentTree([(Interval.closed(1, 5), "a")])
+        grown = tree.rebuilt_with(Interval.closed(4, 9), "b")
+        assert grown.stab(4.5) == {"a", "b"}
+        shrunk = grown.rebuilt_without("a")
+        assert shrunk.stab(4.5) == {"b"}
+        with pytest.raises(TreeError):
+            tree.rebuilt_without("ghost")
+        with pytest.raises(TreeError):
+            SegmentTree([(Interval.point(1), "x"), (Interval.point(2), "x")])
+
+    def test_empty(self):
+        tree = SegmentTree()
+        assert tree.stab(5) == set()
+        assert len(tree) == 0
+
+    def test_canonical_set_total(self):
+        ivs = exact_intervals(3, 50)
+        tree = SegmentTree((iv, k) for k, iv in ivs.items())
+        assert tree.canonical_set_total >= len(ivs)
+
+    def test_from_index(self):
+        source = IBSTree()
+        source.insert(Interval.closed(1, 5), "a")
+        tree = SegmentTree.from_index(source.items())
+        assert tree.stab(3) == {"a"}
+
+
+class TestStaticIntervalTree:
+    def test_exact_semantics(self):
+        ivs = exact_intervals(4, 40)
+        tree = StaticIntervalTree((iv, k) for k, iv in ivs.items())
+        for x in GRID:
+            assert tree.stab(x) == {k for k, iv in ivs.items() if iv.contains(x)}
+
+    def test_static_raises_on_mutation(self):
+        tree = StaticIntervalTree([(Interval.closed(1, 5), "a")])
+        with pytest.raises(TreeError):
+            tree.insert(Interval.closed(2, 6), "b")
+        with pytest.raises(TreeError):
+            tree.delete("a")
+
+    def test_rebuild_helpers(self):
+        tree = StaticIntervalTree([(Interval.closed(1, 5), "a")])
+        grown = tree.rebuilt_with(Interval.closed(4, 9), "b")
+        assert grown.stab(4.5) == {"a", "b"}
+        assert grown.rebuilt_without("b").stab(7) == set()
+        with pytest.raises(TreeError):
+            tree.rebuilt_without("ghost")
+
+    def test_all_unbounded(self):
+        tree = StaticIntervalTree([(Interval.unbounded(), "u")])
+        assert tree.stab(123) == {"u"}
+
+    def test_open_interval_touching_center_regression(self):
+        # previously an infinite recursion: (2, 4) with median endpoint 4
+        tree = StaticIntervalTree([(Interval.open(2, 4), "o")])
+        assert tree.stab(3) == {"o"}
+        assert tree.stab(4) == set()
+
+
+class TestPrioritySearchTree:
+    def test_closed_semantics_equivalence(self):
+        ivs = closed_intervals(5, 40)
+        pst = PrioritySearchTree()
+        for k, iv in ivs.items():
+            pst.insert(iv, k)
+        pst.validate()
+        for x in GRID:
+            assert pst.stab(x) == {k for k, iv in ivs.items() if iv.contains(x)}
+
+    def test_dynamic_deletes(self):
+        ivs = closed_intervals(6, 30)
+        pst = PrioritySearchTree()
+        for k, iv in ivs.items():
+            pst.insert(iv, k)
+        rng = random.Random(66)
+        for k in rng.sample(list(ivs), 15):
+            pst.delete(k)
+            del ivs[k]
+            pst.validate()
+        for x in GRID:
+            assert pst.stab(x) == {k for k, iv in ivs.items() if iv.contains(x)}
+
+    def test_duplicate_lower_bounds(self):
+        """The transformation the paper says PSTs need: same low, many ids."""
+        pst = PrioritySearchTree()
+        for k in range(10):
+            pst.insert(Interval.closed(5, 10 + k), k)
+        pst.validate()
+        assert pst.stab(7) == set(range(10))
+        pst.delete(3)
+        assert pst.stab(7) == set(range(10)) - {3}
+
+    def test_errors_and_dunder(self):
+        pst = PrioritySearchTree()
+        ident = pst.insert(Interval.closed(1, 2))
+        assert ident in pst
+        assert len(pst) == 1
+        with pytest.raises(DuplicateIntervalError):
+            pst.insert(Interval.closed(1, 2), ident)
+        with pytest.raises(UnknownIntervalError):
+            pst.delete("nope")
+        pst.delete(ident)
+        assert len(pst) == 0
+
+    def test_closed_only_flag(self):
+        assert not PrioritySearchTree.supports_open_bounds
+
+
+class TestRTree1D:
+    def test_closed_semantics_equivalence(self):
+        ivs = closed_intervals(7, 40)
+        rt = RTree1D()
+        for k, iv in ivs.items():
+            rt.insert(iv, k)
+        for x in GRID:
+            assert rt.stab(x) == {k for k, iv in ivs.items() if iv.contains(x)}
+
+    def test_candidates_may_overapproximate(self):
+        rt = RTree1D()
+        rt.insert(Interval.closed_open(1, 5), "half")
+        # the raw R-tree treats the bound as closed...
+        assert "half" in rt.stab_candidates(5)
+        # ...but the exact stab filters it
+        assert rt.stab(5) == set()
+
+    def test_unbounded_clamped(self):
+        rt = RTree1D(domain_low=-1000, domain_high=1000)
+        rt.insert(Interval.at_least(5), "high")
+        assert rt.stab(999) == {"high"}
+        assert rt.stab(4) == set()
+
+    def test_delete_and_errors(self):
+        rt = RTree1D()
+        rt.insert(Interval.closed(1, 5), "a")
+        with pytest.raises(DuplicateIntervalError):
+            rt.insert(Interval.closed(2, 6), "a")
+        rt.delete("a")
+        with pytest.raises(UnknownIntervalError):
+            rt.delete("a")
+        assert len(rt) == 0
+
+
+class TestCrossStructureAgreement:
+    """All structures agree with the IBS-tree on closed workloads."""
+
+    @given(data=st.data())
+    def test_agreement(self, data):
+        ivs = data.draw(
+            st.lists(intervals(allow_open=False), min_size=1, max_size=20)
+        )
+        items = list(enumerate(ivs))
+        ibs = IBSTree()
+        pst = PrioritySearchTree()
+        rt = RTree1D()
+        for k, iv in items:
+            ibs.insert(iv, k)
+            pst.insert(iv, k)
+            rt.insert(iv, k)
+        seg = SegmentTree((iv, k) for k, iv in items)
+        itree = StaticIntervalTree((iv, k) for k, iv in items)
+        xs = data.draw(st.lists(query_points, min_size=1, max_size=8))
+        for x in xs:
+            answer = ibs.stab(x)
+            assert pst.stab(x) == answer
+            assert rt.stab(x) == answer
+            assert seg.stab(x) == answer
+            assert itree.stab(x) == answer

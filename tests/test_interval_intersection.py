@@ -1,0 +1,55 @@
+"""Tests for the public Interval.intersection API."""
+
+from hypothesis import given
+
+from repro import Interval
+from tests.conftest import intervals, query_points
+
+
+class TestIntersection:
+    def test_overlapping(self):
+        assert Interval.closed(1, 5).intersection(
+            Interval.closed(3, 9)
+        ) == Interval.closed(3, 5)
+
+    def test_disjoint(self):
+        assert Interval.closed(1, 2).intersection(Interval.closed(5, 9)) is None
+
+    def test_touching_closed(self):
+        assert Interval.closed(1, 3).intersection(
+            Interval.closed(3, 9)
+        ) == Interval.point(3)
+
+    def test_touching_open(self):
+        assert Interval.closed_open(1, 3).intersection(Interval.closed(3, 9)) is None
+        assert Interval.closed(1, 3).intersection(Interval.open_closed(3, 9)) is None
+
+    def test_containment(self):
+        big = Interval.unbounded()
+        small = Interval.open(1, 5)
+        assert big.intersection(small) == small
+        assert small.intersection(big) == small
+
+    def test_inclusivity_tightens(self):
+        result = Interval.closed(1, 9).intersection(Interval.open(1, 9))
+        assert result == Interval.open(1, 9)
+
+    def test_unbounded_sides(self):
+        assert Interval.at_most(5).intersection(
+            Interval.at_least(3)
+        ) == Interval.closed(3, 5)
+
+    @given(a=intervals(), b=intervals())
+    def test_commutative(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(a=intervals(), b=intervals(), x=query_points)
+    def test_membership_property(self, a, b, x):
+        """x in a∩b  <=>  x in a and x in b."""
+        both = a.intersection(b)
+        in_both = both is not None and both.contains(x)
+        assert in_both == (a.contains(x) and b.contains(x))
+
+    @given(a=intervals())
+    def test_self_intersection_identity(self, a):
+        assert a.intersection(a) == a

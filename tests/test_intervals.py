@@ -1,0 +1,195 @@
+"""Unit and property tests for repro.core.intervals."""
+
+import pickle
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Interval, IntervalError, MINUS_INF, PLUS_INF, is_infinite
+from tests.conftest import domain_values, intervals, query_points
+
+
+class TestConstruction:
+    def test_closed(self):
+        iv = Interval.closed(2, 7)
+        assert iv.low == 2 and iv.high == 7
+        assert iv.low_inclusive and iv.high_inclusive
+
+    def test_open(self):
+        iv = Interval.open(2, 7)
+        assert not iv.low_inclusive and not iv.high_inclusive
+
+    def test_half_open(self):
+        assert Interval.closed_open(2, 7).low_inclusive
+        assert not Interval.closed_open(2, 7).high_inclusive
+        assert not Interval.open_closed(2, 7).low_inclusive
+        assert Interval.open_closed(2, 7).high_inclusive
+
+    def test_point(self):
+        iv = Interval.point(5)
+        assert iv.is_point
+        assert iv.contains(5)
+        assert not iv.contains(4)
+
+    def test_unbounded_constructors(self):
+        assert Interval.at_most(9).contains(-(10**9))
+        assert not Interval.at_most(9).contains(10)
+        assert Interval.less_than(9).contains(8)
+        assert not Interval.less_than(9).contains(9)
+        assert Interval.at_least(3).contains(10**9)
+        assert not Interval.greater_than(3).contains(3)
+        assert Interval.unbounded().contains(0)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval.closed(7, 2)
+
+    def test_degenerate_open_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(5, 5, True, False)
+        with pytest.raises(IntervalError):
+            Interval.open(5, 5)
+
+    def test_bad_infinity_placement_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(PLUS_INF, 5)
+        with pytest.raises(IntervalError):
+            Interval(1, MINUS_INF)
+
+    def test_infinite_bounds_never_inclusive(self):
+        iv = Interval(MINUS_INF, 5, True, True)
+        assert not iv.low_inclusive  # forced open
+
+    def test_from_operator(self):
+        assert Interval.from_operator("=", 5) == Interval.point(5)
+        assert Interval.from_operator("<", 5) == Interval.less_than(5)
+        assert Interval.from_operator("<=", 5) == Interval.at_most(5)
+        assert Interval.from_operator(">", 5) == Interval.greater_than(5)
+        assert Interval.from_operator(">=", 5) == Interval.at_least(5)
+        with pytest.raises(IntervalError):
+            Interval.from_operator("~", 5)
+
+    def test_immutability(self):
+        iv = Interval.closed(1, 2)
+        with pytest.raises(AttributeError):
+            iv.low = 0
+        with pytest.raises(AttributeError):
+            del iv.high
+
+    def test_string_domain(self):
+        iv = Interval.closed("apple", "mango")
+        assert iv.contains("banana")
+        assert not iv.contains("zebra")
+        assert Interval.at_most("m").contains("apple")
+
+
+class TestContains:
+    def test_boundary_semantics(self):
+        assert Interval.closed(2, 7).contains(2)
+        assert Interval.closed(2, 7).contains(7)
+        assert not Interval.open(2, 7).contains(2)
+        assert not Interval.open(2, 7).contains(7)
+        assert Interval.open(2, 7).contains(3)
+
+    def test_infinities_not_contained(self):
+        assert not Interval.unbounded().contains(PLUS_INF)
+        assert not Interval.unbounded().contains(MINUS_INF)
+
+
+class TestOverlapsAndCovers:
+    def test_overlap_basic(self):
+        assert Interval.closed(1, 5).overlaps(Interval.closed(4, 9))
+        assert not Interval.closed(1, 3).overlaps(Interval.closed(4, 9))
+
+    def test_adjacency_inclusivity(self):
+        assert Interval.closed(1, 3).overlaps(Interval.closed(3, 5))
+        assert not Interval.closed_open(1, 3).overlaps(Interval.closed(3, 5))
+        assert not Interval.closed(1, 3).overlaps(Interval.open_closed(3, 5))
+
+    def test_covers(self):
+        assert Interval.closed(1, 9).covers(Interval.closed(2, 8))
+        assert Interval.closed(1, 9).covers(Interval.closed(1, 9))
+        assert not Interval.open(1, 9).covers(Interval.closed(1, 9))
+        assert Interval.unbounded().covers(Interval.closed(-100, 100))
+
+    @given(a=intervals(), b=intervals())
+    def test_overlap_symmetry(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(a=intervals(), b=intervals(), x=query_points)
+    def test_covers_implies_contains(self, a, b, x):
+        if a.covers(b) and b.contains(x):
+            assert a.contains(x)
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert Interval.closed(1, 2) == Interval.closed(1, 2)
+        assert Interval.closed(1, 2) != Interval.closed_open(1, 2)
+        assert hash(Interval.point(3)) == hash(Interval.point(3))
+        assert Interval.at_most(5) == Interval.at_most(5)
+
+    def test_in_operator(self):
+        assert 3 in Interval.closed(1, 5)
+        assert 9 not in Interval.closed(1, 5)
+
+    def test_endpoints(self):
+        assert list(Interval.closed(1, 5).endpoints()) == [1, 5]
+        assert list(Interval.point(3).endpoints()) == [3]
+        assert list(Interval.at_most(5).endpoints()) == [5]
+        assert list(Interval.unbounded().endpoints()) == []
+
+    def test_measure(self):
+        assert Interval.closed(2, 7).measure() == 5.0
+        assert Interval.point(2).measure() == 0.0
+        assert Interval.at_most(2).measure() is None
+        assert Interval.closed("a", "b").measure() is None
+
+    @given(iv=intervals())
+    def test_str_parse_roundtrip(self, iv):
+        assert Interval.parse(str(iv)) == iv
+
+    def test_parse_errors(self):
+        with pytest.raises(IntervalError):
+            Interval.parse("nope")
+        with pytest.raises(IntervalError):
+            Interval.parse("[1; 2]")
+        with pytest.raises(IntervalError):
+            Interval.parse("[foo(, 2]")
+
+    def test_parse_string_bounds(self):
+        iv = Interval.parse("['a', 'm')")
+        assert iv.contains("b")
+        assert not iv.contains("m")
+
+
+class TestInfinitySentinels:
+    def test_ordering_against_values(self):
+        assert MINUS_INF < 0 < PLUS_INF
+        assert MINUS_INF < "anything" < PLUS_INF
+        assert MINUS_INF <= MINUS_INF
+        assert PLUS_INF >= PLUS_INF
+        assert not (MINUS_INF < MINUS_INF)
+        assert not (PLUS_INF > PLUS_INF)
+        assert MINUS_INF < PLUS_INF
+
+    def test_equality_is_identity(self):
+        assert MINUS_INF == MINUS_INF
+        assert MINUS_INF != PLUS_INF
+        assert MINUS_INF != float("-inf")
+
+    def test_is_infinite(self):
+        assert is_infinite(MINUS_INF) and is_infinite(PLUS_INF)
+        assert not is_infinite(0)
+        assert not is_infinite(float("inf"))
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(MINUS_INF)) is MINUS_INF
+        assert pickle.loads(pickle.dumps(PLUS_INF)) is PLUS_INF
+        iv = pickle.loads(pickle.dumps(Interval.at_most(5)))
+        assert iv == Interval.at_most(5)
+        assert iv.low is MINUS_INF
+
+    def test_repr(self):
+        assert repr(MINUS_INF) == "-inf"
+        assert repr(PLUS_INF) == "+inf"

@@ -1,0 +1,316 @@
+"""Tests for the condition language: lexer, parser, compiler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import compile_condition
+from repro.errors import LexError, ParseError
+from repro.lang import parse_condition, tokenize
+from repro.lang.ast_nodes import (
+    AndNode,
+    ComparisonNode,
+    FunctionNode,
+    LiteralNode,
+    NotNode,
+    OrNode,
+)
+from repro.lang.tokens import TokenType
+
+FNS = {"isodd": lambda x: x % 2 == 1, "longname": lambda s: len(s) > 5}
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize('salary <= 30000 and dept = "Shoe"')
+        kinds = [t.type for t in tokens]
+        assert kinds == [
+            TokenType.IDENT,
+            TokenType.OPERATOR,
+            TokenType.NUMBER,
+            TokenType.AND,
+            TokenType.IDENT,
+            TokenType.OPERATOR,
+            TokenType.STRING,
+            TokenType.EOF,
+        ]
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 2.5 -3 +4 1e3 2.5e-2 .75")[:-1]]
+        assert values == [1, 2.5, -3, 4, 1000.0, 0.025, 0.75]
+        assert isinstance(values[0], int)
+        assert isinstance(values[1], float)
+
+    def test_strings_and_escapes(self):
+        tokens = tokenize("'it\\'s' \"two\\nlines\"")
+        assert tokens[0].value == "it's"
+        assert tokens[1].value == "two\nlines"
+
+    def test_keywords_case_insensitive(self):
+        kinds = [t.type for t in tokenize("AND Or NOT In BETWEEN TRUE false")[:-1]]
+        assert kinds == [
+            TokenType.AND,
+            TokenType.OR,
+            TokenType.NOT,
+            TokenType.IN,
+            TokenType.BETWEEN,
+            TokenType.BOOLEAN,
+            TokenType.BOOLEAN,
+        ]
+
+    def test_operators(self):
+        values = [t.value for t in tokenize("= == != <> < <= > >=")[:-1]]
+        assert values == ["=", "==", "<>", "<>", "<", "<=", ">", ">="]
+
+    def test_qualified_reference(self):
+        kinds = [t.type for t in tokenize("emp.salary")[:-1]]
+        assert kinds == [TokenType.IDENT, TokenType.DOT, TokenType.IDENT]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as info:
+            tokenize("a ^ b")
+        assert info.value.position == 2
+
+    def test_number_then_dot_ident(self):
+        # "1.x" must not lex the dot into the number
+        tokens = tokenize("x < 1 . y")
+        assert tokens[2].value == 1
+
+
+class TestParser:
+    def test_precedence_or_lowest(self):
+        node = parse_condition("a = 1 and b = 2 or c = 3")
+        assert isinstance(node, OrNode)
+        assert isinstance(node.children[0], AndNode)
+
+    def test_parentheses(self):
+        node = parse_condition("a = 1 and (b = 2 or c = 3)")
+        assert isinstance(node, AndNode)
+        assert isinstance(node.children[1], OrNode)
+
+    def test_not(self):
+        node = parse_condition("not a = 1")
+        assert isinstance(node, NotNode)
+
+    def test_chained_comparison(self):
+        node = parse_condition("1 <= x <= 10")
+        assert isinstance(node, ComparisonNode)
+        assert node.operators == ("<=", "<=")
+        assert node.attr_positions == (1,)
+
+    def test_function_call(self):
+        node = parse_condition("isodd(age)")
+        assert isinstance(node, FunctionNode)
+        assert node.attribute == "age"
+
+    def test_in_desugars_to_or(self):
+        node = parse_condition("dept in ('a', 'b')")
+        assert isinstance(node, OrNode)
+        assert len(node.children) == 2
+
+    def test_single_in_is_equality(self):
+        node = parse_condition("dept in ('a')")
+        assert isinstance(node, ComparisonNode)
+
+    def test_between_desugars_to_chain(self):
+        node = parse_condition("x between 3 and 9")
+        assert isinstance(node, ComparisonNode)
+        assert node.operators == ("<=", "<=")
+
+    def test_boolean_literal(self):
+        assert isinstance(parse_condition("true"), LiteralNode)
+
+    def test_errors(self):
+        for bad in [
+            "salary <",
+            "and x = 1",
+            "x = ",
+            "(x = 1",
+            "x in ()",
+            "x in (1,)",
+            "x not 5",
+            "5 in (1, 2)",
+            "5 between 1 and 3",
+            "x = 1 extra",
+            "f(1)",
+        ]:
+            with pytest.raises(ParseError):
+                parse_condition(bad)
+
+    def test_constant_only_comparison_allowed(self):
+        # the compiler folds these to a boolean
+        node = parse_condition("1 < 2")
+        assert isinstance(node, ComparisonNode)
+        assert node.attr_positions == ()
+
+    def test_str_round_trips_reparse(self):
+        for text in [
+            "a = 1 and b = 2 or not c < 3",
+            "1 <= x <= 10",
+            "isodd(age) and x between 1 and 2",
+        ]:
+            node = parse_condition(text)
+            assert str(parse_condition(str(node))) == str(node)
+
+
+class TestCompiler:
+    def check(self, condition, matching, non_matching, relation="emp"):
+        compiled = compile_condition(relation, condition, FNS)
+        for tup in matching:
+            assert compiled.matches(tup), (condition, tup)
+        for tup in non_matching:
+            assert not compiled.matches(tup), (condition, tup)
+        return compiled
+
+    def test_paper_examples(self):
+        self.check(
+            "salary < 20000 and age > 50",
+            [{"salary": 1, "age": 51}],
+            [{"salary": 1, "age": 50}, {"salary": 20000, "age": 51}],
+        )
+        self.check(
+            "20000 <= salary <= 30000",
+            [{"salary": 20000}, {"salary": 30000}],
+            [{"salary": 19999}, {"salary": 30001}],
+        )
+        self.check(
+            'job = "Salesperson"',
+            [{"job": "Salesperson"}],
+            [{"job": "Manager"}],
+        )
+        self.check(
+            'isodd(age) and dept = "Shoe"',
+            [{"age": 3, "dept": "Shoe"}],
+            [{"age": 4, "dept": "Shoe"}, {"age": 3, "dept": "Toy"}],
+        )
+
+    def test_disjunction_splits_predicates(self):
+        compiled = compile_condition("emp", "age < 3 or age > 9")
+        assert len(compiled.group) == 2
+        for pred in compiled.group:
+            assert len(pred.clauses) == 1
+
+    def test_not_equal_splits(self):
+        compiled = compile_condition("emp", "age <> 5")
+        assert len(compiled.group) == 2
+        assert compiled.matches({"age": 4})
+        assert compiled.matches({"age": 6})
+        assert not compiled.matches({"age": 5})
+
+    def test_negated_range(self):
+        compiled = self.check(
+            "not (10 <= age <= 20)",
+            [{"age": 9}, {"age": 21}],
+            [{"age": 10}, {"age": 15}, {"age": 20}],
+        )
+        assert len(compiled.group) == 2
+
+    def test_double_negation(self):
+        self.check("not not age = 4", [{"age": 4}], [{"age": 5}])
+
+    def test_de_morgan(self):
+        self.check(
+            "not (age < 5 and salary < 100)",
+            [{"age": 9, "salary": 1}, {"age": 1, "salary": 200}],
+            [{"age": 1, "salary": 1}],
+        )
+        self.check(
+            "not (age < 5 or salary < 100)",
+            [{"age": 9, "salary": 200}],
+            [{"age": 1, "salary": 200}, {"age": 9, "salary": 1}],
+        )
+
+    def test_negated_function(self):
+        self.check("not isodd(age)", [{"age": 4}], [{"age": 3}])
+
+    def test_in_and_not_in(self):
+        self.check(
+            'dept in ("a", "b")',
+            [{"dept": "a"}, {"dept": "b"}],
+            [{"dept": "c"}],
+        )
+        self.check(
+            'dept not in ("a", "b")',
+            [{"dept": "c"}],
+            [{"dept": "a"}, {"dept": "b"}],
+        )
+
+    def test_between_and_not_between(self):
+        self.check("age between 3 and 9", [{"age": 3}, {"age": 9}], [{"age": 2}])
+        self.check("age not between 3 and 9", [{"age": 2}, {"age": 10}], [{"age": 5}])
+
+    def test_reversed_operands(self):
+        self.check("100 > age", [{"age": 99}], [{"age": 100}])
+        self.check("5 = age", [{"age": 5}], [{"age": 4}])
+
+    def test_constant_folding(self):
+        compiled = compile_condition("emp", "1 < 2 and age = 3")
+        assert compiled.matches({"age": 3})
+        compiled = compile_condition("emp", "2 < 1 or age = 3")
+        assert compiled.matches({"age": 3})
+        assert not compiled.matches({"age": 4})
+        assert compile_condition("emp", "2 < 1 and age = 3").group.is_empty
+
+    def test_contradictions_dropped(self):
+        compiled = compile_condition("emp", "age > 9 and age < 3")
+        assert compiled.group.is_empty
+        compiled = compile_condition("emp", "(age > 9 and age < 3) or age = 5")
+        assert len(compiled.group) == 1
+
+    def test_duplicate_conjuncts_deduplicated(self):
+        compiled = compile_condition("emp", "age = 5 or age = 5")
+        assert len(compiled.group) == 1
+
+    def test_always_true(self):
+        compiled = compile_condition("emp", "true")
+        assert compiled.always_true
+        assert compiled.matches({"anything": 1})
+        compiled2 = compile_condition("emp", "age = 5 or age <> 5 or age = 5")
+        # tautology via <> split: matches everything with non-null age
+        assert compiled2.matches({"age": 1})
+
+    def test_qualified_attribute(self):
+        self.check("emp.age > 5", [{"age": 6}], [{"age": 5}])
+        with pytest.raises(ParseError):
+            compile_condition("emp", "dept.age > 5")
+
+    def test_attr_attr_comparison_rejected(self):
+        with pytest.raises(ParseError):
+            compile_condition("emp", "age = salary")
+
+    def test_unknown_function(self):
+        with pytest.raises(ParseError) as info:
+            compile_condition("emp", "nosuch(age)", FNS)
+        assert "isodd" in str(info.value)
+
+    def test_function_names_case_insensitive(self):
+        self.check("IsOdd(age)", [{"age": 3}], [{"age": 4}])
+
+    def test_interval_merge_in_conjunct(self):
+        compiled = compile_condition("emp", "age >= 3 and age <= 9 and age >= 5")
+        pred = list(compiled.group)[0]
+        assert len(pred.clauses) == 1
+
+    def test_dnf_explosion_guard(self):
+        from repro.lang import MAX_DNF_CONJUNCTS
+
+        clauses = " and ".join(f"(a{k} = 1 or a{k} = 2)" for k in range(13))
+        with pytest.raises(ParseError):
+            compile_condition("emp", clauses)
+
+    def test_chained_with_constants(self):
+        self.check("1 <= 2 <= age", [{"age": 3}], [{"age": 1}])
+
+    def test_uncomparable_constants(self):
+        with pytest.raises(ParseError):
+            compile_condition("emp", '1 < "two"')
+
+    @given(age=st.integers(-20, 60), lo=st.integers(0, 20), hi=st.integers(21, 40))
+    def test_range_equivalence_property(self, age, lo, hi):
+        compiled = compile_condition("emp", f"{lo} <= age <= {hi}")
+        assert compiled.matches({"age": age}) == (lo <= age <= hi)
+        negated = compile_condition("emp", f"not ({lo} <= age <= {hi})")
+        assert negated.matches({"age": age}) == (not lo <= age <= hi)

@@ -1,0 +1,136 @@
+"""Tests for the SQL-style LIKE operator in the condition language."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import compile_condition
+from repro.errors import ParseError
+from repro.lang import parse_condition
+from repro.lang.ast_nodes import LikeNode, NotNode
+from repro.predicates.clauses import FunctionClause, IntervalClause
+
+
+def matches(condition, value):
+    compiled = compile_condition("r", condition)
+    return compiled.matches({"name": value})
+
+
+class TestParsing:
+    def test_like_node(self):
+        node = parse_condition('name like "Ab%"')
+        assert isinstance(node, LikeNode)
+        assert node.attribute == "name"
+        assert node.pattern == "Ab%"
+
+    def test_not_like(self):
+        node = parse_condition('name not like "Ab%"')
+        assert isinstance(node, NotNode)
+        assert isinstance(node.child, LikeNode)
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse_condition("name like 5")
+        with pytest.raises(ParseError):
+            parse_condition('5 like "x%"')
+        with pytest.raises(ParseError):
+            parse_condition("name like")
+
+
+class TestPrefixPatterns:
+    def test_prefix_matches(self):
+        assert matches('name like "Ab%"', "Abacus")
+        assert matches('name like "Ab%"', "Ab")
+        assert not matches('name like "Ab%"', "Aa")
+        assert not matches('name like "Ab%"', "ab")  # case sensitive
+        assert not matches('name like "Ab%"', "Ac")
+
+    def test_prefix_compiles_to_interval(self):
+        compiled = compile_condition("r", 'name like "Ab%"')
+        clause = list(compiled.group)[0].clauses[0]
+        assert isinstance(clause, IntervalClause)
+        assert clause.interval.low == "Ab"
+        assert clause.interval.high == "Ac"
+        assert not clause.interval.high_inclusive
+
+    def test_prefix_is_indexable(self):
+        """The point of the interval form: it enters the IBS-tree."""
+        from repro import PredicateIndex
+
+        index = PredicateIndex()
+        for predicate in compile_condition("r", 'name like "Ab%"').group:
+            index.add(predicate)
+        pred = index.predicates_for("r")[0]
+        assert index.indexed_attribute(pred.ident) == "name"
+        assert index.match_idents("r", {"name": "Abba"}) == {pred.ident}
+        assert index.match_idents("r", {"name": "Zebra"}) == set()
+
+    def test_not_like_prefix_splits_into_rays(self):
+        compiled = compile_condition("r", 'name not like "Ab%"')
+        assert len(compiled.group) == 2
+        assert not compiled.matches({"name": "Abacus"})
+        assert compiled.matches({"name": "Aa"})
+        assert compiled.matches({"name": "Ac"})
+
+    def test_bare_percent_matches_all_strings(self):
+        assert matches('name like "%"', "anything")
+        assert matches('name like "%"', "")
+        compiled = compile_condition("r", 'name like "%"')
+        assert not compiled.matches({"name": 42})  # non-strings excluded
+
+    def test_max_codepoint_prefix_falls_back(self):
+        pattern = "A" + chr(0x10FFFF) + "%"
+        compiled = compile_condition("r", f"name like '{pattern}'")
+        clause = list(compiled.group)[0].clauses[0]
+        assert isinstance(clause, FunctionClause)
+        assert compiled.matches({"name": "A" + chr(0x10FFFF) + "tail"})
+
+
+class TestGeneralPatterns:
+    def test_infix_percent(self):
+        assert matches('name like "A%z"', "Abcz")
+        assert matches('name like "A%z"', "Az")
+        assert not matches('name like "A%z"', "Abc")
+
+    def test_underscore(self):
+        assert matches('name like "A_c"', "Abc")
+        assert not matches('name like "A_c"', "Ac")
+        assert not matches('name like "A_c"', "Abbc")
+
+    def test_regex_metacharacters_escaped(self):
+        assert matches('name like "a.b%"', "a.b-tail")
+        assert not matches('name like "a.b%"', "axb-tail")
+
+    def test_general_pattern_not_indexable(self):
+        compiled = compile_condition("r", 'name like "%x%"')
+        pred = list(compiled.group)[0]
+        assert not pred.is_indexable
+
+    def test_not_like_general(self):
+        assert matches('name not like "%x%"', "abc")
+        assert not matches('name not like "%x%"', "axc")
+
+    def test_non_string_value_never_matches(self):
+        assert not matches('name like "4%"', 42)
+
+    def test_combined_with_other_clauses(self):
+        compiled = compile_condition("r", 'name like "A%" and age > 5')
+        assert compiled.matches({"name": "Ada", "age": 9})
+        assert not compiled.matches({"name": "Ada", "age": 3})
+        assert not compiled.matches({"name": "Bob", "age": 9})
+
+    @given(
+        prefix=st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF),
+            min_size=1,
+            max_size=4,
+        ),
+        value=st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF),
+            max_size=8,
+        ),
+    )
+    def test_prefix_equivalence_property(self, prefix, value):
+        if any(ch in prefix for ch in '"\\%_'):
+            return  # quoting or wildcard chars: not a literal prefix
+        compiled = compile_condition("r", f'name like "{prefix}%"')
+        assert compiled.matches({"name": value}) == value.startswith(prefix)

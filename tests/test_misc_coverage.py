@@ -1,0 +1,99 @@
+"""Gap-filling tests for smaller surfaces across the package."""
+
+import pytest
+
+from repro import CollectAction, Database, RuleEngine
+from repro.errors import UnknownRelationError
+
+
+class TestDatabaseSelectWithFunctions:
+    def test_select_condition_with_function(self):
+        db = Database()
+        db.create_relation("r", ["x"])
+        db.insert_many("r", [{"x": k} for k in range(6)])
+        rows = db.select("r", "isodd(x)", functions={"isodd": lambda v: v % 2 == 1})
+        assert sorted(r["x"] for r in rows) == [1, 3, 5]
+
+    def test_repr(self):
+        db = Database()
+        assert "(empty)" in repr(db)
+        db.create_relation("r", ["x"])
+        db.insert("r", {"x": 1})
+        assert "r(1)" in repr(db)
+
+
+class TestDeferredJoins:
+    def test_join_rule_in_deferred_mode(self):
+        db = Database()
+        db.create_relation("emp", ["name", "dept"])
+        db.create_relation("dept", ["dname"])
+        engine = RuleEngine(db, mode="deferred")
+        pairs = []
+        engine.create_join_rule(
+            "jr", "emp", "dept", "emp.dept = dept.dname",
+            lambda ctx: pairs.append(ctx.bindings["emp"]["name"]),
+        )
+        db.insert("emp", {"name": "A", "dept": "Shoe"})
+        db.insert("dept", {"dname": "Shoe"})
+        assert pairs == []  # deferred: nothing fired yet
+        fired = engine.run()
+        assert fired == 1
+        assert pairs == ["A"]
+
+
+class TestMonitorWithJoinsAndRules:
+    def test_monitor_sees_rule_driven_mutations(self):
+        db = Database()
+        db.create_relation("r", ["x", "flag"])
+        engine = RuleEngine(db)
+        from repro import UpdateAction
+
+        engine.create_rule(
+            "mark_big", on="r", condition="x > 10 and flag = 0",
+            action=UpdateAction({"flag": 1}),
+        )
+        flagged = engine.monitor("flagged", on="r", condition="flag = 1")
+        db.insert("r", {"x": 50, "flag": 0})
+        db.insert("r", {"x": 5, "flag": 0})
+        assert len(flagged) == 1  # the rule's own update entered the view
+
+
+class TestIndexDescribeMultiMode:
+    def test_describe_counts_multi_clause_trees(self):
+        from repro import EqualityClause, PredicateIndex
+        from repro.predicates import Predicate
+
+        index = PredicateIndex(multi_clause=True)
+        index.add(Predicate("r", [EqualityClause("a", 1), EqualityClause("b", 2)]))
+        description = index.describe()["r"]
+        assert description["trees"] == {"a": 1, "b": 1}
+        assert repr(index).startswith("<PredicateIndex 1 predicates")
+
+
+class TestEventProperties:
+    def test_base_event_is_abstract(self):
+        from repro.db.events import Event
+
+        event = Event("r", 1)
+        with pytest.raises(NotImplementedError):
+            event.kind
+        with pytest.raises(NotImplementedError):
+            event.tuple
+
+
+class TestPackagingMetadata:
+    def test_license_file_exists(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        assert (root / "LICENSE").exists()
+        assert (root / "CHANGELOG.md").exists()
+        assert (root / "src" / "repro" / "py.typed").exists()
+
+    def test_docs_exist(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            assert (root / name).exists(), name
+        assert (root / "docs" / "paper_mapping.md").exists()

@@ -1,0 +1,125 @@
+"""Tests for live continuous-query monitors."""
+
+import pytest
+
+from repro import Database, RuleEngine
+from repro.errors import DuplicateRuleError, UnknownRelationError
+
+
+@pytest.fixture
+def setup():
+    db = Database()
+    db.create_relation("reading", ["sensor", "value"])
+    engine = RuleEngine(db)
+    return db, engine
+
+
+class TestMonitorLifecycle:
+    def test_tracks_inserts(self, setup):
+        db, engine = setup
+        hot = engine.monitor("hot", on="reading", condition="value > 90")
+        a = db.insert("reading", {"sensor": "s1", "value": 95})
+        db.insert("reading", {"sensor": "s2", "value": 10})
+        assert hot.tids == [a]
+        assert len(hot) == 1
+        assert a in hot
+        assert hot.rows() == [{"sensor": "s1", "value": 95}]
+
+    def test_seeded_from_existing_data(self, setup):
+        db, engine = setup
+        a = db.insert("reading", {"sensor": "s1", "value": 95})
+        db.insert("reading", {"sensor": "s2", "value": 10})
+        hot = engine.monitor("hot", on="reading", condition="value > 90")
+        assert hot.tids == [a]
+
+    def test_updates_move_membership(self, setup):
+        db, engine = setup
+        hot = engine.monitor("hot", on="reading", condition="value > 90")
+        tid = db.insert("reading", {"sensor": "s1", "value": 10})
+        assert len(hot) == 0
+        db.update("reading", tid, {"value": 95})
+        assert tid in hot
+        db.update("reading", tid, {"value": 50})
+        assert tid not in hot
+
+    def test_delete_leaves_view(self, setup):
+        db, engine = setup
+        hot = engine.monitor("hot", on="reading", condition="value > 90")
+        tid = db.insert("reading", {"sensor": "s1", "value": 95})
+        db.delete("reading", tid)
+        assert len(hot) == 0
+
+    def test_none_condition_tracks_all(self, setup):
+        db, engine = setup
+        everything = engine.monitor("all", on="reading")
+        db.insert("reading", {"sensor": "s1", "value": 1})
+        db.insert("reading", {"sensor": "s2", "value": 2})
+        assert len(everything) == 2
+
+    def test_close_freezes(self, setup):
+        db, engine = setup
+        hot = engine.monitor("hot", on="reading", condition="value > 90")
+        db.insert("reading", {"sensor": "s1", "value": 95})
+        hot.close()
+        db.insert("reading", {"sensor": "s2", "value": 99})
+        assert len(hot) == 1
+        assert not hot.active
+        assert engine.monitors() == []
+        hot.close()  # idempotent
+
+    def test_duplicate_name_rejected(self, setup):
+        db, engine = setup
+        engine.monitor("hot", on="reading", condition="value > 90")
+        with pytest.raises(DuplicateRuleError):
+            engine.monitor("hot", on="reading", condition="value > 50")
+
+    def test_unknown_relation_rejected(self, setup):
+        _, engine = setup
+        with pytest.raises(UnknownRelationError):
+            engine.monitor("m", on="ghost")
+
+    def test_repr(self, setup):
+        db, engine = setup
+        hot = engine.monitor("hot", on="reading", condition="value > 90")
+        assert "live" in repr(hot)
+        hot.close()
+        assert "closed" in repr(hot)
+
+
+class TestEdgeHooks:
+    def test_enter_and_leave_callbacks(self, setup):
+        db, engine = setup
+        hot = engine.monitor("hot", on="reading", condition="value > 90")
+        log = []
+        hot.on_enter = lambda tid, tup: log.append(("enter", tup["value"]))
+        hot.on_leave = lambda tid, tup: log.append(("leave", tup["value"]))
+        tid = db.insert("reading", {"sensor": "s1", "value": 95})
+        db.update("reading", tid, {"value": 99})   # stays in: no edge
+        db.update("reading", tid, {"value": 10})   # leaves
+        db.update("reading", tid, {"value": 92})   # re-enters
+        db.delete("reading", tid)                  # leaves
+        assert log == [
+            ("enter", 95),
+            ("leave", 99),
+            ("enter", 92),
+            ("leave", 92),
+        ]
+
+    def test_staying_inside_updates_snapshot(self, setup):
+        db, engine = setup
+        hot = engine.monitor("hot", on="reading", condition="value > 90")
+        tid = db.insert("reading", {"sensor": "s1", "value": 95})
+        db.update("reading", tid, {"value": 99})
+        assert hot.rows()[0]["value"] == 99
+
+    def test_monitor_alongside_rules(self, setup):
+        db, engine = setup
+        fired = []
+        engine.create_rule(
+            "alert", on="reading", condition="value > 90",
+            action=lambda ctx: fired.append(ctx.tid),
+        )
+        hot = engine.monitor("hot", on="reading", condition="value > 90")
+        tid = db.insert("reading", {"sensor": "s1", "value": 95})
+        assert fired == [tid]
+        assert hot.tids == [tid]

@@ -1,0 +1,144 @@
+"""Tests for multi-clause indexing mode (the ABL4 design alternative)."""
+
+import random
+
+import pytest
+
+from repro import EqualityClause, Interval, IntervalClause, Predicate, PredicateIndex
+from repro.lang import compile_condition
+
+FNS = {"isodd": lambda x: x % 2 == 1}
+
+
+def build_predicates(seed=17, count=80):
+    rng = random.Random(seed)
+    conditions = []
+    for _ in range(count):
+        parts = []
+        for _ in range(rng.randint(1, 3)):
+            attr = rng.choice(["a", "b", "c"])
+            roll = rng.random()
+            if roll < 0.3:
+                parts.append(f"{attr} = {rng.randint(0, 20)}")
+            elif roll < 0.6:
+                lo = rng.randint(0, 15)
+                parts.append(f"{lo} <= {attr} <= {lo + rng.randint(0, 8)}")
+            elif roll < 0.8:
+                parts.append(f"{attr} >= {rng.randint(0, 20)}")
+            else:
+                parts.append(f"isodd({attr})")
+        conditions.append(" and ".join(parts))
+    predicates = []
+    for text in conditions:
+        predicates.extend(compile_condition("rel", text, FNS).group)
+    return predicates
+
+
+class TestMultiClauseEquivalence:
+    def test_matches_brute_force_with_nulls(self):
+        predicates = build_predicates()
+        index = PredicateIndex(multi_clause=True)
+        for predicate in predicates:
+            index.add(predicate)
+        rng = random.Random(99)
+        for _ in range(300):
+            tup = {
+                attr: rng.choice([None, rng.randint(0, 22)])
+                for attr in ["a", "b", "c"]
+            }
+            expected = {p.ident for p in predicates if p.matches(tup)}
+            assert index.match_idents("rel", tup) == expected, tup
+
+    def test_agrees_with_single_clause_mode(self):
+        predicates = build_predicates(seed=3)
+        single = PredicateIndex()
+        multi = PredicateIndex(multi_clause=True)
+        for predicate in predicates:
+            single.add(predicate)
+            multi.add(Predicate(predicate.relation, predicate.clauses,
+                                ident=("m", predicate.ident)))
+        rng = random.Random(31)
+        for _ in range(200):
+            tup = {attr: rng.randint(0, 22) for attr in ["a", "b", "c"]}
+            got_single = single.match_idents("rel", tup)
+            got_multi = {ident[1] for ident in multi.match_idents("rel", tup)}
+            assert got_single == got_multi
+
+    def test_removal(self):
+        predicates = build_predicates(seed=5, count=40)
+        index = PredicateIndex(multi_clause=True)
+        for predicate in predicates:
+            index.add(predicate)
+        rng = random.Random(55)
+        removed = rng.sample(predicates, 20)
+        for predicate in removed:
+            index.remove(predicate.ident)
+        remaining = [p for p in predicates if p not in removed]
+        for _ in range(100):
+            tup = {attr: rng.randint(0, 22) for attr in ["a", "b", "c"]}
+            expected = {p.ident for p in remaining if p.matches(tup)}
+            assert index.match_idents("rel", tup) == expected
+
+
+class TestMultiClauseStructure:
+    def test_all_clauses_indexed(self):
+        index = PredicateIndex(multi_clause=True)
+        predicate = Predicate(
+            "r",
+            [
+                EqualityClause("a", 1),
+                IntervalClause("b", Interval.closed(0, 9)),
+            ],
+        )
+        index.add(predicate)
+        assert set(index.indexed_attributes(predicate.ident)) == {"a", "b"}
+        assert index.tree_for("r", "a") is not None
+        assert index.tree_for("r", "b") is not None
+
+    def test_single_mode_indexes_one(self):
+        index = PredicateIndex()
+        predicate = Predicate(
+            "r",
+            [
+                EqualityClause("a", 1),
+                IntervalClause("b", Interval.closed(0, 9)),
+            ],
+        )
+        index.add(predicate)
+        assert index.indexed_attributes(predicate.ident) == ("a",)
+
+    def test_candidate_pruning(self):
+        """Intersection excludes predicates failing a second clause."""
+        index = PredicateIndex(multi_clause=True)
+        predicate = Predicate(
+            "r", [EqualityClause("a", 1), EqualityClause("b", 2)]
+        )
+        index.add(predicate)
+        index.stats.reset()
+        assert index.match("r", {"a": 1, "b": 99}) == []
+        # single-clause mode would report one partial match here;
+        # intersection prunes it before the residual test
+        assert index.stats.partial_matches == 0
+
+    def test_null_in_any_indexed_attribute_disqualifies(self):
+        index = PredicateIndex(multi_clause=True)
+        predicate = Predicate(
+            "r", [EqualityClause("a", 1), EqualityClause("b", 2)]
+        )
+        index.add(predicate)
+        assert index.match_idents("r", {"a": 1, "b": None}) == set()
+
+
+class TestABL4Runner:
+    def test_shapes(self):
+        from repro.bench.runner import run_ablation_multiclause
+
+        rows = run_ablation_multiclause(predicates=80, tuples=60)
+        by_name = {row["scheme"]: row for row in rows}
+        single = by_name["single (paper)"]
+        multi = by_name["multi-clause"]
+        assert multi["partials_per_tuple"] < single["partials_per_tuple"]
+        assert multi["markers"] > single["markers"]
+        assert multi["full_matches_per_tuple"] == pytest.approx(
+            single["full_matches_per_tuple"]
+        )

@@ -1,0 +1,117 @@
+"""Tests for interval-overlap queries (the overlapping() extension)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import AVLIBSTree, IBSTree, Interval, RBIBSTree
+from tests.conftest import intervals
+
+
+TREES = [IBSTree, AVLIBSTree, RBIBSTree]
+
+
+class TestOverlappingBasics:
+    def make(self):
+        tree = IBSTree()
+        tree.insert(Interval.closed(1, 5), "a")
+        tree.insert(Interval.closed(4, 9), "b")
+        tree.insert(Interval.point(7), "p")
+        tree.insert(Interval.at_most(0), "low")
+        tree.insert(Interval.greater_than(100), "high")
+        return tree
+
+    def test_window_query(self):
+        tree = self.make()
+        assert tree.overlapping(Interval.closed(3, 8)) == {"a", "b", "p"}
+
+    def test_point_window(self):
+        tree = self.make()
+        assert tree.overlapping(Interval.point(7)) == {"b", "p"}
+        assert tree.overlapping(Interval.point(6)) == {"b"}
+
+    def test_unbounded_window(self):
+        tree = self.make()
+        assert tree.overlapping(Interval.unbounded()) == {"a", "b", "p", "low", "high"}
+        assert tree.overlapping(Interval.at_most(2)) == {"a", "low"}
+        assert tree.overlapping(Interval.at_least(10)) == {"high"}
+
+    def test_open_bound_adjacency(self):
+        tree = IBSTree()
+        tree.insert(Interval.closed_open(1, 5), "half")
+        assert tree.overlapping(Interval.closed(5, 9)) == set()
+        assert tree.overlapping(Interval.closed(4, 9)) == {"half"}
+        assert tree.overlapping(Interval.open(5, 9)) == set()
+
+    def test_contained_and_containing(self):
+        tree = IBSTree()
+        tree.insert(Interval.closed(0, 100), "big")
+        tree.insert(Interval.closed(40, 60), "mid")
+        # window strictly inside "big", disjoint from everything else
+        assert tree.overlapping(Interval.closed(10, 20)) == {"big"}
+        # window containing everything
+        assert tree.overlapping(Interval.closed(-5, 200)) == {"big", "mid"}
+
+    def test_fully_unbounded_stored_interval(self):
+        tree = IBSTree()
+        tree.insert(Interval.unbounded(), "all")
+        assert tree.overlapping(Interval.closed(3, 5)) == {"all"}
+        assert tree.overlapping(Interval.unbounded()) == {"all"}
+        assert tree.overlapping(Interval.less_than(0)) == {"all"}
+
+    def test_empty_tree(self):
+        assert IBSTree().overlapping(Interval.closed(1, 2)) == set()
+
+    def test_alias(self):
+        tree = self.make()
+        query = Interval.closed(3, 8)
+        assert tree.stab_interval(query) == tree.overlapping(query)
+
+
+class TestOverlappingProperties:
+    @given(
+        stored=st.lists(intervals(), min_size=0, max_size=20),
+        query=intervals(),
+    )
+    def test_matches_brute_force(self, stored, query):
+        for cls in TREES:
+            tree = cls()
+            for k, iv in enumerate(stored):
+                tree.insert(iv, k)
+            expected = {k for k, iv in enumerate(stored) if iv.overlaps(query)}
+            assert tree.overlapping(query) == expected
+
+    @given(
+        stored=st.lists(intervals(), min_size=1, max_size=15),
+        query=intervals(),
+        drop=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_after_deletions(self, stored, query, drop):
+        tree = IBSTree()
+        for k, iv in enumerate(stored):
+            tree.insert(iv, k)
+        victim = drop % len(stored)
+        tree.delete(victim)
+        expected = {
+            k for k, iv in enumerate(stored) if k != victim and iv.overlaps(query)
+        }
+        assert tree.overlapping(query) == expected
+
+    def test_randomized_large(self):
+        rng = random.Random(8)
+        tree = AVLIBSTree()
+        live = {}
+        for k in range(300):
+            a, b = rng.randint(0, 500), rng.randint(0, 500)
+            lo, hi = min(a, b), max(a, b)
+            iv = Interval(lo, hi, rng.random() < 0.5 or lo == hi,
+                          rng.random() < 0.5 or lo == hi)
+            tree.insert(iv, k)
+            live[k] = iv
+        for _ in range(100):
+            a, b = rng.randint(0, 500), rng.randint(0, 500)
+            lo, hi = min(a, b), max(a, b)
+            query = Interval.closed(lo, hi)
+            expected = {k for k, iv in live.items() if iv.overlaps(query)}
+            assert tree.overlapping(query) == expected

@@ -1,0 +1,121 @@
+"""Tests for database JSON persistence."""
+
+import io
+import json
+
+import pytest
+
+from repro import Database
+from repro.db import (
+    INTEGER,
+    STRING,
+    database_from_dict,
+    database_to_dict,
+    integer_range,
+    load_database,
+    save_database,
+)
+from repro.db.types import Domain
+from repro.errors import DatabaseError
+
+
+def sample_db() -> Database:
+    db = Database()
+    db.create_relation(
+        "emp", [("name", STRING), ("age", INTEGER), "dept"]
+    )
+    db.create_relation("scores", [("v", integer_range(0, 100))])
+    db.insert("emp", {"name": "A", "age": 3, "dept": "Shoe"})
+    db.insert("emp", {"name": "B", "age": 9})
+    db.insert("scores", {"v": 50})
+    return db
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        db = sample_db()
+        data = database_to_dict(db)
+        restored = database_from_dict(data)
+        assert restored.relations() == db.relations()
+        assert restored.select("emp") == db.select("emp")
+        assert restored.select("scores") == db.select("scores")
+
+    def test_domains_survive(self):
+        restored = database_from_dict(database_to_dict(sample_db()))
+        schema = restored.relation("emp").schema
+        assert schema.attribute("age").domain.name == "integer"
+        scores = restored.relation("scores").schema
+        assert scores.attribute("v").domain.low == 0
+        from repro.errors import TupleError
+
+        with pytest.raises(TupleError):
+            restored.insert("scores", {"v": 500})
+
+    def test_file_round_trip(self, tmp_path):
+        db = sample_db()
+        path = tmp_path / "snapshot.json"
+        save_database(db, path)
+        restored = load_database(path)
+        assert restored.select("emp") == db.select("emp")
+        # the file is plain JSON
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-database"
+
+    def test_stream_round_trip(self):
+        db = sample_db()
+        buffer = io.StringIO()
+        save_database(db, buffer)
+        buffer.seek(0)
+        restored = load_database(buffer)
+        assert restored.select("emp") == db.select("emp")
+
+    def test_statistics_rebuilt_on_load(self):
+        restored = database_from_dict(database_to_dict(sample_db()))
+        stats = restored.relation("emp").statistics
+        assert stats.row_count == 2
+        assert stats.attribute("age").max_value == 9
+
+
+class TestValidation:
+    def test_bad_format_rejected(self):
+        with pytest.raises(DatabaseError):
+            database_from_dict({"format": "something-else"})
+
+    def test_bad_version_rejected(self):
+        data = database_to_dict(sample_db())
+        data["version"] = 99
+        with pytest.raises(DatabaseError):
+            database_from_dict(data)
+
+    def test_unserialisable_value_rejected(self):
+        db = Database()
+        db.create_relation("r", ["x"])
+        db.insert("r", {"x": object()})
+        with pytest.raises(DatabaseError):
+            database_to_dict(db)
+
+    def test_custom_domain_degrades_to_any(self):
+        db = Database()
+        custom = Domain("weird", lambda v: True)
+        db.create_relation("r", [("x", custom)])
+        db.insert("r", {"x": 1})
+        restored = database_from_dict(database_to_dict(db))
+        assert restored.relation("r").schema.attribute("x").domain.name == "any"
+
+    def test_unknown_domain_kind_rejected(self):
+        data = database_to_dict(sample_db())
+        data["relations"][0]["attributes"][0]["domain"] = {"kind": "martian"}
+        with pytest.raises(DatabaseError):
+            database_from_dict(data)
+
+
+class TestMainModule:
+    def test_info_and_demo(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["repro"]) == 0
+        assert "SIGMOD 1990" in capsys.readouterr().out
+        assert main(["repro", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "stab(5)" in out and "fired for Lee" in out
+        assert main(["repro", "nonsense"]) == 2

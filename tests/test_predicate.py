@@ -1,0 +1,226 @@
+"""Unit tests for Predicate, PredicateGroup, and clause normalization."""
+
+import pytest
+
+from repro import (
+    EqualityClause,
+    FunctionClause,
+    Interval,
+    IntervalClause,
+    Predicate,
+    PredicateGroup,
+)
+from repro.errors import PredicateError
+from repro.predicates import PredicateBuilder
+from repro.predicates.predicate import _Contradiction, normalize_clauses
+
+
+def is_odd(x):
+    return x % 2 == 1
+
+
+def emp_pred(*clauses):
+    return Predicate("emp", clauses)
+
+
+class TestPredicate:
+    def test_conjunction_semantics(self):
+        pred = emp_pred(
+            IntervalClause("salary", Interval.less_than(20000)),
+            IntervalClause("age", Interval.greater_than(50)),
+        )
+        assert pred.matches({"salary": 15000, "age": 60})
+        assert not pred.matches({"salary": 15000, "age": 40})
+        assert not pred.matches({"salary": 25000, "age": 60})
+
+    def test_empty_predicate_matches_everything(self):
+        assert emp_pred().matches({"anything": 1})
+        assert emp_pred().matches({})
+
+    def test_indexable_partition(self):
+        pred = emp_pred(
+            EqualityClause("dept", "Shoe"),
+            FunctionClause("age", is_odd),
+        )
+        assert len(pred.indexable_clauses()) == 1
+        assert len(pred.non_indexable_clauses()) == 1
+        assert pred.is_indexable
+
+    def test_not_indexable(self):
+        pred = emp_pred(FunctionClause("age", is_odd))
+        assert not pred.is_indexable
+
+    def test_attributes_deduplicated_in_order(self):
+        pred = emp_pred(
+            IntervalClause("b", Interval.at_least(1)),
+            IntervalClause("a", Interval.at_least(1)),
+            IntervalClause("b", Interval.at_most(9)),
+        )
+        assert pred.attributes() == ["b", "a"]
+
+    def test_idents_unique_and_stable(self):
+        a, b = emp_pred(), emp_pred()
+        assert a.ident != b.ident
+        c = Predicate("emp", (), ident="custom")
+        assert c.ident == "custom"
+
+    def test_identity_semantics(self):
+        a = Predicate("emp", (), ident="x")
+        b = Predicate("emp", (), ident="x")
+        assert a == b and hash(a) == hash(b)
+
+    def test_relation_required(self):
+        with pytest.raises(PredicateError):
+            Predicate("", ())
+
+    def test_clause_type_checked(self):
+        with pytest.raises(PredicateError):
+            Predicate("emp", ["not a clause"])
+
+    def test_str(self):
+        pred = emp_pred(EqualityClause("dept", "Shoe"))
+        assert str(pred) == "emp: dept = 'Shoe'"
+        assert str(emp_pred()) == "emp: true"
+
+
+class TestNormalization:
+    def test_merge_intervals_same_attribute(self):
+        pred = emp_pred(
+            IntervalClause("x", Interval.at_least(3)),
+            IntervalClause("x", Interval.at_most(9)),
+        )
+        norm = pred.normalized()
+        assert len(norm.clauses) == 1
+        assert norm.clauses[0].interval == Interval.closed(3, 9)
+
+    def test_merge_to_point_becomes_equality(self):
+        pred = emp_pred(
+            IntervalClause("x", Interval.at_least(5)),
+            IntervalClause("x", Interval.at_most(5)),
+        )
+        norm = pred.normalized()
+        assert isinstance(norm.clauses[0], EqualityClause)
+        assert norm.clauses[0].value == 5
+
+    def test_contradiction_returns_none(self):
+        pred = emp_pred(
+            IntervalClause("x", Interval.less_than(3)),
+            IntervalClause("x", Interval.greater_than(9)),
+        )
+        assert pred.normalized() is None
+
+    def test_touching_open_bounds_contradict(self):
+        pred = emp_pred(
+            IntervalClause("x", Interval.less_than(5)),
+            IntervalClause("x", Interval.greater_than(5)),
+        )
+        assert pred.normalized() is None
+
+    def test_touching_closed_bounds_intersect_to_point(self):
+        pred = emp_pred(
+            IntervalClause("x", Interval.at_most(5)),
+            IntervalClause("x", Interval.at_least(5)),
+        )
+        norm = pred.normalized()
+        assert norm.clauses[0].interval == Interval.point(5)
+
+    def test_function_clauses_pass_through(self):
+        fn = FunctionClause("age", is_odd)
+        pred = emp_pred(IntervalClause("x", Interval.at_least(1)), fn)
+        norm = pred.normalized()
+        assert fn in norm.clauses
+
+    def test_normalize_preserves_ident(self):
+        pred = emp_pred(IntervalClause("x", Interval.at_least(1)))
+        assert pred.normalized().ident == pred.ident
+
+    def test_normalize_clauses_raises_internal(self):
+        with pytest.raises(_Contradiction):
+            normalize_clauses(
+                [
+                    IntervalClause("x", Interval.at_most(1)),
+                    IntervalClause("x", Interval.at_least(2)),
+                ]
+            )
+
+
+class TestPredicateGroup:
+    def test_any_semantics(self):
+        group = PredicateGroup(
+            "emp",
+            [
+                emp_pred(EqualityClause("dept", "Shoe")),
+                emp_pred(EqualityClause("dept", "Toy")),
+            ],
+        )
+        assert group.matches({"dept": "Shoe"})
+        assert group.matches({"dept": "Toy"})
+        assert not group.matches({"dept": "Food"})
+
+    def test_empty_group(self):
+        group = PredicateGroup("emp", [])
+        assert group.is_empty
+        assert not group.matches({"dept": "Shoe"})
+        assert len(group) == 0
+        assert str(group) == "emp: false"
+
+    def test_relation_consistency_enforced(self):
+        with pytest.raises(PredicateError):
+            PredicateGroup("emp", [Predicate("dept", ())])
+
+    def test_iteration(self):
+        preds = [emp_pred(), emp_pred()]
+        group = PredicateGroup("emp", preds)
+        assert list(group) == preds
+
+
+class TestPredicateBuilder:
+    def test_fluent_chain(self):
+        pred = (
+            PredicateBuilder("emp")
+            .between("salary", 20000, 30000)
+            .eq("dept", "Shoe")
+            .where("age", is_odd)
+            .build()
+        )
+        assert pred.matches({"salary": 25000, "dept": "Shoe", "age": 3})
+        assert not pred.matches({"salary": 25000, "dept": "Shoe", "age": 4})
+        assert len(pred.clauses) == 3
+
+    def test_comparison_methods(self):
+        builder = PredicateBuilder("r")
+        pred = builder.lt("a", 5).le("b", 5).gt("c", 5).ge("d", 5).build()
+        assert pred.matches({"a": 4, "b": 5, "c": 6, "d": 5})
+        assert not pred.matches({"a": 5, "b": 5, "c": 6, "d": 5})
+
+    def test_in_interval_and_clause(self):
+        pred = (
+            PredicateBuilder("r")
+            .in_interval("x", Interval.open(1, 9))
+            .clause(EqualityClause("y", 2))
+            .build()
+        )
+        assert pred.matches({"x": 5, "y": 2})
+        assert not pred.matches({"x": 1, "y": 2})
+
+    def test_clause_type_checked(self):
+        import pytest
+        from repro.errors import ClauseError
+
+        with pytest.raises(ClauseError):
+            PredicateBuilder("r").clause("nope")
+
+    def test_build_snapshots(self):
+        builder = PredicateBuilder("r").eq("x", 1)
+        first = builder.build()
+        builder.eq("y", 2)
+        second = builder.build()
+        assert len(first.clauses) == 1
+        assert len(second.clauses) == 2
+        assert len(builder) == 2
+
+    def test_between_exclusive(self):
+        pred = PredicateBuilder("r").between("x", 1, 9, False, False).build()
+        assert pred.matches({"x": 5})
+        assert not pred.matches({"x": 1})
+        assert not pred.matches({"x": 9})

@@ -1,0 +1,224 @@
+"""Tests for the Figure 1 two-level predicate index."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    AVLIBSTree,
+    EqualityClause,
+    FunctionClause,
+    Interval,
+    IntervalClause,
+    Predicate,
+    PredicateIndex,
+)
+from repro.errors import PredicateError, UnknownIntervalError
+from repro.lang import compile_condition
+
+
+def is_odd(x):
+    return x % 2 == 1
+
+
+FNS = {"isodd": is_odd}
+
+
+def build_random_predicates(seed, count, relations=("r", "s")):
+    rng = random.Random(seed)
+    predicates = []
+    for _ in range(count):
+        relation = rng.choice(relations)
+        clauses = []
+        for _ in range(rng.randint(1, 3)):
+            attr = rng.choice(["a", "b", "c"])
+            kind = rng.random()
+            if kind < 0.3:
+                clauses.append(EqualityClause(attr, rng.randint(0, 20)))
+            elif kind < 0.7:
+                lo = rng.randint(0, 15)
+                clauses.append(
+                    IntervalClause(attr, Interval.closed(lo, lo + rng.randint(0, 8)))
+                )
+            elif kind < 0.85:
+                clauses.append(IntervalClause(attr, Interval.at_least(rng.randint(0, 20))))
+            else:
+                clauses.append(FunctionClause(attr, is_odd))
+        pred = Predicate(relation, clauses).normalized()
+        if pred is not None:
+            predicates.append(pred)
+    return predicates
+
+
+class TestEquivalenceWithBruteForce:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_match_equals_brute_force(self, seed):
+        predicates = build_random_predicates(seed, 80)
+        index = PredicateIndex()
+        for pred in predicates:
+            index.add(pred)
+        rng = random.Random(seed + 1000)
+        for _ in range(200):
+            relation = rng.choice(["r", "s"])
+            tup = {attr: rng.randint(0, 22) for attr in ["a", "b", "c"]}
+            expected = {
+                p.ident for p in predicates if p.relation == relation and p.matches(tup)
+            }
+            assert index.match_idents(relation, tup) == expected
+
+    def test_with_avl_trees(self):
+        predicates = build_random_predicates(7, 60)
+        index = PredicateIndex(tree_factory=AVLIBSTree)
+        for pred in predicates:
+            index.add(pred)
+        rng = random.Random(77)
+        for _ in range(100):
+            tup = {attr: rng.randint(0, 22) for attr in ["a", "b", "c"]}
+            expected = {
+                p.ident for p in predicates if p.relation == "r" and p.matches(tup)
+            }
+            assert index.match_idents("r", tup) == expected
+
+    def test_removal_keeps_equivalence(self):
+        predicates = build_random_predicates(3, 60)
+        index = PredicateIndex()
+        for pred in predicates:
+            index.add(pred)
+        rng = random.Random(33)
+        removed = rng.sample(predicates, 30)
+        for pred in removed:
+            index.remove(pred.ident)
+        remaining = [p for p in predicates if p not in removed]
+        for _ in range(100):
+            relation = rng.choice(["r", "s"])
+            tup = {attr: rng.randint(0, 22) for attr in ["a", "b", "c"]}
+            expected = {
+                p.ident for p in remaining if p.relation == relation and p.matches(tup)
+            }
+            assert index.match_idents(relation, tup) == expected
+
+
+class TestStructure:
+    def test_most_selective_clause_indexed(self):
+        index = PredicateIndex()
+        pred = Predicate(
+            "r",
+            [
+                IntervalClause("wide", Interval.at_least(0)),
+                EqualityClause("narrow", 5),
+            ],
+        )
+        index.add(pred)
+        assert index.indexed_attribute(pred.ident) == "narrow"
+        assert index.tree_for("r", "narrow") is not None
+        assert index.tree_for("r", "wide") is None
+
+    def test_non_indexable_list(self):
+        index = PredicateIndex()
+        pred = Predicate("r", [FunctionClause("a", is_odd)])
+        index.add(pred)
+        assert index.indexed_attribute(pred.ident) is None
+        assert index.match_idents("r", {"a": 3}) == {pred.ident}
+        assert index.match_idents("r", {"a": 4}) == set()
+
+    def test_empty_predicate_matches_all(self):
+        index = PredicateIndex()
+        pred = Predicate("r", [])
+        index.add(pred)
+        assert index.match_idents("r", {"x": 1}) == {pred.ident}
+
+    def test_unknown_relation_matches_nothing(self):
+        index = PredicateIndex()
+        assert index.match("nope", {"x": 1}) == []
+
+    def test_null_attribute_skips_tree(self):
+        index = PredicateIndex()
+        pred = Predicate("r", [EqualityClause("a", 5)])
+        index.add(pred)
+        assert index.match_idents("r", {"a": None}) == set()
+        assert index.match_idents("r", {}) == set()
+
+    def test_contradictory_predicate_rejected(self):
+        index = PredicateIndex()
+        pred = Predicate(
+            "r",
+            [
+                IntervalClause("a", Interval.at_most(1)),
+                IntervalClause("a", Interval.at_least(2)),
+            ],
+        )
+        with pytest.raises(PredicateError):
+            index.add(pred)
+
+    def test_duplicate_ident_rejected(self):
+        index = PredicateIndex()
+        pred = Predicate("r", [EqualityClause("a", 1)], ident="p")
+        index.add(pred)
+        with pytest.raises(PredicateError):
+            index.add(Predicate("r", [EqualityClause("a", 2)], ident="p"))
+
+    def test_remove_unknown(self):
+        with pytest.raises(UnknownIntervalError):
+            PredicateIndex().remove("nope")
+
+    def test_remove_cleans_empty_structures(self):
+        index = PredicateIndex()
+        pred = Predicate("r", [EqualityClause("a", 1)])
+        index.add(pred)
+        index.remove(pred.ident)
+        assert len(index) == 0
+        assert index.relations() == []
+        assert index.tree_for("r", "a") is None
+
+    def test_get_and_contains(self):
+        index = PredicateIndex()
+        pred = Predicate("r", [EqualityClause("a", 1)])
+        index.add(pred)
+        assert index.get(pred.ident).ident == pred.ident
+        assert pred.ident in index
+        with pytest.raises(UnknownIntervalError):
+            index.get("nope")
+        with pytest.raises(UnknownIntervalError):
+            index.indexed_attribute("nope")
+
+    def test_predicates_for_and_describe(self):
+        index = PredicateIndex()
+        for cond in ["a = 1", "b >= 2", "isodd(c)"]:
+            for pred in compile_condition("r", cond, FNS).group:
+                index.add(pred)
+        assert len(index.predicates_for("r")) == 3
+        assert index.predicates_for("missing") == []
+        description = index.describe()
+        assert description["r"]["predicates"] == 3
+        assert description["r"]["non_indexable"] == 1
+        assert set(description["r"]["trees"]) == {"a", "b"}
+
+
+class TestMatchStatistics:
+    def test_counters(self):
+        index = PredicateIndex()
+        for pred in compile_condition("r", "a = 1 or isodd(b)", FNS).group:
+            index.add(pred)
+        index.match("r", {"a": 1, "b": 2})
+        stats = index.stats
+        assert stats.tuples_matched == 1
+        assert stats.trees_searched == 1
+        assert stats.partial_matches == 1
+        assert stats.non_indexable_tested == 1
+        assert stats.full_matches == 1
+        stats.reset()
+        assert stats.tuples_matched == 0
+        assert "tuples_matched" in stats.as_dict()
+
+    def test_partial_match_without_full_match(self):
+        index = PredicateIndex()
+        pred = Predicate(
+            "r", [EqualityClause("a", 1), EqualityClause("b", 2)]
+        )
+        index.add(pred)
+        index.stats.reset()
+        matches = index.match("r", {"a": 1, "b": 99})
+        assert matches == []
+        assert index.stats.partial_matches == 1
+        assert index.stats.full_matches == 0

@@ -1,0 +1,179 @@
+"""Tests for production-system patterns, variables, and the LHS parser."""
+
+import pytest
+
+from repro.errors import ParseError, RuleError
+from repro.production import Pattern, Test, Var, parse_lhs, parse_pattern
+
+
+class TestVar:
+    def test_identity(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+        assert hash(Var("x")) == hash(Var("x"))
+        assert repr(Var("x")) == "?x"
+
+    def test_validation(self):
+        with pytest.raises(RuleError):
+            Var("")
+        with pytest.raises(RuleError):
+            Var(None)
+
+
+class TestTest:
+    def test_operator_validation(self):
+        Test("a", "=", 1)
+        Test("a", ">=", 1)
+        with pytest.raises(RuleError):
+            Test("a", "~", 1)
+
+    def test_function_test(self):
+        t = Test("a", "?", lambda v: v > 0)
+        assert t.is_function
+        with pytest.raises(RuleError):
+            Test("a", "?", 42)
+
+    def test_is_variable(self):
+        assert Test("a", "=", Var("x")).is_variable
+        assert not Test("a", "=", 5).is_variable
+
+
+class TestPatternAlpha:
+    def test_constant_tests_compile(self):
+        pattern = Pattern("emp", [Test("salary", ">", 100), Test("dept", "=", "Shoe")])
+        predicate = pattern.alpha_predicate()
+        assert predicate.relation == "emp"
+        assert predicate.matches({"salary": 200, "dept": "Shoe"})
+        assert not predicate.matches({"salary": 50, "dept": "Shoe"})
+        assert not predicate.matches({"salary": 200, "dept": "Toy"})
+
+    def test_variable_tests_excluded_from_alpha(self):
+        pattern = Pattern("emp", [Test("dept", "=", Var("d")), Test("age", "<", 30)])
+        predicate = pattern.alpha_predicate()
+        assert predicate.matches({"age": 20, "dept": "anything"})
+
+    def test_not_equal_constant(self):
+        pattern = Pattern("emp", [Test("dept", "<>", "Shoe")])
+        predicate = pattern.alpha_predicate()
+        assert predicate.matches({"dept": "Toy"})
+        assert not predicate.matches({"dept": "Shoe"})
+
+    def test_function_test_in_alpha(self):
+        pattern = Pattern("emp", [Test("age", "?", lambda v: v % 2 == 1)])
+        predicate = pattern.alpha_predicate()
+        assert predicate.matches({"age": 3})
+        assert not predicate.matches({"age": 4})
+
+
+class TestPatternBind:
+    def test_binds_new_variable(self):
+        pattern = Pattern("emp", [Test("dept", "=", Var("d"))])
+        bindings = pattern.bind({"dept": "Shoe"}, {})
+        assert bindings == {"d": "Shoe"}
+
+    def test_tests_existing_binding(self):
+        pattern = Pattern("dept", [Test("name", "=", Var("d"))])
+        assert pattern.bind({"name": "Shoe"}, {"d": "Shoe"}) == {"d": "Shoe"}
+        assert pattern.bind({"name": "Toy"}, {"d": "Shoe"}) is None
+
+    def test_inequality_against_bound_var(self):
+        pattern = Pattern("n", [Test("value", ">", Var("x"))])
+        assert pattern.bind({"value": 9}, {"x": 5}) is not None
+        assert pattern.bind({"value": 3}, {"x": 5}) is None
+
+    def test_inequality_unbound_fails(self):
+        pattern = Pattern("n", [Test("value", ">", Var("x"))])
+        assert pattern.bind({"value": 9}, {}) is None
+
+    def test_null_attribute_fails(self):
+        pattern = Pattern("n", [Test("value", "=", Var("x"))])
+        assert pattern.bind({}, {}) is None
+        assert pattern.bind({"value": None}, {}) is None
+
+    def test_intra_element_repeated_variable(self):
+        pattern = Pattern(
+            "edge", [Test("src", "=", Var("n")), Test("dst", "=", Var("n"))]
+        )
+        assert pattern.bind({"src": "a", "dst": "a"}, {}) == {"n": "a"}
+        assert pattern.bind({"src": "a", "dst": "b"}, {}) is None
+
+    def test_original_bindings_not_mutated(self):
+        pattern = Pattern("n", [Test("value", "=", Var("x"))])
+        original = {}
+        pattern.bind({"value": 1}, original)
+        assert original == {}
+
+    def test_cross_type_comparison_fails_safely(self):
+        pattern = Pattern("n", [Test("value", ">", Var("x"))])
+        assert pattern.bind({"value": "text"}, {"x": 5}) is None
+
+
+class TestParser:
+    def test_basic(self):
+        pattern = parse_pattern("(emp ^salary > 50000 ^dept ?d)")
+        assert pattern.wme_type == "emp"
+        assert not pattern.negated
+        assert pattern.tests[0].attribute == "salary"
+        assert pattern.tests[0].op == ">"
+        assert pattern.tests[0].operand == 50000
+        assert pattern.tests[1].operand == Var("d")
+
+    def test_negation(self):
+        assert parse_pattern('-(alarm ^severity "high")').negated
+
+    def test_default_equality(self):
+        pattern = parse_pattern("(emp ^dept Shoe)")
+        assert pattern.tests[0].op == "="
+        assert pattern.tests[0].operand == "Shoe"  # bare word = symbol
+
+    def test_values(self):
+        pattern = parse_pattern(
+            '(x ^a 1 ^b 2.5 ^c -3 ^d "quoted text" ^e true ^f false)'
+        )
+        values = [t.operand for t in pattern.tests]
+        assert values == [1, 2.5, -3, "quoted text", True, False]
+
+    def test_no_tests(self):
+        pattern = parse_pattern("(halt-request)")
+        assert pattern.wme_type == "halt-request"
+        assert pattern.tests == ()
+
+    def test_hyphenated_type_names(self):
+        assert parse_pattern("(find-max ^v 1)").wme_type == "find-max"
+
+    def test_lhs_multiple(self):
+        patterns = parse_lhs(
+            """
+            (number ^value ?x)
+            -(number ^value > ?x)
+            """
+        )
+        assert len(patterns) == 2
+        assert patterns[1].negated
+
+    def test_errors(self):
+        for bad in [
+            "emp ^a 1)",
+            "(emp ^a 1",
+            "(emp ^ 1)",
+            "(emp a 1)",
+            "( ^a 1)",
+            '(emp ^a "unterminated)',
+            "(emp ^a 1) trailing",
+            "",
+        ]:
+            with pytest.raises(ParseError):
+                (parse_pattern if "trailing" in bad else parse_lhs)(bad)
+
+
+class TestPatternValidation:
+    def test_type_required(self):
+        with pytest.raises(RuleError):
+            Pattern("", [])
+
+    def test_tests_typed(self):
+        with pytest.raises(RuleError):
+            Pattern("x", ["nope"])
+
+    def test_repr(self):
+        assert repr(parse_pattern("-(n ^v > ?x)")) == "-(n ^v > ?x)"

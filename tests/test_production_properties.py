@@ -1,0 +1,168 @@
+"""Property-based tests: the TREAT network vs a brute-force matcher.
+
+The reference implementation recomputes, from scratch, every complete
+instantiation of every rule over the current working memory (nested
+loops + binding checks + negation scan).  After any script of
+assert/retract operations, the network's conflict set (ignoring
+refraction) must equal the reference's result.
+"""
+
+from itertools import product
+from typing import Dict, List, Optional, Set, Tuple
+
+from hypothesis import given, strategies as st
+
+from repro.production import Pattern, ProductionSystem, Test, Var
+
+
+def reference_instantiations(ps: ProductionSystem, rule) -> Set[Tuple]:
+    """Brute-force: all valid (rule, wme_ids) instantiation keys."""
+    wmes = list(ps.working_memory)
+    positives = [rule.patterns[k] for k in rule.positive_indexes()]
+    negatives = [rule.patterns[k] for k in rule.negated_indexes()]
+    keys: Set[Tuple] = set()
+    candidate_lists = [
+        [w for w in wmes if w.wme_type == p.wme_type and p.alpha_predicate().matches(w.attributes)]
+        for p in positives
+    ]
+    for combo in product(*candidate_lists):
+        bindings: Optional[Dict] = {}
+        for pattern, wme in zip(positives, combo):
+            bindings = pattern.bind(wme.attributes, bindings)
+            if bindings is None:
+                break
+        if bindings is None:
+            continue
+        blocked = False
+        for pattern in negatives:
+            for wme in wmes:
+                if wme.wme_type != pattern.wme_type:
+                    continue
+                if not pattern.alpha_predicate().matches(wme.attributes):
+                    continue
+                if pattern.bind(wme.attributes, bindings) is not None:
+                    blocked = True
+                    break
+            if blocked:
+                break
+        if not blocked:
+            keys.add((rule.name,) + tuple(w.wme_id for w in combo))
+    return keys
+
+
+# operation scripts over a tiny fact vocabulary so joins happen often
+fact_strategy = st.tuples(
+    st.sampled_from(["a", "b"]),                      # type
+    st.integers(min_value=0, max_value=4),            # v
+    st.sampled_from(["x", "y"]),                      # tag
+)
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("assert"), fact_strategy),
+        st.tuples(st.just("retract"), st.integers(min_value=0, max_value=100)),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+RULES = [
+    (
+        "join-on-tag",
+        [
+            Pattern("a", [Test("v", ">", 1), Test("tag", "=", Var("t"))]),
+            Pattern("b", [Test("tag", "=", Var("t"))]),
+        ],
+    ),
+    (
+        "a-without-bigger-b",
+        [
+            Pattern("a", [Test("v", "=", Var("x"))]),
+            Pattern("b", [Test("v", ">", Var("x"))], negated=True),
+        ],
+    ),
+    (
+        "pairs",
+        [
+            Pattern("a", [Test("v", "=", Var("x"))]),
+            Pattern("a", [Test("v", ">", Var("x"))]),
+        ],
+    ),
+    (
+        "guarded-singleton",
+        [
+            Pattern("b", [Test("v", ">=", 2), Test("v", "<=", 3)]),
+        ],
+    ),
+]
+
+
+def build_system() -> ProductionSystem:
+    ps = ProductionSystem()
+    for name, patterns in RULES:
+        ps.add_rule(name, patterns, lambda ctx: None)
+    return ps
+
+
+def run_script(ps: ProductionSystem, script) -> None:
+    live: List = []
+    for op, arg in script:
+        if op == "assert":
+            wme_type, v, tag = arg
+            live.append(ps.assert_fact(wme_type, v=v, tag=tag))
+        elif live:
+            victim = live.pop(arg % len(live))
+            ps.retract(victim)
+
+
+class TestNetworkAgainstReference:
+    @given(script=ops_strategy)
+    def test_conflict_set_equals_brute_force(self, script):
+        ps = build_system()
+        run_script(ps, script)
+        got = {inst.key for inst in ps.conflict_set()}
+        expected: Set[Tuple] = set()
+        for rule in ps.network.rules():
+            expected |= reference_instantiations(ps, rule)
+        assert got == expected
+
+    @given(script=ops_strategy)
+    def test_rules_added_after_facts_agree(self, script):
+        """Late rule installation sees exactly the same matches."""
+        early = build_system()
+        run_script(early, script)
+
+        late = ProductionSystem()
+        # replay the same script against a system with no rules...
+        live: List = []
+        for op, arg in script:
+            if op == "assert":
+                wme_type, v, tag = arg
+                live.append(late.assert_fact(wme_type, v=v, tag=tag))
+            elif live:
+                late.retract(live.pop(arg % len(live)))
+        # ...then add the rules afterwards
+        for name, patterns in RULES:
+            late.add_rule(name, patterns, lambda ctx: None)
+
+        def normalize(ps):
+            # wme ids differ between systems; compare by attribute tuples
+            def wme_key(wme_id):
+                wme = ps.working_memory.get(wme_id)
+                return (wme.wme_type, tuple(sorted(wme.attributes.items())))
+
+            return {
+                (inst.key[0],) + tuple(sorted(map(wme_key, inst.key[1:])))
+                for inst in ps.conflict_set()
+            }
+
+        assert normalize(early) == normalize(late)
+
+    @given(script=ops_strategy)
+    def test_firing_consumes_conflict_set(self, script):
+        ps = build_system()
+        run_script(ps, script)
+        pending = len(ps.conflict_set())
+        fired = ps.run()
+        assert fired == pending  # actions are no-ops: nothing re-enters
+        assert ps.conflict_set() == []

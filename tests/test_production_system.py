@@ -1,0 +1,316 @@
+"""Tests for the production system: matching, firing, negation, verbs."""
+
+import pytest
+
+from repro.errors import RuleCycleError, RuleError, UnknownRuleError
+from repro.production import (
+    Halt,
+    Pattern,
+    ProductionSystem,
+    Test,
+    Var,
+)
+
+
+@pytest.fixture
+def ps():
+    return ProductionSystem()
+
+
+class TestBasicMatching:
+    def test_single_pattern_fires(self, ps):
+        seen = []
+        ps.add_rule("r", "(person ^name ?n)", lambda ctx: seen.append(ctx["n"]))
+        ps.assert_fact("person", name="Ada")
+        assert ps.run() == 1
+        assert seen == ["Ada"]
+
+    def test_constant_filter(self, ps):
+        seen = []
+        ps.add_rule(
+            "adults", "(person ^age >= 18 ^name ?n)", lambda ctx: seen.append(ctx["n"])
+        )
+        ps.assert_fact("person", name="kid", age=10)
+        ps.assert_fact("person", name="grown", age=30)
+        ps.run()
+        assert seen == ["grown"]
+
+    def test_rule_added_after_facts(self, ps):
+        """Declarative: rule/fact order must not matter."""
+        ps.assert_fact("person", name="Ada", age=30)
+        seen = []
+        ps.add_rule("r", "(person ^name ?n)", lambda ctx: seen.append(ctx["n"]))
+        ps.run()
+        assert seen == ["Ada"]
+
+    def test_join_two_elements(self, ps):
+        pairs = []
+        ps.add_rule(
+            "same-dept",
+            "(emp ^name ?a ^dept ?d) (dept ^name ?d ^floor ?f)",
+            lambda ctx: pairs.append((ctx["a"], ctx["f"])),
+        )
+        ps.assert_fact("emp", name="X", dept="Shoe")
+        ps.assert_fact("dept", name="Shoe", floor=3)
+        ps.assert_fact("dept", name="Toy", floor=4)
+        ps.run()
+        assert pairs == [("X", 3)]
+
+    def test_same_type_two_elements(self, ps):
+        pairs = []
+        ps.add_rule(
+            "ordered-pairs",
+            "(number ^value ?x) (number ^value ?y ^value > ?x)",
+            lambda ctx: pairs.append((ctx["x"], ctx["y"])),
+        )
+        for v in (1, 2, 3):
+            ps.assert_fact("number", value=v)
+        ps.run()
+        assert sorted(pairs) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_same_wme_can_fill_two_elements(self, ps):
+        hits = []
+        ps.add_rule(
+            "reflexive",
+            "(node ^id ?a) (node ^id ?b)",
+            lambda ctx: hits.append((ctx["a"], ctx["b"])),
+        )
+        ps.assert_fact("node", id=1)
+        ps.run()
+        assert hits == [(1, 1)]
+
+    def test_variable_binding_unused_returns_default(self, ps):
+        ps.add_rule("r", "(t ^a 1)", lambda ctx: None)
+        ps.assert_fact("t", a=1)
+        inst = ps.conflict_set()[0]
+        from repro.production import ProductionContext
+
+        ctx = ProductionContext(ps, inst.rule, inst.wmes, inst.bindings)
+        assert ctx.get("missing") is None
+        with pytest.raises(RuleError):
+            ctx["missing"]
+
+
+class TestNegation:
+    def test_absence_required(self, ps):
+        fired = []
+        ps.add_rule(
+            "no-alarm",
+            '(check ^id ?c) -(alarm)',
+            lambda ctx: fired.append(ctx["c"]),
+        )
+        ps.assert_fact("alarm", severity="high")
+        ps.assert_fact("check", id=1)
+        assert ps.run() == 0
+        assert fired == []
+
+    def test_blocked_then_enabled_by_retraction(self, ps):
+        fired = []
+        alarm = ps.assert_fact("alarm", severity="high")
+        ps.add_rule(
+            "no-alarm", "(check ^id ?c) -(alarm)", lambda ctx: fired.append(ctx["c"])
+        )
+        ps.assert_fact("check", id=1)
+        assert ps.run() == 0
+        ps.retract(alarm)
+        assert ps.run() == 1
+        assert fired == [1]
+
+    def test_new_blocker_invalidates_pending(self, ps):
+        fired = []
+        ps.add_rule(
+            "no-alarm", "(check ^id ?c) -(alarm)", lambda ctx: fired.append(ctx["c"])
+        )
+        ps.assert_fact("check", id=1)
+        assert len(ps.conflict_set()) == 1
+        ps.assert_fact("alarm", severity="low")  # blocks before firing
+        assert ps.run() == 0
+
+    def test_negation_with_bound_variable(self, ps):
+        maxima = []
+        ps.add_rule(
+            "find-max",
+            "(number ^value ?x) -(number ^value > ?x)",
+            lambda ctx: maxima.append(ctx["x"]),
+        )
+        for v in (3, 17, 9):
+            ps.assert_fact("number", value=v)
+        ps.run()
+        assert maxima == [17]
+
+    def test_unbound_negated_variable_rejected(self, ps):
+        with pytest.raises(RuleError):
+            ps.add_rule(
+                "bad", "(a ^x 1) -(b ^y ?unbound ^y > 5)", lambda ctx: None
+            )
+
+    def test_all_negative_rejected(self, ps):
+        with pytest.raises(RuleError):
+            ps.add_rule("bad", "-(a)", lambda ctx: None)
+
+
+class TestConflictResolution:
+    def test_priority_first(self, ps):
+        order = []
+        ps.add_rule("low", "(t)", lambda ctx: order.append("low"), priority=0)
+        ps.add_rule("high", "(t)", lambda ctx: order.append("high"), priority=5)
+        ps.assert_fact("t")
+        ps.run()
+        assert order == ["high", "low"]
+
+    def test_recency_lex(self, ps):
+        order = []
+        ps.add_rule("r", "(t ^id ?i)", lambda ctx: order.append(ctx["i"]))
+        ps.assert_fact("t", id="old")
+        ps.assert_fact("t", id="new")
+        ps.run()
+        assert order == ["new", "old"]
+
+    def test_refraction(self, ps):
+        count = []
+        ps.add_rule("once", "(t ^id 1)", lambda ctx: count.append(1))
+        ps.assert_fact("t", id=1)
+        assert ps.run() == 1
+        assert ps.run() == 0  # no refire without a WM change
+        ps.assert_fact("t", id=1)  # a NEW wme: fresh instantiation
+        assert ps.run() == 1
+
+    def test_modify_refires(self, ps):
+        seen = []
+        ps.add_rule("watch", "(t ^state ?s)", lambda ctx: seen.append(ctx["s"]))
+        wme = ps.assert_fact("t", state="a")
+        ps.run()
+        ps.modify(wme, state="b")
+        ps.run()
+        assert seen == ["a", "b"]
+
+
+class TestActionsAndVerbs:
+    def test_make_cascades(self, ps):
+        ps.add_rule(
+            "derive",
+            "(raw ^v ?v)",
+            lambda ctx: ctx.make("cooked", v=ctx["v"] * 2),
+        )
+        done = []
+        ps.add_rule("eat", "(cooked ^v ?v)", lambda ctx: done.append(ctx["v"]))
+        ps.assert_fact("raw", v=21)
+        assert ps.run() == 2
+        assert done == [42]
+
+    def test_remove_by_position(self, ps):
+        ps.add_rule(
+            "consume", "(token ^id ?i)", lambda ctx: ctx.remove(1)
+        )
+        ps.assert_fact("token", id=1)
+        ps.assert_fact("token", id=2)
+        assert ps.run() == 2
+        assert ps.facts("token") == []
+
+    def test_modify_by_position_counts_down(self, ps):
+        def decrement(ctx):
+            if ctx["n"] > 0:
+                ctx.modify(1, n=ctx["n"] - 1)
+
+        ps.add_rule("count", "(counter ^n ?n ^n > 0)", decrement)
+        ps.assert_fact("counter", n=5)
+        assert ps.run() == 5
+        assert ps.facts("counter")[0]["n"] == 0
+
+    def test_halt(self, ps):
+        order = []
+
+        def first(ctx):
+            order.append("first")
+            ctx.halt()
+
+        ps.add_rule("first", "(t)", first, priority=5)
+        ps.add_rule("second", "(t)", lambda ctx: order.append("second"))
+        ps.assert_fact("t")
+        assert ps.run() == 1  # halted after the first firing
+        assert order == ["first"]
+        assert ps.run() == 1  # resumes on the next run call
+        assert order == ["first", "second"]
+
+    def test_halt_exception(self, ps):
+        def boom(ctx):
+            raise Halt()
+
+        ps.add_rule("h", "(t)", boom, priority=5)
+        ps.add_rule("later", "(t)", lambda ctx: None)
+        ps.assert_fact("t")
+        assert ps.run() == 1
+
+    def test_remove_bad_reference(self, ps):
+        def bad(ctx):
+            ctx.remove(999)
+
+        ps.add_rule("bad", "(t)", bad)
+        ps.assert_fact("t")
+        with pytest.raises(RuleError):
+            ps.run()
+
+    def test_runaway_guard(self, ps):
+        ps.add_rule("spin", "(t ^n ?n)", lambda ctx: ctx.make("t", n=ctx["n"] + 1))
+        ps.assert_fact("t", n=0)
+        with pytest.raises(RuleCycleError):
+            ps.run(limit=30)
+
+
+class TestRuleManagement:
+    def test_duplicate_rejected(self, ps):
+        ps.add_rule("r", "(t)", lambda ctx: None)
+        with pytest.raises(RuleError):
+            ps.add_rule("r", "(t)", lambda ctx: None)
+
+    def test_remove_rule_clears_pending(self, ps):
+        ps.add_rule("r", "(t)", lambda ctx: None)
+        ps.assert_fact("t")
+        assert len(ps.conflict_set()) == 1
+        ps.remove_rule("r")
+        assert ps.conflict_set() == []
+        assert ps.run() == 0
+        with pytest.raises(UnknownRuleError):
+            ps.remove_rule("r")
+
+    def test_rule_lookup_and_fire_count(self, ps):
+        ps.add_rule("r", "(t)", lambda ctx: None)
+        ps.assert_fact("t")
+        ps.run()
+        assert ps.rule("r").fire_count == 1
+        with pytest.raises(UnknownRuleError):
+            ps.rule("ghost")
+
+    def test_repr(self, ps):
+        ps.add_rule("r", "(t)", lambda ctx: None)
+        ps.assert_fact("t")
+        text = repr(ps)
+        assert "1 rules" in text and "1 facts" in text and "1 pending" in text
+
+
+class TestWorkingMemorySurface:
+    def test_facts_listing(self, ps):
+        ps.assert_fact("a", x=1)
+        ps.assert_fact("b", x=2)
+        assert len(ps.facts()) == 2
+        assert len(ps.facts("a")) == 1
+
+    def test_wme_mapping_access(self, ps):
+        wme = ps.assert_fact("a", x=1)
+        assert wme["x"] == 1
+        assert wme.get("missing") is None
+        assert "x" in wme
+        assert "a" in repr(wme)
+
+    def test_retract_by_id(self, ps):
+        wme = ps.assert_fact("a", x=1)
+        ps.retract(wme.wme_id)
+        assert ps.facts() == []
+        with pytest.raises(RuleError):
+            ps.retract(wme.wme_id)
+
+    def test_alpha_telemetry_exposed(self, ps):
+        ps.add_rule("r", "(t ^v > 5)", lambda ctx: None)
+        ps.assert_fact("t", v=10)
+        stats = ps.network.alpha_index.stats
+        assert stats.tuples_matched >= 1

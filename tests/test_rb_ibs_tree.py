@@ -1,0 +1,111 @@
+"""Tests for the red-black balanced IBS-tree variant."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Interval, RBIBSTree
+from tests.conftest import intervals, query_points
+from tests.test_ibs_tree_properties import apply_script, ops
+
+
+class TestRedBlackProperties:
+    @given(script=ops)
+    def test_invariants_after_any_script(self, script):
+        tree = RBIBSTree()
+        apply_script(tree, script)
+        tree.validate()  # includes colour rules and black height
+
+    @given(script=ops, xs=st.lists(query_points, min_size=1, max_size=12))
+    def test_stabbing_completeness(self, script, xs):
+        tree = RBIBSTree()
+        live = apply_script(tree, script)
+        for x in xs:
+            expected = {i for i, iv in live.items() if iv.contains(x)}
+            assert tree.stab(x) == expected
+
+    def test_sorted_insert_height_bound(self):
+        tree = RBIBSTree()
+        for k in range(400):
+            tree.insert(Interval.closed(k, k + 5), k)
+        tree.validate()
+        assert tree.height <= 2 * math.log2(tree.node_count + 1) + 2
+
+    def test_sorted_delete_keeps_balance(self):
+        tree = RBIBSTree()
+        for k in range(200):
+            tree.insert(Interval.closed(k, k + 5), k)
+        for k in range(150):
+            tree.delete(k)
+            if k % 10 == 0:
+                tree.validate()
+        tree.validate()
+        assert tree.height <= 2 * math.log2(tree.node_count + 1) + 2
+        for x in (155, 199.5, 203):
+            expected = {k for k in range(150, 200) if k <= x <= k + 5}
+            assert tree.stab(x) == expected
+
+    def test_agrees_with_brute_force_randomized(self):
+        rng = random.Random(31)
+        tree = RBIBSTree()
+        live = {}
+        for step in range(600):
+            if rng.random() < 0.7 or not live:
+                a, b = rng.randint(0, 99), rng.randint(0, 99)
+                lo, hi = min(a, b), max(a, b)
+                iv = Interval(lo, hi, rng.random() < 0.5 or lo == hi,
+                              rng.random() < 0.5 or lo == hi)
+                tree.insert(iv, step)
+                live[step] = iv
+            else:
+                victim = rng.choice(list(live))
+                tree.delete(victim)
+                del live[victim]
+        tree.validate()
+        for x in [v / 2 for v in range(0, 200, 3)]:
+            assert tree.stab(x) == {i for i, iv in live.items() if iv.contains(x)}
+
+    def test_root_always_black(self):
+        tree = RBIBSTree()
+        tree.insert(Interval.point(5), "a")
+        assert not tree._root.red
+        tree.insert(Interval.point(3), "b")
+        tree.insert(Interval.point(7), "c")
+        assert not tree._root.red
+
+
+class TestDropInCompatibility:
+    def test_same_api_as_ibs(self):
+        from repro import IBSTree
+
+        base = {name for name in dir(IBSTree) if not name.startswith("_")}
+        rb = {name for name in dir(RBIBSTree) if not name.startswith("_")}
+        assert base <= rb
+
+    def test_predicate_index_with_rb_trees(self):
+        from repro import PredicateIndex
+        from repro.predicates import PredicateBuilder
+
+        index = PredicateIndex(tree_factory=RBIBSTree)
+        preds = [
+            PredicateBuilder("r").between("x", k, k + 10).build() for k in range(30)
+        ]
+        for pred in preds:
+            index.add(pred)
+        got = index.match_idents("r", {"x": 15})
+        expected = {p.ident for p in preds if p.matches({"x": 15})}
+        assert got == expected
+
+    def test_engine_strategy_name(self):
+        from repro import CollectAction, Database, RuleEngine
+
+        db = Database()
+        db.create_relation("r", ["x"])
+        collect = CollectAction()
+        engine = RuleEngine(db, matcher="ibs-rb")
+        engine.create_rule("r1", on="r", condition="x > 5", action=collect)
+        db.insert("r", {"x": 9})
+        db.insert("r", {"x": 1})
+        assert len(collect.records) == 1

@@ -1,0 +1,157 @@
+"""Tests for the Figure 6 rotation marker rewrites."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro import AVLIBSTree, IBSTree, Interval
+from repro.core.rotations import balance_factor, node_height, rotate_left, rotate_right
+from tests.conftest import intervals
+
+
+def build_random_tree(seed: int, n: int) -> tuple:
+    rng = random.Random(seed)
+    tree = IBSTree()
+    live = {}
+    for k in range(n):
+        a = rng.randint(0, 30)
+        b = rng.randint(0, 30)
+        lo, hi = min(a, b), max(a, b)
+        shape = rng.random()
+        if shape < 0.3:
+            iv = Interval.point(lo)
+        elif shape < 0.5:
+            iv = Interval.at_most(hi)
+        else:
+            iv = Interval(lo, hi, rng.random() < 0.5 or lo == hi, rng.random() < 0.5 or lo == hi)
+        tree.insert(iv, k)
+        live[k] = iv
+    return tree, live
+
+
+def all_answers(tree):
+    return {x: tree.stab(x) for x in [v / 2 for v in range(-2, 64)]}
+
+
+class TestSingleRotations:
+    """Rotating any eligible node preserves all stabbing answers."""
+
+    def test_rotate_right_everywhere(self):
+        for seed in range(25):
+            tree, live = build_random_tree(seed, 12)
+            nodes = self._collect(tree._root)
+            for node in nodes:
+                if node.left is not None:
+                    before = all_answers(tree)
+                    rotate_right(tree, node)
+                    tree.validate()
+                    assert all_answers(tree) == before, seed
+                    break  # one rotation per tree instance
+
+    def test_rotate_left_everywhere(self):
+        for seed in range(25):
+            tree, live = build_random_tree(seed, 12)
+            nodes = self._collect(tree._root)
+            for node in nodes:
+                if node.right is not None:
+                    before = all_answers(tree)
+                    rotate_left(tree, node)
+                    tree.validate()
+                    assert all_answers(tree) == before, seed
+                    break
+
+    def test_rotate_back_and_forth(self):
+        """rotate_right then rotate_left at the same spot is an identity
+        for query answers (marker layout may legitimately differ)."""
+        tree, live = build_random_tree(99, 15)
+        node = tree._root
+        if node.left is None:
+            return
+        before = all_answers(tree)
+        new_root = rotate_right(tree, node)
+        rotate_left(tree, new_root)
+        tree.validate()
+        assert all_answers(tree) == before
+
+    def test_rotation_at_non_root(self):
+        tree, live = build_random_tree(7, 20)
+        # find a deep node with a left child
+        stack = [tree._root]
+        target = None
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            if node is not tree._root and node.left is not None:
+                target = node
+                break
+            stack.extend([node.left, node.right])
+        if target is None:
+            return
+        before = all_answers(tree)
+        rotate_right(tree, target)
+        tree.validate()
+        assert all_answers(tree) == before
+
+    def _collect(self, root):
+        out = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            out.append(node)
+            stack.extend([node.left, node.right])
+        return out
+
+
+class TestRotationChains:
+    """Random rotation storms keep the tree valid."""
+
+    def test_rotation_storm(self):
+        rng = random.Random(13)
+        tree, live = build_random_tree(13, 25)
+        before = all_answers(tree)
+        for _ in range(60):
+            nodes = TestSingleRotations()._collect(tree._root)
+            node = rng.choice(nodes)
+            if rng.random() < 0.5 and node.left is not None:
+                rotate_right(tree, node)
+            elif node.right is not None:
+                rotate_left(tree, node)
+        tree.validate()
+        assert all_answers(tree) == before
+
+
+class TestHelpers:
+    def test_node_height_and_balance(self):
+        tree = IBSTree()
+        tree.insert(Interval.closed(5, 10), "a")
+        tree.insert(Interval.closed(1, 3), "b")
+        root = tree._root
+        assert node_height(None) == 0
+        assert node_height(root) == tree.height
+        assert isinstance(balance_factor(root), int)
+
+    def test_rotate_requires_child(self):
+        import pytest
+
+        tree = IBSTree()
+        tree.insert(Interval.point(5), "p")
+        with pytest.raises(ValueError):
+            rotate_right(tree, tree._root)
+        with pytest.raises(ValueError):
+            rotate_left(tree, tree._root)
+
+
+class TestAVLUsesRotationsCorrectly:
+    @given(ivs=st.lists(intervals(), min_size=1, max_size=30))
+    def test_sorted_inserts_stay_balanced(self, ivs):
+        tree = AVLIBSTree()
+        ordered = sorted(ivs, key=lambda iv: (str(type(iv.low)), str(iv.low), str(iv.high)))
+        for k, iv in enumerate(ordered):
+            tree.insert(iv, k)
+        tree.validate()
+        for x in [v / 2 for v in range(-2, 86)]:
+            expected = {k for k, iv in enumerate(ordered) if iv.contains(x)}
+            assert tree.stab(x) == expected

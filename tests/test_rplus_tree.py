@@ -1,0 +1,122 @@
+"""Tests for the R+-style clipped interval index."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Interval
+from repro.baselines import RPlusTree1D
+from repro.errors import DuplicateIntervalError, UnknownIntervalError
+from tests.conftest import intervals, query_points
+
+
+class TestBasics:
+    def test_insert_and_stab(self):
+        tree = RPlusTree1D()
+        tree.insert(Interval.closed(1, 5), "a")
+        tree.insert(Interval.closed(4, 9), "b")
+        assert tree.stab(4.5) == {"a", "b"}
+        assert tree.stab(0) == set()
+        assert tree.stab(9) == {"b"}
+
+    def test_point_intervals(self):
+        tree = RPlusTree1D()
+        tree.insert(Interval.point(7), "p")
+        assert tree.stab(7) == {"p"}
+        assert tree.stab(6.9) == set()
+        assert tree.stab(7.1) == set()
+
+    def test_unbounded(self):
+        tree = RPlusTree1D()
+        tree.insert(Interval.at_most(5), "low")
+        tree.insert(Interval.at_least(3), "high")
+        tree.insert(Interval.unbounded(), "all")
+        assert tree.stab(-1000) == {"low", "all"}
+        assert tree.stab(4) == {"low", "high", "all"}
+        assert tree.stab(1000) == {"high", "all"}
+
+    def test_duplicate_and_unknown(self):
+        tree = RPlusTree1D()
+        tree.insert(Interval.closed(1, 2), "a")
+        with pytest.raises(DuplicateIntervalError):
+            tree.insert(Interval.closed(3, 4), "a")
+        with pytest.raises(UnknownIntervalError):
+            tree.delete("b")
+
+    def test_auto_idents(self):
+        tree = RPlusTree1D()
+        a = tree.insert(Interval.closed(1, 2))
+        b = tree.insert(Interval.closed(1, 2))
+        assert a != b
+        assert tree.stab(1.5) == {a, b}
+
+    def test_delete_removes_all_clips(self):
+        tree = RPlusTree1D()
+        tree.insert(Interval.closed(0, 100), "wide")
+        for k in range(20):  # force many splits inside "wide"
+            tree.insert(Interval.closed(5 * k, 5 * k + 2), k)
+        tree.delete("wide")
+        for x in (0, 33, 99.5):
+            assert "wide" not in tree.stab(x)
+        assert "wide" not in tree
+
+
+class TestRPlusCharacteristics:
+    def test_clip_duplication_grows_with_overlap(self):
+        """The R+ trade-off: overlapping data multiplies entries."""
+        disjoint = RPlusTree1D()
+        for k in range(50):
+            disjoint.insert(Interval.closed(10 * k, 10 * k + 5), k)
+        overlapping = RPlusTree1D()
+        for k in range(50):
+            overlapping.insert(Interval.closed(k, k + 100), k)
+        assert disjoint.clip_count <= 2 * 50
+        assert overlapping.clip_count > 5 * 50
+
+    def test_partition_never_shrinks(self):
+        tree = RPlusTree1D()
+        for k in range(10):
+            tree.insert(Interval.closed(k, k + 1), k)
+        segments_before = tree.segment_count
+        for k in range(10):
+            tree.delete(k)
+        assert tree.segment_count == segments_before  # no merging
+        assert tree.stab(5) == set()
+
+    def test_single_path_candidates(self):
+        tree = RPlusTree1D()
+        tree.insert(Interval.closed_open(1, 5), "half")  # approximated closed
+        assert "half" in tree.stab_candidates(5)
+        assert tree.stab(5) == set()  # exact filter corrects it
+
+
+class TestEquivalence:
+    def test_randomized_against_brute_force(self):
+        rng = random.Random(77)
+        tree = RPlusTree1D()
+        live = {}
+        for step in range(400):
+            if rng.random() < 0.7 or not live:
+                a, b = rng.randint(0, 200), rng.randint(0, 200)
+                iv = Interval.closed(min(a, b), max(a, b))
+                tree.insert(iv, step)
+                live[step] = iv
+            else:
+                victim = rng.choice(list(live))
+                tree.delete(victim)
+                del live[victim]
+        for x in range(-5, 206):
+            assert tree.stab(x) == {k for k, iv in live.items() if iv.contains(x)}
+
+    @given(
+        stored=st.lists(intervals(allow_open=False), min_size=0, max_size=20),
+        xs=st.lists(query_points, min_size=1, max_size=10),
+    )
+    def test_property_equivalence(self, stored, xs):
+        tree = RPlusTree1D()
+        for k, iv in enumerate(stored):
+            tree.insert(iv, k)
+        for x in xs:
+            expected = {k for k, iv in enumerate(stored) if iv.contains(x)}
+            assert tree.stab(x) == expected

@@ -1,0 +1,132 @@
+"""Tests for the k-dimensional R-tree."""
+
+import random
+
+import pytest
+
+from repro.baselines import Rect, RTree
+from repro.errors import DuplicateIntervalError, TreeError, UnknownIntervalError
+
+
+class TestRect:
+    def test_construction_and_validation(self):
+        rect = Rect([(0, 10), (5, 5)])
+        assert rect.dims == 2
+        with pytest.raises(TreeError):
+            Rect([(10, 0)])
+
+    def test_point(self):
+        rect = Rect.point([3, 4])
+        assert rect.contains_point([3, 4])
+        assert not rect.contains_point([3, 5])
+
+    def test_contains_point_closed(self):
+        rect = Rect([(0, 10)])
+        assert rect.contains_point([0])
+        assert rect.contains_point([10])
+        assert not rect.contains_point([10.01])
+
+    def test_intersects(self):
+        a = Rect([(0, 10), (0, 10)])
+        b = Rect([(10, 20), (5, 15)])
+        c = Rect([(11, 20), (0, 10)])
+        assert a.intersects(b)  # touching counts
+        assert not a.intersects(c)
+
+    def test_union_area_margin(self):
+        a = Rect([(0, 2), (0, 2)])
+        b = Rect([(4, 6), (0, 2)])
+        merged = a.union(b)
+        assert merged.bounds == ((0, 6), (0, 2))
+        assert a.area() == 4
+        assert merged.margin() == 8
+        assert a.enlargement(b) == merged.area() - a.area()
+
+    def test_degenerate_enlargement_uses_margin(self):
+        a = Rect.point([0])
+        b = Rect.point([5])
+        assert a.enlargement(b) > 0
+
+    def test_value_semantics(self):
+        assert Rect([(0, 1)]) == Rect([(0, 1)])
+        assert hash(Rect([(0, 1)])) == hash(Rect([(0, 1)]))
+        assert Rect([(0, 1)]) != Rect([(0, 2)])
+
+
+class TestRTree:
+    def test_construction_validation(self):
+        with pytest.raises(TreeError):
+            RTree(dims=0)
+        with pytest.raises(TreeError):
+            RTree(dims=1, max_entries=2)
+
+    def test_insert_dims_checked(self):
+        tree = RTree(dims=2)
+        with pytest.raises(TreeError):
+            tree.insert(Rect([(0, 1)]), "a")
+        tree.insert(Rect([(0, 1), (0, 1)]), "a")
+        with pytest.raises(TreeError):
+            tree.search_point([0.5])
+
+    def test_duplicate_and_unknown(self):
+        tree = RTree(dims=1)
+        tree.insert(Rect([(0, 1)]), "a")
+        with pytest.raises(DuplicateIntervalError):
+            tree.insert(Rect([(2, 3)]), "a")
+        with pytest.raises(UnknownIntervalError):
+            tree.delete("b")
+
+    def test_split_and_search(self):
+        tree = RTree(dims=1, max_entries=4)
+        for k in range(50):
+            tree.insert(Rect([(k, k + 2)]), k)
+        assert tree.height() > 1
+        assert tree.search_point([10.5]) == {9, 10}  # wait: [9,11] and [10,12]
+
+    def test_search_rect_window(self):
+        tree = RTree(dims=2, max_entries=4)
+        for k in range(20):
+            tree.insert(Rect([(k, k + 1), (0, 1)]), k)
+        window = Rect([(5, 8), (0, 1)])
+        assert tree.search_rect(window) == {4, 5, 6, 7, 8}
+
+    def test_random_crud_equivalence(self):
+        rng = random.Random(17)
+        tree = RTree(dims=2, max_entries=5)
+        rects = {}
+        for step in range(500):
+            action = rng.random()
+            if action < 0.6 or not rects:
+                ident = step
+                x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+                rect = Rect(
+                    [(x, x + rng.uniform(0, 15)), (y, y + rng.uniform(0, 15))]
+                )
+                tree.insert(rect, ident)
+                rects[ident] = rect
+            else:
+                victim = rng.choice(list(rects))
+                tree.delete(victim)
+                del rects[victim]
+        assert len(tree) == len(rects)
+        for _ in range(200):
+            point = [rng.uniform(-5, 110), rng.uniform(-5, 110)]
+            expected = {i for i, r in rects.items() if r.contains_point(point)}
+            assert tree.search_point(point) == expected
+
+    def test_delete_to_empty(self):
+        tree = RTree(dims=1, max_entries=4)
+        for k in range(30):
+            tree.insert(Rect([(k, k + 1)]), k)
+        for k in range(30):
+            tree.delete(k)
+        assert len(tree) == 0
+        assert tree.search_point([5]) == set()
+        tree.insert(Rect([(1, 2)]), "fresh")
+        assert tree.search_point([1.5]) == {"fresh"}
+
+    def test_contains(self):
+        tree = RTree(dims=1)
+        tree.insert(Rect([(0, 1)]), "a")
+        assert "a" in tree
+        assert "b" not in tree

@@ -1,0 +1,337 @@
+"""Tests for the forward-chaining rule engine."""
+
+import pytest
+
+from repro import (
+    AbortAction,
+    AbortMutation,
+    CollectAction,
+    Database,
+    DeleteAction,
+    InsertAction,
+    RuleEngine,
+    UpdateAction,
+    chain,
+)
+from repro.errors import (
+    DuplicateRuleError,
+    RuleCycleError,
+    RuleError,
+    UnknownRelationError,
+    UnknownRuleError,
+)
+
+FNS = {"isodd": lambda x: x % 2 == 1}
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_relation("emp", ["name", "age", "salary", "dept"])
+    database.create_relation("alerts", ["message"])
+    return database
+
+
+@pytest.fixture
+def engine(db):
+    return RuleEngine(db, functions=FNS)
+
+
+class TestBasicFiring:
+    def test_insert_triggers_matching_rule(self, db, engine):
+        collect = CollectAction()
+        engine.create_rule("r1", on="emp", condition="salary > 100", action=collect)
+        db.insert("emp", {"name": "A", "salary": 200})
+        db.insert("emp", {"name": "B", "salary": 50})
+        assert [name for name, _ in collect.records] == ["r1"]
+        assert collect.records[0][1]["name"] == "A"
+
+    def test_update_triggers(self, db, engine):
+        collect = CollectAction()
+        engine.create_rule("r1", on="emp", condition="salary > 100", action=collect)
+        tid = db.insert("emp", {"name": "A", "salary": 50})
+        assert len(collect.records) == 0
+        db.update("emp", tid, {"salary": 500})
+        assert len(collect.records) == 1
+
+    def test_delete_does_not_trigger_by_default(self, db, engine):
+        collect = CollectAction()
+        engine.create_rule("r1", on="emp", condition="salary > 100", action=collect)
+        tid = db.insert("emp", {"name": "A", "salary": 200})
+        collect.clear()
+        db.delete("emp", tid)
+        assert len(collect.records) == 0
+
+    def test_on_events_delete(self, db, engine):
+        collect = CollectAction()
+        engine.create_rule(
+            "bye", on="emp", condition="salary > 100", action=collect,
+            on_events=("delete",),
+        )
+        tid = db.insert("emp", {"name": "A", "salary": 200})
+        assert len(collect.records) == 0
+        db.delete("emp", tid)
+        assert len(collect.records) == 1
+
+    def test_none_condition_matches_all(self, db, engine):
+        collect = CollectAction()
+        engine.create_rule("all", on="emp", condition=None, action=collect)
+        db.insert("emp", {"name": "A"})
+        assert len(collect.records) == 1
+
+    def test_disjunctive_rule_fires_once(self, db, engine):
+        collect = CollectAction()
+        engine.create_rule(
+            "either", on="emp", condition="age < 10 or salary < 10", action=collect
+        )
+        db.insert("emp", {"name": "A", "age": 5, "salary": 5})
+        assert len(collect.records) == 1
+
+    def test_disabled_rule(self, db, engine):
+        collect = CollectAction()
+        rule = engine.create_rule("r1", on="emp", condition="true", action=collect)
+        rule.enabled = False
+        db.insert("emp", {"name": "A"})
+        assert len(collect.records) == 0
+
+    def test_match_tuple_direct(self, db, engine):
+        engine.create_rule("r1", on="emp", condition="age > 5", action=lambda ctx: None)
+        matched = engine.match_tuple("emp", {"age": 9})
+        assert [r.name for r in matched] == ["r1"]
+        assert engine.match_tuple("emp", {"age": 1}) == []
+
+
+class TestRuleManagement:
+    def test_duplicate_name_rejected(self, db, engine):
+        engine.create_rule("r1", on="emp", condition="true", action=lambda ctx: None)
+        with pytest.raises(DuplicateRuleError):
+            engine.create_rule("r1", on="emp", condition="true", action=lambda ctx: None)
+
+    def test_unknown_relation_rejected(self, db, engine):
+        with pytest.raises(UnknownRelationError):
+            engine.create_rule("r1", on="ghost", condition="true", action=lambda ctx: None)
+
+    def test_unsatisfiable_condition_rejected(self, db, engine):
+        with pytest.raises(RuleError):
+            engine.create_rule(
+                "dead", on="emp", condition="age > 9 and age < 3", action=lambda ctx: None
+            )
+
+    def test_non_callable_action_rejected(self, db, engine):
+        with pytest.raises(RuleError):
+            engine.create_rule("r1", on="emp", condition="true", action="boom")
+
+    def test_bad_event_kind_rejected(self, db, engine):
+        with pytest.raises(RuleError):
+            engine.create_rule(
+                "r1", on="emp", condition="true", action=lambda ctx: None,
+                on_events=("explode",),
+            )
+        with pytest.raises(RuleError):
+            engine.create_rule(
+                "r2", on="emp", condition="true", action=lambda ctx: None,
+                on_events=(),
+            )
+
+    def test_drop_rule(self, db, engine):
+        collect = CollectAction()
+        engine.create_rule("r1", on="emp", condition="true", action=collect)
+        engine.drop_rule("r1")
+        db.insert("emp", {"name": "A"})
+        assert len(collect.records) == 0
+        with pytest.raises(UnknownRuleError):
+            engine.drop_rule("r1")
+        with pytest.raises(UnknownRuleError):
+            engine.rule("r1")
+
+    def test_rules_listing_and_fire_count(self, db, engine):
+        collect = CollectAction()
+        rule = engine.create_rule("r1", on="emp", condition="true", action=collect)
+        engine.create_rule("r2", on="emp", condition="age > 100", action=collect)
+        db.insert("emp", {"name": "A", "age": 1})
+        assert len(engine) == 2
+        assert [r.name for r in engine.rules()] == ["r1", "r2"]
+        assert rule.fire_count == 1
+        assert engine.rule("r2").fire_count == 0
+
+    def test_close_detaches(self, db, engine):
+        collect = CollectAction()
+        engine.create_rule("r1", on="emp", condition="true", action=collect)
+        engine.close()
+        db.insert("emp", {"name": "A"})
+        assert len(collect.records) == 0
+
+    def test_unknown_matcher_strategy(self, db):
+        with pytest.raises(RuleError):
+            RuleEngine(db, matcher="bogus")
+
+    def test_unknown_mode(self, db):
+        with pytest.raises(RuleError):
+            RuleEngine(db, mode="sometimes")
+
+
+class TestConflictResolution:
+    def test_priority_order(self, db, engine):
+        order = []
+        engine.create_rule(
+            "low", on="emp", condition="true",
+            action=lambda ctx: order.append("low"), priority=1,
+        )
+        engine.create_rule(
+            "high", on="emp", condition="true",
+            action=lambda ctx: order.append("high"), priority=10,
+        )
+        db.insert("emp", {"name": "A"})
+        assert order == ["high", "low"]
+
+    def test_recency_depth_first(self, db, engine):
+        """Rules triggered by an action fire before remaining agenda."""
+        order = []
+
+        def spawn_alert(ctx):
+            order.append("spawn")
+            ctx.db.insert("alerts", {"message": "hi"})
+
+        engine.create_rule("spawner", on="emp", condition="true", action=spawn_alert,
+                           priority=5)
+        engine.create_rule("late", on="emp", condition="true",
+                           action=lambda ctx: order.append("late"), priority=0)
+        engine.create_rule("on_alert", on="alerts", condition="true",
+                           action=lambda ctx: order.append("alert"), priority=0)
+        db.insert("emp", {"name": "A"})
+        assert order == ["spawn", "alert", "late"]
+
+
+class TestCascades:
+    def test_fixpoint_update_cascade(self, db, engine):
+        db.create_relation("counters", ["n"])
+        engine.create_rule(
+            "inc", on="counters", condition="n < 5",
+            action=UpdateAction(lambda ctx: {"n": ctx.tuple["n"] + 1}),
+        )
+        tid = db.insert("counters", {"n": 0})
+        assert db.relation("counters").get(tid)["n"] == 5
+
+    def test_cycle_guard(self, db):
+        engine = RuleEngine(db, max_firings=25)
+        db.create_relation("loop", ["v"])
+        engine.create_rule(
+            "runaway", on="loop", condition="v >= 0",
+            action=UpdateAction(lambda ctx: {"v": ctx.tuple["v"] + 1}),
+        )
+        with pytest.raises(RuleCycleError):
+            db.insert("loop", {"v": 0})
+
+    def test_insert_chain(self, db, engine):
+        engine.create_rule(
+            "audit", on="emp", condition="salary >= 1000",
+            action=InsertAction("alerts", lambda ctx: {"message": ctx.tuple["name"]}),
+        )
+        collect = CollectAction()
+        engine.create_rule("on_alert", on="alerts", condition="true", action=collect)
+        db.insert("emp", {"name": "A", "salary": 5000})
+        assert db.count("alerts") == 1
+        assert len(collect.records) == 1
+
+
+class TestDeclarativeActions:
+    def test_update_action_noop_when_unchanged(self, db, engine):
+        fired = []
+        engine.create_rule(
+            "clamp", on="emp", condition="salary > 100",
+            action=chain(
+                lambda ctx: fired.append(ctx.tuple["salary"]),
+                UpdateAction({"salary": 100}),
+            ),
+        )
+        db.insert("emp", {"name": "A", "salary": 500})
+        # fired once for 500; the update to 100 no longer matches
+        assert fired == [500]
+
+    def test_delete_action(self, db, engine):
+        engine.create_rule(
+            "purge", on="emp", condition="age < 0", action=DeleteAction()
+        )
+        db.insert("emp", {"name": "A", "age": -1})
+        assert db.count("emp") == 0
+
+    def test_abort_action_vetoes(self, db, engine):
+        engine.create_rule(
+            "no_neg", on="emp", condition="salary < 0",
+            action=AbortAction("negative salary"),
+        )
+        with pytest.raises(AbortMutation, match="negative salary"):
+            db.insert("emp", {"name": "A", "salary": -1})
+        assert db.count("emp") == 0
+
+    def test_abort_requires_immediate_mode(self, db):
+        engine = RuleEngine(db, mode="deferred")
+        engine.create_rule(
+            "no_neg", on="emp", condition="salary < 0", action=AbortAction()
+        )
+        db.insert("emp", {"name": "A", "salary": -1})
+        with pytest.raises(RuleError):
+            engine.run()
+
+    def test_chain_validates(self):
+        with pytest.raises(RuleError):
+            chain(lambda ctx: None, "nope")
+
+    def test_collect_action_len_repr(self, db, engine):
+        collect = CollectAction()
+        assert len(collect) == 0
+        engine.create_rule("r", on="emp", condition="true", action=collect)
+        db.insert("emp", {"name": "A"})
+        assert len(collect) == 1
+        assert "1 records" in repr(collect)
+
+
+class TestDeferredMode:
+    def test_run_fires_accumulated(self, db):
+        engine = RuleEngine(db, mode="deferred")
+        collect = CollectAction()
+        engine.create_rule("r", on="emp", condition="true", action=collect)
+        db.insert("emp", {"name": "A"})
+        db.insert("emp", {"name": "B"})
+        assert len(collect.records) == 0
+        assert engine.run() == 2
+        assert len(collect.records) == 2
+        assert engine.run() == 0
+
+    def test_deferred_cascade_counts(self, db):
+        engine = RuleEngine(db, mode="deferred")
+        engine.create_rule(
+            "audit", on="emp", condition="true",
+            action=InsertAction("alerts", {"message": "x"}),
+        )
+        collect = CollectAction()
+        engine.create_rule("on_alert", on="alerts", condition="true", action=collect)
+        db.insert("emp", {"name": "A"})
+        fired = engine.run()
+        assert fired == 2  # audit + on_alert
+        assert len(collect.records) == 1
+
+
+class TestContext:
+    def test_context_fields(self, db, engine):
+        seen = {}
+
+        def grab(ctx):
+            seen.update(
+                relation=ctx.relation,
+                tid=ctx.tid,
+                old=ctx.old,
+                rule=ctx.rule.name,
+                kind=ctx.event.kind,
+            )
+
+        engine.create_rule("r", on="emp", condition="age > 1", action=grab)
+        tid = db.insert("emp", {"name": "A", "age": 5})
+        assert seen["relation"] == "emp"
+        assert seen["tid"] == tid
+        assert seen["old"] is None
+        assert seen["rule"] == "r"
+        assert seen["kind"] == "insert"
+        db.update("emp", tid, {"age": 9})
+        assert seen["kind"] == "update"
+        assert seen["old"]["age"] == 5

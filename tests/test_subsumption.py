@@ -1,0 +1,158 @@
+"""Tests for predicate subsumption and disjointness analysis."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import EqualityClause, FunctionClause, Interval, IntervalClause, Predicate
+from repro.core.subsumption import (
+    clause_subsumes,
+    find_subsumed,
+    predicate_subsumes,
+    predicates_disjoint,
+)
+from repro.lang import compile_condition
+from tests.conftest import intervals, query_points
+
+
+def is_odd(x):
+    return x % 2 == 1
+
+
+def pred(relation, *clauses):
+    return Predicate(relation, clauses)
+
+
+def from_text(relation, text):
+    group = compile_condition(relation, text, {"isodd": is_odd}).group
+    assert len(group) == 1
+    return list(group)[0]
+
+
+class TestClauseSubsumes:
+    def test_interval_coverage(self):
+        wide = IntervalClause("x", Interval.closed(0, 100))
+        narrow = IntervalClause("x", Interval.closed(10, 20))
+        assert clause_subsumes(wide, narrow)
+        assert not clause_subsumes(narrow, wide)
+
+    def test_equality_special_case(self):
+        wide = IntervalClause("x", Interval.closed(0, 100))
+        point = EqualityClause("x", 50)
+        assert clause_subsumes(wide, point)
+        assert not clause_subsumes(point, wide)
+        assert clause_subsumes(point, EqualityClause("x", 50))
+
+    def test_attribute_mismatch(self):
+        assert not clause_subsumes(
+            IntervalClause("x", Interval.unbounded()),
+            IntervalClause("y", Interval.point(1)),
+        )
+
+    def test_function_identity(self):
+        a = FunctionClause("x", is_odd)
+        b = FunctionClause("x", is_odd)
+        assert clause_subsumes(a, b)
+        assert not clause_subsumes(a, a.negate())
+        assert not clause_subsumes(a, EqualityClause("x", 1))
+
+    def test_open_bound_edge(self):
+        closed = IntervalClause("x", Interval.closed(1, 9))
+        open_ = IntervalClause("x", Interval.open(1, 9))
+        assert clause_subsumes(closed, open_)
+        assert not clause_subsumes(open_, closed)
+
+
+class TestPredicateSubsumes:
+    def test_fewer_clauses_subsume(self):
+        general = from_text("r", "x >= 0")
+        specific = from_text("r", "x >= 10 and y = 3")
+        assert predicate_subsumes(general, specific)
+        assert not predicate_subsumes(specific, general)
+
+    def test_empty_predicate_subsumes_all(self):
+        everything = Predicate("r", [])
+        anything = from_text("r", "x = 1")
+        assert predicate_subsumes(everything, anything)
+        assert not predicate_subsumes(anything, everything)
+
+    def test_relation_mismatch(self):
+        assert not predicate_subsumes(Predicate("r", []), Predicate("s", []))
+
+    def test_equivalent_predicates(self):
+        a = from_text("r", "3 <= x <= 9")
+        b = from_text("r", "x >= 3 and x <= 9")
+        assert predicate_subsumes(a, b)
+        assert predicate_subsumes(b, a)
+
+    def test_function_conjunct(self):
+        general = pred("r", FunctionClause("x", is_odd))
+        specific = pred(
+            "r", FunctionClause("x", is_odd), EqualityClause("y", 2)
+        )
+        assert predicate_subsumes(general, specific)
+        assert not predicate_subsumes(specific, general)
+
+    @given(
+        stored=st.lists(intervals(), min_size=1, max_size=6),
+        other=intervals(),
+        xs=st.lists(query_points, min_size=1, max_size=20),
+    )
+    def test_soundness_property(self, stored, other, xs):
+        """If subsumption is reported, matching really is implied."""
+        general = pred("r", IntervalClause("x", other))
+        specific = pred("r", *[IntervalClause("x", iv) for iv in stored])
+        if predicate_subsumes(general, specific):
+            for x in xs:
+                tup = {"x": x}
+                if specific.matches(tup):
+                    assert general.matches(tup)
+
+
+class TestDisjoint:
+    def test_non_overlapping_intervals(self):
+        a = from_text("r", "x < 5")
+        b = from_text("r", "x > 9")
+        assert predicates_disjoint(a, b)
+
+    def test_touching_intervals_not_disjoint(self):
+        a = from_text("r", "x <= 5")
+        b = from_text("r", "x >= 5")
+        assert not predicates_disjoint(a, b)
+
+    def test_different_relations_disjoint(self):
+        assert predicates_disjoint(Predicate("r", []), Predicate("s", []))
+
+    def test_functions_never_prove_disjoint(self):
+        a = pred("r", FunctionClause("x", is_odd))
+        b = pred("r", FunctionClause("x", is_odd, negated=True))
+        assert not predicates_disjoint(a, b)  # conservative
+
+    @given(a=intervals(), b=intervals(), xs=st.lists(query_points, min_size=1, max_size=20))
+    def test_soundness_property(self, a, b, xs):
+        """If disjointness is reported, no point matches both."""
+        first = pred("r", IntervalClause("x", a))
+        second = pred("r", IntervalClause("x", b))
+        if predicates_disjoint(first, second):
+            for x in xs:
+                tup = {"x": x}
+                assert not (first.matches(tup) and second.matches(tup))
+
+
+class TestFindSubsumed:
+    def test_reports_pairs_in_direction(self):
+        general = from_text("r", "x >= 0")
+        specific = from_text("r", "x >= 10")
+        unrelated = from_text("s", "x >= 10")
+        pairs = find_subsumed([specific, general, unrelated])
+        assert pairs == [(general, specific)]
+
+    def test_equivalent_reported_once(self):
+        a = from_text("r", "3 <= x <= 9")
+        b = from_text("r", "x >= 3 and x <= 9")
+        pairs = find_subsumed([a, b])
+        assert pairs == [(a, b)]
+
+    def test_no_pairs(self):
+        a = from_text("r", "x < 5")
+        b = from_text("r", "x > 9")
+        assert find_subsumed([a, b]) == []

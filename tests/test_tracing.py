@@ -1,0 +1,51 @@
+"""Tests for firing-trace hooks on both engines."""
+
+from repro import CollectAction, Database, RuleEngine
+from repro.production import ProductionSystem
+
+
+class TestRuleEngineTrace:
+    def test_on_fire_sees_every_firing(self):
+        db = Database()
+        db.create_relation("r", ["x"])
+        engine = RuleEngine(db)
+        trace = []
+        engine.on_fire = lambda rule, ctx: trace.append((rule.name, ctx.tuple["x"]))
+        engine.create_rule("watch", on="r", condition="x > 0", action=lambda ctx: None)
+        db.insert("r", {"x": 1})
+        db.insert("r", {"x": -1})
+        db.insert("r", {"x": 2})
+        assert trace == [("watch", 1), ("watch", 2)]
+
+    def test_trace_fires_before_action(self):
+        db = Database()
+        db.create_relation("r", ["x"])
+        engine = RuleEngine(db)
+        order = []
+        engine.on_fire = lambda rule, ctx: order.append("trace")
+        engine.create_rule(
+            "watch", on="r", condition="true", action=lambda ctx: order.append("action")
+        )
+        db.insert("r", {"x": 1})
+        assert order == ["trace", "action"]
+
+
+class TestProductionTrace:
+    def test_trace_sees_instantiations(self):
+        ps = ProductionSystem()
+        trace = []
+        ps.trace = lambda inst: trace.append(inst.rule.name)
+        ps.add_rule("a", "(t)", lambda ctx: None, priority=1)
+        ps.add_rule("b", "(t)", lambda ctx: None, priority=0)
+        ps.assert_fact("t")
+        ps.run()
+        assert trace == ["a", "b"]
+
+    def test_trace_has_bindings(self):
+        ps = ProductionSystem()
+        seen = []
+        ps.trace = lambda inst: seen.append(dict(inst.bindings))
+        ps.add_rule("r", "(t ^v ?v)", lambda ctx: None)
+        ps.assert_fact("t", v=42)
+        ps.run()
+        assert seen == [{"v": 42}]

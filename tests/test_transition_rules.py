@@ -1,0 +1,137 @@
+"""Tests for Ariel-style transition rules (when_old conditions)."""
+
+import pytest
+
+from repro import CollectAction, Database, RuleEngine
+from repro.errors import RuleError
+
+
+@pytest.fixture
+def setup():
+    db = Database()
+    db.create_relation("emp", ["name", "salary"])
+    engine = RuleEngine(db)
+    collect = CollectAction()
+    engine.create_rule(
+        "crossed_up",
+        on="emp",
+        condition="salary > 30000",
+        when_old="salary <= 30000",
+        action=collect,
+    )
+    return db, engine, collect
+
+
+class TestTransitionSemantics:
+    def test_fires_on_upward_crossing(self, setup):
+        db, engine, collect = setup
+        tid = db.insert("emp", {"name": "A", "salary": 20000})
+        assert len(collect.records) == 0  # insert: no old image
+        db.update("emp", tid, {"salary": 40000})
+        assert len(collect.records) == 1
+
+    def test_no_fire_when_already_above(self, setup):
+        db, engine, collect = setup
+        tid = db.insert("emp", {"name": "A", "salary": 50000})
+        db.update("emp", tid, {"salary": 60000})  # stayed above: no edge
+        assert len(collect.records) == 0
+
+    def test_no_fire_on_downward_or_below(self, setup):
+        db, engine, collect = setup
+        tid = db.insert("emp", {"name": "A", "salary": 50000})
+        db.update("emp", tid, {"salary": 10000})  # downward crossing
+        db.update("emp", tid, {"salary": 20000})  # still below
+        assert len(collect.records) == 0
+
+    def test_refires_on_each_crossing(self, setup):
+        db, engine, collect = setup
+        tid = db.insert("emp", {"name": "A", "salary": 10000})
+        db.update("emp", tid, {"salary": 40000})
+        db.update("emp", tid, {"salary": 10000})
+        db.update("emp", tid, {"salary": 99999})
+        assert len(collect.records) == 2
+
+    def test_insert_events_excluded_by_default(self, setup):
+        db, engine, collect = setup
+        assert engine.rule("crossed_up").on_events == frozenset({"update"})
+
+    def test_rule_is_transition(self, setup):
+        _, engine, _ = setup
+        assert engine.rule("crossed_up").is_transition
+        assert engine.rule("crossed_up").old_source == "salary <= 30000"
+
+    def test_non_transition_unaffected(self):
+        db = Database()
+        db.create_relation("emp", ["name", "salary"])
+        engine = RuleEngine(db)
+        collect = CollectAction()
+        engine.create_rule(
+            "plain", on="emp", condition="salary > 30000", action=collect
+        )
+        db.insert("emp", {"name": "A", "salary": 50000})
+        assert len(collect.records) == 1
+        assert not engine.rule("plain").is_transition
+
+    def test_unsatisfiable_old_condition_rejected(self):
+        db = Database()
+        db.create_relation("emp", ["name", "salary"])
+        engine = RuleEngine(db)
+        with pytest.raises(RuleError):
+            engine.create_rule(
+                "dead",
+                on="emp",
+                condition="salary > 0",
+                when_old="salary > 9 and salary < 3",
+                action=lambda ctx: None,
+            )
+
+    def test_downward_transition_rule(self):
+        db = Database()
+        db.create_relation("stock", ["item", "level"])
+        engine = RuleEngine(db)
+        collect = CollectAction()
+        engine.create_rule(
+            "went_empty",
+            on="stock",
+            condition="level = 0",
+            when_old="level > 0",
+            action=collect,
+        )
+        tid = db.insert("stock", {"item": "x", "level": 5})
+        db.update("stock", tid, {"level": 0})
+        db.update("stock", tid, {"level": 0})  # still empty: no new edge?
+        # second update: old level 0 does not match "level > 0": no fire
+        assert len(collect.records) == 1
+
+    def test_context_old_image_available(self, setup):
+        db, engine, collect = setup
+        seen = {}
+        engine.create_rule(
+            "grab",
+            on="emp",
+            condition="salary > 30000",
+            when_old="salary <= 30000",
+            action=lambda ctx: seen.update(old=ctx.old["salary"],
+                                           new=ctx.tuple["salary"]),
+        )
+        tid = db.insert("emp", {"name": "A", "salary": 100})
+        db.update("emp", tid, {"salary": 40000})
+        assert seen == {"old": 100, "new": 40000}
+
+    def test_explicit_on_events_override(self):
+        db = Database()
+        db.create_relation("emp", ["name", "salary"])
+        engine = RuleEngine(db)
+        collect = CollectAction()
+        engine.create_rule(
+            "bye_rich",
+            on="emp",
+            condition="true",
+            when_old="salary > 90000",
+            on_events=("delete",),
+            action=collect,
+        )
+        tid = db.insert("emp", {"name": "A", "salary": 99000})
+        db.delete("emp", tid)
+        # delete events have no separate old attribute: DeleteEvent.old
+        assert len(collect.records) == 1

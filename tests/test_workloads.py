@@ -1,0 +1,158 @@
+"""Tests for the workload generators."""
+
+import random
+
+import pytest
+
+from repro import Database
+from repro.errors import WorkloadError
+from repro.workloads import (
+    IntervalWorkload,
+    ScenarioConfig,
+    ScenarioWorkload,
+    emp_schema,
+    grocery_schema,
+    non_indexable_probe,
+    random_emp,
+    random_item,
+    wide_schema,
+)
+
+
+class TestIntervalWorkload:
+    def test_paper_distribution(self):
+        workload = IntervalWorkload(point_fraction=0.5, seed=1)
+        intervals = workload.intervals(2000)
+        points = [iv for iv in intervals if iv.is_point]
+        ranges = [iv for iv in intervals if not iv.is_point]
+        # a = 0.5 within tolerance
+        assert 0.42 < len(points) / len(intervals) < 0.58
+        for iv in intervals:
+            assert 1 <= iv.low <= 10_000
+            assert iv.low_inclusive and iv.high_inclusive
+        for iv in ranges:
+            assert 1 <= iv.high - iv.low <= 1_000
+
+    def test_extreme_fractions(self):
+        assert all(iv.is_point for iv in IntervalWorkload(1.0, seed=2).intervals(100))
+        assert not any(iv.is_point for iv in IntervalWorkload(0.0, seed=2).intervals(100))
+
+    def test_seed_determinism(self):
+        a = IntervalWorkload(0.5, seed=42).intervals(50)
+        b = IntervalWorkload(0.5, seed=42).intervals(50)
+        assert a == b
+        c = IntervalWorkload(0.5, seed=43).intervals(50)
+        assert a != c
+
+    def test_query_points_in_domain(self):
+        workload = IntervalWorkload(seed=3)
+        for x in workload.query_points(500):
+            assert 1 <= x <= 10_000
+
+    def test_disjoint_intervals(self):
+        workload = IntervalWorkload(seed=4)
+        intervals = workload.disjoint_intervals(100)
+        assert len(intervals) == 100
+        ordered = sorted(intervals, key=lambda iv: iv.low)
+        for a, b in zip(ordered, ordered[1:]):
+            assert a.high < b.low
+        # returned shuffled, not in ascending order
+        assert intervals != ordered
+
+    def test_predicates_wrapping(self):
+        workload = IntervalWorkload(point_fraction=0.5, seed=5)
+        predicates = workload.predicates(50, relation="emp", attribute="salary")
+        assert all(p.relation == "emp" for p in predicates)
+        assert all(p.clauses[0].attribute == "salary" for p in predicates)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            IntervalWorkload(point_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            IntervalWorkload(value_low=10, value_high=1)
+        with pytest.raises(WorkloadError):
+            IntervalWorkload(length_low=10, length_high=1)
+
+
+class TestScenarioWorkload:
+    def test_paper_defaults(self):
+        workload = ScenarioWorkload(ScenarioConfig(seed=1))
+        assert len(workload.attribute_names) == 15
+        assert len(workload.predicate_attributes) == 5
+        predicates = workload.predicates()["r0"]
+        assert len(predicates) == 200
+        indexable = [p for p in predicates if p.is_indexable]
+        assert 0.8 < len(indexable) / len(predicates) <= 1.0
+
+    def test_clause_count_and_selectivity(self):
+        workload = ScenarioWorkload(ScenarioConfig(seed=2))
+        pred = workload.predicate("r0")
+        assert len(pred.clauses) == 2
+        for clause in pred.clauses:
+            if clause.indexable and not clause.interval.is_point:
+                width = clause.interval.high - clause.interval.low + 1
+                assert width == 1000  # 10% of the 10k domain
+
+    def test_tuples_shape(self):
+        workload = ScenarioWorkload(ScenarioConfig(seed=3))
+        tup = workload.tuple()
+        assert set(tup) == set(workload.attribute_names)
+        assert all(1 <= v <= 10_000 for v in tup.values())
+
+    def test_null_fraction(self):
+        workload = ScenarioWorkload(
+            ScenarioConfig(seed=4, tuple_null_fraction=0.5)
+        )
+        values = [v for tup in workload.tuples(50) for v in tup.values()]
+        nulls = sum(1 for v in values if v is None)
+        assert 0.35 < nulls / len(values) < 0.65
+
+    def test_events_stream(self):
+        workload = ScenarioWorkload(ScenarioConfig(relations=3, seed=5))
+        events = list(workload.events(50))
+        assert len(events) == 50
+        assert {rel for rel, _ in events} <= {"r0", "r1", "r2"}
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ScenarioConfig(relations=0)
+        with pytest.raises(WorkloadError):
+            ScenarioConfig(predicate_attr_fraction=0)
+        with pytest.raises(WorkloadError):
+            ScenarioConfig(indexable_fraction=2)
+        with pytest.raises(WorkloadError):
+            ScenarioConfig(clauses_per_predicate=0)
+        with pytest.raises(WorkloadError):
+            ScenarioConfig(clause_selectivity=0)
+
+    def test_non_indexable_probe(self):
+        assert non_indexable_probe(3)
+        assert not non_indexable_probe(4)
+
+
+class TestSchemas:
+    def test_emp_schema_and_tuples(self):
+        db = Database()
+        emp_schema(db)
+        rng = random.Random(1)
+        for _ in range(20):
+            db.insert("emp", random_emp(rng))
+        assert db.count("emp") == 20
+        row = db.select("emp")[0]
+        assert {"name", "age", "salary", "dept", "job"} == set(row)
+
+    def test_grocery_schema_and_items(self):
+        db = Database()
+        grocery_schema(db)
+        rng = random.Random(2)
+        for k in range(10):
+            db.insert("items", random_item(rng, k))
+        assert db.count("items") == 10
+        item = db.select("items")[0]
+        assert item["reorder_qty"] >= item["reorder_level"]
+
+    def test_wide_schema(self):
+        db = Database()
+        wide_schema(db, "w", attributes=7)
+        assert len(db.relation("w").schema) == 7
+        db.insert("w", {"a0": 1})
