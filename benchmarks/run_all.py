@@ -3,7 +3,10 @@
 
 Equivalent to ``python -m repro.bench.runner``.  Individual figures::
 
-    python benchmarks/run_all.py fig7 fig8 fig9 cost space abl1 abl2 e2e
+    python benchmarks/run_all.py fig7 fig8 fig9 cost space abl1 abl2 e2e batch
+
+``--smoke`` runs every selected experiment (default: all) at a reduced
+scale — a fast sanity pass for CI, not a measurement.
 """
 
 import sys
@@ -14,12 +17,23 @@ from repro.bench.runner import (
     print_ablation_indexes,
     print_ablation_multiclause,
     print_ablation_selectivity,
+    print_batch,
     print_cost_model,
     print_e2e,
     print_fig7,
     print_fig8,
     print_fig9,
     print_space,
+    run_ablation_balancing,
+    run_ablation_indexes,
+    run_ablation_multiclause,
+    run_ablation_selectivity,
+    run_batch,
+    run_e2e,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_space,
 )
 
 RUNNERS = {
@@ -33,18 +47,53 @@ RUNNERS = {
     "abl3": print_ablation_selectivity,
     "abl4": print_ablation_multiclause,
     "e2e": print_e2e,
+    "batch": print_batch,
 }
 
+#: Reduced-scale arguments per experiment for ``--smoke``.  Each entry
+#: is ``(run_fn, kwargs, print_fn)``; experiments without an entry run
+#: their print function with defaults (already fast).
+SMOKE = {
+    "fig7": (run_fig7, {"ns": (50, 100)}, print_fig7),
+    "fig8": (run_fig8, {"ns": (50, 100)}, print_fig8),
+    "fig9": (run_fig9, {"ns": (10, 50)}, print_fig9),
+    "space": (run_space, {"ns": (50, 100)}, print_space),
+    "abl1": (run_ablation_indexes, {"n": 100, "queries": 100}, print_ablation_indexes),
+    "abl2": (run_ablation_balancing, {"n": 200}, print_ablation_balancing),
+    "abl3": (run_ablation_selectivity, {"predicates": 100, "tuples": 50},
+             print_ablation_selectivity),
+    "abl4": (run_ablation_multiclause, {"predicates": 100, "tuples": 50},
+             print_ablation_multiclause),
+    "e2e": (run_e2e, {"predicate_counts": (50, 100), "tuples": 50}, print_e2e),
+    "batch": (run_batch, {"predicates": 500, "batch_size": 100, "repeats": 1},
+              print_batch),
+}
+
+
+def run_smoke(names):
+    for name in names:
+        entry = SMOKE.get(name)
+        if entry is None:
+            RUNNERS[name]()
+            continue
+        run_fn, kwargs, print_fn = entry
+        print_fn(run_fn(**kwargs))
+
+
 if __name__ == "__main__":
-    selected = sys.argv[1:]
-    if not selected:
+    arguments = sys.argv[1:]
+    smoke = "--smoke" in arguments
+    selected = [argument for argument in arguments if argument != "--smoke"]
+    unknown = [name for name in selected if name not in RUNNERS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment(s) {', '.join(map(repr, unknown))}; "
+            f"choose from {', '.join(RUNNERS)}"
+        )
+    if smoke:
+        run_smoke(selected or list(RUNNERS))
+    elif not selected:
         main()
     else:
         for name in selected:
-            try:
-                runner = RUNNERS[name]
-            except KeyError:
-                raise SystemExit(
-                    f"unknown experiment {name!r}; choose from {', '.join(RUNNERS)}"
-                )
-            runner()
+            RUNNERS[name]()

@@ -1,0 +1,79 @@
+"""BATCH — batched matching vs the paper's per-tuple design point.
+
+The paper's algorithm matches one tuple at a time (Section 3).  The
+``match_batch`` extension amortises the per-tuple index probes across a
+batch — distinct values per indexed attribute are stabbed once and the
+results fanned back out — and ``FlatIBSTree`` packs the tree into
+parallel arrays with bitset marker sets.
+
+Acceptance criterion (checked in ``test_batched_flat_speedup``): on the
+Section 5.2 scenario at 10,000 predicates with 1,000-tuple batches,
+batched matching over the flat backend sustains at least 2x the
+throughput of single-tuple matching over the nested ``IBSTree``.
+
+Running this module rewrites ``BENCH_batch.json`` at the repo root with
+the measured rows.
+"""
+
+import json
+import platform
+from pathlib import Path
+
+import pytest
+
+from repro.bench.runner import run_batch
+
+PREDICATES = 10_000
+BATCH_SIZE = 1_000
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+
+
+@pytest.fixture(scope="module")
+def batch_rows():
+    rows = run_batch(predicates=PREDICATES, batch_size=BATCH_SIZE)
+    RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": "batch_throughput",
+                "scenario": {
+                    "predicates": PREDICATES,
+                    "batch_size": BATCH_SIZE,
+                    "relation": "r0",
+                },
+                "baseline": "per-tuple PredicateIndex.match over IBSTree",
+                "python": platform.python_version(),
+                "rows": [
+                    {key: round(value, 3) if isinstance(value, float) else value
+                     for key, value in row.items()}
+                    for row in rows
+                ],
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    return {(row["backend"], row["mode"]): row for row in rows}
+
+
+def test_all_configurations_measured(batch_rows):
+    assert set(batch_rows) == {
+        ("ibs", "single"),
+        ("ibs", "batch"),
+        ("flat", "single"),
+        ("flat", "batch"),
+    }
+    assert batch_rows[("ibs", "single")]["speedup"] == pytest.approx(1.0)
+
+
+def test_batched_flat_speedup(batch_rows):
+    """The ISSUE acceptance bar: batched + flat tree >= 2x per-tuple IBS."""
+    assert batch_rows[("flat", "batch")]["speedup"] >= 2.0
+
+
+def test_batching_helps_both_backends(batch_rows):
+    """Batching alone must beat per-tuple matching on either backend."""
+    assert batch_rows[("ibs", "batch")]["speedup"] > 1.5
+    assert (
+        batch_rows[("flat", "batch")]["tuples_per_s"]
+        > batch_rows[("flat", "single")]["tuples_per_s"]
+    )

@@ -37,6 +37,7 @@ Quickstart::
 from .core import (
     AVLIBSTree,
     DefaultEstimator,
+    FlatIBSTree,
     IBSNode,
     IBSTree,
     RBIBSTree,
@@ -51,6 +52,7 @@ from .core import (
 from .db import (
     AbortMutation,
     Attribute,
+    BatchEvent,
     Database,
     Domain,
     Relation,
@@ -103,6 +105,7 @@ __all__ = [
     "IBSNode",
     "AVLIBSTree",
     "RBIBSTree",
+    "FlatIBSTree",
     "PredicateIndex",
     "MatchStatistics",
     "DefaultEstimator",
@@ -125,6 +128,7 @@ __all__ = [
     "Attribute",
     "Domain",
     "AbortMutation",
+    "BatchEvent",
     # rule system
     "RuleEngine",
     "Rule",

@@ -19,7 +19,7 @@ Two protocols are defined:
 
 from __future__ import annotations
 
-from typing import Any, Hashable, List, Mapping, Set
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Set
 
 from ..predicates.predicate import Predicate
 
@@ -47,6 +47,16 @@ class PredicateMatcher:
     def match_idents(self, relation: str, tup: Mapping[str, Any]) -> Set[Hashable]:
         """Identifiers of all matching predicates (default: via match)."""
         return {pred.ident for pred in self.match(relation, tup)}
+
+    def match_batch(
+        self, relation: str, tuples: Iterable[Mapping[str, Any]]
+    ) -> List[List[Predicate]]:
+        """Match several tuples at once; one result list per input tuple.
+
+        The default simply loops :meth:`match`; strategies with a real
+        batched fast path (the IBS index) override it.
+        """
+        return [self.match(relation, tup) for tup in tuples]
 
     def __len__(self) -> int:
         raise NotImplementedError
@@ -79,6 +89,34 @@ class IntervalIndex:
     def stab(self, x: Any) -> Set[Hashable]:
         """Identifiers of all intervals containing *x*."""
         raise NotImplementedError
+
+    def stab_into(self, x: Any, out: Set[Hashable]) -> Set[Hashable]:
+        """Union the identifiers of intervals containing *x* into *out*.
+
+        All-or-nothing: a ``TypeError`` from the probe leaves *out*
+        untouched.  Default delegates to :meth:`stab`; tree-shaped
+        indexes override it to skip the temporary result set.
+        """
+        out.update(self.stab(x))
+        return out
+
+    def stab_many(self, values: Iterable[Any]) -> Dict[Any, Optional[Set[Hashable]]]:
+        """Stab several values; ``{value: idents}`` per distinct value.
+
+        Values for which :meth:`stab` raises ``TypeError`` (incomparable
+        with the indexed endpoints) map to ``None``.  Default loops
+        :meth:`stab`; the IBS-trees override it with a shared-prefix
+        grouped descent.
+        """
+        out: Dict[Any, Optional[Set[Hashable]]] = {}
+        for v in values:
+            if v in out:
+                continue
+            try:
+                out[v] = self.stab(v)
+            except TypeError:
+                out[v] = None
+        return out
 
     def __len__(self) -> int:
         raise NotImplementedError

@@ -37,6 +37,7 @@ from ..baselines.rtree import RTreeMatcher
 from ..core.avl_ibs_tree import AVLIBSTree
 from ..core.rb_ibs_tree import RBIBSTree
 from ..core.ibs_tree import IBSTree
+from ..core.flat_ibs_tree import FlatIBSTree
 from ..core.intervals import Interval
 from ..core.predicate_index import PredicateIndex
 from ..workloads.generator import IntervalWorkload, ScenarioConfig, ScenarioWorkload
@@ -59,6 +60,7 @@ __all__ = [
     "run_ablation_selectivity",
     "run_ablation_multiclause",
     "run_e2e",
+    "run_batch",
     "main",
 ]
 
@@ -776,6 +778,110 @@ def print_e2e(rows: Optional[List[Dict[str, Any]]] = None) -> List[Dict[str, Any
 
 
 # ----------------------------------------------------------------------
+# BATCH — single-tuple vs batched matching throughput
+# ----------------------------------------------------------------------
+
+BATCH_CONFIGURATIONS: Tuple[Tuple[str, str], ...] = (
+    ("ibs", "single"),
+    ("ibs", "batch"),
+    ("flat", "single"),
+    ("flat", "batch"),
+)
+
+
+def run_batch(
+    predicates: int = 10_000,
+    batch_size: int = 1_000,
+    repeats: int = 3,
+    seed: int = 12,
+) -> List[Dict[str, Any]]:
+    """Batched-matching throughput against the per-tuple baseline.
+
+    Builds the Section 5.2 scenario at *predicates* predicates and
+    measures tuples/second for four configurations: per-tuple
+    :meth:`PredicateIndex.match` and whole-batch
+    :meth:`PredicateIndex.match_batch`, each over the nested
+    ``IBSTree`` and the flat array-backed ``FlatIBSTree`` backend.
+    Every configuration is checked for agreement with the per-tuple
+    reference on a sample before timing; each timing keeps the best of
+    *repeats* runs after one warm-up pass (the warm-up compiles the
+    residual evaluators and fills the flat backend's decode cache, the
+    steady state a rule engine runs in).
+
+    ``speedup`` is relative to the first configuration (per-tuple
+    matching over ``IBSTree`` — the paper's design point).
+    """
+    config = ScenarioConfig(predicates_per_relation=predicates, seed=seed)
+    workload = ScenarioWorkload(config)
+    predicate_list = workload.predicates()["r0"]
+    batch = workload.tuples(batch_size)
+    indexes: Dict[str, PredicateIndex] = {
+        "ibs": PredicateIndex(),
+        "flat": PredicateIndex(tree_factory=FlatIBSTree),
+    }
+    for index in indexes.values():
+        for predicate in predicate_list:
+            index.add(predicate)
+    sample = batch[: min(20, batch_size)]
+    reference = [{p.ident for p in indexes["ibs"].match("r0", tup)} for tup in sample]
+    for backend, index in indexes.items():
+        answers = [{p.ident for p in row} for row in index.match_batch("r0", sample)]
+        if answers != reference:
+            raise AssertionError(
+                f"match_batch over {backend!r} disagrees with per-tuple match"
+            )
+    rows: List[Dict[str, Any]] = []
+    baseline: Optional[float] = None
+    for backend, mode in BATCH_CONFIGURATIONS:
+        index = indexes[backend]
+        if mode == "single":
+
+            def work(idx: PredicateIndex = index) -> None:
+                for tup in batch:
+                    idx.match("r0", tup)
+
+        else:
+
+            def work(idx: PredicateIndex = index) -> None:
+                idx.match_batch("r0", batch)
+
+        work()  # warm-up
+        elapsed = math.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            work()
+            elapsed = min(elapsed, time.perf_counter() - start)
+        throughput = batch_size / elapsed
+        if baseline is None:
+            baseline = throughput
+        rows.append(
+            {
+                "backend": backend,
+                "mode": mode,
+                "us_per_tuple": elapsed / batch_size * 1e6,
+                "tuples_per_s": throughput,
+                "speedup": throughput / baseline,
+            }
+        )
+    return rows
+
+
+def print_batch(rows: Optional[List[Dict[str, Any]]] = None) -> List[Dict[str, Any]]:
+    rows = rows if rows is not None else run_batch()
+    print_experiment(
+        "BATCH: single-tuple vs batched matching throughput",
+        ["backend", "mode", "us_per_tuple", "tuples_per_s", "speedup"],
+        [
+            [row["backend"], row["mode"], row["us_per_tuple"],
+             row["tuples_per_s"], row["speedup"]]
+            for row in rows
+        ],
+        note="speedup is relative to per-tuple match over IBSTree",
+    )
+    return rows
+
+
+# ----------------------------------------------------------------------
 
 
 def main() -> None:
@@ -790,6 +896,7 @@ def main() -> None:
     print_ablation_selectivity()
     print_ablation_multiclause()
     print_e2e()
+    print_batch()
 
 
 if __name__ == "__main__":

@@ -236,6 +236,82 @@ class IBSTree:
     # The paper's name for the stabbing query.
     find_intervals = stab
 
+    def stab_into(self, x: Any, out: Set[Hashable]) -> Set[Hashable]:
+        """Union the identifiers of all intervals containing *x* into *out*.
+
+        Same descent as :meth:`stab`, but accumulating into a
+        caller-provided set instead of allocating a fresh one — the
+        matcher probes several attribute trees per tuple and wants one
+        candidate set across all of them.  All-or-nothing: if the
+        descent raises ``TypeError`` (incomparable value), *out* is
+        left untouched.
+        """
+        acc: List[Set[Hashable]] = []
+        node = self._root
+        while node is not None:
+            value = node.value
+            if x == value:
+                acc.append(node.slots[EQ])
+                break
+            if x < value:
+                acc.append(node.slots[LT])
+                node = node.left
+            else:
+                acc.append(node.slots[GT])
+                node = node.right
+        out.update(*acc)
+        return out
+
+    def stab_many(self, values: Any) -> Dict[Any, Optional[Set[Hashable]]]:
+        """Stab several values in one shared-prefix descent.
+
+        Returns ``{value: idents}`` with one entry per distinct input
+        value.  Values incomparable with a node value on their search
+        path — where a lone :meth:`stab` would raise ``TypeError`` —
+        map to ``None`` instead.  Sorted inputs keep sibling groups
+        adjacent, but any iterable works.
+
+        The descent partitions the value group at each node, so marker
+        sets along a shared search-path prefix (the root's above all)
+        are unioned once per *group* rather than once per value.
+        """
+        out: Dict[Any, Optional[Set[Hashable]]] = {}
+        group: List[Any] = []
+        for v in values:
+            if v not in out:
+                out[v] = None  # pre-claim; overwritten on success
+                group.append(v)
+        if not group:
+            return out
+        stack: List[Tuple[Optional[IBSNode], List[Any], Tuple[Set[Hashable], ...]]] = [
+            (self._root, group, ())
+        ]
+        while stack:
+            node, vals, acc = stack.pop()
+            if node is None:
+                result = set().union(*acc) if acc else set()
+                for v in vals:
+                    out[v] = set(result)
+                continue
+            value = node.value
+            less: List[Any] = []
+            greater: List[Any] = []
+            for x in vals:
+                try:
+                    if x == value:
+                        out[x] = set().union(*acc, node.slots[EQ])
+                    elif x < value:
+                        less.append(x)
+                    else:
+                        greater.append(x)
+                except TypeError:
+                    pass  # incomparable: stays None, as stab() raising
+            if less:
+                stack.append((node.left, less, acc + (node.slots[LT],)))
+            if greater:
+                stack.append((node.right, greater, acc + (node.slots[GT],)))
+        return out
+
     def overlapping(self, query: Interval) -> Set[Hashable]:
         """Identifiers of all intervals overlapping the *query* interval.
 

@@ -35,6 +35,7 @@ from typing import (
     Callable,
     Dict,
     Hashable,
+    Iterable,
     Iterator,
     List,
     Mapping,
@@ -44,14 +45,20 @@ from typing import (
 )
 
 from ..errors import PredicateError, UnknownIntervalError
-from ..predicates.clauses import IntervalClause
+from ..predicates.clauses import FunctionClause, IntervalClause
 from ..predicates.predicate import Predicate
 from .ibs_tree import IBSTree
+from .intervals import MINUS_INF, PLUS_INF
 from .selectivity import DefaultEstimator, SelectivityEstimator, choose_index_clause
 
 __all__ = ["PredicateIndex", "MatchStatistics"]
 
 TreeFactory = Callable[[], IBSTree]
+
+
+class _Unbatchable(Exception):
+    """Internal: a batch contains values the batched path cannot handle
+    (e.g. unhashable attribute values); fall back to per-tuple match."""
 
 
 class MatchStatistics:
@@ -68,6 +75,8 @@ class MatchStatistics:
         "partial_matches",
         "non_indexable_tested",
         "full_matches",
+        "batches_matched",
+        "residual_memo_hits",
     )
 
     def __init__(self) -> None:
@@ -76,6 +85,8 @@ class MatchStatistics:
         self.partial_matches = 0
         self.non_indexable_tested = 0
         self.full_matches = 0
+        self.batches_matched = 0
+        self.residual_memo_hits = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -84,6 +95,8 @@ class MatchStatistics:
         self.partial_matches = 0
         self.non_indexable_tested = 0
         self.full_matches = 0
+        self.batches_matched = 0
+        self.residual_memo_hits = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Counters as a plain dict (for reports)."""
@@ -97,7 +110,7 @@ class MatchStatistics:
 class _RelationIndex:
     """Second-level index for one relation (Figure 1, lower half)."""
 
-    __slots__ = ("trees", "non_indexable", "indexed_under", "predicates")
+    __slots__ = ("trees", "non_indexable", "indexed_under", "predicates", "residuals")
 
     def __init__(self) -> None:
         #: attribute name -> IBS-tree over that attribute's clause intervals
@@ -110,6 +123,9 @@ class _RelationIndex:
         self.indexed_under: Dict[Hashable, Tuple[str, ...]] = {}
         #: the PREDICATES table: ident -> full predicate
         self.predicates: Dict[Hashable, Predicate] = {}
+        #: ident -> compiled residual evaluator (built lazily by
+        #: match_batch); see :func:`_compile_residual`
+        self.residuals: Dict[Hashable, Tuple[Any, ...]] = {}
 
 
 class PredicateIndex:
@@ -199,6 +215,7 @@ class PredicateIndex:
             raise UnknownIntervalError(ident) from None
         rel_index = self._relations[relation]
         predicate = rel_index.predicates.pop(ident)
+        rel_index.residuals.pop(ident, None)
         attributes = rel_index.indexed_under.pop(ident, None)
         if attributes is None:
             rel_index.non_indexable.discard(ident)
@@ -253,7 +270,7 @@ class PredicateIndex:
                     continue  # NULL matches no clause: no tree entry applies
                 self.stats.trees_searched += 1
                 try:
-                    candidates |= tree.stab(value)
+                    tree.stab_into(value, candidates)
                 except TypeError:
                     # the value's type is incomparable with this
                     # attribute's indexed bounds (mixed-domain data): no
@@ -269,6 +286,328 @@ class PredicateIndex:
                 yield predicate, ident
             else:
                 yield None, ident
+
+    def match_batch(
+        self, relation: str, tuples: Iterable[Mapping[str, Any]]
+    ) -> List[List[Predicate]]:
+        """Match a batch of tuples; returns one result list per tuple.
+
+        Semantically identical to ``[self.match(relation, t) for t in
+        tuples]`` (the differential tests assert exactly that), but the
+        work is restructured around the batch:
+
+        1. the batch's values are grouped per indexed attribute,
+           deduplicated and sorted, and each attribute tree is stabbed
+           **once per distinct value** via :meth:`IBSTree.stab_many`
+           (sorted order keeps the grouped descent's sibling partitions
+           adjacent and shares search-path prefixes);
+        2. the stab results are fanned back out per tuple (in the
+           paper's single-clause scheme the per-attribute stabbed sets
+           are disjoint, so no per-tuple union is built);
+        3. residual tests run through **compiled evaluators** that
+           skip the clauses already *proven* by the index probe — a
+           stabbed candidate's entry clause is known to match, so only
+           the remaining clauses are tested — and interval-only
+           residuals are **memoized** per batch on ``(ident,
+           restricted-tuple-projection)`` whenever the batch shows
+           enough value repetition for the memo to pay off.
+
+        Function clauses are always (re-)evaluated per tuple, exactly
+        as the per-tuple path does: memoizing them on ``==``-collapsed
+        keys would be unsound for type-sensitive functions (``2`` and
+        ``2.0`` share a key), and the paper assumes nothing about them
+        "except that it returns true or false".  Batches containing
+        unhashable or infinity-sentinel values in indexed attributes
+        fall back to the per-tuple loop transparently.
+        """
+        tuples = list(tuples)
+        if not tuples:
+            return []
+        rel_index = self._relations.get(relation)
+        if rel_index is None:
+            self.stats.tuples_matched += len(tuples)
+            self.stats.batches_matched += 1
+            return [[] for _ in tuples]
+        try:
+            stab_tables, memo_on = self._batch_stab_tables(rel_index, tuples)
+        except _Unbatchable:
+            return [self.match(relation, tup) for tup in tuples]
+        if self._multi_clause:
+            per_tuple = self._batch_intersect(rel_index, tuples, stab_tables)
+        else:
+            per_tuple = None
+        stats = self.stats
+        stats.tuples_matched += len(tuples)
+        stats.batches_matched += 1
+        non_indexable = rel_index.non_indexable
+        stats.non_indexable_tested += len(non_indexable) * len(tuples)
+        predicates = rel_index.predicates
+        residuals = rel_index.residuals
+        indexed_under = rel_index.indexed_under
+        if len(residuals) != len(predicates):
+            for ident, predicate in predicates.items():
+                if ident not in residuals:
+                    residuals[ident] = _compile_residual(
+                        predicate, indexed_under.get(ident, ())
+                    )
+        # Non-indexable predicates are tested against *every* tuple:
+        # resolve their entries once per batch into homogeneous
+        # per-kind lists so the tuple loop runs without per-candidate
+        # dict lookups or kind dispatch.
+        ni_trivial: List[Predicate] = []
+        ni_closed: List[Tuple[Any, ...]] = []
+        ni_single: List[Tuple[Hashable, Tuple[Any, ...]]] = []
+        ni_multi: List[Tuple[Hashable, Tuple[Any, ...]]] = []
+        ni_opaque: List[Predicate] = []
+        for ident in non_indexable:
+            entry = residuals[ident]
+            kind = entry[0]
+            if kind == _MULTI:
+                ni_multi.append((ident, entry))
+            elif kind == _SINGLE:
+                ni_single.append((ident, entry))
+            elif kind == _CLOSED:
+                ni_closed.append(entry)
+            elif kind == _TRIVIAL:
+                ni_trivial.append(entry[1])
+            else:
+                ni_opaque.append(entry[1])
+        # With the memo disabled (the common case for low-repetition
+        # batches) the non-indexable loops reduce to bare
+        # ``check(value)`` calls over pre-extracted pairs.
+        ni_single_fast = [(e[1], e[2], e[3]) for _, e in ni_single]
+        ni_multi_fast = [(e[1], e[3]) for _, e in ni_multi]
+        stab_items = list(stab_tables.items())
+        memo: Dict[Tuple[Hashable, Any], bool] = {}
+        memo_get = memo.get
+        partial = full = memo_hits = 0
+        results: List[List[Predicate]] = []
+        for position, tup in enumerate(tuples):
+            tup_get = tup.get
+            row: List[Predicate] = []
+            append = row.append
+            # In the paper's single-clause scheme every predicate is
+            # indexed under exactly one attribute, so the per-attribute
+            # stabbed sets are disjoint: iterate them directly instead
+            # of unioning into a per-tuple candidate set.
+            if per_tuple is None:
+                groups: List[Iterable[Hashable]] = []
+                for attribute, table in stab_items:
+                    value = tup_get(attribute)
+                    if value is None:
+                        continue
+                    stabbed = table.get(value)
+                    if stabbed:
+                        partial += len(stabbed)
+                        groups.append(stabbed)
+            else:
+                candidates = per_tuple[position]
+                partial += len(candidates)
+                groups = [candidates] if candidates else []
+            for group in groups:
+                for ident in group:
+                    entry = residuals[ident]
+                    kind = entry[0]
+                    if kind == _CLOSED:
+                        # (kind, pred, attr, low, high): the dominant
+                        # shape, inlined — a closure call per candidate
+                        # would double the cost of this loop
+                        v = tup_get(entry[2])
+                        try:
+                            ok = v is not None and entry[3] <= v <= entry[4]
+                        except TypeError:
+                            ok = False  # incomparable or sentinel value
+                        if ok:
+                            append(entry[1])
+                    elif kind == _SINGLE:
+                        # (kind, pred, attr, check, memo_ok)
+                        v = tup_get(entry[2])
+                        if memo_on and entry[4]:
+                            key = (ident, v)
+                            try:
+                                verdict = memo_get(key)
+                            except TypeError:
+                                verdict = entry[3](v)  # unhashable value
+                            else:
+                                if verdict is None:
+                                    verdict = memo[key] = entry[3](v)
+                                else:
+                                    memo_hits += 1
+                            if verdict:
+                                append(entry[1])
+                        elif entry[3](v):
+                            append(entry[1])
+                    elif kind == _TRIVIAL:
+                        # every clause was proven by the index probes
+                        append(entry[1])
+                    elif kind == _MULTI:
+                        # (kind, pred, attrs, evaluate, memo_ok);
+                        # evaluate fetches its own values, the
+                        # projection tuple is built only as a memo key
+                        if memo_on and entry[4]:
+                            proj = tuple([tup_get(a) for a in entry[2]])
+                            key = (ident, proj)
+                            try:
+                                verdict = memo_get(key)
+                            except TypeError:
+                                verdict = entry[3](tup_get)
+                            else:
+                                if verdict is None:
+                                    verdict = memo[key] = entry[3](tup_get)
+                                else:
+                                    memo_hits += 1
+                            if verdict:
+                                append(entry[1])
+                        elif entry[3](tup_get):
+                            append(entry[1])
+                    else:  # _OPAQUE: unknown clause subclass
+                        if entry[1].matches(tup):
+                            append(entry[1])
+            for entry in ni_closed:
+                v = tup_get(entry[2])
+                try:
+                    ok = v is not None and entry[3] <= v <= entry[4]
+                except TypeError:
+                    ok = False
+                if ok:
+                    append(entry[1])
+            if not memo_on:
+                for predicate, attribute, check in ni_single_fast:
+                    if check(tup_get(attribute)):
+                        append(predicate)
+                for predicate, evaluate in ni_multi_fast:
+                    if evaluate(tup_get):
+                        append(predicate)
+            else:
+                for ident, entry in ni_single:
+                    v = tup_get(entry[2])
+                    if entry[4]:
+                        key = (ident, v)
+                        try:
+                            verdict = memo_get(key)
+                        except TypeError:
+                            verdict = entry[3](v)
+                        else:
+                            if verdict is None:
+                                verdict = memo[key] = entry[3](v)
+                            else:
+                                memo_hits += 1
+                        if verdict:
+                            append(entry[1])
+                    elif entry[3](v):
+                        append(entry[1])
+                for ident, entry in ni_multi:
+                    if entry[4]:
+                        proj = tuple([tup_get(a) for a in entry[2]])
+                        key = (ident, proj)
+                        try:
+                            verdict = memo_get(key)
+                        except TypeError:
+                            verdict = entry[3](tup_get)
+                        else:
+                            if verdict is None:
+                                verdict = memo[key] = entry[3](tup_get)
+                            else:
+                                memo_hits += 1
+                        if verdict:
+                            append(entry[1])
+                    elif entry[3](tup_get):
+                        append(entry[1])
+            for predicate in ni_trivial:
+                append(predicate)
+            for predicate in ni_opaque:
+                if predicate.matches(tup):
+                    append(predicate)
+            full += len(row)
+            results.append(row)
+        stats.partial_matches += partial
+        stats.full_matches += full
+        stats.residual_memo_hits += memo_hits
+        return results
+
+    def _batch_stab_tables(
+        self, rel_index: _RelationIndex, tuples: List[Mapping[str, Any]]
+    ) -> Tuple[Dict[str, Dict[Any, Optional[Set[Hashable]]]], bool]:
+        """Stab each attribute tree once per distinct batch value.
+
+        Returns ``(stab_tables, memo_on)``: per attribute a table
+        ``value -> stabbed idents`` (``None`` for incomparable values),
+        plus whether the batch shows enough value repetition (>= 10%
+        duplicates across indexed attributes) for the residual memo to
+        pay for its bookkeeping.
+
+        Raises :class:`_Unbatchable` (before touching any statistics)
+        when an indexed attribute holds an unhashable value — the
+        per-value grouping needs to hash it — or an infinity sentinel,
+        for which skipping the proven entry clause would be unsound
+        (``clause.matches`` rejects sentinels that a tree stab may
+        admit).
+        """
+        trees = rel_index.trees
+        stab_tables: Dict[str, Dict[Any, Optional[Set[Hashable]]]] = {}
+        if not trees:
+            return stab_tables, False
+        total = distinct = 0
+        plans: List[Tuple[str, List[Any]]] = []
+        for attribute, tree in trees.items():
+            values: Set[Any] = set()
+            add = values.add
+            for tup in tuples:
+                value = tup.get(attribute)
+                if value is None:
+                    continue
+                if value is MINUS_INF or value is PLUS_INF:
+                    raise _Unbatchable(attribute)
+                total += 1
+                try:
+                    add(value)
+                except TypeError:
+                    raise _Unbatchable(attribute) from None
+            distinct += len(values)
+            if not values:
+                stab_tables[attribute] = {}
+                continue
+            try:
+                ordered: List[Any] = sorted(values)
+            except TypeError:
+                ordered = list(values)  # mixed domains: order is just locality
+            plans.append((attribute, ordered))
+        for attribute, ordered in plans:
+            # one grouped descent per tree per batch
+            self.stats.trees_searched += 1
+            stab_tables[attribute] = trees[attribute].stab_many(ordered)
+        memo_on = total > 0 and (total - distinct) * 10 >= total
+        return stab_tables, memo_on
+
+    def _batch_intersect(
+        self,
+        rel_index: _RelationIndex,
+        tuples: List[Mapping[str, Any]],
+        stab_tables: Dict[str, Dict[Any, Optional[Set[Hashable]]]],
+    ) -> List[Set[Hashable]]:
+        """Multi-clause fan-out: candidates hit in *every* indexed tree."""
+        indexed_under = rel_index.indexed_under
+        out: List[Set[Hashable]] = []
+        for tup in tuples:
+            hits: Dict[Hashable, int] = {}
+            probed: Set[str] = set()
+            for attribute, table in stab_tables.items():
+                value = tup.get(attribute)
+                if value is None:
+                    continue
+                stabbed = table.get(value)
+                if stabbed is None:
+                    continue  # incomparable value: attribute not probed
+                probed.add(attribute)
+                for ident in stabbed:
+                    hits[ident] = hits.get(ident, 0) + 1
+            candidates: Set[Hashable] = set()
+            for ident, count in hits.items():
+                attributes = indexed_under[ident]
+                if count == len(attributes) and all(a in probed for a in attributes):
+                    candidates.add(ident)
+            out.append(candidates)
+        return out
 
     def _intersect_candidates(
         self, rel_index: _RelationIndex, tup: Mapping[str, Any]
@@ -363,3 +702,188 @@ class PredicateIndex:
 
     def __repr__(self) -> str:
         return f"<PredicateIndex {len(self)} predicates over {len(self._relations)} relations>"
+
+
+# ----------------------------------------------------------------------
+# compiled residual evaluators (match_batch step 3)
+# ----------------------------------------------------------------------
+#
+# A residual test re-checks a candidate's conjunction against the
+# tuple.  ``Predicate.matches`` pays, per clause, a dict lookup, a
+# method dispatch, and ``Interval.contains``'s sentinel-aware helper
+# chain — and it re-tests the entry clause the index probe already
+# proved.  The compiled form drops the proven clauses (the entry
+# clause in the paper's scheme; every indexed clause under
+# multi-clause indexing) and shape-specializes what remains.  Entries
+# are small tagged tuples dispatched inline by ``match_batch``:
+#
+#   (_TRIVIAL, pred)                      nothing left to test
+#   (_CLOSED,  pred, attr, low, high)     one closed interval, inlined
+#   (_SINGLE,  pred, attr, check, memo)   one residual attribute
+#   (_MULTI,   pred, attrs, eval, memo)   several residual attributes
+#   (_OPAQUE,  pred)                      unknown clause subclass:
+#                                         fall back to pred.matches
+#
+# ``memo`` marks interval-only residuals, whose verdicts depend only
+# on ``==``-interchangeable values (the total-order assumption the
+# tree itself rests on) and are therefore safe to memoize; function
+# clauses are not (a type-sensitive function distinguishes ``2`` from
+# ``2.0``, which share a memo key).  Semantics are identical to
+# clause.matches(): None never matches, the infinity sentinels never
+# match an interval clause, incomparable values fail the clause
+# instead of raising, and function-clause exceptions propagate.
+
+_TRIVIAL, _CLOSED, _SINGLE, _MULTI, _OPAQUE = range(5)
+
+
+def _compile_residual(
+    predicate: Predicate, proven_attrs: Tuple[str, ...]
+) -> Tuple[Any, ...]:
+    """Compile *predicate*'s residual into a tagged dispatch tuple.
+
+    ``proven_attrs`` are the attributes whose interval clauses the
+    index probe has already verified (the tuple stabbed them); those
+    clauses are skipped.  Function clauses are never proven by a probe
+    and are always kept.
+    """
+    residual: List[Any] = []
+    for clause in predicate.clauses:
+        if isinstance(clause, IntervalClause):
+            if clause.attribute in proven_attrs:
+                continue  # proven by the index probe
+            residual.append(clause)
+        elif isinstance(clause, FunctionClause):
+            residual.append(clause)
+        else:
+            return (_OPAQUE, predicate)
+    if not residual:
+        return (_TRIVIAL, predicate)
+    if len(residual) == 1:
+        clause = residual[0]
+        if isinstance(clause, IntervalClause):
+            interval = clause.interval
+            if (
+                interval.low is not MINUS_INF
+                and interval.high is not PLUS_INF
+                and interval.low_inclusive
+                and interval.high_inclusive
+            ):
+                return (_CLOSED, predicate, clause.attribute, interval.low, interval.high)
+            return (
+                _SINGLE,
+                predicate,
+                clause.attribute,
+                _compile_interval_vcheck(interval),
+                True,
+            )
+        return (
+            _SINGLE,
+            predicate,
+            clause.attribute,
+            _compile_function_vcheck(clause),
+            False,
+        )
+    attrs: List[str] = []
+    for clause in residual:
+        if clause.attribute not in attrs:
+            attrs.append(clause.attribute)
+    memo_ok = all(isinstance(clause, IntervalClause) for clause in residual)
+    vchecks = [
+        _compile_interval_vcheck(clause.interval)
+        if isinstance(clause, IntervalClause)
+        else _compile_function_vcheck(clause)
+        for clause in residual
+    ]
+    if len(attrs) == 1:
+
+        def combined(v: Any, _vchecks=tuple(vchecks)) -> bool:
+            for vcheck in _vchecks:
+                if not vcheck(v):
+                    return False
+            return True
+
+        return (_SINGLE, predicate, attrs[0], combined, memo_ok)
+    pairs = tuple(
+        (clause.attribute, vcheck) for clause, vcheck in zip(residual, vchecks)
+    )
+    if len(pairs) == 2:
+        (attr_a, check_a), (attr_b, check_b) = pairs
+
+        def evaluate(
+            tup_get: Callable[[str], Any],
+            _a=attr_a,
+            _ca=check_a,
+            _b=attr_b,
+            _cb=check_b,
+        ) -> bool:
+            return _ca(tup_get(_a)) and _cb(tup_get(_b))
+
+    else:
+
+        def evaluate(tup_get: Callable[[str], Any], _pairs=pairs) -> bool:
+            for attribute, vcheck in _pairs:
+                if not vcheck(tup_get(attribute)):
+                    return False
+            return True
+
+    return (_MULTI, predicate, tuple(attrs), evaluate, memo_ok)
+
+
+def _compile_interval_vcheck(interval) -> Callable[[Any], bool]:
+    low, high = interval.low, interval.high
+    low_inc, high_inc = interval.low_inclusive, interval.high_inclusive
+    if low is MINUS_INF and high is PLUS_INF:
+        test = None
+    elif low is MINUS_INF:
+        if high_inc:
+            test = lambda v, _h=high: v <= _h
+        else:
+            test = lambda v, _h=high: v < _h
+    elif high is PLUS_INF:
+        if low_inc:
+            test = lambda v, _l=low: v >= _l
+        else:
+            test = lambda v, _l=low: v > _l
+    elif low_inc and high_inc:
+        test = lambda v, _l=low, _h=high: _l <= v <= _h
+    elif low_inc:
+        test = lambda v, _l=low, _h=high: _l <= v < _h
+    elif high_inc:
+        test = lambda v, _l=low, _h=high: _l < v <= _h
+    else:
+        test = lambda v, _l=low, _h=high: _l < v < _h
+    if test is None:
+
+        def check(v: Any) -> bool:
+            return v is not None and v is not MINUS_INF and v is not PLUS_INF
+
+        return check
+
+    def check(v: Any, _test=test) -> bool:
+        if v is None or v is MINUS_INF or v is PLUS_INF:
+            return False
+        try:
+            return _test(v)
+        except TypeError:
+            return False
+
+    return check
+
+
+def _compile_function_vcheck(clause) -> Callable[[Any], bool]:
+    function = clause.function
+    if clause.negated:
+
+        def check(v: Any, _fn=function) -> bool:
+            if v is None:
+                return False
+            return not _fn(v)
+
+        return check
+
+    def check(v: Any, _fn=function) -> bool:
+        if v is None:
+            return False
+        return True if _fn(v) else False
+
+    return check

@@ -6,7 +6,7 @@ incremental statistics, and a synchronous mutation-event bus.
 """
 
 from .database import AbortMutation, Database
-from .events import DeleteEvent, Event, InsertEvent, UpdateEvent
+from .events import BatchEvent, DeleteEvent, Event, InsertEvent, UpdateEvent
 from .persistence import (
     database_from_dict,
     database_to_dict,
@@ -36,6 +36,7 @@ __all__ = [
     "InsertEvent",
     "UpdateEvent",
     "DeleteEvent",
+    "BatchEvent",
     "RelationStatistics",
     "AttributeStatistics",
     "save_database",

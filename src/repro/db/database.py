@@ -18,13 +18,15 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from ..errors import DatabaseError, SchemaError, UnknownRelationError
-from .events import DeleteEvent, Event, InsertEvent, UpdateEvent
+from .events import BatchEvent, DeleteEvent, Event, InsertEvent, UpdateEvent
 from .relation import Relation
 from .schema import AttributeSpec, Schema
 
 __all__ = ["Database", "AbortMutation"]
 
-Subscriber = Callable[[Event], None]
+#: Subscribers receive every per-tuple :class:`Event` — and, from the
+#: bulk mutation APIs, a single :class:`BatchEvent` wrapping the batch.
+Subscriber = Callable[[Any], None]
 
 
 class AbortMutation(DatabaseError):
@@ -152,8 +154,89 @@ class Database:
     def insert_many(
         self, relation_name: str, rows: Iterable[Mapping[str, Any]]
     ) -> List[int]:
-        """Insert several tuples; returns their tids."""
+        """Insert several tuples; returns their tids.
+
+        Fires one event per row (each row can be vetoed independently).
+        For one batched notification — and one batched rule-matching
+        pass — use :meth:`bulk_insert`.
+        """
         return [self.insert(relation_name, row) for row in rows]
+
+    def bulk_insert(
+        self, relation_name: str, rows: Iterable[Mapping[str, Any]]
+    ) -> List[int]:
+        """Insert a batch of tuples as **one** event; returns their tids.
+
+        All rows are stored first, then a single
+        :class:`~repro.db.events.BatchEvent` carrying one
+        ``InsertEvent`` per row is delivered, letting the rule engine
+        match the whole batch in one :meth:`PredicateIndex.match_batch`
+        pass.  All-or-nothing: a validation error or a subscriber veto
+        (:class:`AbortMutation`) rolls back the entire batch.
+        """
+        relation = self.relation(relation_name)
+        inserted: List[Tuple[int, Dict[str, Any]]] = []
+
+        def rollback() -> None:
+            for tid, _ in reversed(inserted):
+                relation.delete(tid)
+
+        try:
+            for row in rows:
+                inserted.append(relation.insert(row))
+        except Exception:
+            rollback()
+            raise
+        if inserted:
+            events = tuple(
+                InsertEvent(relation_name, tid, dict(tup)) for tid, tup in inserted
+            )
+            try:
+                self._notify(BatchEvent(relation_name, events))
+            except AbortMutation:
+                rollback()
+                raise
+        return [tid for tid, _ in inserted]
+
+    def bulk_update(
+        self, relation_name: str, changes: Mapping[int, Mapping[str, Any]]
+    ) -> Dict[int, Dict[str, Any]]:
+        """Update a batch of tuples as **one** event; returns new images.
+
+        ``changes`` maps tid -> attribute changes.  Like
+        :meth:`bulk_insert`, the batch is applied first and announced
+        with a single :class:`~repro.db.events.BatchEvent` (one
+        ``UpdateEvent`` per tuple), and is rolled back wholesale if a
+        tuple is missing, a change fails validation, or a subscriber
+        vetoes the batch.
+        """
+        relation = self.relation(relation_name)
+        applied: List[Tuple[int, Dict[str, Any], Dict[str, Any]]] = []
+
+        def rollback() -> None:
+            for tid, old, new in reversed(applied):
+                relation._tuples[tid] = old
+                if relation.track_statistics:
+                    relation.statistics.observe_update(new, old)
+
+        try:
+            for tid, change in changes.items():
+                old, new = relation.update(tid, change)
+                applied.append((tid, old, new))
+        except Exception:
+            rollback()
+            raise
+        if applied:
+            events = tuple(
+                UpdateEvent(relation_name, tid, dict(old), dict(new))
+                for tid, old, new in applied
+            )
+            try:
+                self._notify(BatchEvent(relation_name, events))
+            except AbortMutation:
+                rollback()
+                raise
+        return {tid: dict(new) for tid, _, new in applied}
 
     def select(
         self,

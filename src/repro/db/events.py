@@ -10,9 +10,9 @@ these events, find every predicate that matches it".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
-__all__ = ["Event", "InsertEvent", "UpdateEvent", "DeleteEvent"]
+__all__ = ["Event", "InsertEvent", "UpdateEvent", "DeleteEvent", "BatchEvent"]
 
 
 @dataclass(frozen=True)
@@ -62,6 +62,35 @@ class UpdateEvent(Event):
     @property
     def tuple(self) -> Dict[str, Any]:
         return self.new
+
+
+@dataclass(frozen=True)
+class BatchEvent:
+    """Several same-relation mutations delivered as **one** notification.
+
+    Produced by :meth:`~repro.db.database.Database.bulk_insert` /
+    :meth:`~repro.db.database.Database.bulk_update` so the rule engine
+    can run one batched predicate-matching pass over the whole batch
+    (``PredicateIndex.match_batch``) instead of one match per tuple.
+
+    Deliberately *not* an :class:`Event` subclass — it has no single
+    ``tid`` — so subscribers that pattern-match on the per-tuple event
+    classes fail loudly rather than misread a batch.  Iterating a
+    BatchEvent yields its per-tuple sub-events in mutation order.
+    """
+
+    relation: str
+    events: Tuple[Event, ...]
+
+    @property
+    def kind(self) -> str:
+        return "batch"
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
 
 
 @dataclass(frozen=True)

@@ -103,12 +103,43 @@ class Predicate:
         Multiple indexable clauses on the same attribute are intersected
         into a single clause.  Returns None if the intersection of any
         attribute's clauses is empty (the predicate can never match).
+        Already-normal predicates are returned as-is (``self``), so
+        re-registration paths like :meth:`PredicateIndex.add` don't
+        re-allocate on every call.
         """
+        if self._is_normal():
+            return self
         try:
             clauses = normalize_clauses(self.clauses)
         except _Contradiction:
             return None
         return Predicate(self.relation, clauses, ident=self.ident, source=self.source)
+
+    def _is_normal(self) -> bool:
+        """True when :func:`normalize_clauses` would be the identity.
+
+        Normal form: interval clauses first, one per attribute, with
+        point intervals expressed as :class:`EqualityClause`; function
+        clauses after.  A single interval clause per attribute cannot
+        be contradictory (empty intervals are unconstructible).
+        """
+        seen_function = False
+        seen_attrs = None
+        for clause in self.clauses:
+            if isinstance(clause, IntervalClause):
+                if seen_function:
+                    return False
+                if seen_attrs is None:
+                    seen_attrs = {clause.attribute}
+                elif clause.attribute in seen_attrs:
+                    return False
+                else:
+                    seen_attrs.add(clause.attribute)
+                if clause.interval.is_point and not isinstance(clause, EqualityClause):
+                    return False
+            else:
+                seen_function = True
+        return True
 
     # -- value semantics -------------------------------------------------
 

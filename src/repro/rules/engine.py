@@ -59,7 +59,7 @@ from ..core.rb_ibs_tree import RBIBSTree
 from ..core.predicate_index import PredicateIndex
 from ..core.selectivity import StatisticsEstimator
 from ..db.database import Database
-from ..db.events import Event
+from ..db.events import BatchEvent, Event
 from ..errors import DuplicateRuleError, RuleError, UnknownRuleError
 from ..lang.compiler import compile_condition
 from .agenda import Agenda
@@ -354,6 +354,9 @@ class RuleEngine:
         return list(self._monitors.values())
 
     def _on_event(self, event: Event) -> None:
+        if isinstance(event, BatchEvent):
+            self._on_batch(event)
+            return
         for live in list(self._monitors.values()):
             live._handle(event)
         image = event.tuple
@@ -374,6 +377,41 @@ class RuleEngine:
             posted = True
         if self.joins.process(event, matched_idents):
             posted = True
+        if posted and self.mode == "immediate":
+            self._drain()
+
+    def _on_batch(self, batch: BatchEvent) -> None:
+        """Consume a bulk mutation: one matching pass, one agenda drain.
+
+        Monitors and the join layer still see the per-tuple sub-events
+        (their semantics are inherently per tuple), but predicate
+        matching runs once over the whole batch through the matcher's
+        :meth:`~repro.baselines.base.PredicateMatcher.match_batch`, and
+        in immediate mode the agenda is drained once after the entire
+        batch is posted — the set-oriented processing the bulk APIs
+        exist for.
+        """
+        events = batch.events
+        for live in list(self._monitors.values()):
+            for event in events:
+                live._handle(event)
+        images = [event.tuple for event in events]
+        matched_lists = self.matcher.match_batch(batch.relation, images)
+        posted = False
+        for event, image, matched_predicates in zip(events, images, matched_lists):
+            matched_idents = {pred.ident for pred in matched_predicates}
+            old = getattr(event, "old", None)
+            seen: Set[str] = set()
+            for predicate in matched_predicates:
+                rule = self._rule_of_ident.get(predicate.ident)
+                if rule is None or rule.name in seen or not rule.reacts_to(event):
+                    continue
+                seen.add(rule.name)
+                context = RuleContext(self.db, self, rule, event, dict(image), old)
+                self.agenda.post(rule, context)
+                posted = True
+            if self.joins.process(event, matched_idents):
+                posted = True
         if posted and self.mode == "immediate":
             self._drain()
 

@@ -2,9 +2,10 @@
 
 from typing import Dict, List, Tuple
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import AVLIBSTree, IBSTree, Interval
+from repro import AVLIBSTree, FlatIBSTree, IBSTree, Interval
 from tests.conftest import intervals, query_points
 
 #: an operation script: insert (interval) / delete (index into live set)
@@ -17,7 +18,7 @@ ops = st.lists(
     max_size=40,
 )
 
-TREE_CLASSES = [IBSTree, AVLIBSTree]
+TREE_CLASSES = [IBSTree, AVLIBSTree, FlatIBSTree]
 
 
 def apply_script(tree, script) -> Dict[int, Interval]:
@@ -39,37 +40,48 @@ def apply_script(tree, script) -> Dict[int, Interval]:
 class TestStabbingCompleteness:
     """stab(x) == {I : x in I} for arbitrary operation sequences."""
 
+    @pytest.mark.parametrize("cls", TREE_CLASSES)
     @given(script=ops, xs=st.lists(query_points, min_size=1, max_size=15))
-    def test_ibs(self, script, xs):
-        tree = IBSTree()
+    def test_stab(self, cls, script, xs):
+        tree = cls()
         live = apply_script(tree, script)
         for x in xs:
             expected = {i for i, iv in live.items() if iv.contains(x)}
             assert tree.stab(x) == expected
 
+    @pytest.mark.parametrize("cls", TREE_CLASSES)
     @given(script=ops, xs=st.lists(query_points, min_size=1, max_size=15))
-    def test_avl(self, script, xs):
-        tree = AVLIBSTree()
+    def test_stab_into(self, cls, script, xs):
+        """stab_into unions into ``out`` without clearing prior entries."""
+        tree = cls()
         live = apply_script(tree, script)
         for x in xs:
             expected = {i for i, iv in live.items() if iv.contains(x)}
-            assert tree.stab(x) == expected
+            out = {"sentinel"}
+            result = tree.stab_into(x, out)
+            assert result is out
+            assert out == expected | {"sentinel"}
+
+    @pytest.mark.parametrize("cls", TREE_CLASSES)
+    @given(script=ops, xs=st.lists(query_points, min_size=1, max_size=15))
+    def test_stab_many(self, cls, script, xs):
+        """Grouped descent agrees with one-at-a-time stabbing."""
+        tree = cls()
+        live = apply_script(tree, script)
+        answers = tree.stab_many(xs)
+        for x in xs:
+            assert answers[x] == tree.stab(x)
 
 
 class TestStructuralInvariants:
     """validate() passes after arbitrary operation sequences."""
 
+    @pytest.mark.parametrize("cls", TREE_CLASSES)
     @given(script=ops)
-    def test_ibs_invariants(self, script):
-        tree = IBSTree()
+    def test_invariants(self, cls, script):
+        tree = cls()
         apply_script(tree, script)
-        tree.validate()
-
-    @given(script=ops)
-    def test_avl_invariants(self, script):
-        tree = AVLIBSTree()
-        apply_script(tree, script)
-        tree.validate()  # includes AVL balance
+        tree.validate()  # AVL variant also checks balance
 
 
 class TestDeleteIsInverse:
