@@ -55,8 +55,13 @@ from .db import (
     BatchEvent,
     Database,
     Domain,
+    OperationJournal,
     Relation,
     Schema,
+    Transaction,
+    load_database,
+    recover_database,
+    save_database,
 )
 from .lang import CompiledCondition, compile_condition, parse_condition
 from .predicates import (
@@ -70,10 +75,12 @@ from .predicates import (
 )
 from .rules import (
     AbortAction,
+    ActionFailure,
     CollectAction,
     DeleteAction,
     InsertAction,
     JoinRule,
+    RetryPolicy,
     Rule,
     RuleContext,
     RuleEngine,
@@ -81,15 +88,20 @@ from .rules import (
     chain,
 )
 from .errors import (
+    ActionQuarantinedError,
     ClauseError,
+    CorruptSnapshotError,
     DatabaseError,
+    InjectedFault,
     IntervalError,
     ParseError,
     PredicateError,
     ReproError,
     RuleError,
     SchemaError,
+    TransactionError,
     TreeError,
+    TreeInvariantError,
     TupleError,
 )
 
@@ -129,6 +141,11 @@ __all__ = [
     "Domain",
     "AbortMutation",
     "BatchEvent",
+    "Transaction",
+    "OperationJournal",
+    "save_database",
+    "load_database",
+    "recover_database",
     # rule system
     "RuleEngine",
     "Rule",
@@ -140,16 +157,23 @@ __all__ = [
     "AbortAction",
     "CollectAction",
     "chain",
+    "RetryPolicy",
+    "ActionFailure",
     # errors
     "ReproError",
     "IntervalError",
     "TreeError",
+    "TreeInvariantError",
     "PredicateError",
     "ClauseError",
     "ParseError",
     "DatabaseError",
     "SchemaError",
     "TupleError",
+    "TransactionError",
+    "CorruptSnapshotError",
     "RuleError",
+    "ActionQuarantinedError",
+    "InjectedFault",
     "__version__",
 ]

@@ -44,6 +44,7 @@ from ..errors import (
     TreeInvariantError,
     UnknownIntervalError,
 )
+from ..testing.faults import fault_point
 from .ibs_tree import EQ, GT, LT, _strictly_less
 from .intervals import MINUS_INF, PLUS_INF, Interval, is_infinite
 
@@ -128,8 +129,36 @@ class FlatIBSTree:
         bit = self._intern(ident, interval)
         for value in (interval.low, interval.high):
             self._endpoint_bits.setdefault(value, set()).add(bit)
-        self._place_markers(bit, interval)
+        try:
+            self._place_markers(bit, interval)
+        except BaseException:
+            self._rollback_insert(ident, bit, interval)
+            raise
         return ident
+
+    def _rollback_insert(self, ident: Hashable, bit: int, interval: Interval) -> None:
+        """Undo a partially applied :meth:`insert` after a mid-placement failure.
+
+        Exact inverse of the registration above: markers placed so far
+        are removed via the marker registry, endpoint nodes created for
+        this interval alone are structurally deleted, and the interned
+        bit is released back to the free list.
+        """
+        self._slot_cache.clear()
+        self._remove_markers(bit)
+        for value in {interval.low, interval.high}:
+            anchored = self._endpoint_bits.get(value)
+            if anchored is None:
+                continue
+            anchored.discard(bit)
+            if not anchored:
+                del self._endpoint_bits[value]
+                if self._find_node(value) >= 0:
+                    self._delete_endpoint_node(value)
+        self._bit_of.pop(ident, None)
+        self._ident_of[bit] = None
+        self._interval_of[bit] = None
+        self._free_bits.append(bit)
 
     def delete(self, ident: Hashable) -> None:
         """Remove the interval registered under *ident*."""
@@ -447,6 +476,7 @@ class FlatIBSTree:
         created = self._add_left(bit, interval)
         if created >= 0:
             self._update_heights_upward(self._parent[created])
+        fault_point("tree.insert")
         created = self._add_right(bit, interval)
         if created >= 0:
             self._update_heights_upward(self._parent[created])
@@ -560,6 +590,7 @@ class FlatIBSTree:
             self._value[node] = self._value[pred]
             node = pred  # splice out the (now markerless) predecessor slot
         self._splice(node)
+        fault_point("tree.delete")
         for bit, interval in lifted.items():
             self._place_markers(bit, interval)
 
@@ -662,6 +693,32 @@ class FlatIBSTree:
                 expected.setdefault(value, set()).add(bit)
         if expected != self._endpoint_bits:
             raise TreeInvariantError("endpoint bit registry out of sync")
+
+    def check_invariants(self) -> bool:
+        """Public invariant check shared by every tree backend.
+
+        Returns True when every structural, marker, and flat-storage
+        invariant holds; raises
+        :class:`~repro.errors.TreeInvariantError` otherwise.
+        """
+        self.validate()
+        return True
+
+    def audit(self) -> List[str]:
+        """Non-raising invariant check: a list of problem descriptions.
+
+        An empty list means the tree is healthy.  Structural wreckage
+        severe enough to crash the validator itself (link cycles,
+        incomparable values, dangling registry entries) is reported as
+        a problem rather than propagated.
+        """
+        try:
+            self.validate()
+        except TreeInvariantError as exc:
+            return [str(exc)]
+        except (RecursionError, TypeError, KeyError, IndexError, AttributeError) as exc:
+            return [f"validator crashed: {type(exc).__name__}: {exc}"]
+        return []
 
     def _collect_live_nodes(self) -> Set[int]:
         live: Set[int] = set()

@@ -67,6 +67,7 @@ from ..errors import (
     TreeInvariantError,
     UnknownIntervalError,
 )
+from ..testing.faults import fault_point
 from .intervals import MINUS_INF, PLUS_INF, Interval, is_infinite
 
 __all__ = ["IBSNode", "IBSTree", "LT", "EQ", "GT"]
@@ -186,8 +187,33 @@ class IBSTree:
         self._marker_locs[ident] = set()
         for value in self._node_values(interval):
             self._endpoint_idents.setdefault(value, set()).add(ident)
-        self._place_markers(ident, interval)
+        try:
+            self._place_markers(ident, interval)
+        except BaseException:
+            self._rollback_insert(ident, interval)
+            raise
         return ident
+
+    def _rollback_insert(self, ident: Hashable, interval: Interval) -> None:
+        """Undo a partially applied :meth:`insert` after a mid-placement failure.
+
+        The marker registry records exactly the markers placed so far
+        (wherever rotation fixups moved them), so removal is exact; any
+        endpoint node created for this interval alone is structurally
+        deleted again, leaving the tree as it was before the insert.
+        """
+        self._remove_markers(ident)
+        self._marker_locs.pop(ident, None)
+        self._intervals.pop(ident, None)
+        for value in self._node_values(interval):
+            anchored = self._endpoint_idents.get(value)
+            if anchored is None:
+                continue
+            anchored.discard(ident)
+            if not anchored:
+                del self._endpoint_idents[value]
+                if self._find_node(value) is not None:
+                    self._delete_endpoint_node(value)
 
     def delete(self, ident: Hashable) -> None:
         """Remove the interval registered under *ident*.
@@ -437,6 +463,7 @@ class IBSTree:
         created = self._add_left(ident, interval)
         if created is not None:
             self._after_endpoint_insert(created)
+        fault_point("tree.insert")
         created = self._add_right(ident, interval)
         if created is not None:
             self._after_endpoint_insert(created)
@@ -589,6 +616,7 @@ class IBSTree:
             node.value = pred.value
             node = pred  # splice out the (now markerless) predecessor slot
         self._splice(node)
+        fault_point("tree.delete")
         for ident, interval in lifted.items():
             self._place_markers(ident, interval)
 
@@ -662,6 +690,34 @@ class IBSTree:
                 expected.setdefault(value, set()).add(ident)
         if expected != self._endpoint_idents:
             raise TreeInvariantError("endpoint ident registry out of sync")
+
+    def check_invariants(self) -> bool:
+        """Public invariant check shared by every tree backend.
+
+        Returns True when every structural and marker invariant holds;
+        raises :class:`~repro.errors.TreeInvariantError` otherwise.
+        Balanced variants extend :meth:`validate` with their balance
+        rules, so this single entry point covers them all.
+        """
+        self.validate()
+        return True
+
+    def audit(self) -> List[str]:
+        """Non-raising invariant check: a list of problem descriptions.
+
+        An empty list means the tree is healthy.  Structural wreckage
+        severe enough to crash the validator itself (link cycles,
+        incomparable values, dangling registry entries) is reported as
+        a problem rather than propagated, so callers can always audit
+        a suspect tree without a try/except of their own.
+        """
+        try:
+            self.validate()
+        except TreeInvariantError as exc:
+            return [str(exc)]
+        except (RecursionError, TypeError, KeyError, IndexError, AttributeError) as exc:
+            return [f"validator crashed: {type(exc).__name__}: {exc}"]
+        return []
 
     def _validate_node(
         self,

@@ -44,11 +44,11 @@ from typing import (
     Tuple,
 )
 
-from ..errors import PredicateError, UnknownIntervalError
+from ..errors import PredicateError, TreeInvariantError, UnknownIntervalError
 from ..predicates.clauses import FunctionClause, IntervalClause
 from ..predicates.predicate import Predicate
 from .ibs_tree import IBSTree
-from .intervals import MINUS_INF, PLUS_INF
+from .intervals import MINUS_INF, PLUS_INF, is_infinite
 from .selectivity import DefaultEstimator, SelectivityEstimator, choose_index_clause
 
 __all__ = ["PredicateIndex", "MatchStatistics"]
@@ -187,6 +187,28 @@ class PredicateIndex:
         if ident in self._relation_of:
             raise PredicateError(f"predicate ident {ident!r} already indexed")
         rel_index = self._relations.setdefault(normalized.relation, _RelationIndex())
+        try:
+            self._enter_clauses(rel_index, ident, normalized)
+        except BaseException:
+            # Atomic add: a failure while entering clauses (e.g. an
+            # injected fault in a tree insert) must not leave the
+            # predicate half-indexed.  Tree-level inserts roll
+            # themselves back; here we undo entries in *other* trees
+            # and drop anything this call created.
+            self._rollback_add(normalized.relation, rel_index, ident)
+            raise
+        rel_index.predicates[ident] = normalized
+        self._relation_of[ident] = normalized.relation
+        return ident
+
+    def _enter_clauses(
+        self, rel_index: _RelationIndex, ident: Hashable, normalized: Predicate
+    ) -> None:
+        """Enter *normalized*'s clause(s) into the per-attribute trees.
+
+        Shared by :meth:`add` and :meth:`_rebuild_relation` so both use
+        the same entry-clause choice.
+        """
         if self._multi_clause:
             entry_clauses = list(normalized.indexable_clauses())
         else:
@@ -194,18 +216,29 @@ class PredicateIndex:
             entry_clauses = [chosen] if chosen is not None else []
         if not entry_clauses:
             rel_index.non_indexable.add(ident)
-        else:
-            for clause in entry_clauses:
-                tree = rel_index.trees.get(clause.attribute)
-                if tree is None:
-                    tree = rel_index.trees[clause.attribute] = self._tree_factory()
-                tree.insert(clause.interval, ident)
-            rel_index.indexed_under[ident] = tuple(
-                clause.attribute for clause in entry_clauses
-            )
-        rel_index.predicates[ident] = normalized
-        self._relation_of[ident] = normalized.relation
-        return ident
+            return
+        for clause in entry_clauses:
+            tree = rel_index.trees.get(clause.attribute)
+            if tree is None:
+                tree = rel_index.trees[clause.attribute] = self._tree_factory()
+            tree.insert(clause.interval, ident)
+        rel_index.indexed_under[ident] = tuple(
+            clause.attribute for clause in entry_clauses
+        )
+
+    def _rollback_add(
+        self, relation: str, rel_index: _RelationIndex, ident: Hashable
+    ) -> None:
+        rel_index.non_indexable.discard(ident)
+        rel_index.indexed_under.pop(ident, None)
+        for attribute in list(rel_index.trees):
+            tree = rel_index.trees[attribute]
+            if ident in tree:
+                tree.delete(ident)
+            if not tree:
+                del rel_index.trees[attribute]
+        if not rel_index.predicates and not rel_index.trees:
+            self._relations.pop(relation, None)
 
     def remove(self, ident: Hashable) -> Predicate:
         """Un-index and return the predicate registered under *ident*."""
@@ -699,6 +732,199 @@ class PredicateIndex:
                 },
             }
         return summary
+
+    # -- self-healing ----------------------------------------------------------
+
+    def check_invariants(self) -> bool:
+        """Validate the whole index; raise on any violation.
+
+        Checks the cross-registry bookkeeping (predicates table,
+        ``indexed_under``, ``non_indexable``, ``_relation_of``), runs
+        every per-attribute tree's own invariant validator, and
+        differentially probes each tree against a freshly built
+        reference (see :meth:`audit`).  Returns True when healthy,
+        raises :class:`~repro.errors.TreeInvariantError` otherwise.
+        """
+        problems = self.audit()
+        if problems:
+            raise TreeInvariantError(
+                f"predicate index corrupt ({len(problems)} problem"
+                f"{'s' if len(problems) != 1 else ''}): " + "; ".join(problems)
+            )
+        return True
+
+    def audit(self) -> List[str]:
+        """Non-raising health check: a list of problem descriptions.
+
+        An empty list means the index is healthy.  Beyond the
+        registry-consistency checks and each tree's internal
+        validator, every tree is *differentially* probed: a reference
+        tree is rebuilt from the same intervals and both are stabbed
+        at every finite clause endpoint.  This catches completeness
+        corruption — markers silently lost by an interrupted
+        structural delete — that is invisible to the internal
+        validator, which only proves the markers still present sound.
+        """
+        problems: List[str] = []
+        for ident, relation in self._relation_of.items():
+            rel_index = self._relations.get(relation)
+            if rel_index is None or ident not in rel_index.predicates:
+                problems.append(
+                    f"orphaned ident {ident!r}: registered for relation "
+                    f"{relation!r} but missing from its predicates table"
+                )
+        for relation, rel_index in self._relations.items():
+            problems.extend(self._audit_relation(relation, rel_index))
+        return problems
+
+    def _audit_relation(
+        self, relation: str, rel_index: _RelationIndex
+    ) -> List[str]:
+        problems: List[str] = []
+        for ident in rel_index.predicates:
+            if self._relation_of.get(ident) != relation:
+                problems.append(
+                    f"{relation}: predicate {ident!r} missing from the "
+                    f"relation-of registry"
+                )
+        for ident in rel_index.non_indexable:
+            if ident not in rel_index.predicates:
+                problems.append(
+                    f"{relation}: stale non-indexable entry {ident!r}"
+                )
+        for ident, attributes in rel_index.indexed_under.items():
+            if ident not in rel_index.predicates:
+                problems.append(
+                    f"{relation}: stale indexed-under entry {ident!r}"
+                )
+            for attribute in attributes:
+                tree = rel_index.trees.get(attribute)
+                if tree is None or ident not in tree:
+                    problems.append(
+                        f"{relation}.{attribute}: predicate {ident!r} "
+                        f"indexed under the attribute but absent from its tree"
+                    )
+        for attribute, tree in rel_index.trees.items():
+            for ident in tree:
+                if attribute not in rel_index.indexed_under.get(ident, ()):
+                    problems.append(
+                        f"{relation}.{attribute}: stray tree entry {ident!r}"
+                    )
+            for problem in self._tree_problems(tree):
+                problems.append(f"{relation}.{attribute}: {problem}")
+            for problem in self._tree_divergence(tree):
+                problems.append(f"{relation}.{attribute}: {problem}")
+        return problems
+
+    @staticmethod
+    def _tree_problems(tree: Any) -> List[str]:
+        """The tree's own invariant report (tolerant of foreign backends)."""
+        auditor = getattr(tree, "audit", None)
+        if auditor is not None:
+            return list(auditor())
+        validator = getattr(tree, "validate", None)
+        if validator is None:
+            return []
+        try:
+            validator()
+        except Exception as exc:
+            return [f"{type(exc).__name__}: {exc}"]
+        return []
+
+    def _tree_divergence(self, tree: Any) -> List[str]:
+        """Differentially probe *tree* against a freshly built reference.
+
+        Probes are the finite endpoints of every indexed interval: any
+        lost (or phantom) marker changes the stab answer at one of
+        them for the interval's own clauses.  Structure may legally
+        differ between the two trees — only the answers are compared.
+        """
+        items = getattr(tree, "items", None)
+        if items is None:
+            return []  # foreign backend without introspection: skip
+        reference = self._tree_factory()
+        entries = list(items())
+        for ident, interval in entries:
+            reference.insert(interval, ident)
+        probes: Set[Any] = set()
+        for _, interval in entries:
+            for value in (interval.low, interval.high):
+                if not is_infinite(value):
+                    try:
+                        probes.add(value)
+                    except TypeError:
+                        pass  # unhashable endpoint: skip the probe
+        problems: List[str] = []
+        for value in probes:
+            try:
+                expected = reference.stab(value)
+                got = tree.stab(value)
+            except TypeError:
+                continue  # mixed domains: nothing to compare at this probe
+            if got != expected:
+                missing = expected - got
+                extra = got - expected
+                detail = []
+                if missing:
+                    detail.append(f"missing {sorted(map(repr, missing))}")
+                if extra:
+                    detail.append(f"extra {sorted(map(repr, extra))}")
+                problems.append(
+                    f"stab({value!r}) diverges from rebuilt reference "
+                    f"({', '.join(detail)})"
+                )
+        return problems
+
+    def verify_and_rebuild(self) -> Dict[str, Any]:
+        """Detect index corruption and repair it in place.
+
+        Audits every relation; for each one reporting problems, drops
+        its per-attribute trees and rebuilds them from the PREDICATES
+        table — the durable source of truth — preserving identifiers
+        and entry-clause choices, then re-audits (including the
+        differential probe check) to prove the repair took.  Orphaned
+        ``_relation_of`` entries with no backing predicate are pruned.
+
+        Returns a report ``{"healthy": bool, "problems": [...],
+        "rebuilt": [relation, ...]}`` where ``healthy`` reflects the
+        state *before* repair.  Raises
+        :class:`~repro.errors.TreeInvariantError` only if a rebuilt
+        relation still fails its audit (the predicates table itself is
+        damaged beyond repair).
+        """
+        problems: List[str] = []
+        rebuilt: List[str] = []
+        for ident, relation in list(self._relation_of.items()):
+            rel_index = self._relations.get(relation)
+            if rel_index is None or ident not in rel_index.predicates:
+                problems.append(
+                    f"orphaned ident {ident!r} for relation {relation!r}: pruned"
+                )
+                del self._relation_of[ident]
+        for relation, rel_index in list(self._relations.items()):
+            relation_problems = self._audit_relation(relation, rel_index)
+            if not relation_problems:
+                continue
+            problems.extend(relation_problems)
+            self._rebuild_relation(relation, rel_index)
+            rebuilt.append(relation)
+            remaining = self._audit_relation(relation, rel_index)
+            if remaining:
+                raise TreeInvariantError(
+                    f"relation {relation!r} still corrupt after rebuild: "
+                    + "; ".join(remaining)
+                )
+        return {"healthy": not problems, "problems": problems, "rebuilt": rebuilt}
+
+    def _rebuild_relation(self, relation: str, rel_index: _RelationIndex) -> None:
+        """Rebuild *relation*'s trees and registries from its predicates."""
+        rel_index.trees = {}
+        rel_index.non_indexable = set()
+        rel_index.indexed_under = {}
+        rel_index.residuals = {}
+        for ident, predicate in rel_index.predicates.items():
+            self._relation_of[ident] = relation
+            self._enter_clauses(rel_index, ident, predicate)
 
     def __repr__(self) -> str:
         return f"<PredicateIndex {len(self)} predicates over {len(self._relations)} relations>"

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..testing.faults import fault_point
 from .ibs_tree import EQ, GT, LT, IBSNode
 from .intervals import MINUS_INF, PLUS_INF, is_infinite
 
@@ -143,6 +144,11 @@ def _fixup_marks(
             if ident in demoted.slots[slot]:
                 demoted.slots[slot].discard(ident)
                 locs[ident].discard((demoted, slot))
+
+    # Between here and _relink the marks are rewritten for the
+    # *post*-rotation shape while the pointers still have the old one —
+    # the torn state an injected crash must leave behind.
+    fault_point("tree.rotate")
 
 
 def _relink(tree: "IBSTree", z: IBSNode, y: IBSNode, right: bool) -> None:

@@ -5,12 +5,16 @@ DBMS: schemas with typed attribute domains, tuple storage with
 incremental statistics, and a synchronous mutation-event bus.
 """
 
-from .database import AbortMutation, Database
+from .database import AbortMutation, Database, Transaction
 from .events import BatchEvent, DeleteEvent, Event, InsertEvent, UpdateEvent
 from .persistence import (
+    OperationJournal,
     database_from_dict,
     database_to_dict,
     load_database,
+    read_journal,
+    recover_database,
+    replay_journal,
     save_database,
 )
 from .relation import Relation
@@ -21,6 +25,7 @@ from .types import ANY, BOOLEAN, FLOAT, INTEGER, NUMBER, STRING, Domain, integer
 __all__ = [
     "Database",
     "AbortMutation",
+    "Transaction",
     "Relation",
     "Schema",
     "Attribute",
@@ -43,4 +48,8 @@ __all__ = [
     "load_database",
     "database_to_dict",
     "database_from_dict",
+    "OperationJournal",
+    "read_journal",
+    "replay_journal",
+    "recover_database",
 ]

@@ -15,14 +15,15 @@ the mutation never happened.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
-from ..errors import DatabaseError, SchemaError, UnknownRelationError
-from .events import BatchEvent, DeleteEvent, Event, InsertEvent, UpdateEvent
+from ..errors import DatabaseError, SchemaError, TransactionError, UnknownRelationError
+from .events import BatchEvent, DeleteEvent, Event, InsertEvent, UpdateEvent, as_compensating
 from .relation import Relation
 from .schema import AttributeSpec, Schema
 
-__all__ = ["Database", "AbortMutation"]
+__all__ = ["Database", "AbortMutation", "Transaction"]
 
 #: Subscribers receive every per-tuple :class:`Event` — and, from the
 #: bulk mutation APIs, a single :class:`BatchEvent` wrapping the batch.
@@ -41,12 +42,116 @@ class AbortMutation(DatabaseError):
         self.reason = reason
 
 
+class Transaction:
+    """A journal of applied mutations supporting all-or-nothing rollback.
+
+    Obtained from :meth:`Database.transaction`; while active, every
+    mutation on the database — including cascades triggered by rule
+    actions — appends an undo record *before* its event is delivered,
+    so :meth:`rollback_to` can restore any earlier state by undoing
+    records in strict LIFO order (a cascade that updates a tuple the
+    outer operation created is unwound update-first).
+
+    Undoing an operation fires a *compensating* event (the inverse
+    image, flagged ``compensating=True``) so subscribers that maintain
+    derived state — rule-engine monitors, join alpha memories — track
+    the restored contents instead of silently drifting.  Compensating
+    events cannot be vetoed: an :class:`AbortMutation` raised against
+    one is ignored, because the rollback it announces already happened.
+    """
+
+    __slots__ = ("_db", "_ops", "state")
+
+    def __init__(self, db: "Database"):
+        self._db = db
+        self._ops: List[Tuple] = []
+        #: ``"active"`` -> ``"committed"`` or ``"rolled-back"``
+        self.state = "active"
+
+    @property
+    def active(self) -> bool:
+        return self.state == "active"
+
+    def __len__(self) -> int:
+        """Number of not-yet-undone operations journaled so far."""
+        return len(self._ops)
+
+    def savepoint(self) -> int:
+        """A marker for partial rollback: the current journal length."""
+        return len(self._ops)
+
+    def _record(self, op: Tuple) -> None:
+        if self.state != "active":
+            raise TransactionError(
+                f"cannot mutate through a {self.state} transaction"
+            )
+        self._ops.append(op)
+
+    def rollback(self) -> None:
+        """Undo every journaled operation and close the transaction."""
+        self.rollback_to(0)
+        self.state = "rolled-back"
+
+    def rollback_to(self, savepoint: int) -> None:
+        """Undo journaled operations back to *savepoint*, newest first.
+
+        Each undo restores the relation's stored tuple (and its
+        statistics) and fires the matching compensating event.  A
+        subscriber error during compensation does not stop the
+        rollback — every remaining operation is still undone, and the
+        first such error is re-raised wrapped in
+        :class:`~repro.errors.TransactionError` once the state is
+        restored.
+        """
+        if self.state != "active":
+            raise TransactionError(f"cannot roll back a {self.state} transaction")
+        if savepoint < 0 or savepoint > len(self._ops):
+            raise TransactionError(
+                f"savepoint {savepoint} out of range (journal has {len(self._ops)} ops)"
+            )
+        db = self._db
+        first_error: Optional[BaseException] = None
+        while len(self._ops) > savepoint:
+            op = self._ops.pop()
+            kind = op[0]
+            if kind == "insert":
+                _, relation, name, tid = op
+                old = relation.delete(tid)
+                event: Event = DeleteEvent(name, tid, dict(old))
+            elif kind == "update":
+                _, relation, name, tid, old, new = op
+                relation._tuples[tid] = old
+                if relation.track_statistics:
+                    relation.statistics.observe_update(new, old)
+                event = UpdateEvent(name, tid, dict(new), dict(old))
+            else:  # "delete"
+                _, relation, name, tid, old = op
+                relation.restore(tid, old)
+                event = InsertEvent(name, tid, dict(old))
+            try:
+                db._notify(as_compensating(event))
+            except AbortMutation:
+                pass  # a rollback cannot be vetoed
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise TransactionError(
+                "a subscriber failed while handling a compensating event; "
+                "relation state was fully rolled back regardless"
+            ) from first_error
+
+    def __repr__(self) -> str:
+        return f"<Transaction {self.state}, {len(self._ops)} ops>"
+
+
 class Database:
     """A catalog of main-memory relations with synchronous mutation events."""
 
     def __init__(self) -> None:
         self._relations: Dict[str, Relation] = {}
         self._subscribers: List[Subscriber] = []
+        self._txn: Optional[Transaction] = None
 
     # -- catalog --------------------------------------------------------
 
@@ -106,20 +211,92 @@ class Database:
         for subscriber in list(self._subscribers):
             subscriber(event)
 
+    # -- transactions ------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether a transactional mutation context is currently open."""
+        return self._txn is not None
+
+    @property
+    def current_transaction(self) -> Optional[Transaction]:
+        """The open :class:`Transaction`, if any."""
+        return self._txn
+
+    @contextmanager
+    def transaction(self) -> Iterator[Transaction]:
+        """All-or-nothing scope for a group of mutations.
+
+        Every mutation inside the ``with`` block — including cascades
+        fired by rule actions reacting to those mutations — is
+        journaled; if the block raises, the whole journal is undone in
+        LIFO order (firing compensating events to subscribers) and the
+        exception propagates.  On normal exit the journal is discarded
+        and the transaction commits.
+
+        Nesting is savepoint-based: a ``transaction()`` opened while
+        one is already active yields the *same* transaction, and a
+        failure inside the inner block rolls back only the operations
+        the inner block performed.
+
+        Note that a subscriber veto (:class:`AbortMutation`) on one
+        mutation still only undoes that mutation; the transaction stays
+        open, and the caller may catch the veto inside the block and
+        continue.
+        """
+        outer = self._txn
+        if outer is not None:
+            sp = outer.savepoint()
+            try:
+                yield outer
+            except BaseException:
+                if outer.active:
+                    outer.rollback_to(sp)
+                raise
+            return
+        txn = Transaction(self)
+        self._txn = txn
+        try:
+            yield txn
+        except BaseException:
+            try:
+                if txn.active:
+                    txn.rollback()
+            finally:
+                self._txn = None
+            raise
+        else:
+            self._txn = None
+            if txn.active:
+                txn.state = "committed"
+
     # -- mutations ------------------------------------------------------------
 
     def insert(self, relation_name: str, values: Mapping[str, Any]) -> int:
         """Insert a tuple; fires an InsertEvent; returns the new tid.
 
         If a subscriber raises :class:`AbortMutation` the tuple is
-        removed again and the exception propagates.
+        removed again — announcing the removal with a compensating
+        DeleteEvent — and the exception propagates.
         """
         relation = self.relation(relation_name)
+        txn = self._txn
+        if txn is not None:
+            sp = txn.savepoint()
+            tid, tup = relation.insert(values)
+            txn._record(("insert", relation, relation_name, tid))
+            try:
+                self._notify(InsertEvent(relation_name, tid, dict(tup)))
+            except AbortMutation:
+                txn.rollback_to(sp)
+                raise
+            return tid
         tid, tup = relation.insert(values)
         try:
             self._notify(InsertEvent(relation_name, tid, dict(tup)))
         except AbortMutation:
-            relation.delete(tid)
+            old = relation.delete(tid)
+            self._notify_compensating(DeleteEvent(relation_name, tid, dict(old)))
             raise
         return tid
 
@@ -128,6 +305,17 @@ class Database:
     ) -> Dict[str, Any]:
         """Update a tuple; fires an UpdateEvent; returns the new image."""
         relation = self.relation(relation_name)
+        txn = self._txn
+        if txn is not None:
+            sp = txn.savepoint()
+            old, new = relation.update(tid, changes)
+            txn._record(("update", relation, relation_name, tid, old, new))
+            try:
+                self._notify(UpdateEvent(relation_name, tid, dict(old), dict(new)))
+            except AbortMutation:
+                txn.rollback_to(sp)
+                raise
+            return dict(new)
         old, new = relation.update(tid, changes)
         try:
             self._notify(UpdateEvent(relation_name, tid, dict(old), dict(new)))
@@ -135,19 +323,41 @@ class Database:
             relation._tuples[tid] = old  # direct rollback, stats re-adjusted
             if relation.track_statistics:
                 relation.statistics.observe_update(new, old)
+            self._notify_compensating(
+                UpdateEvent(relation_name, tid, dict(new), dict(old))
+            )
             raise
         return dict(new)
 
     def delete(self, relation_name: str, tid: int) -> Dict[str, Any]:
         """Delete a tuple; fires a DeleteEvent; returns its final image."""
         relation = self.relation(relation_name)
+        txn = self._txn
+        if txn is not None:
+            sp = txn.savepoint()
+            old = relation.delete(tid)
+            txn._record(("delete", relation, relation_name, tid, old))
+            try:
+                self._notify(DeleteEvent(relation_name, tid, dict(old)))
+            except AbortMutation:
+                txn.rollback_to(sp)
+                raise
+            return dict(old)
         old = relation.delete(tid)
         try:
             self._notify(DeleteEvent(relation_name, tid, dict(old)))
         except AbortMutation:
             relation.restore(tid, old)
+            self._notify_compensating(InsertEvent(relation_name, tid, dict(old)))
             raise
         return dict(old)
+
+    def _notify_compensating(self, event: Event) -> None:
+        """Deliver a rollback notification; vetoes are meaningless here."""
+        try:
+            self._notify(as_compensating(event))
+        except AbortMutation:
+            pass
 
     # -- convenience ------------------------------------------------------------
 
@@ -171,31 +381,25 @@ class Database:
         :class:`~repro.db.events.BatchEvent` carrying one
         ``InsertEvent`` per row is delivered, letting the rule engine
         match the whole batch in one :meth:`PredicateIndex.match_batch`
-        pass.  All-or-nothing: a validation error or a subscriber veto
-        (:class:`AbortMutation`) rolls back the entire batch.
+        pass.  All-or-nothing: the batch runs in a
+        :meth:`transaction`, so a validation error or a subscriber veto
+        (:class:`AbortMutation`) rolls back the entire batch — plus any
+        cascaded mutations rule actions made in response — and fires
+        compensating events for the rollback.
         """
         relation = self.relation(relation_name)
         inserted: List[Tuple[int, Dict[str, Any]]] = []
-
-        def rollback() -> None:
-            for tid, _ in reversed(inserted):
-                relation.delete(tid)
-
-        try:
+        with self.transaction() as txn:
             for row in rows:
-                inserted.append(relation.insert(row))
-        except Exception:
-            rollback()
-            raise
-        if inserted:
-            events = tuple(
-                InsertEvent(relation_name, tid, dict(tup)) for tid, tup in inserted
-            )
-            try:
+                tid, tup = relation.insert(row)
+                txn._record(("insert", relation, relation_name, tid))
+                inserted.append((tid, tup))
+            if inserted:
+                events = tuple(
+                    InsertEvent(relation_name, tid, dict(tup))
+                    for tid, tup in inserted
+                )
                 self._notify(BatchEvent(relation_name, events))
-            except AbortMutation:
-                rollback()
-                raise
         return [tid for tid, _ in inserted]
 
     def bulk_update(
@@ -206,36 +410,24 @@ class Database:
         ``changes`` maps tid -> attribute changes.  Like
         :meth:`bulk_insert`, the batch is applied first and announced
         with a single :class:`~repro.db.events.BatchEvent` (one
-        ``UpdateEvent`` per tuple), and is rolled back wholesale if a
-        tuple is missing, a change fails validation, or a subscriber
-        vetoes the batch.
+        ``UpdateEvent`` per tuple), all inside a :meth:`transaction`:
+        a missing tuple, a validation failure, or a subscriber veto
+        rolls the whole batch (and any rule-action cascades) back and
+        announces the rollback with compensating events.
         """
         relation = self.relation(relation_name)
         applied: List[Tuple[int, Dict[str, Any], Dict[str, Any]]] = []
-
-        def rollback() -> None:
-            for tid, old, new in reversed(applied):
-                relation._tuples[tid] = old
-                if relation.track_statistics:
-                    relation.statistics.observe_update(new, old)
-
-        try:
+        with self.transaction() as txn:
             for tid, change in changes.items():
                 old, new = relation.update(tid, change)
+                txn._record(("update", relation, relation_name, tid, old, new))
                 applied.append((tid, old, new))
-        except Exception:
-            rollback()
-            raise
-        if applied:
-            events = tuple(
-                UpdateEvent(relation_name, tid, dict(old), dict(new))
-                for tid, old, new in applied
-            )
-            try:
+            if applied:
+                events = tuple(
+                    UpdateEvent(relation_name, tid, dict(old), dict(new))
+                    for tid, old, new in applied
+                )
                 self._notify(BatchEvent(relation_name, events))
-            except AbortMutation:
-                rollback()
-                raise
         return {tid: dict(new) for tid, _, new in applied}
 
     def select(

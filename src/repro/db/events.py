@@ -12,7 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-__all__ = ["Event", "InsertEvent", "UpdateEvent", "DeleteEvent", "BatchEvent"]
+__all__ = [
+    "Event",
+    "InsertEvent",
+    "UpdateEvent",
+    "DeleteEvent",
+    "BatchEvent",
+    "as_compensating",
+]
 
 
 @dataclass(frozen=True)
@@ -21,6 +28,17 @@ class Event:
 
     relation: str
     tid: int
+
+    # True on events fired while *undoing* mutations during a rollback
+    # (transaction abort or subscriber veto): the inverse image of each
+    # undone operation is announced so subscribers that maintain derived
+    # state (the rule engine's monitors and joins) track the restored
+    # relation contents instead of drifting.  A plain class attribute —
+    # not a dataclass field — so the event constructors and the
+    # positional wire format are unchanged; compensation instances are
+    # flagged via :func:`as_compensating`.  (A ``kw_only`` field would
+    # be cleaner but needs Python 3.10; we support 3.9.)
+    compensating = False
 
     @property
     def kind(self) -> str:
@@ -82,6 +100,8 @@ class BatchEvent:
     relation: str
     events: Tuple[Event, ...]
 
+    compensating = False
+
     @property
     def kind(self) -> str:
         return "batch"
@@ -106,3 +126,14 @@ class DeleteEvent(Event):
     @property
     def tuple(self) -> Optional[Dict[str, Any]]:
         return self.old
+
+
+def as_compensating(event: Any) -> Any:
+    """Flag *event* as a compensating (rollback) notification.
+
+    Works on the frozen event dataclasses because ``compensating`` is an
+    ordinary class attribute shadowed per instance, not a frozen field.
+    Returns the event for call-site convenience.
+    """
+    object.__setattr__(event, "compensating", True)
+    return event

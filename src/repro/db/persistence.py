@@ -1,4 +1,4 @@
-"""Save and load databases as JSON.
+"""Save and load databases as JSON, crash-safely.
 
 Rule systems hold their *rules* in code, but the data they monitor is
 ordinary relational content; this module persists that content so
@@ -16,25 +16,62 @@ bounded integer domains keep their bounds; custom check functions
 cannot be serialised and degrade to ``any`` (a warning is attached to
 the loaded relation's schema via the domain name).
 
-Tuple identifiers are not preserved — they are storage-level handles,
-not data.  Values must be JSON-representable (int, float, str, bool,
-None); anything else raises :class:`~repro.errors.DatabaseError`.
+Version 2 snapshots carry a SHA-256 ``checksum`` over the payload and
+preserve tuple identifiers and per-relation tid counters, so a reloaded
+database continues numbering where the saved one left off and a journal
+(below) can be replayed against it.  A snapshot that is torn
+(truncated, not valid JSON) or whose checksum does not match raises
+:class:`~repro.errors.CorruptSnapshotError` rather than yielding
+garbage.  Version 1 snapshots (no checksum, no tids) still load.
+
+Saving to a path is **atomic**: the snapshot is written to a temporary
+file in the same directory, flushed and fsynced, then moved over the
+target with :func:`os.replace` — a crash mid-save leaves the previous
+snapshot untouched.
+
+:class:`OperationJournal` provides the second half of crash safety: an
+append-only log of mutations (one checksummed JSON line per operation)
+written *between* snapshots.  :func:`recover_database` loads the last
+snapshot and replays the journal to the last consistent state; a torn
+final line — the signature of a crash mid-append — is tolerated and
+ignored, while corruption anywhere earlier raises
+:class:`~repro.errors.CorruptSnapshotError`.
+
+Values must be JSON-representable (int, float, str, bool, None);
+anything else raises :class:`~repro.errors.DatabaseError`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from typing import Any, Dict, IO, List, Union
+import tempfile
+import zlib
+from typing import Any, Callable, Dict, IO, List, Optional, Union
 
-from ..errors import DatabaseError
+from ..errors import CorruptSnapshotError, DatabaseError
+from ..testing.faults import fault_point
 from .database import Database
+from .events import BatchEvent
 from .schema import Attribute
 from .types import ANY, BOOLEAN, Domain, FLOAT, INTEGER, NUMBER, STRING, integer_range
 
-__all__ = ["save_database", "load_database", "database_to_dict", "database_from_dict"]
+__all__ = [
+    "save_database",
+    "load_database",
+    "database_to_dict",
+    "database_from_dict",
+    "OperationJournal",
+    "read_journal",
+    "replay_journal",
+    "recover_database",
+]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Snapshot versions this build can read.
+_READABLE_VERSIONS = (1, 2)
 
 _BUILTIN_DOMAINS: Dict[str, Domain] = {
     "integer": INTEGER,
@@ -67,8 +104,18 @@ def _domain_from_descriptor(descriptor: Dict[str, Any]) -> Domain:
         raise DatabaseError(f"unknown domain kind {kind!r} in snapshot") from None
 
 
+def _payload_checksum(version: int, relations: List[Dict[str, Any]]) -> str:
+    """SHA-256 over the canonical JSON encoding of the snapshot payload."""
+    blob = json.dumps(
+        {"version": version, "relations": relations},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
 def database_to_dict(db: Database) -> Dict[str, Any]:
-    """Serialise *db* (schemas + tuples) into a JSON-safe dict."""
+    """Serialise *db* (schemas + tuples + tid state) into a JSON-safe dict."""
     relations: List[Dict[str, Any]] = []
     for name in db.relations():
         relation = db.relation(name)
@@ -87,48 +134,355 @@ def database_to_dict(db: Database) -> Dict[str, Any]:
                     {"name": attr.name, "domain": _domain_descriptor(attr.domain)}
                     for attr in schema.attributes
                 ],
-                "tuples": [dict(tup) for _, tup in relation.scan()],
+                "tuples": [[tid, dict(tup)] for tid, tup in relation.scan()],
+                "next_tid": relation.next_tid,
             }
         )
-    return {"format": "repro-database", "version": FORMAT_VERSION, "relations": relations}
+    return {
+        "format": "repro-database",
+        "version": FORMAT_VERSION,
+        "checksum": _payload_checksum(FORMAT_VERSION, relations),
+        "relations": relations,
+    }
 
 
 def database_from_dict(data: Dict[str, Any]) -> Database:
-    """Rebuild a database from :func:`database_to_dict` output."""
-    if data.get("format") != "repro-database":
+    """Rebuild a database from :func:`database_to_dict` output.
+
+    Verifies the checksum of version-2 snapshots before touching any
+    data; a mismatch (or a missing checksum) raises
+    :class:`~repro.errors.CorruptSnapshotError`.
+    """
+    if not isinstance(data, dict) or data.get("format") != "repro-database":
         raise DatabaseError("not a repro database snapshot")
-    if data.get("version") != FORMAT_VERSION:
+    version = data.get("version")
+    if version not in _READABLE_VERSIONS:
         raise DatabaseError(
-            f"unsupported snapshot version {data.get('version')!r} "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"unsupported snapshot version {version!r} "
+            f"(this build reads versions {_READABLE_VERSIONS})"
         )
+    relations = data.get("relations", [])
+    if version >= 2:
+        recorded = data.get("checksum")
+        if not recorded:
+            raise CorruptSnapshotError(
+                "snapshot has no checksum (version 2 requires one)"
+            )
+        actual = _payload_checksum(version, relations)
+        if actual != recorded:
+            raise CorruptSnapshotError(
+                f"snapshot checksum mismatch: recorded {recorded[:12]}..., "
+                f"computed {actual[:12]}... — the file is corrupt or was "
+                f"modified outside save_database"
+            )
     db = Database()
-    for relation_data in data.get("relations", []):
-        attributes = [
-            Attribute(spec["name"], _domain_from_descriptor(spec.get("domain", {})))
-            for spec in relation_data["attributes"]
-        ]
-        db.create_relation(relation_data["name"], attributes)
-        for tup in relation_data.get("tuples", []):
-            db.insert(relation_data["name"], tup)
+    try:
+        for relation_data in relations:
+            attributes = [
+                Attribute(spec["name"], _domain_from_descriptor(spec.get("domain", {})))
+                for spec in relation_data["attributes"]
+            ]
+            name = relation_data["name"]
+            relation = db.create_relation(name, attributes)
+            if version == 1:
+                for tup in relation_data.get("tuples", []):
+                    db.insert(name, tup)
+            else:
+                for tid, tup in relation_data.get("tuples", []):
+                    relation.restore(int(tid), relation.schema.validate_tuple(tup))
+                relation.advance_tid_counter(int(relation_data.get("next_tid", 1)))
+    except DatabaseError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CorruptSnapshotError(
+            f"snapshot structure is malformed: {exc}"
+        ) from exc
     return db
 
 
 def save_database(db: Database, target: Union[str, os.PathLike, IO[str]]) -> None:
-    """Write *db* as JSON to a path or open text file."""
+    """Write *db* as JSON to a path or open text file.
+
+    Path targets are written atomically: the payload goes to a
+    temporary file in the destination directory, is flushed and
+    fsynced, then renamed over the target with :func:`os.replace`.  A
+    crash (or injected fault) at any point before the rename leaves an
+    existing snapshot at *target* untouched.
+    """
     data = database_to_dict(db)
     if hasattr(target, "write"):
         json.dump(data, target, indent=1)
         return
-    with open(target, "w", encoding="utf-8") as handle:
-        json.dump(data, handle, indent=1)
+    payload = json.dumps(data, indent=1)
+    target = os.fspath(target)
+    directory = os.path.dirname(target) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            # two writes with a fault point between them: an injected
+            # crash leaves a *torn* temp file, exactly what a real kill
+            # mid-write produces — and never touches the target
+            mid = len(payload) // 2
+            handle.write(payload[:mid])
+            fault_point("persist.write")
+            handle.write(payload[mid:])
+            handle.flush()
+            fault_point("persist.fsync")
+            os.fsync(handle.fileno())
+        fault_point("persist.replace")
+        os.replace(tmp_path, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_database(source: Union[str, os.PathLike, IO[str]]) -> Database:
-    """Read a database from a JSON path or open text file."""
-    if hasattr(source, "read"):
-        data = json.load(source)
-    else:
-        with open(source, "r", encoding="utf-8") as handle:
-            data = json.load(handle)
+    """Read a database from a JSON path or open text file.
+
+    A file that cannot be decoded at all — empty, truncated, torn by a
+    crash mid-write — raises
+    :class:`~repro.errors.CorruptSnapshotError` (never a bare JSON
+    error, never silently-wrong data).
+    """
+    try:
+        if hasattr(source, "read"):
+            data = json.load(source)
+        else:
+            with open(source, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CorruptSnapshotError(
+            f"snapshot is not decodable (torn or truncated write?): {exc}"
+        ) from exc
     return database_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# operation journal: append-only log between snapshots
+# ----------------------------------------------------------------------
+
+
+class OperationJournal:
+    """An append-only, per-line-checksummed log of database mutations.
+
+    Attach to a database with :meth:`attach`; every subsequent
+    insert/update/delete — including each member of a bulk batch and
+    the compensating operations of a transaction rollback — is appended
+    as one JSON line tagged with its CRC-32::
+
+        a1b2c3d4 {"op": "insert", "relation": "emp", "tid": 7, ...}
+
+    Lines are flushed to the OS on every append (with an fsync), so the
+    journal trails the in-memory state by at most the operation being
+    written when a crash hits.  :func:`read_journal` tolerates exactly
+    that: a torn **final** line is skipped, while a bad line with valid
+    entries after it means real corruption and raises
+    :class:`~repro.errors.CorruptSnapshotError`.
+
+    Typical checkpoint loop::
+
+        journal = OperationJournal(path + ".journal")
+        detach = journal.attach(db)
+        ...mutations...
+        save_database(db, path)     # checkpoint
+        journal.truncate()          # journal restarts from the snapshot
+        ...crash...
+        db = recover_database(path, path + ".journal")
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = os.fspath(path)
+        self._handle: Optional[IO[str]] = None
+        self._detach: Optional[Callable[[], None]] = None
+
+    # -- writing --------------------------------------------------------
+
+    def _ensure_open(self) -> IO[str]:
+        if self._handle is None or self._handle.closed:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def append(self, op: Dict[str, Any]) -> None:
+        """Write one operation record durably."""
+        line = json.dumps(op, sort_keys=True, separators=(",", ":"))
+        crc = zlib.crc32(line.encode("utf-8")) & 0xFFFFFFFF
+        handle = self._ensure_open()
+        handle.write(f"{crc:08x} {line}\n")
+        handle.flush()
+        # the record is in the OS buffer; a fault here models an fsync
+        # failure *after* the data was written, so the journal never
+        # loses an op the database applied
+        fault_point("journal.append")
+        os.fsync(handle.fileno())
+
+    def truncate(self) -> None:
+        """Discard all journaled operations (call right after a snapshot)."""
+        self.close_file()
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+
+    def close_file(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
+
+    # -- database wiring ------------------------------------------------
+
+    def attach(self, db: Database) -> Callable[[], None]:
+        """Subscribe to *db*, journaling every mutation; returns a detach."""
+        if self._detach is not None:
+            raise DatabaseError("journal is already attached to a database")
+
+        def on_event(event: Any) -> None:
+            if isinstance(event, BatchEvent):
+                for sub in event:
+                    self.append(self._op_of(sub))
+                return
+            self.append(self._op_of(event))
+
+        unsubscribe = db.subscribe(on_event)
+
+        def detach() -> None:
+            unsubscribe()
+            self.close_file()
+            self._detach = None
+
+        self._detach = detach
+        return detach
+
+    def detach(self) -> None:
+        """Stop journaling and close the file (no-op if not attached)."""
+        if self._detach is not None:
+            self._detach()
+
+    @staticmethod
+    def _op_of(event: Any) -> Dict[str, Any]:
+        kind = event.kind
+        if kind == "insert":
+            return {
+                "op": "insert",
+                "relation": event.relation,
+                "tid": event.tid,
+                "values": event.new,
+            }
+        if kind == "update":
+            return {
+                "op": "update",
+                "relation": event.relation,
+                "tid": event.tid,
+                "values": event.new,
+            }
+        if kind == "delete":
+            return {"op": "delete", "relation": event.relation, "tid": event.tid}
+        raise DatabaseError(f"cannot journal event kind {kind!r}")
+
+    def __enter__(self) -> "OperationJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.detach()
+        self.close_file()
+
+    def __repr__(self) -> str:
+        return f"<OperationJournal {self.path!r}>"
+
+
+def read_journal(path: Union[str, os.PathLike]) -> List[Dict[str, Any]]:
+    """Parse a journal file into its operation records.
+
+    A torn final line (bad CRC, truncated JSON, missing newline) is
+    dropped — that is the expected wreckage of a crash mid-append.  A
+    bad line *followed by valid ones* cannot be explained by a torn
+    tail and raises :class:`~repro.errors.CorruptSnapshotError`.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw_lines = handle.read().splitlines()
+    except FileNotFoundError:
+        return []
+    ops: List[Dict[str, Any]] = []
+    bad_at: Optional[int] = None
+    for number, raw in enumerate(raw_lines, start=1):
+        if not raw.strip():
+            continue
+        record: Optional[Dict[str, Any]] = None
+        parts = raw.split(" ", 1)
+        if len(parts) == 2:
+            tag, body = parts
+            try:
+                expected = int(tag, 16)
+            except ValueError:
+                expected = -1
+            if expected == zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF:
+                try:
+                    decoded = json.loads(body)
+                except json.JSONDecodeError:
+                    decoded = None
+                if isinstance(decoded, dict):
+                    record = decoded
+        if record is None:
+            bad_at = number
+            continue
+        if bad_at is not None:
+            raise CorruptSnapshotError(
+                f"journal {os.fspath(path)!r} line {bad_at} is corrupt but "
+                f"later lines are intact — not a torn tail"
+            )
+        ops.append(record)
+    return ops
+
+
+def replay_journal(db: Database, ops: List[Dict[str, Any]]) -> int:
+    """Apply journaled operations to *db*; returns the count applied.
+
+    Operations are applied directly to relation storage (no events
+    fire, no rules run — the journal already reflects every cascade
+    that happened).  An operation that cannot be applied — unknown
+    relation, tid mismatch, schema violation — means the journal does
+    not belong to this snapshot and raises
+    :class:`~repro.errors.CorruptSnapshotError`.
+    """
+    applied = 0
+    for op in ops:
+        try:
+            kind = op["op"]
+            relation = db.relation(op["relation"])
+            tid = int(op["tid"])
+            if kind == "insert":
+                values = relation.schema.validate_tuple(op["values"])
+                relation.restore(tid, values)
+            elif kind == "update":
+                relation.update(tid, op["values"])
+            elif kind == "delete":
+                relation.delete(tid)
+            else:
+                raise DatabaseError(f"unknown journal op {kind!r}")
+        except (DatabaseError, KeyError, TypeError, ValueError) as exc:
+            raise CorruptSnapshotError(
+                f"journal operation {applied + 1} ({op!r}) does not apply "
+                f"to this snapshot: {exc}"
+            ) from exc
+        applied += 1
+    return applied
+
+
+def recover_database(
+    snapshot: Union[str, os.PathLike],
+    journal: Optional[Union[str, os.PathLike]] = None,
+) -> Database:
+    """Load the last consistent state: snapshot plus journal replay.
+
+    This is the crash-recovery entry point: load the (atomically
+    written, checksummed) snapshot, then replay every intact journal
+    record on top of it.  A missing journal file simply means no
+    mutations since the checkpoint.
+    """
+    db = load_database(snapshot)
+    if journal is not None:
+        replay_journal(db, read_journal(journal))
+    return db

@@ -9,7 +9,6 @@ examples, the physical-locking baseline, and the join layer.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..errors import TupleError
@@ -32,7 +31,7 @@ class Relation:
     def __init__(self, schema: Schema, track_statistics: bool = True):
         self.schema = schema
         self._tuples: Dict[int, Dict[str, Any]] = {}
-        self._tid_counter = itertools.count(1)
+        self._tid_counter = 1
         self.statistics = RelationStatistics()
         self.track_statistics = track_statistics
 
@@ -49,10 +48,26 @@ class Relation:
 
     # -- mutations ---------------------------------------------------------
 
+    @property
+    def next_tid(self) -> int:
+        """The tid the next insert will receive."""
+        return self._tid_counter
+
+    def advance_tid_counter(self, floor: int) -> None:
+        """Ensure future tids start at *floor* or later.
+
+        Used when reloading persisted state: tuples restored under
+        their original tids must not collide with tids handed out
+        afterwards.  Never moves the counter backwards.
+        """
+        if floor > self._tid_counter:
+            self._tid_counter = floor
+
     def insert(self, values: Mapping[str, Any]) -> Tuple[int, Dict[str, Any]]:
         """Validate and store a tuple; returns ``(tid, stored_tuple)``."""
         tup = self.schema.validate_tuple(values)
-        tid = next(self._tid_counter)
+        tid = self._tid_counter
+        self._tid_counter = tid + 1
         self._tuples[tid] = tup
         if self.track_statistics:
             self.statistics.observe_insert(tup)
@@ -80,9 +95,10 @@ class Relation:
         return old
 
     def restore(self, tid: int, tup: Dict[str, Any]) -> None:
-        """Re-install a tuple under its original tid (rule-abort rollback)."""
+        """Re-install a tuple under its original tid (rollback, replay)."""
         if tid in self._tuples:
             raise TupleError(f"tid {tid} already present in {self.name!r}")
+        self.advance_tid_counter(tid + 1)
         self._tuples[tid] = dict(tup)
         if self.track_statistics:
             self.statistics.observe_insert(tup)

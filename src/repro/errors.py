@@ -24,11 +24,15 @@ __all__ = [
     "UnknownRelationError",
     "UnknownAttributeError",
     "TupleError",
+    "TransactionError",
+    "CorruptSnapshotError",
     "RuleError",
     "UnknownRuleError",
     "DuplicateRuleError",
     "RuleCycleError",
+    "ActionQuarantinedError",
     "WorkloadError",
+    "InjectedFault",
 ]
 
 
@@ -112,6 +116,25 @@ class TupleError(DatabaseError, ValueError):
     """A tuple did not conform to its relation's schema."""
 
 
+class TransactionError(DatabaseError, RuntimeError):
+    """A transactional mutation context was misused.
+
+    Raised, for example, when rollback is requested on a transaction
+    that already committed, or when transaction bookkeeping detects it
+    cannot undo an applied operation.
+    """
+
+
+class CorruptSnapshotError(DatabaseError, ValueError):
+    """A persisted snapshot or journal failed its integrity checks.
+
+    Raised by :mod:`repro.db.persistence` when a snapshot is torn
+    (truncated or otherwise not decodable) or its checksum does not
+    match its payload — the typed alternative to silently loading
+    garbage data after a crash mid-write.
+    """
+
+
 class RuleError(ReproError):
     """Base class for errors raised by the rule engine."""
 
@@ -128,5 +151,31 @@ class RuleCycleError(RuleError, RuntimeError):
     """Rule firing failed to reach a fixpoint within the firing limit."""
 
 
+class ActionQuarantinedError(RuleError, RuntimeError):
+    """A rule action exhausted its retries and was quarantined.
+
+    Not raised during normal draining — quarantine is silent by design
+    so one bad rule cannot abort the agenda — but available for callers
+    that re-fire dead-letter entries synchronously and want failures
+    surfaced as exceptions.
+    """
+
+
 class WorkloadError(ReproError, ValueError):
     """A workload generator was configured with inconsistent parameters."""
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """An artificial failure raised by the fault-injection harness.
+
+    Only ever raised when a :class:`repro.testing.faults.FaultInjector`
+    is installed and armed — production code paths never construct it
+    themselves.  Carries the injection site name and the hit counter at
+    which the fault fired, so tests can assert exactly where a failure
+    was introduced.
+    """
+
+    def __init__(self, site: str, hit: int = 0):
+        super().__init__(f"injected fault at site {site!r} (hit #{hit})")
+        self.site = site
+        self.hit = hit

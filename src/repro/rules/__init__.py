@@ -15,9 +15,10 @@ from .actions import (
     UpdateAction,
     chain,
 )
-from .agenda import Agenda
+from .agenda import Agenda, DeadLetterQueue
 from .bridge import DatabaseProductionBridge
 from .engine import MATCHER_STRATEGIES, RuleEngine
+from .failures import ActionFailure, RetryPolicy
 from .join_layer import JoinClause, JoinLayer, JoinRule
 from .monitor import Monitor
 from .rule import Rule, RuleContext
@@ -28,6 +29,9 @@ __all__ = [
     "Rule",
     "RuleContext",
     "Agenda",
+    "RetryPolicy",
+    "ActionFailure",
+    "DeadLetterQueue",
     "JoinRule",
     "JoinClause",
     "JoinLayer",

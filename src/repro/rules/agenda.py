@@ -14,12 +14,16 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Iterator, List, Optional, Tuple
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import RuleCycleError
 from .rule import Rule, RuleContext
 
-__all__ = ["Agenda"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .failures import ActionFailure
+
+__all__ = ["Agenda", "DeadLetterQueue"]
 
 
 class Agenda:
@@ -72,3 +76,59 @@ class Agenda:
     def reset_counter(self) -> None:
         """Reset the cumulative firing count (new top-level transaction)."""
         self.total_fired = 0
+
+
+class DeadLetterQueue:
+    """Quarantined rule firings, in quarantine order.
+
+    A bounded deque: when *capacity* is exceeded the **oldest** failure
+    is dropped, so a rule failing in a tight loop cannot grow memory
+    without bound — the most recent evidence is what debugging needs.
+    """
+
+    def __init__(self, capacity: int = 1000):
+        if capacity < 1:
+            raise ValueError("dead-letter capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Deque["ActionFailure"] = deque(maxlen=capacity)
+        self.total_quarantined = 0
+        self.dropped = 0
+
+    def add(self, failure: "ActionFailure") -> None:
+        """Record one quarantined firing."""
+        if len(self._entries) == self.capacity:
+            self.dropped += 1
+        self._entries.append(failure)
+        self.total_quarantined += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator["ActionFailure"]:
+        return iter(list(self._entries))
+
+    def by_rule(self) -> Dict[str, List["ActionFailure"]]:
+        """Failures grouped by rule name, preserving quarantine order."""
+        grouped: Dict[str, List["ActionFailure"]] = {}
+        for failure in self._entries:
+            grouped.setdefault(failure.rule_name, []).append(failure)
+        return grouped
+
+    def drain_entries(self) -> List["ActionFailure"]:
+        """Remove and return all failures, oldest first."""
+        entries = list(self._entries)
+        self._entries.clear()
+        return entries
+
+    def clear(self) -> None:
+        """Discard all recorded failures."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<DeadLetterQueue {len(self._entries)}/{self.capacity} "
+            f"(total {self.total_quarantined}, dropped {self.dropped})>"
+        )

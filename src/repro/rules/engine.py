@@ -58,11 +58,19 @@ from ..core.avl_ibs_tree import AVLIBSTree
 from ..core.rb_ibs_tree import RBIBSTree
 from ..core.predicate_index import PredicateIndex
 from ..core.selectivity import StatisticsEstimator
-from ..db.database import Database
+from ..db.database import AbortMutation, Database
 from ..db.events import BatchEvent, Event
-from ..errors import DuplicateRuleError, RuleError, UnknownRuleError
+from ..errors import (
+    ActionQuarantinedError,
+    DuplicateRuleError,
+    RuleCycleError,
+    RuleError,
+    UnknownRuleError,
+)
 from ..lang.compiler import compile_condition
-from .agenda import Agenda
+from ..testing.faults import fault_point
+from .agenda import Agenda, DeadLetterQueue
+from .failures import ActionFailure, RetryPolicy
 from .rule import Rule, RuleContext
 
 __all__ = ["RuleEngine", "MATCHER_STRATEGIES"]
@@ -97,6 +105,24 @@ class RuleEngine:
         ``"immediate"`` or ``"deferred"`` (see module docstring).
     max_firings:
         Cascade limit before :class:`~repro.errors.RuleCycleError`.
+    retry_policy:
+        How failing actions are retried before quarantine; defaults to
+        :class:`~repro.rules.failures.RetryPolicy` (no retries, poison
+        after 3 consecutive quarantines).
+    on_error:
+        ``"quarantine"`` (default): a rule action that raises is
+        retried per the policy, then recorded on the dead-letter queue
+        (see :meth:`failures`) while the drain continues — one bad rule
+        cannot abort the agenda.  Each action runs in a nested database
+        transaction, so a failed action's own mutations are rolled back
+        before quarantine.  ``"propagate"``: legacy behaviour — the
+        exception aborts the drain and reaches the mutating caller
+        (the action's mutations are still rolled back).
+        :class:`~repro.db.database.AbortMutation` and
+        :class:`~repro.errors.RuleCycleError` always propagate; they
+        are control flow, not failures.
+    dead_letter_capacity:
+        Bound on retained failures; beyond it the oldest are dropped.
     """
 
     def __init__(
@@ -106,11 +132,21 @@ class RuleEngine:
         functions: Optional[Mapping[str, Callable[[Any], bool]]] = None,
         mode: str = "immediate",
         max_firings: int = 10_000,
+        retry_policy: Optional[RetryPolicy] = None,
+        on_error: str = "quarantine",
+        dead_letter_capacity: int = 1000,
     ):
         if mode not in ("immediate", "deferred"):
             raise RuleError(f"unknown firing mode {mode!r}")
+        if on_error not in ("quarantine", "propagate"):
+            raise RuleError(f"unknown on_error policy {on_error!r}")
         self.db = db
         self.mode = mode
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.on_error = on_error
+        self.dead_letters = DeadLetterQueue(dead_letter_capacity)
+        self._failure_seq = 0
+        self._failure_streaks: Dict[str, int] = {}
         self.functions: Dict[str, Callable[[Any], bool]] = dict(functions or {})
         self.matcher = self._build_matcher(matcher)
         self.agenda = Agenda(max_firings=max_firings)
@@ -364,6 +400,13 @@ class RuleEngine:
             return
         matched_predicates = self.matcher.match(event.relation, image)
         matched_idents = {pred.ident for pred in matched_predicates}
+        if event.compensating:
+            # A rollback notification: bring derived state (join alpha
+            # memories; monitors already handled above) back in line
+            # with the restored relation contents, but fire no rules —
+            # the mutation being compensated officially never happened.
+            self.joins.process(event, matched_idents, post=False)
+            return
         posted = False
         old = getattr(event, "old", None)
         seen: Set[str] = set()
@@ -422,6 +465,13 @@ class RuleEngine:
         ``_on_event`` merely post to the agenda, and the outer drain
         loop picks the new instantiations up.  Each top-level drain
         gets a fresh firing budget.
+
+        Each firing is *isolated*: the action runs inside a nested
+        database transaction and, under the default
+        ``on_error="quarantine"`` policy, an action that raises is
+        retried per :attr:`retry_policy` and then quarantined onto
+        :attr:`dead_letters` — its mutations rolled back, the drain
+        continuing with the next instantiation.
         """
         if self._draining:
             return 0
@@ -432,10 +482,101 @@ class RuleEngine:
                 rule.fire_count += 1
                 if self.on_fire is not None:
                     self.on_fire(rule, context)
-                rule.action(context)
+                self._fire_isolated(rule, context)
         finally:
             self._draining = False
         return self.agenda.total_fired
+
+    def _fire_isolated(self, rule: Any, context: RuleContext) -> None:
+        """Run one action: transactional, retried, quarantined on failure."""
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                with self.db.transaction():
+                    fault_point("engine.action")
+                    rule.action(context)
+            except (AbortMutation, RuleCycleError, RuleError):
+                # control flow (vetoes, firing limit) and rule-system
+                # misconfiguration are not action failures: propagate
+                raise
+            except Exception as exc:
+                if self.on_error == "propagate":
+                    raise
+                if attempt < policy.max_attempts:
+                    delay = policy.delay(attempt + 1)
+                    if delay > 0:
+                        policy.sleep(delay)
+                    continue
+                self._quarantine(rule, context, exc, attempt)
+                return
+            else:
+                self._failure_streaks.pop(rule.name, None)
+                return
+
+    def _quarantine(
+        self, rule: Any, context: RuleContext, error: BaseException, attempts: int
+    ) -> None:
+        self._failure_seq += 1
+        streak = self._failure_streaks.get(rule.name, 0) + 1
+        self._failure_streaks[rule.name] = streak
+        poisoned = streak >= self.retry_policy.poison_threshold
+        if poisoned:
+            # poison pill: this rule keeps failing; stop feeding it the
+            # agenda so it cannot starve everyone else
+            rule.enabled = False
+        self.dead_letters.add(
+            ActionFailure(
+                seq=self._failure_seq,
+                rule_name=rule.name,
+                context=context,
+                error=error,
+                attempts=attempts,
+                poisoned=poisoned,
+            )
+        )
+
+    # -- failure inspection and recovery ---------------------------------
+
+    def failures(self) -> List[ActionFailure]:
+        """Quarantined firings, oldest first (see :class:`ActionFailure`)."""
+        return list(self.dead_letters)
+
+    def clear_failures(self) -> None:
+        """Forget all quarantined firings (keeps rules' enabled state)."""
+        self.dead_letters.clear()
+        self._failure_streaks.clear()
+
+    def requeue_failures(self, strict: bool = False) -> int:
+        """Re-fire quarantined instantiations; returns how many were queued.
+
+        Failures whose rule is still disabled (poisoned) stay on the
+        dead-letter queue — re-enable the rule first.  Requeued rules
+        get a fresh poison budget.  In immediate mode the agenda drains
+        right away; with ``strict=True`` a firing that fails *again*
+        raises :class:`~repro.errors.ActionQuarantinedError` instead of
+        being silently re-quarantined.
+        """
+        entries = self.dead_letters.drain_entries()
+        requeued = 0
+        for failure in entries:
+            rule = self._rules.get(failure.rule_name) or self.joins._rules.get(
+                failure.rule_name
+            )
+            if rule is None or not rule.enabled:
+                self.dead_letters.add(failure)
+                continue
+            self._failure_streaks.pop(failure.rule_name, None)
+            self.agenda.post(rule, failure.context)
+            requeued += 1
+        before = self.dead_letters.total_quarantined
+        if requeued and self.mode == "immediate":
+            self._drain()
+            if strict and self.dead_letters.total_quarantined > before:
+                refailed = self.failures()[-1]
+                raise ActionQuarantinedError(refailed.describe()) from refailed.error
+        return requeued
 
     def run(self) -> int:
         """Deferred mode: fire everything on the agenda; returns the count."""

@@ -1,0 +1,109 @@
+"""Action-failure policy and records for the rule engine.
+
+A production trigger system cannot let one buggy rule action take down
+the whole agenda: the engine retries a failing action under a bounded
+:class:`RetryPolicy`, then *quarantines* the instantiation — records it
+as an :class:`ActionFailure` on the engine's dead-letter queue and
+moves on to the next firing.  Repeated quarantines of the same rule
+(a *poison pill*) disable the rule so it cannot starve the agenda.
+
+Two exception families are never quarantined, because they are control
+flow rather than failures: :class:`~repro.db.database.AbortMutation`
+(an integrity veto that must reach the mutation that triggered it) and
+:class:`~repro.errors.RuleCycleError` (the firing-limit breaker).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .rule import RuleContext
+
+__all__ = ["RetryPolicy", "ActionFailure"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine treats a rule action that raises.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries per firing, including the first.  The default of 1
+        means a failing action is quarantined immediately; transient
+        failures (e.g. an action calling a flaky external service)
+        warrant 2–3.
+    backoff / multiplier / max_backoff:
+        Sleep ``backoff`` seconds before the second attempt, growing by
+        ``multiplier`` per further attempt, capped at ``max_backoff``.
+        The default backoff of 0 retries immediately — right for pure
+        in-memory actions, where waiting buys nothing.
+    poison_threshold:
+        Consecutive quarantined *firings* of the same rule before the
+        rule is disabled (``rule.enabled = False``).  A successful
+        firing resets the count.
+    sleep:
+        Injectable clock for tests; defaults to :func:`time.sleep`.
+    """
+
+    max_attempts: int = 1
+    backoff: float = 0.0
+    multiplier: float = 2.0
+    max_backoff: float = 1.0
+    poison_threshold: int = 3
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff < 0 or self.max_backoff < 0 or self.multiplier <= 0:
+            raise ValueError("backoff parameters must be non-negative")
+        if self.poison_threshold < 1:
+            raise ValueError("poison_threshold must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before *attempt* (2-based; attempt 1 never waits)."""
+        if attempt <= 1 or self.backoff == 0:
+            return 0.0
+        return min(self.backoff * self.multiplier ** (attempt - 2), self.max_backoff)
+
+
+@dataclass
+class ActionFailure:
+    """One quarantined rule firing, kept on the dead-letter queue.
+
+    The original :class:`~repro.rules.rule.RuleContext` is retained so
+    the firing can be re-run (:meth:`RuleEngine.requeue_failures`) once
+    the underlying problem is fixed.
+    """
+
+    seq: int
+    rule_name: str
+    context: RuleContext
+    error: BaseException
+    attempts: int
+    #: True when this failure tripped the poison threshold and the rule
+    #: was disabled as a result.
+    poisoned: bool = False
+
+    @property
+    def relation(self) -> str:
+        return self.context.relation
+
+    @property
+    def tid(self) -> int:
+        return self.context.tid
+
+    def describe(self) -> str:
+        status = " [rule disabled]" if self.poisoned else ""
+        return (
+            f"#{self.seq} rule {self.rule_name!r} on "
+            f"{self.relation}#{self.tid}: "
+            f"{type(self.error).__name__}: {self.error} "
+            f"({self.attempts} attempt{'s' if self.attempts != 1 else ''}){status}"
+        )
+
+    def __repr__(self) -> str:
+        return f"<ActionFailure {self.describe()}>"

@@ -449,24 +449,35 @@ class JoinLayer:
                 if any(pred.matches(tup) for pred in hook.predicates):
                     rule.remember(hook.side, tid, dict(tup))
 
-    def process(self, event: Event, matched_idents: Set[Hashable]) -> int:
+    def process(
+        self, event: Event, matched_idents: Set[Hashable], post: bool = True
+    ) -> int:
         """React to a tuple event; returns the number of pairs posted.
 
         ``matched_idents`` are the predicate identifiers the selection
         layer reported for the event's tuple image.  Joined pairs are
         posted to the engine's agenda, which fires them in
         conflict-resolution order alongside ordinary rules.
+
+        With ``post=False`` only the alpha memories are maintained and
+        nothing reaches the agenda — used for compensating (rollback)
+        events, whose restored images must be remembered but must not
+        trigger firings.
         """
         watchers = self._watchers.get(event.relation)
         if not watchers:
             return 0
         posted = 0
         for hook in watchers:
-            posted += self._process_side(hook, event, matched_idents)
+            posted += self._process_side(hook, event, matched_idents, post)
         return posted
 
     def _process_side(
-        self, hook: _SideHook, event: Event, matched_idents: Set[Hashable]
+        self,
+        hook: _SideHook,
+        event: Event,
+        matched_idents: Set[Hashable],
+        post: bool = True,
     ) -> int:
         rule = hook.rule
         side = hook.side
@@ -479,6 +490,8 @@ class JoinLayer:
         tup = dict(event.tuple)
         rule.forget(side, tid)  # refresh the image on updates
         rule.remember(side, tid, tup)
+        if not post:
+            return 0
         posted = 0
         for _, other in list(rule.partners(side, tup)):
             bindings = (

@@ -1,0 +1,29 @@
+"""Test-support utilities shipped with the package.
+
+Currently this holds the deterministic fault-injection harness
+(:mod:`repro.testing.faults`).  It lives inside ``repro`` rather than
+the test tree because the production modules must carry the injection
+*sites* — cheap, inert hooks compiled into tree mutation, persistence
+I/O, and action execution — while the *injector* that arms them is only
+ever installed by tests and failure drills.
+"""
+
+from .faults import (
+    FAULT_SITES,
+    FaultInjector,
+    active_injector,
+    fault_point,
+    injected,
+    install,
+    uninstall,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultInjector",
+    "active_injector",
+    "fault_point",
+    "injected",
+    "install",
+    "uninstall",
+]

@@ -5,7 +5,7 @@ from typing import Dict, List, Tuple
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import AVLIBSTree, FlatIBSTree, IBSTree, Interval
+from repro import AVLIBSTree, FlatIBSTree, IBSTree, Interval, RBIBSTree
 from tests.conftest import intervals, query_points
 
 #: an operation script: insert (interval) / delete (index into live set)
@@ -18,11 +18,15 @@ ops = st.lists(
     max_size=40,
 )
 
-TREE_CLASSES = [IBSTree, AVLIBSTree, FlatIBSTree]
+TREE_CLASSES = [IBSTree, AVLIBSTree, RBIBSTree, FlatIBSTree]
 
 
 def apply_script(tree, script) -> Dict[int, Interval]:
-    """Run an op script against a tree, mirroring into a dict."""
+    """Run an op script against a tree, mirroring into a dict.
+
+    Every backend's full invariant validator runs after the mutation
+    batch, so each property test doubles as a structural check.
+    """
     live: Dict[int, Interval] = {}
     next_id = 0
     for op, arg in script:
@@ -34,6 +38,7 @@ def apply_script(tree, script) -> Dict[int, Interval]:
             victim = sorted(live)[arg % len(live)]
             tree.delete(victim)
             del live[victim]
+    assert tree.check_invariants() is True
     return live
 
 
@@ -81,7 +86,8 @@ class TestStructuralInvariants:
     def test_invariants(self, cls, script):
         tree = cls()
         apply_script(tree, script)
-        tree.validate()  # AVL variant also checks balance
+        tree.validate()  # balanced variants also check balance/colors
+        assert tree.audit() == []
 
 
 class TestDeleteIsInverse:

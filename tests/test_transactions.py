@@ -1,0 +1,246 @@
+"""Tests for transactional mutations: all-or-nothing semantics,
+savepoints, compensating events, and mid-cascade rollback."""
+
+import pytest
+
+from repro import AbortMutation, CollectAction, Database, RuleEngine
+from repro.db import Transaction
+from repro.errors import TransactionError, TupleError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_relation("emp", ["name", "salary", "dept"])
+    database.create_relation("log", ["message"])
+    return database
+
+
+def snapshot(db):
+    """Tuple-level image of every relation, tids included."""
+    return {
+        name: dict(db.relation(name).scan())
+        for name in db.relations()
+    }
+
+
+class TestAllOrNothing:
+    def test_commit_keeps_all_mutations(self, db):
+        with db.transaction():
+            db.insert("emp", {"name": "A", "salary": 100})
+            db.insert("log", {"message": "hired A"})
+        assert db.count("emp") == 1
+        assert db.count("log") == 1
+
+    def test_exception_rolls_back_across_relations(self, db):
+        db.insert("emp", {"name": "keep", "salary": 1})
+        before = snapshot(db)
+        with pytest.raises(RuntimeError, match="boom"):
+            with db.transaction():
+                db.insert("emp", {"name": "A", "salary": 100})
+                db.insert("log", {"message": "hired A"})
+                raise RuntimeError("boom")
+        assert snapshot(db) == before
+
+    def test_rollback_undoes_update_and_delete(self, db):
+        tid = db.insert("emp", {"name": "A", "salary": 100})
+        other = db.insert("emp", {"name": "B", "salary": 50})
+        before = snapshot(db)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.update("emp", tid, {"salary": 999})
+                db.delete("emp", other)
+                raise RuntimeError("abort")
+        assert snapshot(db) == before
+
+    def test_rolled_back_insert_does_not_recycle_tid(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("emp", {"name": "gone", "salary": 1})
+                raise RuntimeError("abort")
+        tid = db.insert("emp", {"name": "kept", "salary": 2})
+        # the rolled-back tuple's tid is burned, not reissued
+        assert db.relation("emp").get(tid)["name"] == "kept"
+        assert db.count("emp") == 1
+
+    def test_transaction_object_exposed(self, db):
+        assert db.in_transaction is False
+        assert db.current_transaction is None
+        with db.transaction() as txn:
+            assert isinstance(txn, Transaction)
+            assert db.in_transaction is True
+            assert db.current_transaction is txn
+            db.insert("emp", {"name": "A"})
+            assert len(txn) == 1
+        assert db.in_transaction is False
+
+    def test_recording_outside_active_transaction_fails(self, db):
+        with db.transaction() as txn:
+            pass
+        with pytest.raises(TransactionError):
+            txn._record(("insert", db.relation("emp"), "emp", 1))
+
+
+class TestNestedTransactions:
+    def test_inner_failure_keeps_outer_work(self, db):
+        with db.transaction():
+            db.insert("emp", {"name": "outer", "salary": 1})
+            with pytest.raises(RuntimeError):
+                with db.transaction():
+                    db.insert("emp", {"name": "inner", "salary": 2})
+                    raise RuntimeError("inner failure")
+            db.insert("emp", {"name": "after", "salary": 3})
+        names = {t["name"] for t in db.select("emp")}
+        assert names == {"outer", "after"}
+
+    def test_nested_yields_same_transaction(self, db):
+        with db.transaction() as outer:
+            with db.transaction() as inner:
+                assert inner is outer
+
+    def test_outer_failure_rolls_back_committed_inner(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                with db.transaction():
+                    db.insert("emp", {"name": "inner", "salary": 2})
+                raise RuntimeError("outer failure")
+        assert db.count("emp") == 0
+
+
+class TestCompensatingEvents:
+    def test_rollback_fires_compensating_events(self, db):
+        events = []
+        db.subscribe(events.append)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("emp", {"name": "A", "salary": 100})
+                raise RuntimeError("abort")
+        compensating = [e for e in events if e.compensating]
+        assert len(compensating) == 1
+        assert type(compensating[0]).__name__ == "DeleteEvent"
+        assert compensating[0].old["name"] == "A"
+
+    def test_rollback_order_is_lifo(self, db):
+        tid = db.insert("emp", {"name": "A", "salary": 1})
+        events = []
+        db.subscribe(events.append)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("emp", {"name": "B", "salary": 2})
+                db.update("emp", tid, {"salary": 9})
+                db.delete("emp", tid)
+                raise RuntimeError("abort")
+        kinds = [type(e).__name__ for e in events if e.compensating]
+        # undo delete (re-insert), undo update, undo insert (delete)
+        assert kinds == ["InsertEvent", "UpdateEvent", "DeleteEvent"]
+
+    def test_bulk_insert_veto_fires_compensating_events(self, db):
+        events = []
+
+        def veto(event):
+            events.append(event)
+            if not event.compensating and getattr(event, "events", None):
+                raise AbortMutation("batch rejected")
+
+        db.subscribe(veto)
+        with pytest.raises(AbortMutation):
+            db.bulk_insert("emp", [{"name": "A"}, {"name": "B"}])
+        assert db.count("emp") == 0
+        compensating = [e for e in events if e.compensating]
+        assert len(compensating) == 2  # one delete per rolled-back row
+
+    def test_bulk_update_validation_failure_rolls_back(self):
+        from repro.db import INTEGER
+
+        db = Database()
+        db.create_relation("scores", [("v", INTEGER)])
+        t1 = db.bulk_insert("scores", [{"v": 1}, {"v": 2}])[0]
+        with pytest.raises(TupleError):
+            db.bulk_update("scores", {t1: {"v": "not-an-int"}})
+        assert sorted(t["v"] for t in db.select("scores")) == [1, 2]
+
+
+class TestMidCascadeRollback:
+    """A failure mid-cascade must leave the db exactly as an untouched
+    clone: rule-action side effects roll back with their trigger."""
+
+    @staticmethod
+    def build(populate):
+        db = Database()
+        db.create_relation("emp", ["name", "salary", "dept"])
+        db.create_relation("audit", ["who", "note"])
+        engine = RuleEngine(db, on_error="propagate")
+        engine.create_rule(
+            "audit-high",
+            on="emp",
+            condition="salary > 100",
+            action=lambda ctx: ctx.db.insert(
+                "audit", {"who": ctx.tuple["name"], "note": "high"}
+            ),
+        )
+        populate(db)
+        return db, engine
+
+    def test_failure_matches_untouched_clone(self):
+        def populate(db):
+            db.insert("emp", {"name": "base", "salary": 150})
+
+        db, _ = self.build(populate)
+        clone, _ = self.build(populate)
+        assert snapshot(db) == snapshot(clone)
+
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("emp", {"name": "A", "salary": 500})  # cascades
+                assert db.count("audit") == 2  # cascade landed
+                db.insert("emp", {"name": "B", "salary": 200})  # cascades
+                raise RuntimeError("mid-cascade failure")
+
+        # every mutation of the failed transaction — including the
+        # rule-action cascades — is gone; the db equals the clone
+        assert snapshot(db) == snapshot(clone)
+
+    def test_abort_mutation_rolls_back_trigger_and_cascade(self):
+        def populate(db):
+            pass
+
+        db, engine = self.build(populate)
+        clone, _ = self.build(populate)
+
+        def veto_and_cascade(ctx):
+            ctx.db.insert("audit", {"who": ctx.tuple["name"], "note": "x"})
+            raise AbortMutation("rejected after cascading")
+
+        # lower priority: the veto fires after audit-high's cascade has
+        # already committed its own (per-firing) transaction — only the
+        # enclosing user transaction makes the whole cascade atomic
+        engine.create_rule(
+            "veto",
+            on="emp",
+            condition="salary > 1000",
+            action=veto_and_cascade,
+            priority=-1,
+        )
+        with pytest.raises(AbortMutation):
+            with db.transaction():
+                db.insert("emp", {"name": "rich", "salary": 5000})
+        assert snapshot(db) == snapshot(clone)
+
+    def test_successful_cascade_commits(self):
+        def populate(db):
+            pass
+
+        db, _ = self.build(populate)
+        with db.transaction():
+            db.insert("emp", {"name": "A", "salary": 500})
+        assert db.count("emp") == 1
+        assert db.count("audit") == 1
+
+
+class TestRuleEngineIntegration:
+    def test_collect_actions_see_committed_batch(self, db):
+        engine = RuleEngine(db)
+        collect = CollectAction()
+        engine.create_rule("all", on="emp", condition="salary > 10", action=collect)
+        db.bulk_insert("emp", [{"name": "A", "salary": 20}, {"name": "B", "salary": 5}])
+        assert [rec[1]["name"] for rec in collect.records] == ["A"]
