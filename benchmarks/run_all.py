@@ -3,7 +3,7 @@
 
 Equivalent to ``python -m repro.bench.runner``.  Individual figures::
 
-    python benchmarks/run_all.py fig7 fig8 fig9 cost space abl1 abl2 e2e batch
+    python benchmarks/run_all.py fig7 fig8 fig9 cost space abl1 abl2 e2e batch rebuild stabcache
 
 ``--smoke`` runs every selected experiment (default: all) at a reduced
 scale — a fast sanity pass for CI, not a measurement.
@@ -23,7 +23,9 @@ from repro.bench.runner import (
     print_fig7,
     print_fig8,
     print_fig9,
+    print_rebuild,
     print_space,
+    print_stab_cache,
     run_ablation_balancing,
     run_ablation_indexes,
     run_ablation_multiclause,
@@ -33,7 +35,9 @@ from repro.bench.runner import (
     run_fig7,
     run_fig8,
     run_fig9,
+    run_rebuild,
     run_space,
+    run_stab_cache,
 )
 
 RUNNERS = {
@@ -48,6 +52,8 @@ RUNNERS = {
     "abl4": print_ablation_multiclause,
     "e2e": print_e2e,
     "batch": print_batch,
+    "rebuild": print_rebuild,
+    "stabcache": print_stab_cache,
 }
 
 #: Reduced-scale arguments per experiment for ``--smoke``.  Each entry
@@ -67,6 +73,11 @@ SMOKE = {
     "e2e": (run_e2e, {"predicate_counts": (50, 100), "tuples": 50}, print_e2e),
     "batch": (run_batch, {"predicates": 500, "batch_size": 100, "repeats": 1},
               print_batch),
+    "rebuild": (run_rebuild, {"intervals": 300, "repeats": 1}, print_rebuild),
+    "stabcache": (run_stab_cache,
+                  {"predicates": 200, "tuples": 500, "distinct_values": 32,
+                   "cache_size": 256, "repeats": 1},
+                  print_stab_cache),
 }
 
 

@@ -48,6 +48,7 @@ from .core import (
     PredicateIndex,
     StatisticsEstimator,
     is_infinite,
+    rank_index_clauses,
 )
 from .db import (
     AbortMutation,
@@ -55,6 +56,7 @@ from .db import (
     BatchEvent,
     Database,
     Domain,
+    EntryClauseFeedback,
     OperationJournal,
     Relation,
     Schema,
@@ -122,6 +124,8 @@ __all__ = [
     "MatchStatistics",
     "DefaultEstimator",
     "StatisticsEstimator",
+    "rank_index_clauses",
+    "EntryClauseFeedback",
     # predicates and language
     "Clause",
     "IntervalClause",

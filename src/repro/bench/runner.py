@@ -22,6 +22,7 @@ E2E     end-to-end matcher throughput vs number of predicates
 from __future__ import annotations
 
 import math
+import random
 import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -40,6 +41,8 @@ from ..core.ibs_tree import IBSTree
 from ..core.flat_ibs_tree import FlatIBSTree
 from ..core.intervals import Interval
 from ..core.predicate_index import PredicateIndex
+from ..predicates.clauses import IntervalClause
+from ..predicates.predicate import Predicate
 from ..workloads.generator import IntervalWorkload, ScenarioConfig, ScenarioWorkload
 from .cost_model import (
     CostParameters,
@@ -61,6 +64,8 @@ __all__ = [
     "run_ablation_multiclause",
     "run_e2e",
     "run_batch",
+    "run_rebuild",
+    "run_stab_cache",
     "main",
 ]
 
@@ -882,6 +887,202 @@ def print_batch(rows: Optional[List[Dict[str, Any]]] = None) -> List[Dict[str, A
 
 
 # ----------------------------------------------------------------------
+# REBUILD — bulk_load vs incremental construction
+# ----------------------------------------------------------------------
+
+
+REBUILD_BACKENDS: Tuple[Tuple[str, Any], ...] = (
+    ("ibs", IBSTree),
+    ("avl", AVLIBSTree),
+    ("rb", RBIBSTree),
+    ("flat", FlatIBSTree),
+)
+
+
+def run_rebuild(
+    intervals: int = 10_000,
+    repeats: int = 3,
+    seed: int = 21,
+    point_fraction: float = 0.5,
+) -> List[Dict[str, Any]]:
+    """Bulk loading vs N incremental inserts, per tree backend and order.
+
+    Generates *intervals* Figure-7-style intervals and builds each
+    backend incrementally and with :meth:`bulk_load` (best of
+    *repeats*), in two insertion orders:
+
+    * ``shuffled`` — the workload's random arrival order, the friendly
+      case for incremental insertion;
+    * ``sorted`` — ascending endpoint order, which is how a rebuild or
+      recovery scan actually feeds a tree (the PREDICATES table and
+      snapshots are read in key order).  Sorted arrival is the
+      degenerate case for the plain BST (it builds a path) and the
+      rotation-heavy case for the balanced variants, while
+      :meth:`bulk_load` is order-insensitive.
+
+    The two trees are verified to give identical stab answers on a
+    sample of endpoints before reporting.  ``speedup`` is incremental
+    build time over bulk build time for the same backend and order —
+    the factor :meth:`PredicateIndex.verify_and_rebuild` and journal
+    recovery gain from the O(N) path.
+    """
+    workload = IntervalWorkload(point_fraction=point_fraction, seed=seed)
+    shuffled = [
+        (interval, i) for i, interval in enumerate(workload.intervals(intervals))
+    ]
+    orders = (
+        ("shuffled", shuffled),
+        ("sorted", sorted(shuffled, key=lambda p: (p[0].low, p[0].high))),
+    )
+    rows: List[Dict[str, Any]] = []
+    for name, factory in REBUILD_BACKENDS:
+        for order, items in orders:
+            incremental = factory()
+            start = time.perf_counter()
+            for interval, ident in items:
+                incremental.insert(interval, ident)
+            incremental_s = time.perf_counter() - start
+            bulk_s = math.inf
+            bulk = None
+            for _ in range(repeats):
+                tree = factory()
+                start = time.perf_counter()
+                tree.bulk_load(items)
+                bulk_s = min(bulk_s, time.perf_counter() - start)
+                bulk = tree
+            for interval, _ in items[: min(50, intervals)]:
+                if bulk.stab(interval.low) != incremental.stab(interval.low):
+                    raise AssertionError(
+                        f"bulk_load over {name!r} disagrees with incremental inserts"
+                    )
+            rows.append(
+                {
+                    "backend": name,
+                    "order": order,
+                    "intervals": intervals,
+                    "incremental_ms": incremental_s * 1e3,
+                    "bulk_ms": bulk_s * 1e3,
+                    "speedup": incremental_s / bulk_s,
+                }
+            )
+    return rows
+
+
+def print_rebuild(rows: Optional[List[Dict[str, Any]]] = None) -> List[Dict[str, Any]]:
+    rows = rows if rows is not None else run_rebuild()
+    print_experiment(
+        "REBUILD: incremental insert vs O(N) bulk_load",
+        ["backend", "order", "intervals", "incremental_ms", "bulk_ms", "speedup"],
+        [
+            [row["backend"], row["order"], row["intervals"], row["incremental_ms"],
+             row["bulk_ms"], row["speedup"]]
+            for row in rows
+        ],
+        note="speedup is incremental build time / bulk_load time, same backend+order",
+    )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# STAB CACHE — epoch-versioned caching on a duplicate-heavy stream
+# ----------------------------------------------------------------------
+
+
+def _zipf_values(distinct: int, count: int, seed: int) -> List[int]:
+    """A Zipf(1)-weighted stream over *distinct* values of a huge domain."""
+    rng = random.Random(seed)
+    universe = [rng.randint(1, 1_000_000) for _ in range(distinct)]
+    weights = [1.0 / rank for rank in range(1, distinct + 1)]
+    return rng.choices(universe, weights=weights, k=count)
+
+
+def run_stab_cache(
+    predicates: int = 10_000,
+    tuples: int = 10_000,
+    distinct_values: int = 256,
+    cache_size: int = 4_096,
+    repeats: int = 3,
+    seed: int = 33,
+) -> List[Dict[str, Any]]:
+    """Match throughput with and without the epoch-versioned stab cache.
+
+    The workload is the cache's design case: a duplicate-heavy stream
+    (Zipf-weighted draws from a small set of distinct values) against
+    many narrow single-clause predicates over one attribute, so the
+    IBS-tree stab dominates each match and repeated values pay it
+    again.  Both configurations are verified to give identical answers
+    on a sample before timing; ``speedup`` is relative to the
+    cache-off row.
+    """
+    rng = random.Random(seed)
+    predicate_list = [
+        Predicate(
+            "r",
+            [IntervalClause("x", Interval.closed(low, low + rng.randint(0, 50)))],
+            ident=i,
+        )
+        for i, low in enumerate(
+            rng.randint(1, 1_000_000) for _ in range(predicates)
+        )
+    ]
+    stream = [{"x": value} for value in _zipf_values(distinct_values, tuples, seed)]
+    indexes: Dict[str, PredicateIndex] = {
+        "off": PredicateIndex(),
+        "on": PredicateIndex(stab_cache_size=cache_size),
+    }
+    for index in indexes.values():
+        index.add_many(predicate_list)
+    sample = stream[:50]
+    reference = [{p.ident for p in indexes["off"].match("r", tup)} for tup in sample]
+    answers = [{p.ident for p in indexes["on"].match("r", tup)} for tup in sample]
+    if answers != reference:
+        raise AssertionError("cached matching disagrees with uncached matching")
+    rows: List[Dict[str, Any]] = []
+    baseline: Optional[float] = None
+    for label, index in indexes.items():
+        def work(idx: PredicateIndex = index) -> None:
+            for tup in stream:
+                idx.match("r", tup)
+
+        work()  # warm-up fills the cache: steady-state behaviour
+        elapsed = math.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            work()
+            elapsed = min(elapsed, time.perf_counter() - start)
+        throughput = tuples / elapsed
+        if baseline is None:
+            baseline = throughput
+        rows.append(
+            {
+                "cache": label,
+                "us_per_tuple": elapsed / tuples * 1e6,
+                "tuples_per_s": throughput,
+                "cache_hits": index.stats.stab_cache_hits,
+                "speedup": throughput / baseline,
+            }
+        )
+    return rows
+
+
+def print_stab_cache(
+    rows: Optional[List[Dict[str, Any]]] = None
+) -> List[Dict[str, Any]]:
+    rows = rows if rows is not None else run_stab_cache()
+    print_experiment(
+        "STAB CACHE: duplicate-heavy Zipf stream, cache off vs on",
+        ["cache", "us_per_tuple", "tuples_per_s", "cache_hits", "speedup"],
+        [
+            [row["cache"], row["us_per_tuple"], row["tuples_per_s"],
+             row["cache_hits"], row["speedup"]]
+            for row in rows
+        ],
+        note="speedup is relative to the cache-off configuration",
+    )
+    return rows
+
+
+# ----------------------------------------------------------------------
 
 
 def main() -> None:
@@ -897,6 +1098,8 @@ def main() -> None:
     print_ablation_multiclause()
     print_e2e()
     print_batch()
+    print_rebuild()
+    print_stab_cache()
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ from .selectivity import (
     SelectivityEstimator,
     StatisticsEstimator,
     choose_index_clause,
+    rank_index_clauses,
 )
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
     "DefaultEstimator",
     "StatisticsEstimator",
     "choose_index_clause",
+    "rank_index_clauses",
     "clause_subsumes",
     "predicate_subsumes",
     "predicates_disjoint",

@@ -41,6 +41,7 @@ from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Set,
 
 from ..errors import (
     DuplicateIntervalError,
+    TreeError,
     TreeInvariantError,
     UnknownIntervalError,
 )
@@ -112,6 +113,10 @@ class FlatIBSTree:
         #: (especially :meth:`stab_many`) decode each hot node once and
         #: union cached frozensets at C speed afterwards.
         self._slot_cache: Dict[int, frozenset] = {}
+        #: monotone mutation counter (see :attr:`IBSTree.epoch`); unlike
+        #: :attr:`_slot_cache` it survives :meth:`clear`, so external
+        #: epoch-keyed stab caches stay coherent across resets.
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     # public API (mirrors IBSTree)
@@ -125,6 +130,7 @@ class FlatIBSTree:
                 ident = next(self._ident_counter)
         if ident in self._bit_of:
             raise DuplicateIntervalError(ident)
+        self.epoch += 1
         self._slot_cache.clear()
         bit = self._intern(ident, interval)
         for value in (interval.low, interval.high):
@@ -166,6 +172,7 @@ class FlatIBSTree:
             bit = self._bit_of.pop(ident)
         except KeyError:
             raise UnknownIntervalError(ident) from None
+        self.epoch += 1
         self._slot_cache.clear()
         interval = self._interval_of[bit]
         self._remove_markers(bit)
@@ -178,6 +185,186 @@ class FlatIBSTree:
         self._ident_of[bit] = None
         self._interval_of[bit] = None
         self._free_bits.append(bit)
+
+    def bulk_load(
+        self, items: Iterable[Tuple[Interval, Optional[Hashable]]]
+    ) -> List[Hashable]:
+        """Load many intervals into an **empty** tree in one pass.
+
+        Flat-storage counterpart of :meth:`IBSTree.bulk_load`: interns
+        every identifier to a dense bit, sorts the distinct endpoints
+        once, lays a perfectly balanced tree into the parallel arrays by
+        midpoint recursion, and then places markers with the final
+        structure already in place — no per-insert height fixups.
+        All-or-nothing: any failure resets the tree to empty.
+        """
+        if self._bit_of or self._root >= 0:
+            raise TreeError("bulk_load requires an empty tree")
+        self.epoch += 1
+        resolved: List[Tuple[int, Interval]] = []
+        idents: List[Hashable] = []
+        try:
+            for interval, ident in items:
+                if ident is None:
+                    ident = next(self._ident_counter)
+                    while ident in self._bit_of:
+                        ident = next(self._ident_counter)
+                if ident in self._bit_of:
+                    raise DuplicateIntervalError(ident)
+                bit = self._intern(ident, interval)
+                for value in (interval.low, interval.high):
+                    self._endpoint_bits.setdefault(value, set()).add(bit)
+                resolved.append((bit, interval))
+                idents.append(ident)
+            ordered = self._sorted_endpoint_values()
+            slots: List[int] = [NIL] * len(ordered)
+            self._root = self._build_balanced(ordered, slots)
+            fault_point("tree.bulk_load")
+            self._bulk_place_markers(ordered, slots, resolved)
+        except BaseException:
+            # The tree was empty on entry, so wholesale reset is an
+            # exact rollback.
+            self.clear()
+            raise
+        return idents
+
+    def _bulk_place_markers(
+        self,
+        ordered: List[Any],
+        slots: List[int],
+        resolved: List[Tuple[int, Interval]],
+    ) -> None:
+        """Index-space ``addLeft``/``addRight`` over the midpoint build.
+
+        Same scheme as :meth:`IBSTree._bulk_place_markers`: because
+        every interval endpoint sits at a known position in *ordered*
+        and the midpoint build makes each search path a binary chop over
+        index ranges, all marker-rule comparisons reduce to integer
+        compares, the pre-fork prefix provably places no marks (it is a
+        bare binary search), and marks are OR-ed straight into the
+        bitmask arrays.
+        """
+        n = len(ordered)
+        if n == 0:
+            return
+        index_of = {value: i for i, value in enumerate(ordered)}
+        iminus = 0 if ordered[0] is MINUS_INF else -7
+        iplus = n - 1 if ordered[n - 1] is PLUS_INF else -7
+        lt_bits, eq_bits, gt_bits = self._marks
+        # Shared (node, slot) location tuples per sorted position: each
+        # mark is then one bitmask OR and one bound-method call, with no
+        # per-mark attribute lookups or tuple allocations.
+        lt_loc = [(node, LT) for node in slots]
+        eq_loc = [(node, EQ) for node in slots]
+        gt_loc = [(node, GT) for node in slots]
+        marker_locs = self._marker_locs
+        top = n - 1
+        for bit, interval in resolved:
+            lo_i = index_of[interval.low]
+            hi_i = index_of[interval.high]
+            low_inc = interval.low_inclusive
+            high_inc = interval.high_inclusive
+            mask = 1 << bit
+            locs_add = marker_locs[bit].add
+            # -- shared prefix: pure binary chop to the fork -----------
+            l, h = 0, top
+            while True:
+                m = (l + h) >> 1
+                if m < lo_i:
+                    l = m + 1
+                elif m > hi_i:
+                    h = m - 1
+                else:
+                    break
+            fork_l, fork_h = l, h
+            # -- addLeft suffix: fork down to lo_i ---------------------
+            rb_le_high = hi_i == iplus  # unchanged through the prefix
+            while True:
+                m = (l + h) >> 1
+                if m < lo_i:
+                    l = m + 1
+                elif m > lo_i:
+                    if m != iplus:
+                        node = slots[m]
+                        if m < hi_i or high_inc:
+                            eq_bits[node] |= mask
+                            locs_add(eq_loc[m])
+                        if rb_le_high:
+                            gt_bits[node] |= mask
+                            locs_add(gt_loc[m])
+                    rb_le_high = True  # lo_i < m <= hi_i after the fork
+                    h = m - 1
+                else:
+                    node = slots[m]
+                    if rb_le_high and m != iplus:
+                        gt_bits[node] |= mask
+                        locs_add(gt_loc[m])
+                    if low_inc:
+                        eq_bits[node] |= mask
+                        locs_add(eq_loc[m])
+                    break
+            # -- addRight suffix: fork down to hi_i --------------------
+            l, h = fork_l, fork_h
+            lb_ge_low = lo_i == iminus  # unchanged through the prefix
+            while True:
+                m = (l + h) >> 1
+                if m > hi_i:
+                    h = m - 1
+                elif m < hi_i:
+                    if m != iminus:
+                        node = slots[m]
+                        if m > lo_i or low_inc:
+                            eq_bits[node] |= mask
+                            locs_add(eq_loc[m])
+                        if lb_ge_low:
+                            lt_bits[node] |= mask
+                            locs_add(lt_loc[m])
+                    lb_ge_low = True  # lo_i <= m < hi_i after the fork
+                    l = m + 1
+                else:
+                    node = slots[m]
+                    if lb_ge_low and m != iminus:
+                        lt_bits[node] |= mask
+                        locs_add(lt_loc[m])
+                    if high_inc:
+                        eq_bits[node] |= mask
+                        locs_add(eq_loc[m])
+                    break
+
+    def _sorted_endpoint_values(self) -> List[Any]:
+        """Distinct endpoint values in tree order, sentinels at the ends."""
+        finite = sorted(v for v in self._endpoint_bits if not is_infinite(v))
+        ordered: List[Any] = []
+        if MINUS_INF in self._endpoint_bits:
+            ordered.append(MINUS_INF)
+        ordered.extend(finite)
+        if PLUS_INF in self._endpoint_bits:
+            ordered.append(PLUS_INF)
+        return ordered
+
+    def _build_balanced(self, ordered: List[Any], slots: List[int]) -> int:
+        """Lay *ordered* values into the arrays as a balanced tree.
+
+        Fills ``slots[i]`` with the array index of the node holding
+        ``ordered[i]`` so the bulk marker pass can address nodes by
+        sorted position.
+        """
+        left, right, heights = self._left, self._right, self._node_height
+
+        def build(lo: int, hi: int, parent: int) -> int:
+            if lo > hi:
+                return NIL
+            mid = (lo + hi) // 2
+            idx = self._new_node(ordered[mid], parent)
+            slots[mid] = idx
+            left[idx] = build(lo, mid - 1, idx)
+            right[idx] = build(mid + 1, hi, idx)
+            # a midpoint-balanced subtree over k values has height
+            # floor(log2 k) + 1 = k.bit_length()
+            heights[idx] = (hi - lo + 1).bit_length()
+            return idx
+
+        return build(0, len(ordered) - 1, NIL)
 
     def stab(self, x: Any) -> Set[Hashable]:
         """Identifiers of all intervals containing *x* (``findIntervals``)."""
@@ -352,8 +539,10 @@ class FlatIBSTree:
             yield ident, self._interval_of[bit]
 
     def clear(self) -> None:
-        """Remove every interval and node."""
+        """Remove every interval and node (the epoch survives, bumped)."""
+        epoch = self.epoch
         self.__init__()
+        self.epoch = epoch + 1
 
     # -- statistics ------------------------------------------------------
 

@@ -30,6 +30,7 @@ decides.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import (
     Any,
     Callable,
@@ -49,7 +50,12 @@ from ..predicates.clauses import FunctionClause, IntervalClause
 from ..predicates.predicate import Predicate
 from .ibs_tree import IBSTree
 from .intervals import MINUS_INF, PLUS_INF, is_infinite
-from .selectivity import DefaultEstimator, SelectivityEstimator, choose_index_clause
+from .selectivity import (
+    DefaultEstimator,
+    SelectivityEstimator,
+    choose_index_clause,
+    rank_index_clauses,
+)
 
 __all__ = ["PredicateIndex", "MatchStatistics"]
 
@@ -77,16 +83,12 @@ class MatchStatistics:
         "full_matches",
         "batches_matched",
         "residual_memo_hits",
+        "stab_cache_hits",
+        "clause_migrations",
     )
 
     def __init__(self) -> None:
-        self.tuples_matched = 0
-        self.trees_searched = 0
-        self.partial_matches = 0
-        self.non_indexable_tested = 0
-        self.full_matches = 0
-        self.batches_matched = 0
-        self.residual_memo_hits = 0
+        self.reset()
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -97,6 +99,8 @@ class MatchStatistics:
         self.full_matches = 0
         self.batches_matched = 0
         self.residual_memo_hits = 0
+        self.stab_cache_hits = 0
+        self.clause_migrations = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Counters as a plain dict (for reports)."""
@@ -110,7 +114,14 @@ class MatchStatistics:
 class _RelationIndex:
     """Second-level index for one relation (Figure 1, lower half)."""
 
-    __slots__ = ("trees", "non_indexable", "indexed_under", "predicates", "residuals")
+    __slots__ = (
+        "trees",
+        "non_indexable",
+        "indexed_under",
+        "predicates",
+        "residuals",
+        "stab_cache",
+    )
 
     def __init__(self) -> None:
         #: attribute name -> IBS-tree over that attribute's clause intervals
@@ -126,6 +137,15 @@ class _RelationIndex:
         #: ident -> compiled residual evaluator (built lazily by
         #: match_batch); see :func:`_compile_residual`
         self.residuals: Dict[Hashable, Tuple[Any, ...]] = {}
+        #: LRU stab cache: ``(attribute, tree_epoch, value) ->
+        #: frozenset(idents)``.  Because the tree's epoch is part of
+        #: the key, a mutation invalidates every prior entry *by key
+        #: mismatch* — no scan — and stale entries age out of the LRU.
+        #: Cleared only when the tree map itself changes shape (a tree
+        #: created or dropped), since a fresh tree restarts its epochs.
+        self.stab_cache: "OrderedDict[Tuple[str, int, Any], frozenset]" = (
+            OrderedDict()
+        )
 
 
 class PredicateIndex:
@@ -151,6 +171,32 @@ class PredicateIndex:
         *all* of its indexed clauses match (set intersection): fewer
         residual tests at the price of more tree probes and markers.
         The ABL4 benchmark quantifies the trade-off the paper chose.
+    stab_cache_size:
+        Capacity of the per-relation LRU stab cache, keyed on
+        ``(attribute, tree_epoch, value)``.  Every tree mutation bumps
+        the tree's epoch, so entries never need invalidating — a stale
+        key simply stops being looked up and ages out.  Duplicate-heavy
+        (OLTP-style) tuple streams answer repeated stabs from the cache
+        instead of descending the tree.  ``0`` (the default) disables
+        caching.
+    adaptive:
+        Record observed entry-clause feedback (tuples seen, candidates
+        admitted per predicate) during :meth:`match` / :meth:`match_batch`,
+        enabling :meth:`retune` to migrate a predicate's entry clause
+        to a different attribute tree when the static estimate behind
+        the original choice turns out wrong on live data.  The paper
+        picks the "most selective clause" once, from a-priori
+        estimates; this closes the loop with measured selectivities.
+    min_feedback_tuples:
+        Minimum observed tuples per relation before a migration
+        decision may be made (guards against noise on tiny samples).
+    migration_ratio:
+        Migrate only when the best alternative clause's estimated
+        selectivity is below ``observed * migration_ratio`` — i.e. the
+        alternative must promise a decisive improvement, not a tie.
+    auto_retune_interval:
+        When set (and ``adaptive``), :meth:`retune` runs automatically
+        every N matched tuples; ``None`` leaves retuning manual.
     """
 
     #: Strategy name (matches the PredicateMatcher convention).
@@ -161,10 +207,28 @@ class PredicateIndex:
         tree_factory: TreeFactory = IBSTree,
         estimator: Optional[SelectivityEstimator] = None,
         multi_clause: bool = False,
+        stab_cache_size: int = 0,
+        adaptive: bool = False,
+        min_feedback_tuples: int = 256,
+        migration_ratio: float = 0.5,
+        auto_retune_interval: Optional[int] = None,
     ):
         self._tree_factory = tree_factory
         self._estimator = estimator or DefaultEstimator()
         self._multi_clause = bool(multi_clause)
+        self._stab_cache_size = int(stab_cache_size)
+        self._adaptive = bool(adaptive)
+        self._migration_ratio = float(migration_ratio)
+        self._auto_retune_interval = auto_retune_interval
+        self._tuples_since_retune = 0
+        # Imported lazily: repro.core must stay importable before
+        # repro.db finishes initialising (db imports core).
+        from ..db.statistics import EntryClauseFeedback
+
+        #: Observed entry-clause selectivity counters (see
+        #: :class:`~repro.db.statistics.EntryClauseFeedback`); populated
+        #: only when ``adaptive`` is set.
+        self.feedback = EntryClauseFeedback(min_samples=min_feedback_tuples)
         self._relations: Dict[str, _RelationIndex] = {}
         self._relation_of: Dict[Hashable, str] = {}
         self.stats = MatchStatistics()
@@ -201,19 +265,103 @@ class PredicateIndex:
         self._relation_of[ident] = normalized.relation
         return ident
 
-    def _enter_clauses(
-        self, rel_index: _RelationIndex, ident: Hashable, normalized: Predicate
-    ) -> None:
-        """Enter *normalized*'s clause(s) into the per-attribute trees.
+    def add_many(self, predicates: Iterable[Predicate]) -> List[Hashable]:
+        """Bulk-register *predicates*; returns their identifiers in order.
 
-        Shared by :meth:`add` and :meth:`_rebuild_relation` so both use
+        Equivalent to ``[self.add(p) for p in predicates]`` but entry
+        clauses destined for an attribute with **no existing tree** are
+        collected and handed to the backend's :meth:`~IBSTree.bulk_load`
+        in one pass — sorted endpoints, balanced structure, no per-insert
+        rotations — which is how recovery and rule-set loading should
+        register a large predicate population.  Clauses for attributes
+        that already have a live tree are inserted incrementally (the
+        tree is not rebuilt under its existing entries).
+
+        Atomic: on any failure every predicate this call registered is
+        removed again before the exception propagates.
+        """
+        normalized_list: List[Predicate] = []
+        seen: Set[Hashable] = set()
+        for predicate in predicates:
+            normalized = predicate.normalized()
+            if normalized is None:
+                raise PredicateError(
+                    f"predicate {predicate} is unsatisfiable and cannot be indexed"
+                )
+            ident = normalized.ident
+            if ident in self._relation_of or ident in seen:
+                raise PredicateError(f"predicate ident {ident!r} already indexed")
+            seen.add(ident)
+            normalized_list.append(normalized)
+        by_relation: Dict[str, List[Predicate]] = {}
+        for normalized in normalized_list:
+            by_relation.setdefault(normalized.relation, []).append(normalized)
+        added: List[Tuple[str, Hashable]] = []
+        try:
+            for relation, group in by_relation.items():
+                rel_index = self._relations.setdefault(relation, _RelationIndex())
+                fresh: Dict[str, List[Tuple[Any, Hashable]]] = {}
+                for normalized in group:
+                    ident = normalized.ident
+                    rel_index.predicates[ident] = normalized
+                    self._relation_of[ident] = relation
+                    added.append((relation, ident))
+                    entry_clauses = self._entry_clauses_of(normalized)
+                    if not entry_clauses:
+                        rel_index.non_indexable.add(ident)
+                        continue
+                    rel_index.indexed_under[ident] = tuple(
+                        clause.attribute for clause in entry_clauses
+                    )
+                    for clause in entry_clauses:
+                        tree = rel_index.trees.get(clause.attribute)
+                        if tree is None:
+                            fresh.setdefault(clause.attribute, []).append(
+                                (clause.interval, ident)
+                            )
+                        else:
+                            tree.insert(clause.interval, ident)
+                for attribute, pairs in fresh.items():
+                    tree = self._tree_factory()
+                    loader = getattr(tree, "bulk_load", None)
+                    if loader is not None:
+                        loader(pairs)
+                    else:  # foreign backend: incremental construction
+                        for interval, ident in pairs:
+                            tree.insert(interval, ident)
+                    rel_index.trees[attribute] = tree
+                    rel_index.stab_cache.clear()  # fresh tree restarts epochs
+        except BaseException:
+            for relation, ident in added:
+                rel_index = self._relations.get(relation)
+                if rel_index is None:
+                    continue
+                rel_index.predicates.pop(ident, None)
+                rel_index.residuals.pop(ident, None)
+                self._relation_of.pop(ident, None)
+                self._rollback_add(relation, rel_index, ident)
+            raise
+        return [normalized.ident for normalized in normalized_list]
+
+    def _entry_clauses_of(self, normalized: Predicate) -> List[IntervalClause]:
+        """The clause(s) *normalized* enters into the attribute trees.
+
+        One (the most selective) in the paper's scheme; every indexable
+        clause under multi-clause indexing; empty when the predicate has
+        no indexable clause.  Shared by :meth:`add`, :meth:`add_many`,
+        and :meth:`_rebuild_relation` so every registration path makes
         the same entry-clause choice.
         """
         if self._multi_clause:
-            entry_clauses = list(normalized.indexable_clauses())
-        else:
-            chosen = choose_index_clause(normalized, self._estimator)
-            entry_clauses = [chosen] if chosen is not None else []
+            return list(normalized.indexable_clauses())
+        chosen = choose_index_clause(normalized, self._estimator)
+        return [chosen] if chosen is not None else []
+
+    def _enter_clauses(
+        self, rel_index: _RelationIndex, ident: Hashable, normalized: Predicate
+    ) -> None:
+        """Enter *normalized*'s clause(s) into the per-attribute trees."""
+        entry_clauses = self._entry_clauses_of(normalized)
         if not entry_clauses:
             rel_index.non_indexable.add(ident)
             return
@@ -221,6 +369,7 @@ class PredicateIndex:
             tree = rel_index.trees.get(clause.attribute)
             if tree is None:
                 tree = rel_index.trees[clause.attribute] = self._tree_factory()
+                rel_index.stab_cache.clear()  # fresh tree restarts epochs
             tree.insert(clause.interval, ident)
         rel_index.indexed_under[ident] = tuple(
             clause.attribute for clause in entry_clauses
@@ -237,6 +386,7 @@ class PredicateIndex:
                 tree.delete(ident)
             if not tree:
                 del rel_index.trees[attribute]
+                rel_index.stab_cache.clear()
         if not rel_index.predicates and not rel_index.trees:
             self._relations.pop(relation, None)
 
@@ -258,6 +408,7 @@ class PredicateIndex:
                 tree.delete(ident)
                 if not tree:
                     del rel_index.trees[attribute]
+                    rel_index.stab_cache.clear()
         if not rel_index.predicates:
             del self._relations[relation]
         return predicate
@@ -266,19 +417,25 @@ class PredicateIndex:
 
     def match(self, relation: str, tup: Mapping[str, Any]) -> List[Predicate]:
         """All predicates of *relation* that fully match the tuple."""
-        return [
+        matched = [
             pred
             for pred, _ in self.match_with_candidates(relation, tup)
             if pred is not None
         ]
+        if self._adaptive:
+            self._maybe_auto_retune(relation, 1)
+        return matched
 
     def match_idents(self, relation: str, tup: Mapping[str, Any]) -> Set[Hashable]:
         """Identifiers of all fully matching predicates."""
-        return {
+        matched = {
             pred.ident
             for pred, _ in self.match_with_candidates(relation, tup)
             if pred is not None
         }
+        if self._adaptive:
+            self._maybe_auto_retune(relation, 1)
+        return matched
 
     def match_with_candidates(
         self, relation: str, tup: Mapping[str, Any]
@@ -297,18 +454,46 @@ class PredicateIndex:
             candidates = self._intersect_candidates(rel_index, tup)
         else:
             candidates = set()
+            cache_size = self._stab_cache_size
+            cache = rel_index.stab_cache
             for attribute, tree in rel_index.trees.items():
                 value = tup.get(attribute)
                 if value is None:
                     continue  # NULL matches no clause: no tree entry applies
+                key = None
+                if cache_size:
+                    epoch = getattr(tree, "epoch", None)
+                    if epoch is not None:
+                        try:
+                            key = (attribute, epoch, value)
+                            cached = cache.get(key)
+                        except TypeError:
+                            key = None  # unhashable value: uncacheable
+                        else:
+                            if cached is not None:
+                                cache.move_to_end(key)
+                                self.stats.stab_cache_hits += 1
+                                candidates |= cached
+                                continue
                 self.stats.trees_searched += 1
                 try:
-                    tree.stab_into(value, candidates)
+                    if key is None:
+                        tree.stab_into(value, candidates)
+                    else:
+                        stabbed = frozenset(tree.stab(value))
+                        candidates |= stabbed
+                        cache[key] = stabbed
+                        if len(cache) > cache_size:
+                            cache.popitem(last=False)
                 except TypeError:
                     # the value's type is incomparable with this
                     # attribute's indexed bounds (mixed-domain data): no
                     # interval clause on this attribute can match it
                     continue
+            if self._adaptive:
+                self.feedback.observe_tuples(relation, 1)
+                if candidates:
+                    self.feedback.observe_candidates(candidates)
         self.stats.partial_matches += len(candidates)
         self.stats.non_indexable_tested += len(rel_index.non_indexable)
         candidates |= rel_index.non_indexable
@@ -556,6 +741,22 @@ class PredicateIndex:
         stats.partial_matches += partial
         stats.full_matches += full
         stats.residual_memo_hits += memo_hits
+        if self._adaptive and not self._multi_clause:
+            feedback = self.feedback
+            feedback.observe_tuples(relation, len(tuples))
+            # candidate counts reconstructed from the stab tables: each
+            # ident stabbed at a value was a candidate once per tuple
+            # carrying that value
+            for attribute, table in stab_tables.items():
+                counts: Dict[Any, int] = {}
+                for tup in tuples:
+                    value = tup.get(attribute)
+                    if value is not None:
+                        counts[value] = counts.get(value, 0) + 1
+                for value, stabbed in table.items():
+                    if stabbed:
+                        feedback.observe_candidates(stabbed, counts.get(value, 1))
+            self._maybe_auto_retune(relation, len(tuples))
         return results
 
     def _batch_stab_tables(
@@ -605,10 +806,40 @@ class PredicateIndex:
             except TypeError:
                 ordered = list(values)  # mixed domains: order is just locality
             plans.append((attribute, ordered))
+        cache_size = self._stab_cache_size
+        cache = rel_index.stab_cache
+        cache_hits = 0
         for attribute, ordered in plans:
-            # one grouped descent per tree per batch
-            self.stats.trees_searched += 1
-            stab_tables[attribute] = trees[attribute].stab_many(ordered)
+            tree = trees[attribute]
+            epoch = getattr(tree, "epoch", None) if cache_size else None
+            if epoch is None:
+                # one grouped descent per tree per batch
+                self.stats.trees_searched += 1
+                stab_tables[attribute] = tree.stab_many(ordered)
+                continue
+            # answer cached values without touching the tree; stab the
+            # misses in one grouped descent and remember them
+            table: Dict[Any, Optional[Set[Hashable]]] = {}
+            misses: List[Any] = []
+            for value in ordered:
+                key = (attribute, epoch, value)
+                cached = cache.get(key)
+                if cached is None:
+                    misses.append(value)
+                else:
+                    cache.move_to_end(key)
+                    cache_hits += 1
+                    table[value] = cached
+            if misses:
+                self.stats.trees_searched += 1
+                for value, stabbed in tree.stab_many(misses).items():
+                    table[value] = stabbed
+                    if stabbed is not None:
+                        cache[(attribute, epoch, value)] = frozenset(stabbed)
+                        if len(cache) > cache_size:
+                            cache.popitem(last=False)
+            stab_tables[attribute] = table
+        self.stats.stab_cache_hits += cache_hits
         memo_on = total > 0 and (total - distinct) * 10 >= total
         return stab_tables, memo_on
 
@@ -672,6 +903,123 @@ class PredicateIndex:
             if count == len(attributes) and all(a in probed for a in attributes):
                 candidates.add(ident)
         return candidates
+
+    # -- adaptive entry-clause migration ---------------------------------------
+
+    def _maybe_auto_retune(self, relation: str, count: int) -> None:
+        """Run :meth:`retune` when the auto-retune interval elapses."""
+        interval = self._auto_retune_interval
+        if not interval:
+            return
+        self._tuples_since_retune += count
+        if self._tuples_since_retune >= interval:
+            self._tuples_since_retune = 0
+            self.retune(relation)
+
+    def retune(self, relation: Optional[str] = None) -> List[Hashable]:
+        """One feedback-driven migration pass; returns migrated idents.
+
+        For every indexed predicate of *relation* (or of every relation)
+        with enough observed samples, compare the **observed**
+        selectivity of its current entry clause — the fraction of
+        matched tuples that admitted it as a candidate — against the
+        estimated selectivity of its best indexable clause on a
+        *different* attribute.  When the alternative's estimate is below
+        ``observed * migration_ratio``, the entry clause is migrated to
+        the alternative's attribute tree: the static "most selective
+        clause" choice the paper fixes at registration time is revised
+        with live evidence.
+
+        The migration is transactional per predicate: the old entry is
+        re-inserted if the new tree's insert fails, and if *that* also
+        fails the predicate is parked on the non-indexable list (brute
+        force is always sound) before the failure propagates.  After a
+        pass the relation's feedback window is reset so the next
+        decision rests on fresh evidence.  No-op under multi-clause
+        indexing (every indexable clause is already entered) and before
+        ``min_feedback_tuples`` samples.
+        """
+        if self._multi_clause:
+            return []
+        migrated: List[Hashable] = []
+        feedback = self.feedback
+        ratio = self._migration_ratio
+        targets = [relation] if relation is not None else list(self._relations)
+        for rel in targets:
+            rel_index = self._relations.get(rel)
+            if rel_index is None:
+                continue
+            if feedback.tuples_seen(rel) < feedback.min_samples:
+                continue
+            for ident in list(rel_index.indexed_under):
+                observed = feedback.observed_selectivity(rel, ident)
+                if observed is None:
+                    continue
+                current = rel_index.indexed_under.get(ident)
+                if not current:
+                    continue
+                predicate = rel_index.predicates[ident]
+                alternative = None
+                for score, clause in rank_index_clauses(predicate, self._estimator):
+                    if clause.attribute != current[0]:
+                        alternative = (score, clause)
+                        break
+                if alternative is None:
+                    continue  # no different-attribute clause to move to
+                score, clause = alternative
+                if score < observed * ratio:
+                    if self._migrate_entry_clause(rel_index, ident, clause):
+                        migrated.append(ident)
+            feedback.reset(
+                rel,
+                list(rel_index.indexed_under) + list(rel_index.non_indexable),
+            )
+        return migrated
+
+    def _migrate_entry_clause(
+        self, rel_index: _RelationIndex, ident: Hashable, clause: IntervalClause
+    ) -> bool:
+        """Move *ident*'s entry clause into *clause*'s attribute tree."""
+        old_attr = rel_index.indexed_under[ident][0]
+        new_attr = clause.attribute
+        if new_attr == old_attr:
+            return False
+        old_tree = rel_index.trees[old_attr]
+        old_interval = old_tree.get(ident)
+        new_tree = rel_index.trees.get(new_attr)
+        created = new_tree is None
+        if created:
+            new_tree = self._tree_factory()
+        old_tree.delete(ident)
+        try:
+            new_tree.insert(clause.interval, ident)
+        except BaseException:
+            try:
+                old_tree.insert(old_interval, ident)
+            except BaseException:
+                # Double fault: neither tree accepted the entry.  Brute
+                # force is always sound, so park the predicate on the
+                # non-indexable list rather than lose it.
+                rel_index.indexed_under.pop(ident, None)
+                rel_index.residuals.pop(ident, None)
+                rel_index.non_indexable.add(ident)
+                if not old_tree:
+                    rel_index.trees.pop(old_attr, None)
+                    rel_index.stab_cache.clear()
+                raise
+            raise
+        if created:
+            rel_index.trees[new_attr] = new_tree
+            rel_index.stab_cache.clear()  # fresh tree restarts epochs
+        if not old_tree:
+            del rel_index.trees[old_attr]
+            rel_index.stab_cache.clear()
+        rel_index.indexed_under[ident] = (new_attr,)
+        # the residual must re-test the old entry clause and skip the
+        # new one; match_batch recompiles it lazily
+        rel_index.residuals.pop(ident, None)
+        self.stats.clause_migrations += 1
+        return True
 
     # -- introspection ---------------------------------------------------------
 
@@ -844,8 +1192,12 @@ class PredicateIndex:
             return []  # foreign backend without introspection: skip
         reference = self._tree_factory()
         entries = list(items())
-        for ident, interval in entries:
-            reference.insert(interval, ident)
+        loader = getattr(reference, "bulk_load", None)
+        if loader is not None:
+            loader((interval, ident) for ident, interval in entries)
+        else:
+            for ident, interval in entries:
+                reference.insert(interval, ident)
         probes: Set[Any] = set()
         for _, interval in entries:
             for value in (interval.low, interval.high):
@@ -917,14 +1269,42 @@ class PredicateIndex:
         return {"healthy": not problems, "problems": problems, "rebuilt": rebuilt}
 
     def _rebuild_relation(self, relation: str, rel_index: _RelationIndex) -> None:
-        """Rebuild *relation*'s trees and registries from its predicates."""
+        """Rebuild *relation*'s trees and registries from its predicates.
+
+        Entry clauses are grouped by attribute and each fresh tree is
+        built with :meth:`bulk_load` — O(N) endpoint sorting plus a
+        balanced build, instead of N incremental inserts with their
+        rebalancing and marker-rewrite costs.  Predicates are already
+        normalized in the registry, so nothing is re-normalized here.
+        """
         rel_index.trees = {}
         rel_index.non_indexable = set()
         rel_index.indexed_under = {}
         rel_index.residuals = {}
+        rel_index.stab_cache.clear()  # fresh trees restart epochs
+        per_attribute: Dict[str, List[Tuple[Any, Hashable]]] = {}
         for ident, predicate in rel_index.predicates.items():
             self._relation_of[ident] = relation
-            self._enter_clauses(rel_index, ident, predicate)
+            entry_clauses = self._entry_clauses_of(predicate)
+            if not entry_clauses:
+                rel_index.non_indexable.add(ident)
+                continue
+            for clause in entry_clauses:
+                per_attribute.setdefault(clause.attribute, []).append(
+                    (clause.interval, ident)
+                )
+            rel_index.indexed_under[ident] = tuple(
+                clause.attribute for clause in entry_clauses
+            )
+        for attribute, pairs in per_attribute.items():
+            tree = self._tree_factory()
+            loader = getattr(tree, "bulk_load", None)
+            if loader is not None:
+                loader(pairs)
+            else:  # foreign backend without bulk_load: fall back
+                for interval, ident in pairs:
+                    tree.insert(interval, ident)
+            rel_index.trees[attribute] = tree
 
     def __repr__(self) -> str:
         return f"<PredicateIndex {len(self)} predicates over {len(self._relations)} relations>"

@@ -84,6 +84,30 @@ class RBIBSTree(IBSTree):
                 rotate_left(self, grand)
         self._root.red = False
 
+    # -- bulk load ------------------------------------------------------
+
+    def _after_bulk_build(self) -> None:
+        """Recolour the midpoint-balanced bulk structure red-black.
+
+        Every node is black except the deepest level, which is red.  In
+        a midpoint-balanced tree every missing-child position sits on
+        the last or second-to-last level, so each root-to-None path has
+        exactly the same number of black nodes and no red node has a
+        red child.
+        """
+        root = self._root
+        if root is None:
+            return
+        deepest = root.height
+        stack = [(root, 1)]
+        while stack:
+            node, depth = stack.pop()
+            node.red = depth == deepest and depth > 1
+            if node.left is not None:
+                stack.append((node.left, depth + 1))
+            if node.right is not None:
+                stack.append((node.right, depth + 1))
+
     # -- deletion -------------------------------------------------------
 
     def _splice(self, node: IBSNode) -> None:

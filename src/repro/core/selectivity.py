@@ -31,6 +31,7 @@ __all__ = [
     "DefaultEstimator",
     "StatisticsEstimator",
     "choose_index_clause",
+    "rank_index_clauses",
 ]
 
 
@@ -92,6 +93,30 @@ class StatisticsEstimator(SelectivityEstimator):
         return stats.clause_selectivity(clause)
 
 
+def rank_index_clauses(
+    predicate: Predicate, estimator: Optional[SelectivityEstimator] = None
+) -> List[tuple]:
+    """Every indexable clause of *predicate*, most selective first.
+
+    Returns ``[(score, clause), ...]`` sorted ascending by estimated
+    selectivity, with clause order breaking ties (so the first entry is
+    exactly what :func:`choose_index_clause` picks).  The full ranking
+    is what adaptive entry-clause migration needs: when observed
+    feedback shows the current entry clause admitting too many
+    candidates, the next-best *different-attribute* clause is the
+    migration target.
+    """
+    estimator = estimator or DefaultEstimator()
+    scored: List[tuple] = []
+    for position, clause in enumerate(predicate.clauses):
+        if not clause.indexable:
+            continue
+        score = estimator.estimate(predicate.relation, clause)
+        scored.append((score, position, clause))
+    scored.sort(key=lambda entry: (entry[0], entry[1]))
+    return [(score, clause) for score, _, clause in scored]
+
+
 def choose_index_clause(
     predicate: Predicate, estimator: Optional[SelectivityEstimator] = None
 ) -> Optional[IntervalClause]:
@@ -101,14 +126,5 @@ def choose_index_clause(
     Returns None when the predicate has no indexable clause (it then
     belongs on the relation's non-indexable list in Figure 1).
     """
-    estimator = estimator or DefaultEstimator()
-    best: Optional[IntervalClause] = None
-    best_score = float("inf")
-    for clause in predicate.clauses:
-        if not clause.indexable:
-            continue
-        score = estimator.estimate(predicate.relation, clause)
-        if score < best_score:
-            best = clause  # type: ignore[assignment]
-            best_score = score
-    return best
+    ranked = rank_index_clauses(predicate, estimator)
+    return ranked[0][1] if ranked else None

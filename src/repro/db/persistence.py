@@ -53,7 +53,7 @@ from typing import Any, Callable, Dict, IO, List, Optional, Union
 from ..errors import CorruptSnapshotError, DatabaseError
 from ..testing.faults import fault_point
 from .database import Database
-from .events import BatchEvent
+from .events import BatchEvent, DeleteEvent, InsertEvent, UpdateEvent
 from .schema import Attribute
 from .types import ANY, BOOLEAN, Domain, FLOAT, INTEGER, NUMBER, STRING, integer_range
 
@@ -437,43 +437,83 @@ def read_journal(path: Union[str, os.PathLike]) -> List[Dict[str, Any]]:
     return ops
 
 
-def replay_journal(db: Database, ops: List[Dict[str, Any]]) -> int:
+def replay_journal(
+    db: Database, ops: List[Dict[str, Any]], notify: bool = False
+) -> int:
     """Apply journaled operations to *db*; returns the count applied.
 
-    Operations are applied directly to relation storage (no events
-    fire, no rules run — the journal already reflects every cascade
-    that happened).  An operation that cannot be applied — unknown
-    relation, tid mismatch, schema violation — means the journal does
-    not belong to this snapshot and raises
+    By default operations are applied directly to relation storage (no
+    events fire, no rules run — the journal already reflects every
+    cascade that happened).  With ``notify=True``, consecutive
+    same-relation operations are additionally announced to the
+    database's subscribers as a single
+    :class:`~repro.db.events.BatchEvent` **after** being applied, so
+    subscribers that maintain derived state from mutations — monitors,
+    alpha memories, an attached matcher — rebuild it through their
+    batched path (one ``match_batch`` pass per run of same-relation
+    ops) instead of one event at a time.  Only attach observation-style
+    subscribers before a notifying replay: an action-firing rule engine
+    would re-run cascades the journal already contains.
+
+    An operation that cannot be applied — unknown relation, tid
+    mismatch, schema violation — means the journal does not belong to
+    this snapshot and raises
     :class:`~repro.errors.CorruptSnapshotError`.
     """
     applied = 0
+    pending: List[Any] = []  # same-relation events awaiting one BatchEvent
+    pending_relation: Optional[str] = None
+
+    def flush() -> None:
+        nonlocal pending, pending_relation
+        if pending:
+            db._notify(BatchEvent(pending_relation, tuple(pending)))
+            pending = []
+        pending_relation = None
+
     for op in ops:
         try:
             kind = op["op"]
-            relation = db.relation(op["relation"])
+            relation_name = op["relation"]
+            relation = db.relation(relation_name)
             tid = int(op["tid"])
+            event: Optional[Any] = None
             if kind == "insert":
                 values = relation.schema.validate_tuple(op["values"])
                 relation.restore(tid, values)
+                if notify:
+                    event = InsertEvent(relation_name, tid, dict(values))
             elif kind == "update":
-                relation.update(tid, op["values"])
+                old, new = relation.update(tid, op["values"])
+                if notify:
+                    event = UpdateEvent(relation_name, tid, dict(old), dict(new))
             elif kind == "delete":
-                relation.delete(tid)
+                old = relation.delete(tid)
+                if notify:
+                    event = DeleteEvent(relation_name, tid, dict(old))
             else:
                 raise DatabaseError(f"unknown journal op {kind!r}")
         except (DatabaseError, KeyError, TypeError, ValueError) as exc:
+            flush()  # announce what *was* applied before failing
             raise CorruptSnapshotError(
                 f"journal operation {applied + 1} ({op!r}) does not apply "
                 f"to this snapshot: {exc}"
             ) from exc
+        if event is not None:
+            if pending and pending_relation != relation_name:
+                flush()
+            pending_relation = relation_name
+            pending.append(event)
         applied += 1
+    flush()
     return applied
 
 
 def recover_database(
     snapshot: Union[str, os.PathLike],
     journal: Optional[Union[str, os.PathLike]] = None,
+    on_load: Optional[Callable[[Database], Any]] = None,
+    notify: bool = False,
 ) -> Database:
     """Load the last consistent state: snapshot plus journal replay.
 
@@ -481,8 +521,15 @@ def recover_database(
     written, checksummed) snapshot, then replay every intact journal
     record on top of it.  A missing journal file simply means no
     mutations since the checkpoint.
+
+    ``on_load`` is called with the freshly loaded database *before* the
+    journal is replayed — the hook for attaching subscribers that must
+    observe the replayed mutations (pass ``notify=True`` so the replay
+    announces them, batched per run of same-relation operations).
     """
     db = load_database(snapshot)
+    if on_load is not None:
+        on_load(db)
     if journal is not None:
-        replay_journal(db, read_journal(journal))
+        replay_journal(db, read_journal(journal), notify=notify)
     return db

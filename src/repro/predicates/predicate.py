@@ -43,7 +43,7 @@ class Predicate:
         Optional original condition text, for diagnostics.
     """
 
-    __slots__ = ("relation", "clauses", "ident", "source")
+    __slots__ = ("relation", "clauses", "ident", "source", "_normal")
 
     def __init__(
         self,
@@ -64,6 +64,9 @@ class Predicate:
         self.clauses = clause_tuple
         self.ident = next(_predicate_ids) if ident is None else ident
         self.source = source
+        # cached _is_normal verdict; clauses are immutable so it never
+        # goes stale.  None = not yet computed.
+        self._normal: Optional[bool] = None
 
     # -- evaluation -----------------------------------------------------
 
@@ -113,7 +116,11 @@ class Predicate:
             clauses = normalize_clauses(self.clauses)
         except _Contradiction:
             return None
-        return Predicate(self.relation, clauses, ident=self.ident, source=self.source)
+        result = Predicate(
+            self.relation, clauses, ident=self.ident, source=self.source
+        )
+        result._normal = True  # freshly built normal form: skip the re-scan
+        return result
 
     def _is_normal(self) -> bool:
         """True when :func:`normalize_clauses` would be the identity.
@@ -121,8 +128,19 @@ class Predicate:
         Normal form: interval clauses first, one per attribute, with
         point intervals expressed as :class:`EqualityClause`; function
         clauses after.  A single interval clause per attribute cannot
-        be contradictory (empty intervals are unconstructible).
+        be contradictory (empty intervals are unconstructible).  The
+        verdict is computed once per predicate and cached — rebuild
+        paths (:meth:`PredicateIndex.verify_and_rebuild`, journal
+        recovery) call :meth:`normalized` on every stored predicate and
+        should not re-scan clause lists that were proven normal at
+        registration.
         """
+        if self._normal is not None:
+            return self._normal
+        self._normal = verdict = self._scan_normal()
+        return verdict
+
+    def _scan_normal(self) -> bool:
         seen_function = False
         seen_attrs = None
         for clause in self.clauses:

@@ -61,10 +61,13 @@ __all__ = [
 #: Tests iterate this registry to prove each site has a recovery story.
 FAULT_SITES: Tuple[str, ...] = (
     # index layer: between addLeft and addRight of an interval insert,
-    # mid structural node deletion, and mid rotation marker rewrite
+    # mid structural node deletion, mid rotation marker rewrite, and
+    # after a bulk load links its balanced structure but before any
+    # markers are placed
     "tree.insert",
     "tree.delete",
     "tree.rotate",
+    "tree.bulk_load",
     # persistence layer: while writing the temp snapshot, before fsync,
     # before the atomic rename, and while appending a journal record
     "persist.write",

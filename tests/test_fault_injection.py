@@ -166,7 +166,7 @@ class TestInjectorDeterminism:
 
 
 # ----------------------------------------------------------------------
-# tree sites: "tree.insert", "tree.delete", "tree.rotate"
+# tree sites: "tree.insert", "tree.delete", "tree.rotate", "tree.bulk_load"
 # ----------------------------------------------------------------------
 
 
@@ -244,6 +244,31 @@ class TestTreeFaults:
         idx.verify_and_rebuild()
         assert idx.check_invariants() is True
         assert answers(idx, 0, 210) == fresh_answers(idx, factory, 0, 210)
+
+    @pytest.mark.parametrize("factory", TREE_BACKENDS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_bulk_load_fault_leaves_tree_empty(self, factory, seed):
+        rng = random.Random(seed)
+        items = []
+        for i in range(20):
+            low = rng.randint(0, 100)
+            items.append((Interval.closed(low, low + rng.randint(0, 10)), f"p{i}"))
+        tree = factory()
+        inj = FaultInjector(seed=seed)
+        inj.arm("tree.bulk_load", at_hit=1)
+        with injected(inj):
+            with pytest.raises(InjectedFault):
+                tree.bulk_load(items)
+        # the failed load rolled all the way back: empty, valid, reusable
+        assert len(tree) == 0
+        assert tree.check_invariants() is True
+        assert tree.bulk_load(items) == [ident for _, ident in items]
+        assert tree.check_invariants() is True
+        reference = factory()
+        for interval, ident in items:
+            reference.insert(interval, ident)
+        for value in range(-1, 115):
+            assert tree.stab(value) == reference.stab(value)
 
     @pytest.mark.parametrize("factory", TREE_BACKENDS)
     def test_tree_level_insert_rollback(self, factory):
@@ -505,6 +530,7 @@ class TestSiteCoverage:
             "tree.insert",
             "tree.delete",
             "tree.rotate",
+            "tree.bulk_load",
             "persist.write",
             "persist.fsync",
             "persist.replace",

@@ -109,6 +109,95 @@ class TestValidation:
             database_from_dict(data)
 
 
+class TestBatchedReplay:
+    def journaled_run(self, tmp_path):
+        """Build a snapshot + journal with mixed mutations after checkpoint."""
+        from repro.db import OperationJournal
+
+        db = sample_db()
+        snapshot = tmp_path / "snap.json"
+        journal_path = tmp_path / "ops.journal"
+        save_database(db, snapshot)
+        journal = OperationJournal(journal_path)
+        journal.attach(db)
+        tids = {tup["name"]: tid for tid, tup in db.relation("emp").scan()}
+        db.insert("emp", {"name": "C", "age": 4})
+        db.insert("emp", {"name": "D", "age": 5})
+        db.insert("scores", {"v": 70})
+        db.update("emp", tids["A"], {"dept": "Hat"})
+        db.delete("emp", tids["B"])
+        journal.detach()
+        return db, snapshot, journal_path
+
+    def test_silent_replay_remains_the_default(self, tmp_path):
+        from repro.db import recover_database
+
+        db, snapshot, journal_path = self.journaled_run(tmp_path)
+        events = []
+        recovered = recover_database(
+            snapshot, journal_path, on_load=lambda d: d.subscribe(events.append)
+        )
+        assert recovered.select("emp") == db.select("emp")
+        assert events == []  # notify defaults to False
+
+    def test_notifying_replay_batches_consecutive_same_relation_ops(
+        self, tmp_path
+    ):
+        from repro.db import BatchEvent, recover_database
+
+        db, snapshot, journal_path = self.journaled_run(tmp_path)
+        events = []
+        recovered = recover_database(
+            snapshot,
+            journal_path,
+            on_load=lambda d: d.subscribe(events.append),
+            notify=True,
+        )
+        assert recovered.select("emp") == db.select("emp")
+        assert recovered.select("scores") == db.select("scores")
+        assert all(isinstance(e, BatchEvent) for e in events)
+        # runs of consecutive same-relation ops collapse to one batch:
+        # [emp, emp], [scores], [emp, emp]
+        assert [(e.relation, len(e)) for e in events] == [
+            ("emp", 2),
+            ("scores", 1),
+            ("emp", 2),
+        ]
+        kinds = [sub.kind for batch in events for sub in batch]
+        assert kinds == ["insert", "insert", "insert", "update", "delete"]
+        # update and delete events carry their images for the matcher
+        update = events[2].events[0]
+        assert update.old["dept"] == "Shoe" and update.new["dept"] == "Hat"
+        delete = events[2].events[1]
+        assert delete.old["name"] == "B"
+
+    def test_notifying_replay_drives_batched_matching(self, tmp_path):
+        from repro import PredicateIndex
+        from repro.db import BatchEvent, recover_database
+        from repro.predicates import PredicateBuilder
+
+        _, snapshot, journal_path = self.journaled_run(tmp_path)
+        idx = PredicateIndex()
+        ident = idx.add(PredicateBuilder("emp").between("age", 4, 9).build())
+        matched = []
+
+        def attach(db):
+            def on_event(event):
+                if isinstance(event, BatchEvent):
+                    images = [e.tuple for e in event]
+                    for image, preds in zip(
+                        images, idx.match_batch(event.relation, images)
+                    ):
+                        matched.extend((image["name"], p.ident) for p in preds)
+
+            db.subscribe(on_event)
+
+        recover_database(snapshot, journal_path, on_load=attach, notify=True)
+        assert idx.stats.batches_matched > 0
+        assert ("C", ident) in matched and ("D", ident) in matched
+        assert all(name != "A" or ident != i for name, i in matched if name == "A")
+
+
 class TestMainModule:
     def test_info_and_demo(self, capsys):
         from repro.__main__ import main
