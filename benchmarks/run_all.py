@@ -3,7 +3,7 @@
 
 Equivalent to ``python -m repro.bench.runner``.  Individual figures::
 
-    python benchmarks/run_all.py fig7 fig8 fig9 cost space abl1 abl2 e2e batch rebuild stabcache
+    python benchmarks/run_all.py fig7 fig8 fig9 cost space abl1 abl2 e2e batch rebuild stabcache concurrency
 
 ``--smoke`` runs every selected experiment (default: all) at a reduced
 scale — a fast sanity pass for CI, not a measurement.
@@ -18,6 +18,7 @@ from repro.bench.runner import (
     print_ablation_multiclause,
     print_ablation_selectivity,
     print_batch,
+    print_concurrency,
     print_cost_model,
     print_e2e,
     print_fig7,
@@ -31,6 +32,7 @@ from repro.bench.runner import (
     run_ablation_multiclause,
     run_ablation_selectivity,
     run_batch,
+    run_concurrency,
     run_e2e,
     run_fig7,
     run_fig8,
@@ -54,6 +56,7 @@ RUNNERS = {
     "batch": print_batch,
     "rebuild": print_rebuild,
     "stabcache": print_stab_cache,
+    "concurrency": print_concurrency,
 }
 
 #: Reduced-scale arguments per experiment for ``--smoke``.  Each entry
@@ -78,6 +81,10 @@ SMOKE = {
                   {"predicates": 200, "tuples": 500, "distinct_values": 32,
                    "cache_size": 256, "repeats": 1},
                   print_stab_cache),
+    "concurrency": (run_concurrency,
+                    {"predicates": 300, "distinct_values": 100,
+                     "batch_size": 50, "rounds": 4, "repeats": 1},
+                    print_concurrency),
 }
 
 

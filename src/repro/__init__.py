@@ -65,6 +65,7 @@ from .db import (
     recover_database,
     save_database,
 )
+from .concurrency import ConcurrentPredicateIndex, EpochSnapshot, RelationShard
 from .lang import CompiledCondition, compile_condition, parse_condition
 from .predicates import (
     Clause,
@@ -92,6 +93,8 @@ from .rules import (
 from .errors import (
     ActionQuarantinedError,
     ClauseError,
+    ConcurrencyError,
+    ConcurrencyViolation,
     CorruptSnapshotError,
     DatabaseError,
     InjectedFault,
@@ -126,6 +129,10 @@ __all__ = [
     "StatisticsEstimator",
     "rank_index_clauses",
     "EntryClauseFeedback",
+    # concurrent matching layer
+    "ConcurrentPredicateIndex",
+    "EpochSnapshot",
+    "RelationShard",
     # predicates and language
     "Clause",
     "IntervalClause",
@@ -178,6 +185,8 @@ __all__ = [
     "CorruptSnapshotError",
     "RuleError",
     "ActionQuarantinedError",
+    "ConcurrencyError",
+    "ConcurrencyViolation",
     "InjectedFault",
     "__version__",
 ]

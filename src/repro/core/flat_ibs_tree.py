@@ -117,6 +117,28 @@ class FlatIBSTree:
         #: :attr:`_slot_cache` it survives :meth:`clear`, so external
         #: epoch-keyed stab caches stay coherent across resets.
         self.epoch = 0
+        #: set by :meth:`freeze`; mutators refuse to run afterwards (see
+        #: :meth:`IBSTree.freeze`).  Note the :attr:`_slot_cache` decode
+        #: cache still fills lazily on reads — per-key dict writes are
+        #: atomic under the GIL and every thread computes the same
+        #: frozenset for a given key, so concurrent stabs stay safe.
+        self._frozen = False
+
+    def freeze(self) -> None:
+        """Make the tree permanently immutable (see :meth:`IBSTree.freeze`)."""
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        """Whether :meth:`freeze` has been called."""
+        return self._frozen
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise TreeError(
+                f"{type(self).__name__} is frozen (published in an epoch "
+                "snapshot); build a new tree instead of mutating"
+            )
 
     # ------------------------------------------------------------------
     # public API (mirrors IBSTree)
@@ -130,6 +152,7 @@ class FlatIBSTree:
                 ident = next(self._ident_counter)
         if ident in self._bit_of:
             raise DuplicateIntervalError(ident)
+        self._check_mutable()
         self.epoch += 1
         self._slot_cache.clear()
         bit = self._intern(ident, interval)
@@ -168,6 +191,7 @@ class FlatIBSTree:
 
     def delete(self, ident: Hashable) -> None:
         """Remove the interval registered under *ident*."""
+        self._check_mutable()
         try:
             bit = self._bit_of.pop(ident)
         except KeyError:
@@ -198,6 +222,7 @@ class FlatIBSTree:
         structure already in place — no per-insert height fixups.
         All-or-nothing: any failure resets the tree to empty.
         """
+        self._check_mutable()
         if self._bit_of or self._root >= 0:
             raise TreeError("bulk_load requires an empty tree")
         self.epoch += 1
@@ -540,6 +565,7 @@ class FlatIBSTree:
 
     def clear(self) -> None:
         """Remove every interval and node (the epoch survives, bumped)."""
+        self._check_mutable()
         epoch = self.epoch
         self.__init__()
         self.epoch = epoch + 1

@@ -181,6 +181,35 @@ class IBSTree:
         #: caching stab results key them on ``(value, epoch)`` so stale
         #: entries die by key mismatch instead of invalidation scans.
         self.epoch = 0
+        #: set by :meth:`freeze`; mutators refuse to run afterwards so a
+        #: tree published inside an immutable epoch snapshot (see
+        #: ``repro.concurrency``) cannot be changed under lock-free
+        #: readers.
+        self._frozen = False
+
+    def freeze(self) -> None:
+        """Make the tree permanently immutable.
+
+        After freezing, :meth:`insert`, :meth:`delete`,
+        :meth:`bulk_load` and :meth:`clear` raise :class:`TreeError`.
+        Read paths (``stab``/``stab_many``/``overlapping``/statistics)
+        are unaffected.  There is deliberately no thaw: snapshot readers
+        hold references to this object with no synchronisation, so the
+        only safe way to mutate again is to build a fresh tree.
+        """
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        """Whether :meth:`freeze` has been called."""
+        return self._frozen
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise TreeError(
+                f"{type(self).__name__} is frozen (published in an epoch "
+                "snapshot); build a new tree instead of mutating"
+            )
 
     # ------------------------------------------------------------------
     # public API
@@ -199,6 +228,7 @@ class IBSTree:
                 ident = next(self._ident_counter)
         if ident in self._intervals:
             raise DuplicateIntervalError(ident)
+        self._check_mutable()
         self.epoch += 1
         self._intervals[ident] = interval
         self._marker_locs[ident] = set()
@@ -240,6 +270,7 @@ class IBSTree:
         deleted from the tree (the paper's Section 4.2 deletion
         procedure).
         """
+        self._check_mutable()
         try:
             interval = self._intervals.pop(ident)
         except KeyError:
@@ -284,6 +315,7 @@ class IBSTree:
         identifiers within *items*.  Returns the identifiers in input
         order.
         """
+        self._check_mutable()
         if self._intervals or self._root is not None:
             raise TreeError("bulk_load requires an empty tree")
         self.epoch += 1
@@ -666,6 +698,7 @@ class IBSTree:
 
     def clear(self) -> None:
         """Remove every interval and node."""
+        self._check_mutable()
         self.epoch += 1
         self._root = None
         self._intervals.clear()

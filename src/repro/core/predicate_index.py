@@ -121,6 +121,7 @@ class _RelationIndex:
         "predicates",
         "residuals",
         "stab_cache",
+        "epoch_floor",
     )
 
     def __init__(self) -> None:
@@ -146,6 +147,13 @@ class _RelationIndex:
         self.stab_cache: "OrderedDict[Tuple[str, int, Any], frozenset]" = (
             OrderedDict()
         )
+        #: lowest epoch any *future* tree of this relation may carry.
+        #: Raised past a tree's last epoch whenever that tree is dropped
+        #: (remove/rollback/migration/rebuild), and seeded into every
+        #: fresh tree, so ``(attribute, tree_epoch)`` pairs are never
+        #: reused across tree generations — epoch-keyed caches and
+        #: epoch-snapshot readers can rely on monotonicity.
+        self.epoch_floor: int = 0
 
 
 class PredicateIndex:
@@ -232,6 +240,102 @@ class PredicateIndex:
         self._relations: Dict[str, _RelationIndex] = {}
         self._relation_of: Dict[Hashable, str] = {}
         self.stats = MatchStatistics()
+        self._frozen = False
+        #: LRU maintenance on the stab cache (move-to-end on hit, evict
+        #: on overflow).  :meth:`freeze` turns it off: a frozen index is
+        #: read by many threads at once, and the only GIL-safe cache
+        #: discipline is append-only — plain ``dict`` get/set with no
+        #: reordering and no eviction (a concurrent ``move_to_end`` /
+        #: ``popitem`` pair can raise ``KeyError`` mid-read).
+        self._cache_lru = True
+
+    # -- tree lifecycle ----------------------------------------------------
+
+    def _new_tree(self, rel_index: _RelationIndex) -> IBSTree:
+        """Create a tree whose epochs continue from the relation's floor.
+
+        Fresh backends start at epoch 0; without the floor a tree
+        dropped at epoch 40 and recreated one mutation later would
+        reissue epochs 1, 2, 3 … and an ``(attribute, tree_epoch)``
+        cache key (or an epoch-snapshot reader) could silently confuse
+        the two generations.
+        """
+        tree = self._tree_factory()
+        floor = rel_index.epoch_floor
+        if floor and hasattr(tree, "epoch"):
+            tree.epoch = floor
+        return tree
+
+    @staticmethod
+    def _retire_tree(rel_index: _RelationIndex, tree: Any) -> None:
+        """Record a dropped tree's last epoch in the relation's floor."""
+        epoch = getattr(tree, "epoch", None)
+        if epoch is not None:
+            rel_index.epoch_floor = max(rel_index.epoch_floor, epoch + 1)
+
+    # -- snapshot support --------------------------------------------------
+
+    def freeze(self) -> None:
+        """Make the index permanently immutable.
+
+        Every per-attribute tree is frozen (backends without a
+        ``freeze`` method are skipped) and subsequent calls to
+        :meth:`add`, :meth:`add_many`, :meth:`remove`, :meth:`retune`
+        and :meth:`verify_and_rebuild` raise
+        :class:`~repro.errors.PredicateError`.  Matching remains
+        available — the epoch-snapshot layer (:mod:`repro.concurrency`)
+        publishes frozen indexes that lock-free readers stab
+        concurrently.  A frozen index intended for concurrent reads
+        must be built with ``adaptive=False`` (the feedback counters
+        mutate on the read path and are not synchronised), but the stab
+        cache *may* stay on: freezing demotes it from LRU to
+        append-only — hits skip the move-to-end touch, and inserts stop
+        once the cache is full instead of evicting — so every remaining
+        cache operation is a single GIL-atomic ``dict`` access, and
+        since nothing ever deletes a key from a frozen index's cache, a
+        looked-up key cannot vanish mid-read.  Because frozen trees
+        never bump their epochs, those cached stabs stay valid for the
+        snapshot's whole lifetime — this is what lets an epoch-snapshot
+        base keep serving cache hits across writes that would invalidate
+        a mutable index's entire cache.  (Lazy residual compilation is
+        likewise safe — per-key dict writes are atomic under the GIL and
+        every thread computes the same value.)
+        """
+        self._frozen = True
+        self._cache_lru = False
+        for rel_index in self._relations.values():
+            for tree in rel_index.trees.values():
+                freezer = getattr(tree, "freeze", None)
+                if freezer is not None:
+                    freezer()
+
+    @property
+    def frozen(self) -> bool:
+        """Whether :meth:`freeze` has been called."""
+        return self._frozen
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise PredicateError(
+                "PredicateIndex is frozen (published in an epoch snapshot); "
+                "build a successor index instead of mutating"
+            )
+
+    def tree_epochs(self, relation: str) -> Dict[str, int]:
+        """Current ``attribute -> tree epoch`` map for *relation*.
+
+        Publication hook for the epoch-snapshot layer and its checker:
+        thanks to the per-relation epoch floor the values are monotone
+        over the index's whole life, even across tree drop/recreate and
+        :meth:`verify_and_rebuild`.  Unknown relations map to ``{}``.
+        """
+        rel_index = self._relations.get(relation)
+        if rel_index is None:
+            return {}
+        return {
+            attribute: getattr(tree, "epoch", 0)
+            for attribute, tree in rel_index.trees.items()
+        }
 
     # -- registration -------------------------------------------------------
 
@@ -242,6 +346,7 @@ class PredicateIndex:
         clauses merged); a contradictory predicate is rejected since it
         can never match.
         """
+        self._check_mutable()
         normalized = predicate.normalized()
         if normalized is None:
             raise PredicateError(
@@ -280,6 +385,7 @@ class PredicateIndex:
         Atomic: on any failure every predicate this call registered is
         removed again before the exception propagates.
         """
+        self._check_mutable()
         normalized_list: List[Predicate] = []
         seen: Set[Hashable] = set()
         for predicate in predicates:
@@ -322,7 +428,7 @@ class PredicateIndex:
                         else:
                             tree.insert(clause.interval, ident)
                 for attribute, pairs in fresh.items():
-                    tree = self._tree_factory()
+                    tree = self._new_tree(rel_index)
                     loader = getattr(tree, "bulk_load", None)
                     if loader is not None:
                         loader(pairs)
@@ -330,7 +436,7 @@ class PredicateIndex:
                         for interval, ident in pairs:
                             tree.insert(interval, ident)
                     rel_index.trees[attribute] = tree
-                    rel_index.stab_cache.clear()  # fresh tree restarts epochs
+                    rel_index.stab_cache.clear()  # tree map changed shape
         except BaseException:
             for relation, ident in added:
                 rel_index = self._relations.get(relation)
@@ -368,8 +474,8 @@ class PredicateIndex:
         for clause in entry_clauses:
             tree = rel_index.trees.get(clause.attribute)
             if tree is None:
-                tree = rel_index.trees[clause.attribute] = self._tree_factory()
-                rel_index.stab_cache.clear()  # fresh tree restarts epochs
+                tree = rel_index.trees[clause.attribute] = self._new_tree(rel_index)
+                rel_index.stab_cache.clear()  # tree map changed shape
             tree.insert(clause.interval, ident)
         rel_index.indexed_under[ident] = tuple(
             clause.attribute for clause in entry_clauses
@@ -385,6 +491,7 @@ class PredicateIndex:
             if ident in tree:
                 tree.delete(ident)
             if not tree:
+                self._retire_tree(rel_index, tree)
                 del rel_index.trees[attribute]
                 rel_index.stab_cache.clear()
         if not rel_index.predicates and not rel_index.trees:
@@ -392,6 +499,7 @@ class PredicateIndex:
 
     def remove(self, ident: Hashable) -> Predicate:
         """Un-index and return the predicate registered under *ident*."""
+        self._check_mutable()
         try:
             relation = self._relation_of.pop(ident)
         except KeyError:
@@ -407,6 +515,7 @@ class PredicateIndex:
                 tree = rel_index.trees[attribute]
                 tree.delete(ident)
                 if not tree:
+                    self._retire_tree(rel_index, tree)
                     del rel_index.trees[attribute]
                     rel_index.stab_cache.clear()
         if not rel_index.predicates:
@@ -456,6 +565,7 @@ class PredicateIndex:
             candidates = set()
             cache_size = self._stab_cache_size
             cache = rel_index.stab_cache
+            lru = self._cache_lru
             for attribute, tree in rel_index.trees.items():
                 value = tup.get(attribute)
                 if value is None:
@@ -471,7 +581,8 @@ class PredicateIndex:
                             key = None  # unhashable value: uncacheable
                         else:
                             if cached is not None:
-                                cache.move_to_end(key)
+                                if lru:
+                                    cache.move_to_end(key)
                                 self.stats.stab_cache_hits += 1
                                 candidates |= cached
                                 continue
@@ -482,9 +593,13 @@ class PredicateIndex:
                     else:
                         stabbed = frozenset(tree.stab(value))
                         candidates |= stabbed
-                        cache[key] = stabbed
-                        if len(cache) > cache_size:
-                            cache.popitem(last=False)
+                        if lru:
+                            cache[key] = stabbed
+                            if len(cache) > cache_size:
+                                cache.popitem(last=False)
+                        elif len(cache) < cache_size:
+                            # frozen: append-only, never evict
+                            cache[key] = stabbed
                 except TypeError:
                     # the value's type is incomparable with this
                     # attribute's indexed bounds (mixed-domain data): no
@@ -808,6 +923,7 @@ class PredicateIndex:
             plans.append((attribute, ordered))
         cache_size = self._stab_cache_size
         cache = rel_index.stab_cache
+        lru = self._cache_lru
         cache_hits = 0
         for attribute, ordered in plans:
             tree = trees[attribute]
@@ -827,7 +943,8 @@ class PredicateIndex:
                 if cached is None:
                     misses.append(value)
                 else:
-                    cache.move_to_end(key)
+                    if lru:
+                        cache.move_to_end(key)
                     cache_hits += 1
                     table[value] = cached
             if misses:
@@ -835,9 +952,13 @@ class PredicateIndex:
                 for value, stabbed in tree.stab_many(misses).items():
                     table[value] = stabbed
                     if stabbed is not None:
-                        cache[(attribute, epoch, value)] = frozenset(stabbed)
-                        if len(cache) > cache_size:
-                            cache.popitem(last=False)
+                        if lru:
+                            cache[(attribute, epoch, value)] = frozenset(stabbed)
+                            if len(cache) > cache_size:
+                                cache.popitem(last=False)
+                        elif len(cache) < cache_size:
+                            # frozen: append-only, never evict
+                            cache[(attribute, epoch, value)] = frozenset(stabbed)
             stab_tables[attribute] = table
         self.stats.stab_cache_hits += cache_hits
         memo_on = total > 0 and (total - distinct) * 10 >= total
@@ -939,6 +1060,7 @@ class PredicateIndex:
         indexing (every indexable clause is already entered) and before
         ``min_feedback_tuples`` samples.
         """
+        self._check_mutable()
         if self._multi_clause:
             return []
         migrated: List[Hashable] = []
@@ -989,7 +1111,7 @@ class PredicateIndex:
         new_tree = rel_index.trees.get(new_attr)
         created = new_tree is None
         if created:
-            new_tree = self._tree_factory()
+            new_tree = self._new_tree(rel_index)
         old_tree.delete(ident)
         try:
             new_tree.insert(clause.interval, ident)
@@ -1004,14 +1126,16 @@ class PredicateIndex:
                 rel_index.residuals.pop(ident, None)
                 rel_index.non_indexable.add(ident)
                 if not old_tree:
+                    self._retire_tree(rel_index, old_tree)
                     rel_index.trees.pop(old_attr, None)
                     rel_index.stab_cache.clear()
                 raise
             raise
         if created:
             rel_index.trees[new_attr] = new_tree
-            rel_index.stab_cache.clear()  # fresh tree restarts epochs
+            rel_index.stab_cache.clear()  # tree map changed shape
         if not old_tree:
+            self._retire_tree(rel_index, old_tree)
             del rel_index.trees[old_attr]
             rel_index.stab_cache.clear()
         rel_index.indexed_under[ident] = (new_attr,)
@@ -1244,6 +1368,7 @@ class PredicateIndex:
         relation still fails its audit (the predicates table itself is
         damaged beyond repair).
         """
+        self._check_mutable()
         problems: List[str] = []
         rebuilt: List[str] = []
         for ident, relation in list(self._relation_of.items()):
@@ -1277,11 +1402,13 @@ class PredicateIndex:
         rebalancing and marker-rewrite costs.  Predicates are already
         normalized in the registry, so nothing is re-normalized here.
         """
+        for tree in rel_index.trees.values():
+            self._retire_tree(rel_index, tree)
         rel_index.trees = {}
         rel_index.non_indexable = set()
         rel_index.indexed_under = {}
         rel_index.residuals = {}
-        rel_index.stab_cache.clear()  # fresh trees restart epochs
+        rel_index.stab_cache.clear()  # dropped trees: epochs jump past the floor
         per_attribute: Dict[str, List[Tuple[Any, Hashable]]] = {}
         for ident, predicate in rel_index.predicates.items():
             self._relation_of[ident] = relation
@@ -1297,7 +1424,7 @@ class PredicateIndex:
                 clause.attribute for clause in entry_clauses
             )
         for attribute, pairs in per_attribute.items():
-            tree = self._tree_factory()
+            tree = self._new_tree(rel_index)
             loader = getattr(tree, "bulk_load", None)
             if loader is not None:
                 loader(pairs)

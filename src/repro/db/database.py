@@ -15,7 +15,8 @@ the mutation never happened.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+import threading
+from contextlib import contextmanager, nullcontext
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from ..errors import DatabaseError, SchemaError, TransactionError, UnknownRelationError
@@ -146,12 +147,32 @@ class Transaction:
 
 
 class Database:
-    """A catalog of main-memory relations with synchronous mutation events."""
+    """A catalog of main-memory relations with synchronous mutation events.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    threadsafe:
+        When set, every mutation (and every open :meth:`transaction`
+        scope) runs under one reentrant mutation lock, so concurrent
+        threads cannot interleave half-applied mutations or their event
+        deliveries.  Reentrancy keeps rule-action cascades working: a
+        subscriber reacting to an event may mutate again on the same
+        thread.  Reads are not locked — pair this with a matcher that
+        reads published snapshots (``"ibs-concurrent"``) for a fully
+        thread-safe rule system.  Off by default: the single-threaded
+        paper configuration pays no locking overhead.
+    """
+
+    def __init__(self, threadsafe: bool = False) -> None:
         self._relations: Dict[str, Relation] = {}
         self._subscribers: List[Subscriber] = []
         self._txn: Optional[Transaction] = None
+        self.threadsafe = bool(threadsafe)
+        # nullcontext() is reusable and reentrant, so the unlocked
+        # default costs one no-op __enter__/__exit__ per mutation.
+        self._mutation_lock: Any = (
+            threading.RLock() if threadsafe else nullcontext()
+        )
 
     # -- catalog --------------------------------------------------------
 
@@ -243,32 +264,38 @@ class Database:
         mutation still only undoes that mutation; the transaction stays
         open, and the caller may catch the veto inside the block and
         continue.
+
+        With ``threadsafe=True`` the mutation lock is held for the
+        whole scope: transactions from different threads serialise
+        rather than interleave their journals (the reentrant lock still
+        admits same-thread nesting and rule-action cascades).
         """
-        outer = self._txn
-        if outer is not None:
-            sp = outer.savepoint()
+        with self._mutation_lock:
+            outer = self._txn
+            if outer is not None:
+                sp = outer.savepoint()
+                try:
+                    yield outer
+                except BaseException:
+                    if outer.active:
+                        outer.rollback_to(sp)
+                    raise
+                return
+            txn = Transaction(self)
+            self._txn = txn
             try:
-                yield outer
+                yield txn
             except BaseException:
-                if outer.active:
-                    outer.rollback_to(sp)
+                try:
+                    if txn.active:
+                        txn.rollback()
+                finally:
+                    self._txn = None
                 raise
-            return
-        txn = Transaction(self)
-        self._txn = txn
-        try:
-            yield txn
-        except BaseException:
-            try:
-                if txn.active:
-                    txn.rollback()
-            finally:
+            else:
                 self._txn = None
-            raise
-        else:
-            self._txn = None
-            if txn.active:
-                txn.state = "committed"
+                if txn.active:
+                    txn.state = "committed"
 
     # -- mutations ------------------------------------------------------------
 
@@ -279,6 +306,10 @@ class Database:
         removed again — announcing the removal with a compensating
         DeleteEvent — and the exception propagates.
         """
+        with self._mutation_lock:
+            return self._insert(relation_name, values)
+
+    def _insert(self, relation_name: str, values: Mapping[str, Any]) -> int:
         relation = self.relation(relation_name)
         txn = self._txn
         if txn is not None:
@@ -304,6 +335,12 @@ class Database:
         self, relation_name: str, tid: int, changes: Mapping[str, Any]
     ) -> Dict[str, Any]:
         """Update a tuple; fires an UpdateEvent; returns the new image."""
+        with self._mutation_lock:
+            return self._update(relation_name, tid, changes)
+
+    def _update(
+        self, relation_name: str, tid: int, changes: Mapping[str, Any]
+    ) -> Dict[str, Any]:
         relation = self.relation(relation_name)
         txn = self._txn
         if txn is not None:
@@ -331,6 +368,10 @@ class Database:
 
     def delete(self, relation_name: str, tid: int) -> Dict[str, Any]:
         """Delete a tuple; fires a DeleteEvent; returns its final image."""
+        with self._mutation_lock:
+            return self._delete(relation_name, tid)
+
+    def _delete(self, relation_name: str, tid: int) -> Dict[str, Any]:
         relation = self.relation(relation_name)
         txn = self._txn
         if txn is not None:

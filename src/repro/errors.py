@@ -32,6 +32,8 @@ __all__ = [
     "RuleCycleError",
     "ActionQuarantinedError",
     "WorkloadError",
+    "ConcurrencyError",
+    "ConcurrencyViolation",
     "InjectedFault",
 ]
 
@@ -163,6 +165,33 @@ class ActionQuarantinedError(RuleError, RuntimeError):
 
 class WorkloadError(ReproError, ValueError):
     """A workload generator was configured with inconsistent parameters."""
+
+
+class ConcurrencyError(ReproError, RuntimeError):
+    """Base class for errors raised by the concurrent matching layer."""
+
+
+class ConcurrencyViolation(ConcurrencyError, AssertionError):
+    """An observed read is inconsistent with the epoch that served it.
+
+    Raised by the epoch checker (:mod:`repro.testing.concurrency`) when
+    a recorded observation does not equal the serial replay of the
+    operation log up to the observation's epoch — the concurrent
+    structure let a reader see a state no sequential execution of the
+    published operations could produce.  Carries the full violation
+    list so a stress-run failure shows every divergent read, not just
+    the first.
+    """
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        lines = "; ".join(str(v) for v in self.violations[:5])
+        more = len(self.violations) - 5
+        if more > 0:
+            lines += f"; … and {more} more"
+        super().__init__(
+            f"{len(self.violations)} observation(s) diverge from their epoch: {lines}"
+        )
 
 
 class InjectedFault(ReproError, RuntimeError):

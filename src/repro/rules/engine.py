@@ -80,6 +80,7 @@ MATCHER_STRATEGIES = (
     "ibs",
     "ibs-avl",
     "ibs-rb",
+    "ibs-concurrent",
     "sequential",
     "hash",
     "locking",
@@ -174,6 +175,15 @@ class RuleEngine:
         if matcher == "ibs-rb":
             return PredicateIndex(
                 tree_factory=RBIBSTree, estimator=StatisticsEstimator(self.db)
+            )
+        if matcher == "ibs-concurrent":
+            # Imported here: repro.rules must stay importable without
+            # dragging the concurrency layer (and its pool) in for the
+            # common single-threaded strategies.
+            from ..concurrency import ConcurrentPredicateIndex
+
+            return ConcurrentPredicateIndex(
+                estimator=StatisticsEstimator(self.db)
             )
         if matcher == "sequential":
             return SequentialMatcher()
@@ -287,8 +297,15 @@ class RuleEngine:
         return len(self._rules)
 
     def close(self) -> None:
-        """Detach from the database's event bus."""
+        """Detach from the database's event bus.
+
+        Also releases matcher-held resources (the concurrent matcher's
+        worker pool); matchers without a ``close`` are unaffected.
+        """
         self._unsubscribe()
+        closer = getattr(self.matcher, "close", None)
+        if closer is not None:
+            closer()
 
     # -- matching and firing -------------------------------------------------
 

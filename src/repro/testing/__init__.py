@@ -1,11 +1,13 @@
 """Test-support utilities shipped with the package.
 
-Currently this holds the deterministic fault-injection harness
-(:mod:`repro.testing.faults`).  It lives inside ``repro`` rather than
-the test tree because the production modules must carry the injection
-*sites* — cheap, inert hooks compiled into tree mutation, persistence
-I/O, and action execution — while the *injector* that arms them is only
-ever installed by tests and failure drills.
+This holds the deterministic fault-injection harness
+(:mod:`repro.testing.faults`) and the deterministic concurrency harness
+(:mod:`repro.testing.concurrency`).  They live inside ``repro`` rather
+than the test tree because the production modules must carry the
+injection *sites* and publication *hooks* — cheap, inert instrumentation
+compiled into tree mutation, persistence I/O, action execution, and
+epoch publication — while the injectors, schedulers, and checkers that
+arm them are only ever installed by tests and failure drills.
 """
 
 from .faults import (
@@ -26,4 +28,33 @@ __all__ = [
     "injected",
     "install",
     "uninstall",
+    "InterleavingScheduler",
+    "EpochChecker",
+    "Violation",
+    "PredicateIndexReplayer",
+    "SetReplayer",
+    "StressDriver",
 ]
+
+#: names served lazily from :mod:`repro.testing.concurrency` — the
+#: production tree modules import ``repro.testing.faults`` at import
+#: time, so an eager import here would be circular (ibs_tree ->
+#: testing -> concurrency -> ibs_tree).
+_CONCURRENCY_EXPORTS = frozenset(
+    [
+        "InterleavingScheduler",
+        "EpochChecker",
+        "Violation",
+        "PredicateIndexReplayer",
+        "SetReplayer",
+        "StressDriver",
+    ]
+)
+
+
+def __getattr__(name: str):
+    if name in _CONCURRENCY_EXPORTS:
+        from . import concurrency
+
+        return getattr(concurrency, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,515 @@
+"""Deterministic concurrency test harness.
+
+Concurrency bugs are the crash bugs of PR 2 all over again: rare,
+schedule-dependent, and useless in a bug report unless they reproduce.
+:mod:`repro.testing.faults` made crashes replayable from a seed; this
+module does the same for thread interleavings, with three pieces:
+
+:class:`InterleavingScheduler`
+    A seeded cooperative scheduler.  Logical threads are real threads,
+    but only **one runs at a time**: each runs until its next
+    :meth:`~InterleavingScheduler.step` call, then the scheduler's
+    seeded RNG picks who goes next.  Same seed ⇒ same schedule ⇒ same
+    interleaving ⇒ same failure, every run.
+
+:class:`EpochChecker`
+    A linearizability-style checker for epoch-published structures.
+    Writers' publications are recorded as ``(epoch, kind, payload)``
+    operations (for the concurrent facade this happens automatically
+    via :meth:`ConcurrentPredicateIndex.on_publish`); readers record
+    ``(epoch, probe, observed)`` observations.  Verification replays
+    the operation log serially and asserts every observation equals
+    the replayed state at its epoch — any torn read, lost update, or
+    stale-epoch publication shows up as a
+    :class:`~repro.errors.ConcurrencyViolation`.
+
+:class:`StressDriver`
+    A barrier-driven stress run over a ``ConcurrentPredicateIndex``:
+    N true writer threads and M true reader threads released
+    simultaneously, each executing a per-thread seeded op script, with
+    every publication and observation recorded for the checker.  Used
+    by the differential tests and the CI ``concurrency-stress`` job.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.ibs_tree import IBSTree
+from ..core.intervals import Interval
+from ..core.predicate_index import PredicateIndex, TreeFactory
+from ..errors import ConcurrencyError, ConcurrencyViolation
+from ..predicates.clauses import IntervalClause
+from ..predicates.predicate import Predicate
+
+__all__ = [
+    "InterleavingScheduler",
+    "EpochChecker",
+    "Violation",
+    "PredicateIndexReplayer",
+    "SetReplayer",
+    "StressDriver",
+]
+
+
+# ----------------------------------------------------------------------
+# seeded interleaving scheduler
+# ----------------------------------------------------------------------
+
+
+class _LogicalThread:
+    __slots__ = ("name", "thread", "go", "parked", "finished", "error")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.thread: Optional[threading.Thread] = None
+        #: scheduler -> thread: you may run
+        self.go = threading.Event()
+        #: thread -> scheduler: I reached a step point (or finished)
+        self.parked = threading.Event()
+        self.finished = False
+        self.error: Optional[BaseException] = None
+
+
+class InterleavingScheduler:
+    """Seeded cooperative scheduler for deterministic interleavings.
+
+    Spawn logical threads with :meth:`spawn`, sprinkle
+    :meth:`step` calls at the points where a context switch should be
+    possible, then :meth:`run`.  Exactly one logical thread executes at
+    any moment; between two of its ``step`` calls a thread runs
+    *atomically* with respect to the others.  The schedule — the
+    sequence of thread names chosen — is fully determined by the seed,
+    so a failing interleaving replays exactly.
+
+    ``step()`` called from a thread the scheduler does not manage
+    (including the main thread outside :meth:`run`) is a no-op, so
+    shared code may call it unconditionally.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._threads: List[_LogicalThread] = []
+        self._local = threading.local()
+        self._started = False
+        #: thread names in the order the scheduler granted them a slice.
+        self.schedule: List[str] = []
+
+    def spawn(
+        self, fn: Callable[..., Any], *args: Any, name: Optional[str] = None
+    ) -> str:
+        """Register *fn(*args)* as a logical thread; returns its name."""
+        if self._started:
+            raise ConcurrencyError("cannot spawn after run() started")
+        lt = _LogicalThread(name or f"t{len(self._threads)}")
+        if any(existing.name == lt.name for existing in self._threads):
+            raise ConcurrencyError(f"duplicate logical thread name {lt.name!r}")
+
+        def body() -> None:
+            self._local.current = lt
+            lt.go.wait()
+            lt.go.clear()
+            try:
+                fn(*args)
+            except BaseException as exc:  # surfaced by run()
+                lt.error = exc
+            finally:
+                lt.finished = True
+                lt.parked.set()
+
+        lt.thread = threading.Thread(target=body, name=lt.name, daemon=True)
+        self._threads.append(lt)
+        return lt.name
+
+    def step(self) -> None:
+        """Yield point: pause here and let the scheduler pick again."""
+        lt = getattr(self._local, "current", None)
+        if lt is None:
+            return
+        lt.parked.set()
+        lt.go.wait()
+        lt.go.clear()
+
+    def run(self, max_slices: int = 100_000) -> List[str]:
+        """Drive all logical threads to completion; returns the schedule.
+
+        Raises the first spawned-thread exception after every thread
+        has finished (deterministic: the schedule fixes which thread
+        fails first), or :class:`~repro.errors.ConcurrencyError` if
+        *max_slices* scheduling decisions did not finish the run
+        (deadlock / livelock guard).
+        """
+        if self._started:
+            raise ConcurrencyError("run() may only be called once")
+        self._started = True
+        for lt in self._threads:
+            assert lt.thread is not None
+            lt.thread.start()
+        runnable = list(self._threads)
+        slices = 0
+        while runnable:
+            if slices >= max_slices:
+                raise ConcurrencyError(
+                    f"schedule exceeded {max_slices} slices; "
+                    "likely deadlock or livelock"
+                )
+            slices += 1
+            lt = runnable[self._rng.randrange(len(runnable))]
+            self.schedule.append(lt.name)
+            lt.parked.clear()
+            lt.go.set()
+            lt.parked.wait()
+            if lt.finished:
+                runnable.remove(lt)
+        for lt in self._threads:
+            assert lt.thread is not None
+            lt.thread.join()
+            if lt.error is not None:
+                raise lt.error
+        return list(self.schedule)
+
+
+# ----------------------------------------------------------------------
+# epoch checker
+# ----------------------------------------------------------------------
+
+
+class Violation:
+    """One observation that no serial replay can explain."""
+
+    __slots__ = ("channel", "epoch", "probe", "observed", "expected")
+
+    def __init__(
+        self,
+        channel: str,
+        epoch: int,
+        probe: Any,
+        observed: frozenset,
+        expected: frozenset,
+    ):
+        self.channel = channel
+        self.epoch = epoch
+        self.probe = probe
+        self.observed = observed
+        self.expected = expected
+
+    def __str__(self) -> str:
+        missing = sorted(map(str, self.expected - self.observed))
+        extra = sorted(map(str, self.observed - self.expected))
+        return (
+            f"[{self.channel}@{self.epoch}] probe {self.probe!r}: "
+            f"missing={missing} extra={extra}"
+        )
+
+    def __repr__(self) -> str:
+        return f"<Violation {self}>"
+
+
+class SetReplayer:
+    """Trivial replayer: a channel whose state is a set of items.
+
+    ``("add", x)`` inserts, ``("remove", x)`` discards, anything else
+    is a content-preserving publication (compaction and the like).
+    Queries ignore the probe and return the whole set — the right
+    shape for toy registers in harness self-tests.
+    """
+
+    def __init__(self) -> None:
+        self._items: set = set()
+
+    def apply(self, kind: str, payload: Any) -> None:
+        if kind == "add":
+            self._items.add(payload)
+        elif kind == "remove":
+            self._items.discard(payload)
+
+    def query(self, probe: Any) -> frozenset:
+        return frozenset(self._items)
+
+
+class PredicateIndexReplayer:
+    """Serial replay of one relation's publication log.
+
+    Applies ``("add", Predicate)`` / ``("remove", ident)`` to a plain
+    single-threaded :class:`PredicateIndex` — the paper's structure,
+    trusted ground truth — and answers queries with
+    ``match_idents``.  ``"compact"`` / ``"rebuild"`` publications do
+    not change contents and are ignored.
+    """
+
+    def __init__(self, relation: str, tree_factory: TreeFactory = IBSTree):
+        self.relation = relation
+        self._index = PredicateIndex(tree_factory=tree_factory)
+
+    def apply(self, kind: str, payload: Any) -> None:
+        if kind == "add":
+            self._index.add(payload)
+        elif kind == "remove":
+            self._index.remove(payload)
+
+    def query(self, probe: Mapping[str, Any]) -> frozenset:
+        return frozenset(self._index.match_idents(self.relation, probe))
+
+
+class _Channel:
+    __slots__ = ("ops", "observations", "lock")
+
+    def __init__(self) -> None:
+        #: ``(epoch, kind, payload)`` in publication order
+        self.ops: List[Tuple[int, str, Any]] = []
+        #: ``(epoch, probe, observed)`` in arbitrary reader order
+        self.observations: List[Tuple[int, Any, frozenset]] = []
+        self.lock = threading.Lock()
+
+
+class EpochChecker:
+    """Validate epoch-stamped reads against a serial op-log replay.
+
+    One *channel* per independently-published structure (for the
+    concurrent facade: one per relation shard).  Thread-safe on the
+    recording side; :meth:`verify` is called after the threads join.
+    """
+
+    def __init__(self) -> None:
+        self._channels: Dict[str, _Channel] = {}
+        self._catalog_lock = threading.Lock()
+
+    def _channel(self, name: str) -> _Channel:
+        channel = self._channels.get(name)
+        if channel is None:
+            with self._catalog_lock:
+                channel = self._channels.setdefault(name, _Channel())
+        return channel
+
+    # -- recording (thread-safe) ---------------------------------------
+
+    def record_op(self, channel: str, epoch: int, kind: str, payload: Any) -> None:
+        """Record a publication.  For the facade, wire via :meth:`attach`."""
+        ch = self._channel(channel)
+        with ch.lock:
+            ch.ops.append((epoch, kind, payload))
+
+    def record_observation(
+        self, channel: str, epoch: int, probe: Any, observed: frozenset
+    ) -> None:
+        """Record a read: *observed* was served by *epoch*."""
+        ch = self._channel(channel)
+        with ch.lock:
+            ch.observations.append((epoch, probe, frozenset(observed)))
+
+    def attach(self, facade: Any) -> None:
+        """Subscribe to a ``ConcurrentPredicateIndex``'s publications."""
+        facade.on_publish(self.record_op)
+
+    # -- verification --------------------------------------------------
+
+    def ops(self, channel: str) -> List[Tuple[int, str, Any]]:
+        """The recorded publication log for *channel* (publication order)."""
+        return list(self._channel(channel).ops)
+
+    def observation_count(self) -> int:
+        return sum(len(ch.observations) for ch in self._channels.values())
+
+    def verify(
+        self, replayer_factory: Callable[[str], Any]
+    ) -> List[Violation]:
+        """Replay every channel serially; return all divergent reads.
+
+        *replayer_factory* maps a channel name to a fresh replayer
+        (``apply(kind, payload)`` + ``query(probe) -> frozenset``).
+        For each channel the op log is checked for epoch monotonicity,
+        then observations are validated in epoch order against the
+        replayed state at their epoch.
+        """
+        violations: List[Violation] = []
+        for name, ch in sorted(self._channels.items()):
+            epochs = [epoch for epoch, _, _ in ch.ops]
+            if epochs != sorted(epochs) or len(set(epochs)) != len(epochs):
+                raise ConcurrencyError(
+                    f"channel {name!r} publication log is not strictly "
+                    f"monotone: {epochs[:20]}…"
+                )
+            replayer = replayer_factory(name)
+            pending = sorted(
+                range(len(ch.observations)),
+                key=lambda i: ch.observations[i][0],
+            )
+            op_pos = 0
+            for index in pending:
+                epoch, probe, observed = ch.observations[index]
+                while op_pos < len(ch.ops) and ch.ops[op_pos][0] <= epoch:
+                    _, kind, payload = ch.ops[op_pos]
+                    replayer.apply(kind, payload)
+                    op_pos += 1
+                expected = replayer.query(probe)
+                if expected != observed:
+                    violations.append(
+                        Violation(name, epoch, probe, observed, expected)
+                    )
+        return violations
+
+    def assert_ok(self, replayer_factory: Callable[[str], Any]) -> None:
+        """Raise :class:`ConcurrencyViolation` if any read diverges."""
+        violations = self.verify(replayer_factory)
+        if violations:
+            raise ConcurrencyViolation(violations)
+
+
+# ----------------------------------------------------------------------
+# barrier-driven stress driver
+# ----------------------------------------------------------------------
+
+
+def _interval_predicate(
+    relation: str, attribute: str, ident: Hashable, low: int, width: int
+) -> Predicate:
+    return Predicate(
+        relation,
+        [IntervalClause(attribute, Interval.closed(low, low + width))],
+        ident=ident,
+    )
+
+
+class StressDriver:
+    """N seeded writers + M seeded readers against a concurrent facade.
+
+    Every thread's op script is derived from ``seed`` and its thread
+    number, all threads are released by one :class:`threading.Barrier`,
+    and every publication/observation lands in an
+    :class:`EpochChecker`.  The *interleaving* of true threads is not
+    deterministic (that is the point — it explores real schedules), but
+    the *verdict* is: whatever interleaving occurred, every observed
+    read must equal the serial replay of the publication log at its
+    epoch.  Use :class:`InterleavingScheduler` instead when a specific
+    interleaving must replay exactly.
+
+    Parameters are deliberately small-scale by default; CI's
+    ``concurrency-stress`` job runs bigger shapes with pinned seeds.
+    """
+
+    def __init__(
+        self,
+        facade: Any,
+        relations: Sequence[str] = ("r",),
+        attributes: Sequence[str] = ("x", "y"),
+        writers: int = 4,
+        readers: int = 8,
+        writer_ops: int = 60,
+        reader_ops: int = 120,
+        domain: int = 200,
+        max_width: int = 30,
+        seed: int = 0,
+        checker: Optional[EpochChecker] = None,
+    ):
+        if writers < 1 or readers < 1:
+            raise ConcurrencyError("need at least one writer and one reader")
+        self.facade = facade
+        self.relations = list(relations)
+        self.attributes = list(attributes)
+        self.writers = writers
+        self.readers = readers
+        self.writer_ops = writer_ops
+        self.reader_ops = reader_ops
+        self.domain = domain
+        self.max_width = max_width
+        self.seed = seed
+        self.checker = checker if checker is not None else EpochChecker()
+        self.checker.attach(facade)
+        self._errors: List[Tuple[str, BaseException]] = []
+
+    # -- thread bodies -------------------------------------------------
+
+    def _writer(self, writer_id: int, barrier: threading.Barrier) -> None:
+        # string seed: random.seed hashes str via sha512, stable across
+        # processes (a tuple seed would go through randomized hash()).
+        rng = random.Random(f"{self.seed}-writer-{writer_id}")
+        live: List[Hashable] = []
+        barrier.wait()
+        for op_no in range(self.writer_ops):
+            if live and rng.random() < 0.35:
+                ident = live.pop(rng.randrange(len(live)))
+                self.facade.remove(ident)
+            else:
+                relation = rng.choice(self.relations)
+                attribute = rng.choice(self.attributes)
+                low = rng.randrange(self.domain)
+                width = rng.randrange(1, self.max_width)
+                ident = f"w{writer_id}-{op_no}"
+                self.facade.add(
+                    _interval_predicate(relation, attribute, ident, low, width)
+                )
+                live.append(ident)
+
+    def _reader(self, reader_id: int, barrier: threading.Barrier) -> None:
+        rng = random.Random(f"{self.seed}-reader-{reader_id}")
+        barrier.wait()
+        for _ in range(self.reader_ops):
+            relation = rng.choice(self.relations)
+            attribute = rng.choice(self.attributes)
+            probe = {attribute: rng.randrange(self.domain + self.max_width)}
+            epoch, idents = self.facade.match_idents_at(relation, probe)
+            self.checker.record_observation(relation, epoch, probe, idents)
+
+    def _wrap(
+        self, name: str, fn: Callable[..., None], *args: Any
+    ) -> threading.Thread:
+        def body() -> None:
+            try:
+                fn(*args)
+            except BaseException as exc:
+                self._errors.append((name, exc))
+
+        return threading.Thread(target=body, name=name, daemon=True)
+
+    # -- driving -------------------------------------------------------
+
+    def run(self) -> Dict[str, Any]:
+        """Run the stress shape to completion and verify every read.
+
+        Returns a report dict; raises the first worker exception, or
+        :class:`~repro.errors.ConcurrencyViolation` if any observation
+        diverges from its epoch's serial replay.
+        """
+        barrier = threading.Barrier(self.writers + self.readers)
+        threads = [
+            self._wrap(f"writer-{i}", self._writer, i, barrier)
+            for i in range(self.writers)
+        ] + [
+            self._wrap(f"reader-{j}", self._reader, j, barrier)
+            for j in range(self.readers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if self._errors:
+            name, error = self._errors[0]
+            raise ConcurrencyError(f"thread {name} failed: {error!r}") from error
+        tree_factory = getattr(self.facade, "_tree_factory", IBSTree)
+        self.checker.assert_ok(
+            lambda relation: PredicateIndexReplayer(relation, tree_factory)
+        )
+        return {
+            "writers": self.writers,
+            "readers": self.readers,
+            "seed": self.seed,
+            "observations": self.checker.observation_count(),
+            "publications": {
+                relation: len(self.checker.ops(relation))
+                for relation in self.relations
+            },
+            "epochs": dict(self.facade.epochs()),
+        }

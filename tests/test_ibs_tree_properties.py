@@ -24,8 +24,10 @@ TREE_CLASSES = [IBSTree, AVLIBSTree, RBIBSTree, FlatIBSTree]
 def apply_script(tree, script) -> Dict[int, Interval]:
     """Run an op script against a tree, mirroring into a dict.
 
-    Every backend's full invariant validator runs after the mutation
-    batch, so each property test doubles as a structural check.
+    Every backend's full invariant validator runs after **every single
+    mutation** — not just at the end of the batch — so a mutation that
+    leaves the tree transiently broken is pinned to the exact op that
+    caused it, and each property test doubles as a structural check.
     """
     live: Dict[int, Interval] = {}
     next_id = 0
@@ -38,7 +40,12 @@ def apply_script(tree, script) -> Dict[int, Interval]:
             victim = sorted(live)[arg % len(live)]
             tree.delete(victim)
             del live[victim]
-    assert tree.check_invariants() is True
+        else:
+            continue
+        assert tree.check_invariants() is True, (
+            f"invariants broken after {op} "
+            f"(op #{script.index((op, arg))}, {len(live)} live)"
+        )
     return live
 
 

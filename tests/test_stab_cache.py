@@ -154,6 +154,83 @@ def test_batch_path_cache_coherent_across_mutations(factory):
         plain.add(interval_pred(f"n{round_number}", low, low + 10))
 
 
+def test_retune_bumps_tree_epochs():
+    """Migration must retire the old generation: any tree the retune
+    touches ends on a strictly higher epoch, so cached stabs keyed by
+    ``(attribute, tree_epoch, value)`` can never resurface."""
+    idx = PredicateIndex(
+        stab_cache_size=32,
+        adaptive=True,
+        min_feedback_tuples=8,
+    )
+    ident = idx.add(
+        PredicateBuilder("r").eq("a", 5).between("b", 0, 100).build()
+    )
+    for _ in range(10):
+        idx.match("r", {"a": 5, "b": 500})
+    before = idx.tree_epochs("r")
+    assert idx.retune("r") == [ident]
+    after = idx.tree_epochs("r")
+    # the source tree is gone (or re-created on a later epoch), and the
+    # destination tree's epoch does not collide with any retired one
+    assert after != before
+    for attribute, epoch in after.items():
+        assert attribute not in before or epoch > before[attribute]
+    # the migration destination now carries the entry clause
+    assert "b" in after and "a" not in after
+    # retiring the source tree raised the floor: a future "a" tree can
+    # never reuse a retired ("a", epoch) cache key
+    assert idx._relations["r"].epoch_floor > before["a"]
+
+
+@pytest.mark.parametrize("factory", BACKENDS)
+def test_verify_and_rebuild_bumps_tree_epochs(factory):
+    """A rebuild replaces every tree; each replacement must land on an
+    epoch above the retired generation's, never reusing a cache key."""
+    idx = PredicateIndex(tree_factory=factory, stab_cache_size=32)
+    for i in range(8):
+        idx.add(interval_pred(f"p{i}", i, i + 20))
+    idx.match("r", {"x": 10})  # warm the cache on the old generation
+    before = idx.tree_epochs("r")
+    # force the rebuild path even on a healthy index
+    idx._rebuild_relation("r", idx._relations["r"])
+    after = idx.tree_epochs("r")
+    assert set(after) == set(before)
+    for attribute, epoch in after.items():
+        assert epoch > before[attribute], (
+            f"tree {attribute!r} reused epoch {epoch} after rebuild"
+        )
+    # and the cached pre-rebuild answer is unreachable: fresh match agrees
+    # with an uncached oracle
+    oracle = PredicateIndex(tree_factory=factory)
+    for i in range(8):
+        oracle.add(interval_pred(f"p{i}", i, i + 20))
+    assert idents(idx.match("r", {"x": 10})) == idents(
+        oracle.match("r", {"x": 10})
+    )
+
+
+@pytest.mark.parametrize("factory", BACKENDS)
+def test_verify_and_rebuild_on_corruption_bumps_epochs(factory):
+    """The public self-healing entry point also retires old epochs."""
+    idx = PredicateIndex(tree_factory=factory, stab_cache_size=32)
+    for i in range(8):
+        idx.add(interval_pred(f"p{i}", i, i + 20))
+    before = idx.tree_epochs("r")
+    report = idx.verify_and_rebuild()
+    after = idx.tree_epochs("r")
+    if report["rebuilt"]:
+        for attribute, epoch in after.items():
+            assert epoch > before.get(attribute, -1)
+    else:
+        # healthy index: no rebuild, epochs untouched
+        assert after == before
+
+
+def test_tree_epochs_unknown_relation_is_empty():
+    assert PredicateIndex().tree_epochs("nope") == {}
+
+
 def test_cache_evicts_least_recently_used():
     idx = PredicateIndex(stab_cache_size=2)
     for i in range(3):
