@@ -119,8 +119,10 @@ class ConcurrentPredicateIndex(PredicateMatcher):
         #: catalog lock: shard-table and routing-map writes only.
         self._catalog_lock = threading.Lock()
         self._shards: Dict[str, RelationShard] = {}
-        #: ident -> relation routing; written while the owning shard's
-        #: add/remove is in flight (single-key dict ops are GIL-atomic).
+        #: ident -> relation routing.  Entries are *claimed* under the
+        #: catalog lock before the shard add (so the same ident can
+        #: never be registered under two relations) and removed with a
+        #: GIL-atomic ``pop``.
         self._relation_of: Dict[Hashable, str] = {}
         #: shared by every shard; appended to by :meth:`on_publish`.
         self._publish_hooks: List[PublishHook] = []
@@ -155,6 +157,55 @@ class ConcurrentPredicateIndex(PredicateMatcher):
                 )
                 self._shards[relation] = shard
             return shard
+
+    def _shard_items(self) -> List[Tuple[str, RelationShard]]:
+        """Stable snapshot of the shard table, taken under the catalog lock.
+
+        Iterating ``self._shards`` bare can race a first-use shard
+        creation and raise ``dictionary changed size during iteration``.
+        """
+        with self._catalog_lock:
+            return list(self._shards.items())
+
+    def _claim_ident(self, ident: Hashable, relation: str) -> bool:
+        """Reserve *ident* for *relation* in the routing map.
+
+        Returns ``True`` when this call inserted the entry (the caller
+        must release it with :meth:`_release_ident` if the shard add
+        fails), ``False`` when the ident is already routed to the same
+        relation (the shard will reject the duplicate itself).  An
+        ident routed to a *different* relation raises — without this
+        guard a cross-relation duplicate would silently overwrite the
+        routing entry and strand the first predicate (still matching,
+        unreachable via ``get``/``remove``), diverging from the serial
+        index's uniqueness contract.
+        """
+        with self._catalog_lock:
+            existing = self._relation_of.get(ident)
+            if existing is None:
+                self._relation_of[ident] = relation
+                return True
+            if existing != relation:
+                raise PredicateError(
+                    f"predicate ident {ident!r} already indexed under "
+                    f"relation {existing!r}"
+                )
+            return False
+
+    def _release_ident(self, ident: Hashable, relation: str) -> None:
+        """Undo a claim whose shard add raised.
+
+        The entry is kept when the shard's current snapshot already
+        holds the ident — the predicate *was* published despite the
+        exception (a post-publish hook raised, or a racing duplicate
+        add won) and must stay routable.
+        """
+        shard = self._shards.get(relation)
+        if shard is not None and ident in shard.snapshot:
+            return
+        with self._catalog_lock:
+            if self._relation_of.get(ident) == relation:
+                del self._relation_of[ident]
 
     def _get_pool(self) -> ThreadPoolExecutor:
         pool = self._pool
@@ -213,9 +264,16 @@ class ConcurrentPredicateIndex(PredicateMatcher):
             raise PredicateError(
                 f"predicate {predicate} is unsatisfiable and cannot be indexed"
             )
-        shard = self.shard(normalized.relation)
-        ident = shard.add(normalized)
-        self._relation_of[ident] = normalized.relation
+        relation = normalized.relation
+        ident = normalized.ident
+        shard = self.shard(relation)
+        claimed = self._claim_ident(ident, relation)
+        try:
+            shard.add(normalized)
+        except BaseException:
+            if claimed:
+                self._release_ident(ident, relation)
+            raise
         return ident
 
     def add_many(self, predicates: Iterable[Predicate]) -> List[Hashable]:
@@ -231,9 +289,17 @@ class ConcurrentPredicateIndex(PredicateMatcher):
             by_relation.setdefault(normalized.relation, []).append(normalized)
             ordered.append(normalized.ident)
         for relation, group in by_relation.items():
-            self.shard(relation).add_many(group)
-            for normalized in group:
-                self._relation_of[normalized.ident] = relation
+            shard = self.shard(relation)
+            claimed: List[Hashable] = []
+            try:
+                for normalized in group:
+                    if self._claim_ident(normalized.ident, relation):
+                        claimed.append(normalized.ident)
+                shard.add_many(group)
+            except BaseException:
+                for ident in claimed:
+                    self._release_ident(ident, relation)
+                raise
         return ordered
 
     def remove(self, ident: Hashable) -> Predicate:
@@ -301,8 +367,15 @@ class ConcurrentPredicateIndex(PredicateMatcher):
         ]
         if len(chunks) == 1:
             return snapshot.match_batch(tuple_list)
-        pool = self._get_pool()
-        futures = [pool.submit(snapshot.match_batch, chunk) for chunk in chunks]
+        try:
+            pool = self._get_pool()
+            futures = [
+                pool.submit(snapshot.match_batch, chunk) for chunk in chunks
+            ]
+        except (ConcurrencyError, RuntimeError):
+            # closed (or closing) facade: the pool is gone, but matching
+            # stays available — run the batch inline as close() promises.
+            return snapshot.match_batch(tuple_list)
         rows: List[List[Predicate]] = []
         for future in futures:
             rows.extend(future.result())
@@ -316,6 +389,12 @@ class ConcurrentPredicateIndex(PredicateMatcher):
         Each relation's batch is served by its shard's current snapshot;
         with a pool the shards are matched in parallel.  Results are
         keyed by relation, per-tuple rows in input order.
+
+        Each submitted task runs its relation's whole batch inline on
+        one worker (``snapshot.match_batch`` directly, never the
+        chunk-fanning :meth:`match_batch`): a task that resubmitted
+        chunks to the same bounded pool and blocked on their futures
+        could fill every worker with blocked parents and deadlock.
         """
         items = [
             (relation, tuples if isinstance(tuples, list) else list(tuples))
@@ -326,23 +405,30 @@ class ConcurrentPredicateIndex(PredicateMatcher):
                 relation: self.match_batch(relation, tuples)
                 for relation, tuples in items
             }
-        pool = self._get_pool()
-        futures = [
-            (relation, pool.submit(self.match_batch, relation, tuples))
-            for relation, tuples in items
-        ]
+        try:
+            pool = self._get_pool()
+            futures = [
+                (relation, pool.submit(self.snapshot(relation).match_batch, tuples))
+                for relation, tuples in items
+            ]
+        except (ConcurrencyError, RuntimeError):
+            # closed (or closing) facade: run everything inline.
+            return {
+                relation: self.snapshot(relation).match_batch(tuples)
+                for relation, tuples in items
+            }
         return {relation: future.result() for relation, future in futures}
 
     # -- maintenance ---------------------------------------------------
 
     def compact(self, relation: Optional[str] = None) -> Dict[str, int]:
         """Force compaction; returns ``{relation: new_epoch}``."""
-        targets = [relation] if relation is not None else list(self._shards)
-        return {
-            rel: self._shards[rel].compact()
-            for rel in targets
-            if rel in self._shards
-        }
+        if relation is not None:
+            shard = self._shards.get(relation)
+            items = [(relation, shard)] if shard is not None else []
+        else:
+            items = self._shard_items()
+        return {rel: shard.compact() for rel, shard in items}
 
     def retune(self, relation: Optional[str] = None) -> List[Hashable]:
         """Rebuild shard bases so entry-clause choices are re-made.
@@ -355,11 +441,12 @@ class ConcurrentPredicateIndex(PredicateMatcher):
         Returns the identifiers whose entry attribute changed.
         """
         migrated: List[Hashable] = []
-        targets = [relation] if relation is not None else list(self._shards)
-        for rel in targets:
-            shard = self._shards.get(rel)
-            if shard is None:
-                continue
+        if relation is not None:
+            shard = self._shards.get(relation)
+            items = [(relation, shard)] if shard is not None else []
+        else:
+            items = self._shard_items()
+        for rel, shard in items:
             before = shard.snapshot
             old_attrs = {
                 pred.ident: before.base.indexed_attributes(pred.ident)
@@ -384,7 +471,7 @@ class ConcurrentPredicateIndex(PredicateMatcher):
         """
         problems: List[str] = []
         rebuilt: List[str] = []
-        for relation, shard in list(self._shards.items()):
+        for relation, shard in self._shard_items():
             snapshot = shard.snapshot
             shard_problems = snapshot.base.audit()
             if snapshot.overlay is not None:
@@ -409,17 +496,17 @@ class ConcurrentPredicateIndex(PredicateMatcher):
         return ident in self._relation_of
 
     def __len__(self) -> int:
-        return sum(len(shard.snapshot) for shard in self._shards.values())
+        return sum(len(shard.snapshot) for _, shard in self._shard_items())
 
     def relations(self) -> List[str]:
         """Relations with a shard (possibly empty after removals)."""
-        return list(self._shards)
+        return [relation for relation, _ in self._shard_items()]
 
     def epochs(self) -> Dict[str, int]:
         """Current published epoch per relation."""
         return {
             relation: shard.snapshot.epoch
-            for relation, shard in self._shards.items()
+            for relation, shard in self._shard_items()
         }
 
     def __repr__(self) -> str:

@@ -40,6 +40,7 @@ from typing import (
     Iterator,
     List,
     Mapping,
+    MutableMapping,
     Optional,
     Set,
     Tuple,
@@ -144,7 +145,10 @@ class _RelationIndex:
         #: mismatch* — no scan — and stale entries age out of the LRU.
         #: Cleared only when the tree map itself changes shape (a tree
         #: created or dropped), since a fresh tree restarts its epochs.
-        self.stab_cache: "OrderedDict[Tuple[str, int, Any], frozenset]" = (
+        #: ``freeze()`` replaces it with a plain ``dict`` (insertion
+        #: order preserved, no LRU methods needed) so frozen-mode
+        #: lock-free readers only ever do GIL-atomic dict get/set.
+        self.stab_cache: "MutableMapping[Tuple[str, int, Any], frozenset]" = (
             OrderedDict()
         )
         #: lowest epoch any *future* tree of this relation may carry.
@@ -290,8 +294,11 @@ class PredicateIndex:
         mutate on the read path and are not synchronised), but the stab
         cache *may* stay on: freezing demotes it from LRU to
         append-only — hits skip the move-to-end touch, and inserts stop
-        once the cache is full instead of evicting — so every remaining
-        cache operation is a single GIL-atomic ``dict`` access, and
+        once the cache is full instead of evicting — and swaps the
+        ``OrderedDict`` for a plain ``dict`` (odict inserts also splice
+        a C-level linked list, which concurrent writers can corrupt),
+        so every remaining cache operation is a single GIL-atomic
+        ``dict`` access, and
         since nothing ever deletes a key from a frozen index's cache, a
         looked-up key cannot vanish mid-read.  Because frozen trees
         never bump their epochs, those cached stabs stay valid for the
@@ -304,6 +311,13 @@ class PredicateIndex:
         self._frozen = True
         self._cache_lru = False
         for rel_index in self._relations.values():
+            # Demote the LRU odict to a plain dict: frozen-mode readers
+            # do bare get/set with no lock, and only plain-dict ops are
+            # single GIL-atomic operations — OrderedDict.__setitem__
+            # also appends to a C-level linked list (with Python-level
+            # key hashing possibly interleaving), so concurrent inserts
+            # could corrupt it.
+            rel_index.stab_cache = dict(rel_index.stab_cache)
             for tree in rel_index.trees.values():
                 freezer = getattr(tree, "freeze", None)
                 if freezer is not None:

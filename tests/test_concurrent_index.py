@@ -256,3 +256,129 @@ def test_concurrent_readers_see_only_published_epochs():
     # epoch order as seen by one reader is monotone (no time travel)
     epochs = [epoch for epoch, _ in observed]
     assert epochs == sorted(epochs)
+
+
+# ----------------------------------------------------------------------
+# regression: pool discipline, close semantics, routing-map guards
+# ----------------------------------------------------------------------
+
+
+def test_match_batch_grouped_saturated_pool_does_not_deadlock():
+    """Grouped matching with as many big relation batches as workers.
+
+    Each grouped task used to call ``self.match_batch``, which fanned
+    chunk sub-tasks into the *same* bounded pool and blocked on their
+    futures — with every worker occupied by a blocked parent, the chunk
+    tasks could never run and the pool deadlocked permanently.  Grouped
+    tasks now match their relation's whole batch inline on one worker.
+    """
+    idx = ConcurrentPredicateIndex(workers=2, min_chunk=4)
+    serial = PredicateIndex()
+    relations = ["r1", "r2", "r3", "r4"]
+    for rel in relations:
+        for i in range(10):
+            idx.add(interval_pred(f"{rel}-p{i}", i * 2, i * 2 + 9, relation=rel))
+            serial.add(interval_pred(f"{rel}-p{i}", i * 2, i * 2 + 9, relation=rel))
+    # every batch >= 2 * min_chunk so the old code would have chunked it
+    batches = {rel: [{"x": v % 30} for v in range(24)] for rel in relations}
+    grouped = idx.match_batch_grouped(batches)
+    for rel, tuples in batches.items():
+        expected = serial.match_batch(rel, tuples)
+        # per-row sets: the facade's bulk-loaded base orders rows
+        # differently from the incrementally-built serial index
+        assert [{p.ident for p in row} for row in grouped[rel]] == [
+            {p.ident for p in row} for row in expected
+        ]
+    idx.close()
+
+
+def test_match_batch_after_close_runs_inline():
+    """close() promises matching stays available; it must not raise."""
+    idx = ConcurrentPredicateIndex(workers=4, min_chunk=2)
+    for i in range(10):
+        idx.add(interval_pred(f"p{i}", i, i + 5))
+    tuples = [{"x": v % 16} for v in range(40)]  # >= 2 * min_chunk
+    before = idx.match_batch("r", tuples)
+    idx.close()
+    after = idx.match_batch("r", tuples)
+    assert [[p.ident for p in row] for row in after] == [
+        [p.ident for p in row] for row in before
+    ]
+    grouped = idx.match_batch_grouped({"r": tuples, "other": [{"x": 1}]})
+    assert [[p.ident for p in row] for row in grouped["r"]] == [
+        [p.ident for p in row] for row in before
+    ]
+    assert grouped["other"] == [[]]
+
+
+def test_cross_relation_duplicate_ident_rejected():
+    """The same ident under two relations must raise, not silently
+    overwrite the routing entry (stranding the first predicate)."""
+    idx = ConcurrentPredicateIndex()
+    idx.add(interval_pred("dup", 0, 10, relation="r1"))
+    with pytest.raises(PredicateError):
+        idx.add(interval_pred("dup", 0, 10, relation="r2"))
+    with pytest.raises(PredicateError):
+        idx.add_many([interval_pred("dup", 0, 10, relation="r2")])
+    # the original registration is untouched and still routable
+    assert idx.get("dup").relation == "r1"
+    assert idx.match_idents("r1", {"x": 5}) == {"dup"}
+    assert idx.match_idents("r2", {"x": 5}) == set()
+    assert len(idx) == 1
+    assert idx.remove("dup").ident == "dup"
+    assert len(idx) == 0
+
+
+def test_add_many_failure_releases_only_its_claims():
+    """A rejected batch must roll its routing claims back so the idents
+    stay addable, without disturbing predicates registered earlier."""
+    idx = ConcurrentPredicateIndex()
+    idx.add(interval_pred("keep", 0, 10))
+    with pytest.raises(PredicateError):
+        # duplicate ident within one batch: the shard rejects the batch
+        idx.add_many(
+            [interval_pred("new", 20, 30), interval_pred("new", 40, 50)]
+        )
+    assert "new" not in idx
+    assert idx.get("keep").ident == "keep"
+    idx.add(interval_pred("new", 20, 30))  # claim was released
+    assert idx.match_idents("r", {"x": 25}) == {"new"}
+
+
+def test_introspection_safe_during_concurrent_shard_creation():
+    """len()/epochs()/relations()/compact() iterate a stable snapshot of
+    the shard table; concurrent first-use shard creation used to raise
+    'dictionary changed size during iteration'."""
+    idx = ConcurrentPredicateIndex()
+    errors = []
+    stop = threading.Event()
+
+    def creator():
+        try:
+            for i in range(300):
+                idx.add(interval_pred(f"p{i}", 0, 10, relation=f"rel{i}"))
+        except BaseException as exc:  # pragma: no cover - diagnostic aid
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    def inspector():
+        try:
+            while not stop.is_set():
+                len(idx)
+                idx.epochs()
+                idx.relations()
+                idx.compact()
+        except BaseException as exc:  # pragma: no cover - diagnostic aid
+            errors.append(exc)
+
+    threads = [threading.Thread(target=creator)] + [
+        threading.Thread(target=inspector) for _ in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(idx) == 300
+    assert len(idx.relations()) == 300

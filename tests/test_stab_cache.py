@@ -266,3 +266,31 @@ def test_stats_reset_clears_cache_counter():
     idx.stats.reset()
     assert idx.stats.stab_cache_hits == 0
     assert idx.stats.clause_migrations == 0
+
+
+def test_freeze_swaps_cache_to_plain_dict():
+    """freeze() must leave only GIL-atomic cache operations behind.
+
+    OrderedDict insertion also splices a C-level linked list, which
+    concurrent lock-free readers can corrupt — so freezing replaces the
+    LRU odict with a plain dict (and the append-only discipline never
+    needs the LRU methods again).
+    """
+    from collections import OrderedDict
+
+    idx = PredicateIndex(stab_cache_size=8)
+    for i in range(4):
+        idx.add(interval_pred(f"p{i}", i * 10, i * 10 + 15))
+    idx.match("r", {"x": 12})  # warm one entry through the odict path
+    assert isinstance(idx._relations["r"].stab_cache, OrderedDict)
+    idx.freeze()
+    cache = idx._relations["r"].stab_cache
+    assert type(cache) is dict
+    assert len(cache) == 1  # warm entries survive the swap
+    # frozen matching still caches (append-only) and still hits
+    hits = idx.stats.stab_cache_hits
+    assert idents(idx.match("r", {"x": 12})) == ["p0", "p1"]
+    assert idx.stats.stab_cache_hits == hits + 1
+    idx.match("r", {"x": 32})
+    assert idents(idx.match("r", {"x": 32})) == ["p2", "p3"]
+    assert type(idx._relations["r"].stab_cache) is dict
