@@ -2,9 +2,11 @@
 
 Subcommands::
 
-    python -m repro            # version, inventory, pointers
-    python -m repro demo       # run the quickstart demo inline
-    python -m repro bench      # run every paper experiment (slow)
+    python -m repro                   # version, inventory, pointers
+    python -m repro demo              # run the quickstart demo inline
+    python -m repro bench             # run every paper experiment (slow)
+    python -m repro backends          # list registered backends and matchers
+    python -m repro describe NAME     # capability card for one backend/matcher
 """
 
 from __future__ import annotations
@@ -59,6 +61,63 @@ def _demo() -> None:
     print(f"  explain: {engine.explain('emp', {'name': 'X', 'salary': 25000})}")
 
 
+def _backends() -> None:
+    from .match.registry import DEFAULT_REGISTRY
+
+    names = DEFAULT_REGISTRY.tree_backends()
+    width = max(len(name) for name in names)
+    print(f"tree backends ({len(names)}):")
+    for name in names:
+        info = DEFAULT_REGISTRY.describe_backend(name)
+        print(f"  {name:<{width}}  {info['description']}")
+    matchers = DEFAULT_REGISTRY.matchers()
+    width = max(len(name) for name in matchers)
+    print(f"\nmatchers ({len(matchers)}):")
+    for name in matchers:
+        info = DEFAULT_REGISTRY.describe_matcher(name)
+        print(f"  {name:<{width}}  {info['description']}")
+    print("\nuse `python -m repro describe NAME` for capability details")
+
+
+def _describe(name: str) -> int:
+    from .errors import RegistryError
+    from .match.registry import DEFAULT_REGISTRY
+
+    found = False
+    try:
+        info = DEFAULT_REGISTRY.describe_backend(name)
+    except RegistryError:
+        pass
+    else:
+        found = True
+        print(f"tree backend {name!r}")
+        print(f"  factory:     {info['factory']}")
+        print(f"  description: {info['description']}")
+        print("  capabilities:")
+        for key, value in info.items():
+            if key.startswith("supports_"):
+                print(f"    {key:<24} {'yes' if value else 'no'}")
+    try:
+        info = DEFAULT_REGISTRY.describe_matcher(name)
+    except RegistryError:
+        pass
+    else:
+        if found:
+            print()
+        found = True
+        print(f"matcher {name!r}")
+        print(f"  builder:     {info['builder']}")
+        print(f"  description: {info['description']}")
+    if not found:
+        print(
+            f"unknown backend or matcher {name!r}; "
+            "run `python -m repro backends` for the list",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def main(argv: list) -> int:
     command = argv[1] if len(argv) > 1 else "info"
     if command == "info":
@@ -69,8 +128,19 @@ def main(argv: list) -> int:
         from .bench.runner import main as bench_main
 
         bench_main()
+    elif command == "backends":
+        _backends()
+    elif command == "describe":
+        if len(argv) < 3:
+            print("usage: python -m repro describe NAME", file=sys.stderr)
+            return 2
+        return _describe(argv[2])
     else:
-        print(f"unknown command {command!r}; use: info | demo | bench", file=sys.stderr)
+        print(
+            f"unknown command {command!r}; "
+            "use: info | demo | bench | backends | describe",
+            file=sys.stderr,
+        )
         return 2
     return 0
 

@@ -38,8 +38,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
-from ..core.ibs_tree import IBSTree
-from ..core.predicate_index import PredicateIndex
+from ..match.registry import DEFAULT_REGISTRY
 from ..workloads.generator import ScenarioConfig, ScenarioWorkload
 
 __all__ = ["CostParameters", "CostBreakdown", "predicate_match_cost", "calibrate"]
@@ -160,7 +159,7 @@ def calibrate(
     hash_ms = (time.perf_counter() - start) / samples * 1e3
 
     # IBS search over a per-attribute-sized tree
-    tree = IBSTree()
+    tree = DEFAULT_REGISTRY.tree_factory("ibs")()
     for k, predicate in enumerate(predicates[:per_tree]):
         clause = predicate.indexable_clauses()[0]
         tree.insert(clause.interval, k)
@@ -202,7 +201,7 @@ def measured_match_cost_ms(seed: int = 42, tuples: int = 500) -> float:
     milliseconds — the observable the cost model predicts.
     """
     workload = ScenarioWorkload(ScenarioConfig(seed=seed))
-    index = PredicateIndex()
+    index = DEFAULT_REGISTRY.create_matcher("ibs")
     for predicate in workload.predicates()["r0"]:
         index.add(predicate)
     batch = workload.tuples(tuples)

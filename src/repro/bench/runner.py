@@ -27,21 +27,9 @@ import random
 import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..baselines.priority_search_tree import PrioritySearchTree
-from ..baselines.rplus_tree import RPlusTree1D
-from ..baselines.rtree import RTree1D
-from ..baselines.segment_tree import SegmentTree
-from ..baselines.interval_tree import StaticIntervalTree
-from ..baselines.sequential import IntervalList, SequentialMatcher
-from ..baselines.hash_sequential import HashSequentialMatcher
-from ..baselines.physical_locking import PhysicalLockingMatcher
-from ..baselines.rtree import RTreeMatcher
-from ..core.avl_ibs_tree import AVLIBSTree
-from ..core.rb_ibs_tree import RBIBSTree
-from ..core.ibs_tree import IBSTree
-from ..core.flat_ibs_tree import FlatIBSTree
 from ..core.intervals import Interval
 from ..core.predicate_index import PredicateIndex
+from ..match.registry import DEFAULT_REGISTRY
 from ..predicates.clauses import IntervalClause
 from ..predicates.predicate import Predicate
 from ..workloads.generator import IntervalWorkload, ScenarioConfig, ScenarioWorkload
@@ -84,14 +72,16 @@ def run_fig7(
     ns: Sequence[int] = DEFAULT_NS,
     fractions: Sequence[float] = DEFAULT_FRACTIONS,
     seed: int = 7,
-    tree_factory: Callable[[], IBSTree] = IBSTree,
+    tree_factory: Any = "ibs",
 ) -> List[Dict[str, Any]]:
     """Average insertion time (microseconds) per (N, a) cell.
 
     Methodology follows the paper: "the average insertion cost was
     measured as the time to insert N predicates in an initially empty
     index, divided by N", with the unbalanced tree and random order.
+    *tree_factory* is a registered backend name or a factory callable.
     """
+    tree_factory = DEFAULT_REGISTRY.resolve_tree_factory(tree_factory)
     rows: List[Dict[str, Any]] = []
     for n in ns:
         row: Dict[str, Any] = {"n": n}
@@ -144,9 +134,13 @@ def run_fig8(
     fractions: Sequence[float] = DEFAULT_FRACTIONS,
     queries: int = 2_000,
     seed: int = 8,
-    tree_factory: Callable[[], IBSTree] = IBSTree,
+    tree_factory: Any = "ibs",
 ) -> List[Dict[str, Any]]:
-    """Average stabbing-query time (microseconds) per (N, a) cell."""
+    """Average stabbing-query time (microseconds) per (N, a) cell.
+
+    *tree_factory* is a registered backend name or a factory callable.
+    """
+    tree_factory = DEFAULT_REGISTRY.resolve_tree_factory(tree_factory)
     rows: List[Dict[str, Any]] = []
     for n in ns:
         row: Dict[str, Any] = {"n": n}
@@ -201,8 +195,8 @@ def run_fig9(
     for n in ns:
         workload = IntervalWorkload(point_fraction=point_fraction, seed=seed)
         intervals = workload.intervals(n)
-        tree = IBSTree()
-        linked = IntervalList()
+        tree = DEFAULT_REGISTRY.tree_factory("ibs")()
+        linked = DEFAULT_REGISTRY.tree_factory("interval-list")()
         for k, interval in enumerate(intervals):
             tree.insert(interval, k)
             linked.insert(interval, k)
@@ -304,12 +298,13 @@ def run_space(
     overlap, only O(N) markers are placed in the tree".
     """
     rows: List[Dict[str, Any]] = []
+    ibs_factory = DEFAULT_REGISTRY.tree_factory("ibs")
     for n in ns:
         workload = IntervalWorkload(point_fraction=0.0, seed=seed)
-        random_tree = IBSTree()
+        random_tree = ibs_factory()
         for k, interval in enumerate(workload.intervals(n)):
             random_tree.insert(interval, k)
-        disjoint_tree = IBSTree()
+        disjoint_tree = ibs_factory()
         for k, interval in enumerate(workload.disjoint_intervals(n)):
             disjoint_tree.insert(interval, k)
         rows.append(
@@ -371,13 +366,13 @@ def run_ablation_indexes(
     rows: List[Dict[str, Any]] = []
 
     dynamic_factories: List[Tuple[str, Callable[[], Any]]] = [
-        ("list", IntervalList),
-        ("ibs", IBSTree),
-        ("ibs-avl", AVLIBSTree),
-        ("ibs-rb", RBIBSTree),
-        ("pst", PrioritySearchTree),
-        ("rtree-1d", RTree1D),
-        ("rplus-1d", RPlusTree1D),
+        ("list", DEFAULT_REGISTRY.tree_factory("interval-list")),
+        ("ibs", DEFAULT_REGISTRY.tree_factory("ibs")),
+        ("ibs-avl", DEFAULT_REGISTRY.tree_factory("avl")),
+        ("ibs-rb", DEFAULT_REGISTRY.tree_factory("rb")),
+        ("pst", DEFAULT_REGISTRY.tree_factory("pst")),
+        ("rtree-1d", DEFAULT_REGISTRY.tree_factory("rtree-1d")),
+        ("rplus-1d", DEFAULT_REGISTRY.tree_factory("rplus")),
     ]
     for name, factory in dynamic_factories:
         index = factory()
@@ -404,8 +399,8 @@ def run_ablation_indexes(
         )
 
     static_builders: List[Tuple[str, Callable[[Iterable], Any]]] = [
-        ("segment", lambda items: SegmentTree(items)),
-        ("interval", lambda items: StaticIntervalTree(items)),
+        ("segment", DEFAULT_REGISTRY.tree_factory("segment")),
+        ("interval", DEFAULT_REGISTRY.tree_factory("static-interval")),
     ]
     items = [(interval, ident) for ident, interval in intervals]
     for name, builder in static_builders:
@@ -483,9 +478,9 @@ def run_ablation_balancing(
     sys.setrecursionlimit(max(old_limit, 4 * n + 100))
     try:
         for name, factory in (
-            ("ibs (unbalanced)", IBSTree),
-            ("ibs-avl", AVLIBSTree),
-            ("ibs-rb", RBIBSTree),
+            ("ibs (unbalanced)", DEFAULT_REGISTRY.tree_factory("ibs")),
+            ("ibs-avl", DEFAULT_REGISTRY.tree_factory("avl")),
+            ("ibs-rb", DEFAULT_REGISTRY.tree_factory("rb")),
         ):
             tree = factory()
             start = time.perf_counter()
@@ -597,7 +592,7 @@ def run_ablation_selectivity(
         ("default constants", DefaultEstimator()),
         ("statistics", StatisticsEstimator(db)),
     ):
-        index = PredicateIndex(estimator=estimator)
+        index = DEFAULT_REGISTRY.create_matcher("ibs", estimator=estimator)
         for predicate in build_predicates():
             index.add(predicate)
         index.stats.reset()
@@ -662,7 +657,7 @@ def run_ablation_multiclause(
     rows: List[Dict[str, Any]] = []
     for name, multi in (("single (paper)", False), ("multi-clause", True)):
         workload = ScenarioWorkload(config)
-        index = PredicateIndex(multi_clause=multi)
+        index = DEFAULT_REGISTRY.create_matcher("ibs", multi_clause=multi)
         for predicate in workload.predicates()["r0"]:
             index.add(predicate)
         markers = sum(
@@ -717,19 +712,13 @@ E2E_STRATEGIES: Tuple[str, ...] = ("ibs", "hash", "sequential", "locking", "rtre
 
 
 def _make_matcher(strategy: str, workload: ScenarioWorkload) -> Any:
-    if strategy == "ibs":
-        return PredicateIndex()
-    if strategy == "hash":
-        return HashSequentialMatcher()
-    if strategy == "sequential":
-        return SequentialMatcher()
-    if strategy == "locking":
-        return PhysicalLockingMatcher(
-            {rel: set(workload.predicate_attributes) for rel in workload.relation_names}
-        )
-    if strategy == "rtree":
-        return RTreeMatcher()
-    raise ValueError(f"unknown strategy {strategy!r}")
+    return DEFAULT_REGISTRY.create_matcher(
+        strategy,
+        indexed_attributes={
+            rel: set(workload.predicate_attributes)
+            for rel in workload.relation_names
+        },
+    )
 
 
 def run_e2e(
@@ -823,8 +812,8 @@ def run_batch(
     predicate_list = workload.predicates()["r0"]
     batch = workload.tuples(batch_size)
     indexes: Dict[str, PredicateIndex] = {
-        "ibs": PredicateIndex(),
-        "flat": PredicateIndex(tree_factory=FlatIBSTree),
+        "ibs": DEFAULT_REGISTRY.create_matcher("ibs"),
+        "flat": DEFAULT_REGISTRY.create_matcher("ibs-flat"),
     }
     for index in indexes.values():
         for predicate in predicate_list:
@@ -894,10 +883,10 @@ def print_batch(rows: Optional[List[Dict[str, Any]]] = None) -> List[Dict[str, A
 
 
 REBUILD_BACKENDS: Tuple[Tuple[str, Any], ...] = (
-    ("ibs", IBSTree),
-    ("avl", AVLIBSTree),
-    ("rb", RBIBSTree),
-    ("flat", FlatIBSTree),
+    ("ibs", DEFAULT_REGISTRY.tree_factory("ibs")),
+    ("avl", DEFAULT_REGISTRY.tree_factory("avl")),
+    ("rb", DEFAULT_REGISTRY.tree_factory("rb")),
+    ("flat", DEFAULT_REGISTRY.tree_factory("flat")),
 )
 
 
@@ -1029,8 +1018,8 @@ def run_stab_cache(
     ]
     stream = [{"x": value} for value in _zipf_values(distinct_values, tuples, seed)]
     indexes: Dict[str, PredicateIndex] = {
-        "off": PredicateIndex(),
-        "on": PredicateIndex(stab_cache_size=cache_size),
+        "off": DEFAULT_REGISTRY.create_matcher("ibs"),
+        "on": DEFAULT_REGISTRY.create_matcher("ibs", stab_cache_size=cache_size),
     }
     for index in indexes.values():
         index.add_many(predicate_list)
@@ -1130,8 +1119,6 @@ def run_concurrency(
     overlaps the per-chunk C-level work.  ``speedup`` is relative to
     the ``serial`` row.
     """
-    from ..concurrency import ConcurrentPredicateIndex
-
     rng = random.Random(seed)
     attributes = ("x", "y")
     predicate_list = []
@@ -1178,16 +1165,20 @@ def run_concurrency(
             index.match_batch("r", batch)
             index.remove(write_preds[i].ident)
 
-    serial = PredicateIndex(tree_factory=FlatIBSTree, stab_cache_size=cache_size)
+    serial = DEFAULT_REGISTRY.create_matcher(
+        "ibs", tree_factory="flat", stab_cache_size=cache_size
+    )
     serial.add_many(predicate_list)
     concurrent_indexes = {
-        0: ConcurrentPredicateIndex(
-            tree_factory=FlatIBSTree,
+        0: DEFAULT_REGISTRY.create_matcher(
+            "ibs-concurrent",
+            tree_factory="flat",
             workers=0,
             snapshot_cache_size=cache_size,
         ),
-        workers: ConcurrentPredicateIndex(
-            tree_factory=FlatIBSTree,
+        workers: DEFAULT_REGISTRY.create_matcher(
+            "ibs-concurrent",
+            tree_factory="flat",
             workers=workers,
             snapshot_cache_size=cache_size,
         ),

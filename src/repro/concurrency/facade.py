@@ -46,6 +46,7 @@ from typing import (
     Optional,
     Set,
     Tuple,
+    Union,
 )
 
 from ..baselines.base import PredicateMatcher
@@ -71,7 +72,10 @@ class ConcurrentPredicateIndex(PredicateMatcher):
     ----------
     tree_factory / estimator / multi_clause:
         Forwarded to every internal :class:`PredicateIndex` (base and
-        overlay of each shard).  The internal indexes are always built
+        overlay of each shard).  ``tree_factory`` also accepts the name
+        of a backend registered in the
+        :data:`~repro.match.registry.DEFAULT_REGISTRY` (``"ibs"``,
+        ``"avl"``, …).  The internal indexes are always built
         with ``adaptive=False`` — feedback counters mutate state on the
         read path and are unsafe under lock-free readers (see
         ``docs/concurrency_model.md``).
@@ -101,7 +105,7 @@ class ConcurrentPredicateIndex(PredicateMatcher):
 
     def __init__(
         self,
-        tree_factory: TreeFactory = IBSTree,
+        tree_factory: Union[str, TreeFactory] = IBSTree,
         estimator: Optional[SelectivityEstimator] = None,
         multi_clause: bool = False,
         workers: int = 0,
@@ -109,6 +113,10 @@ class ConcurrentPredicateIndex(PredicateMatcher):
         min_chunk: int = 64,
         snapshot_cache_size: int = 4_096,
     ):
+        if isinstance(tree_factory, str):
+            from ..match.registry import DEFAULT_REGISTRY
+
+            tree_factory = DEFAULT_REGISTRY.tree_factory(tree_factory)
         self._tree_factory = tree_factory
         self._estimator = estimator
         self._multi_clause = bool(multi_clause)

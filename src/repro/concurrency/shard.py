@@ -64,6 +64,11 @@ from typing import (
 
 from ..core.predicate_index import PredicateIndex
 from ..errors import ConcurrencyError, PredicateError, UnknownIntervalError
+from ..match.pipeline import (
+    snapshot_match,
+    snapshot_match_batch,
+    snapshot_match_idents,
+)
 from ..predicates.predicate import Predicate
 
 __all__ = ["EpochSnapshot", "RelationShard"]
@@ -149,33 +154,16 @@ class EpochSnapshot:
 
         Base matches come first (in the base index's order), overlay
         matches after (in insertion order) — a fixed order per snapshot,
-        so concurrent and repeated calls agree exactly.
+        so concurrent and repeated calls agree exactly.  The merge
+        itself lives in :func:`repro.match.pipeline.snapshot_match`, so
+        the snapshot read path runs the same pipeline code as every
+        other entry point.
         """
-        removed = self.removed
-        results = [
-            pred
-            for pred in self.base.match(self.relation, tup)
-            if pred.ident not in removed
-        ]
-        if self.overlay is not None:
-            overlay_hits = {
-                pred.ident for pred in self.overlay.match(self.relation, tup)
-            }
-            results.extend(
-                pred for pred in self.overlay_preds if pred.ident in overlay_hits
-            )
-        return results
+        return snapshot_match(self, tup)
 
     def match_idents(self, tup: Mapping[str, Any]) -> Set[Hashable]:
         """Identifiers of all live predicates matching *tup*."""
-        idents = {
-            ident
-            for ident in self.base.match_idents(self.relation, tup)
-            if ident not in self.removed
-        }
-        if self.overlay is not None:
-            idents.update(self.overlay.match_idents(self.relation, tup))
-        return idents
+        return snapshot_match_idents(self, tup)
 
     def match_batch(
         self, tuples: Iterable[Mapping[str, Any]]
@@ -190,37 +178,7 @@ class EpochSnapshot:
         Results are per-tuple lists in the same deterministic order as
         :meth:`match`.
         """
-        tuple_list = list(tuples)
-        removed = self.removed
-        base_rows = self.base.match_batch(self.relation, tuple_list)
-        if removed:
-            rows: List[List[Predicate]] = [
-                [pred for pred in row if pred.ident not in removed]
-                for row in base_rows
-            ]
-        else:
-            rows = [list(row) for row in base_rows]
-        if self.overlay is not None and self.overlay_preds:
-            if len(self.overlay_preds) <= OVERLAY_SCAN_LIMIT:
-                overlay_preds = self.overlay_preds
-                for tup, row in zip(tuple_list, rows):
-                    for pred in overlay_preds:
-                        if pred.matches(tup):
-                            row.append(pred)
-            else:
-                overlay_rows = self.overlay.match_batch(
-                    self.relation, tuple_list
-                )
-                for row, overlay_row in zip(rows, overlay_rows):
-                    if not overlay_row:
-                        continue
-                    hits = {pred.ident for pred in overlay_row}
-                    row.extend(
-                        pred
-                        for pred in self.overlay_preds
-                        if pred.ident in hits
-                    )
-        return rows
+        return snapshot_match_batch(self, tuples, OVERLAY_SCAN_LIMIT)
 
     def __repr__(self) -> str:
         return (

@@ -26,11 +26,18 @@ Step 4 is sound because a predicate is indexed under exactly one of its
 clauses: if that clause does not match, the conjunction cannot match,
 so skipping the predicate is safe; if it does match, the residual test
 decides.
+
+:class:`PredicateIndex` is a facade over the layered kernel in
+:mod:`repro.match`: the :class:`~repro.match.catalog.ClauseCatalog`
+(predicate storage and entry-clause decisions), the
+:class:`~repro.match.store.TreeStore` (tree lifecycle and cache
+policy), and the :class:`~repro.match.pipeline.MatchPipeline` (the one
+staged match implementation), observed by a
+:class:`~repro.match.observer.StatsObserver` feeding :attr:`stats`.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import (
     Any,
     Callable,
@@ -40,124 +47,33 @@ from typing import (
     Iterator,
     List,
     Mapping,
-    MutableMapping,
     Optional,
     Set,
     Tuple,
+    Union,
 )
 
-from ..errors import PredicateError, TreeInvariantError, UnknownIntervalError
-from ..predicates.clauses import FunctionClause, IntervalClause
+from ..errors import PredicateError, UnknownIntervalError
+from ..match import health as _health
+from ..match.catalog import (
+    ClauseCatalog,
+    RelationState,
+    compile_residual as _compile_residual,  # noqa: F401  (compat re-export)
+)
+from ..match.observer import MatchStatistics, StatsObserver
+from ..match.pipeline import MatchPipeline
+from ..match.store import TreeStore
 from ..predicates.predicate import Predicate
 from .ibs_tree import IBSTree
-from .intervals import MINUS_INF, PLUS_INF, is_infinite
-from .selectivity import (
-    DefaultEstimator,
-    SelectivityEstimator,
-    choose_index_clause,
-    rank_index_clauses,
-)
+from .selectivity import SelectivityEstimator
 
 __all__ = ["PredicateIndex", "MatchStatistics"]
 
 TreeFactory = Callable[[], IBSTree]
 
-
-class _Unbatchable(Exception):
-    """Internal: a batch contains values the batched path cannot handle
-    (e.g. unhashable attribute values); fall back to per-tuple match."""
-
-
-class MatchStatistics:
-    """Counters describing the work done by :meth:`PredicateIndex.match`.
-
-    These feed the cost model of the paper's Section 5.2 (hash probes,
-    per-attribute tree searches, partial matches requiring a residual
-    test, and non-indexable predicates tested by brute force).
-    """
-
-    __slots__ = (
-        "tuples_matched",
-        "trees_searched",
-        "partial_matches",
-        "non_indexable_tested",
-        "full_matches",
-        "batches_matched",
-        "residual_memo_hits",
-        "stab_cache_hits",
-        "clause_migrations",
-    )
-
-    def __init__(self) -> None:
-        self.reset()
-
-    def reset(self) -> None:
-        """Zero all counters."""
-        self.tuples_matched = 0
-        self.trees_searched = 0
-        self.partial_matches = 0
-        self.non_indexable_tested = 0
-        self.full_matches = 0
-        self.batches_matched = 0
-        self.residual_memo_hits = 0
-        self.stab_cache_hits = 0
-        self.clause_migrations = 0
-
-    def as_dict(self) -> Dict[str, int]:
-        """Counters as a plain dict (for reports)."""
-        return {name: getattr(self, name) for name in self.__slots__}
-
-    def __repr__(self) -> str:
-        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
-        return f"<MatchStatistics {body}>"
-
-
-class _RelationIndex:
-    """Second-level index for one relation (Figure 1, lower half)."""
-
-    __slots__ = (
-        "trees",
-        "non_indexable",
-        "indexed_under",
-        "predicates",
-        "residuals",
-        "stab_cache",
-        "epoch_floor",
-    )
-
-    def __init__(self) -> None:
-        #: attribute name -> IBS-tree over that attribute's clause intervals
-        self.trees: Dict[str, IBSTree] = {}
-        #: idents of predicates with no indexable clause
-        self.non_indexable: Set[Hashable] = set()
-        #: ident -> attributes whose trees hold the predicate's entry
-        #: clause(s); a single attribute in the paper's scheme, possibly
-        #: several under multi-clause indexing
-        self.indexed_under: Dict[Hashable, Tuple[str, ...]] = {}
-        #: the PREDICATES table: ident -> full predicate
-        self.predicates: Dict[Hashable, Predicate] = {}
-        #: ident -> compiled residual evaluator (built lazily by
-        #: match_batch); see :func:`_compile_residual`
-        self.residuals: Dict[Hashable, Tuple[Any, ...]] = {}
-        #: LRU stab cache: ``(attribute, tree_epoch, value) ->
-        #: frozenset(idents)``.  Because the tree's epoch is part of
-        #: the key, a mutation invalidates every prior entry *by key
-        #: mismatch* — no scan — and stale entries age out of the LRU.
-        #: Cleared only when the tree map itself changes shape (a tree
-        #: created or dropped), since a fresh tree restarts its epochs.
-        #: ``freeze()`` replaces it with a plain ``dict`` (insertion
-        #: order preserved, no LRU methods needed) so frozen-mode
-        #: lock-free readers only ever do GIL-atomic dict get/set.
-        self.stab_cache: "MutableMapping[Tuple[str, int, Any], frozenset]" = (
-            OrderedDict()
-        )
-        #: lowest epoch any *future* tree of this relation may carry.
-        #: Raised past a tree's last epoch whenever that tree is dropped
-        #: (remove/rollback/migration/rebuild), and seeded into every
-        #: fresh tree, so ``(attribute, tree_epoch)`` pairs are never
-        #: reused across tree generations — epoch-keyed caches and
-        #: epoch-snapshot readers can rely on monotonicity.
-        self.epoch_floor: int = 0
+#: Backwards-compatible alias: the per-relation state record used to be
+#: the private ``_RelationIndex`` class defined in this module.
+_RelationIndex = RelationState
 
 
 class PredicateIndex:
@@ -166,8 +82,11 @@ class PredicateIndex:
     Parameters
     ----------
     tree_factory:
-        Constructor for the per-attribute interval index.  Defaults to
-        the unbalanced :class:`~repro.core.ibs_tree.IBSTree` (as in the
+        Constructor for the per-attribute interval index, or the name
+        of a backend registered in the
+        :data:`~repro.match.registry.DEFAULT_REGISTRY` (``"ibs"``,
+        ``"avl"``, ``"rb"``, ``"flat"``, …).  Defaults to the
+        unbalanced :class:`~repro.core.ibs_tree.IBSTree` (as in the
         paper's measurements); pass
         :class:`~repro.core.avl_ibs_tree.AVLIBSTree` for guaranteed
         balance, or any object with the same ``insert/delete/stab``
@@ -216,7 +135,7 @@ class PredicateIndex:
 
     def __init__(
         self,
-        tree_factory: TreeFactory = IBSTree,
+        tree_factory: Union[str, TreeFactory] = IBSTree,
         estimator: Optional[SelectivityEstimator] = None,
         multi_clause: bool = False,
         stab_cache_size: int = 0,
@@ -225,10 +144,13 @@ class PredicateIndex:
         migration_ratio: float = 0.5,
         auto_retune_interval: Optional[int] = None,
     ):
+        if isinstance(tree_factory, str):
+            # Imported here, not at module top: the registry's builders
+            # import this module lazily and vice versa.
+            from ..match.registry import DEFAULT_REGISTRY
+
+            tree_factory = DEFAULT_REGISTRY.tree_factory(tree_factory)
         self._tree_factory = tree_factory
-        self._estimator = estimator or DefaultEstimator()
-        self._multi_clause = bool(multi_clause)
-        self._stab_cache_size = int(stab_cache_size)
         self._adaptive = bool(adaptive)
         self._migration_ratio = float(migration_ratio)
         self._auto_retune_interval = auto_retune_interval
@@ -241,41 +163,54 @@ class PredicateIndex:
         #: :class:`~repro.db.statistics.EntryClauseFeedback`); populated
         #: only when ``adaptive`` is set.
         self.feedback = EntryClauseFeedback(min_samples=min_feedback_tuples)
-        self._relations: Dict[str, _RelationIndex] = {}
-        self._relation_of: Dict[Hashable, str] = {}
-        self.stats = MatchStatistics()
+        self._catalog = ClauseCatalog(estimator, multi_clause)
+        self._store = TreeStore(tree_factory, stab_cache_size)
+        self._observer = StatsObserver(MatchStatistics())
+        self._pipeline = MatchPipeline(
+            self._catalog,
+            self._store,
+            self._observer,
+            feedback=self.feedback,
+            adaptive=self._adaptive,
+        )
         self._frozen = False
-        #: LRU maintenance on the stab cache (move-to-end on hit, evict
-        #: on overflow).  :meth:`freeze` turns it off: a frozen index is
-        #: read by many threads at once, and the only GIL-safe cache
-        #: discipline is append-only — plain ``dict`` get/set with no
-        #: reordering and no eviction (a concurrent ``move_to_end`` /
-        #: ``popitem`` pair can raise ``KeyError`` mid-read).
-        self._cache_lru = True
 
-    # -- tree lifecycle ----------------------------------------------------
+    # -- layer access (compat: tests reach into these) ---------------------
 
-    def _new_tree(self, rel_index: _RelationIndex) -> IBSTree:
-        """Create a tree whose epochs continue from the relation's floor.
+    @property
+    def _relations(self) -> Dict[str, RelationState]:
+        """The catalog's relation-name → state table."""
+        return self._catalog.relations
 
-        Fresh backends start at epoch 0; without the floor a tree
-        dropped at epoch 40 and recreated one mutation later would
-        reissue epochs 1, 2, 3 … and an ``(attribute, tree_epoch)``
-        cache key (or an epoch-snapshot reader) could silently confuse
-        the two generations.
-        """
-        tree = self._tree_factory()
-        floor = rel_index.epoch_floor
-        if floor and hasattr(tree, "epoch"):
-            tree.epoch = floor
-        return tree
+    @property
+    def _relation_of(self) -> Dict[Hashable, str]:
+        """The catalog's ident → relation routing map."""
+        return self._catalog.relation_of
 
-    @staticmethod
-    def _retire_tree(rel_index: _RelationIndex, tree: Any) -> None:
-        """Record a dropped tree's last epoch in the relation's floor."""
-        epoch = getattr(tree, "epoch", None)
-        if epoch is not None:
-            rel_index.epoch_floor = max(rel_index.epoch_floor, epoch + 1)
+    @property
+    def _estimator(self) -> SelectivityEstimator:
+        return self._catalog.estimator
+
+    @property
+    def _multi_clause(self) -> bool:
+        return self._catalog.multi_clause
+
+    @property
+    def _stab_cache_size(self) -> int:
+        return self._store.stab_cache_size
+
+    @property
+    def _cache_lru(self) -> bool:
+        return self._store.cache_lru
+
+    @property
+    def stats(self) -> MatchStatistics:
+        """Match-pipeline counters (see :class:`MatchStatistics`)."""
+        return self._observer.stats
+
+    @stats.setter
+    def stats(self, value: MatchStatistics) -> None:
+        self._observer.stats = value
 
     # -- snapshot support --------------------------------------------------
 
@@ -309,19 +244,9 @@ class PredicateIndex:
         every thread computes the same value.)
         """
         self._frozen = True
-        self._cache_lru = False
-        for rel_index in self._relations.values():
-            # Demote the LRU odict to a plain dict: frozen-mode readers
-            # do bare get/set with no lock, and only plain-dict ops are
-            # single GIL-atomic operations — OrderedDict.__setitem__
-            # also appends to a C-level linked list (with Python-level
-            # key hashing possibly interleaving), so concurrent inserts
-            # could corrupt it.
-            rel_index.stab_cache = dict(rel_index.stab_cache)
-            for tree in rel_index.trees.values():
-                freezer = getattr(tree, "freeze", None)
-                if freezer is not None:
-                    freezer()
+        self._store.cache_lru = False
+        for state in self._catalog.relations.values():
+            self._store.freeze_state(state)
 
     @property
     def frozen(self) -> bool:
@@ -343,13 +268,10 @@ class PredicateIndex:
         over the index's whole life, even across tree drop/recreate and
         :meth:`verify_and_rebuild`.  Unknown relations map to ``{}``.
         """
-        rel_index = self._relations.get(relation)
-        if rel_index is None:
+        state = self._catalog.relations.get(relation)
+        if state is None:
             return {}
-        return {
-            attribute: getattr(tree, "epoch", 0)
-            for attribute, tree in rel_index.trees.items()
-        }
+        return self._store.tree_epochs(state)
 
     # -- registration -------------------------------------------------------
 
@@ -358,31 +280,11 @@ class PredicateIndex:
 
         The predicate is normalized first (same-attribute interval
         clauses merged); a contradictory predicate is rejected since it
-        can never match.
+        can never match.  Atomic: a failure (e.g. an injected fault in
+        a tree insert) leaves no trace of the predicate behind.
         """
         self._check_mutable()
-        normalized = predicate.normalized()
-        if normalized is None:
-            raise PredicateError(
-                f"predicate {predicate} is unsatisfiable and cannot be indexed"
-            )
-        ident = normalized.ident
-        if ident in self._relation_of:
-            raise PredicateError(f"predicate ident {ident!r} already indexed")
-        rel_index = self._relations.setdefault(normalized.relation, _RelationIndex())
-        try:
-            self._enter_clauses(rel_index, ident, normalized)
-        except BaseException:
-            # Atomic add: a failure while entering clauses (e.g. an
-            # injected fault in a tree insert) must not leave the
-            # predicate half-indexed.  Tree-level inserts roll
-            # themselves back; here we undo entries in *other* trees
-            # and drop anything this call created.
-            self._rollback_add(normalized.relation, rel_index, ident)
-            raise
-        rel_index.predicates[ident] = normalized
-        self._relation_of[ident] = normalized.relation
-        return ident
+        return self._catalog.register(self._store, predicate)
 
     def add_many(self, predicates: Iterable[Predicate]) -> List[Hashable]:
         """Bulk-register *predicates*; returns their identifiers in order.
@@ -400,162 +302,25 @@ class PredicateIndex:
         removed again before the exception propagates.
         """
         self._check_mutable()
-        normalized_list: List[Predicate] = []
-        seen: Set[Hashable] = set()
-        for predicate in predicates:
-            normalized = predicate.normalized()
-            if normalized is None:
-                raise PredicateError(
-                    f"predicate {predicate} is unsatisfiable and cannot be indexed"
-                )
-            ident = normalized.ident
-            if ident in self._relation_of or ident in seen:
-                raise PredicateError(f"predicate ident {ident!r} already indexed")
-            seen.add(ident)
-            normalized_list.append(normalized)
-        by_relation: Dict[str, List[Predicate]] = {}
-        for normalized in normalized_list:
-            by_relation.setdefault(normalized.relation, []).append(normalized)
-        added: List[Tuple[str, Hashable]] = []
-        try:
-            for relation, group in by_relation.items():
-                rel_index = self._relations.setdefault(relation, _RelationIndex())
-                fresh: Dict[str, List[Tuple[Any, Hashable]]] = {}
-                for normalized in group:
-                    ident = normalized.ident
-                    rel_index.predicates[ident] = normalized
-                    self._relation_of[ident] = relation
-                    added.append((relation, ident))
-                    entry_clauses = self._entry_clauses_of(normalized)
-                    if not entry_clauses:
-                        rel_index.non_indexable.add(ident)
-                        continue
-                    rel_index.indexed_under[ident] = tuple(
-                        clause.attribute for clause in entry_clauses
-                    )
-                    for clause in entry_clauses:
-                        tree = rel_index.trees.get(clause.attribute)
-                        if tree is None:
-                            fresh.setdefault(clause.attribute, []).append(
-                                (clause.interval, ident)
-                            )
-                        else:
-                            tree.insert(clause.interval, ident)
-                for attribute, pairs in fresh.items():
-                    tree = self._new_tree(rel_index)
-                    loader = getattr(tree, "bulk_load", None)
-                    if loader is not None:
-                        loader(pairs)
-                    else:  # foreign backend: incremental construction
-                        for interval, ident in pairs:
-                            tree.insert(interval, ident)
-                    rel_index.trees[attribute] = tree
-                    rel_index.stab_cache.clear()  # tree map changed shape
-        except BaseException:
-            for relation, ident in added:
-                rel_index = self._relations.get(relation)
-                if rel_index is None:
-                    continue
-                rel_index.predicates.pop(ident, None)
-                rel_index.residuals.pop(ident, None)
-                self._relation_of.pop(ident, None)
-                self._rollback_add(relation, rel_index, ident)
-            raise
-        return [normalized.ident for normalized in normalized_list]
-
-    def _entry_clauses_of(self, normalized: Predicate) -> List[IntervalClause]:
-        """The clause(s) *normalized* enters into the attribute trees.
-
-        One (the most selective) in the paper's scheme; every indexable
-        clause under multi-clause indexing; empty when the predicate has
-        no indexable clause.  Shared by :meth:`add`, :meth:`add_many`,
-        and :meth:`_rebuild_relation` so every registration path makes
-        the same entry-clause choice.
-        """
-        if self._multi_clause:
-            return list(normalized.indexable_clauses())
-        chosen = choose_index_clause(normalized, self._estimator)
-        return [chosen] if chosen is not None else []
-
-    def _enter_clauses(
-        self, rel_index: _RelationIndex, ident: Hashable, normalized: Predicate
-    ) -> None:
-        """Enter *normalized*'s clause(s) into the per-attribute trees."""
-        entry_clauses = self._entry_clauses_of(normalized)
-        if not entry_clauses:
-            rel_index.non_indexable.add(ident)
-            return
-        for clause in entry_clauses:
-            tree = rel_index.trees.get(clause.attribute)
-            if tree is None:
-                tree = rel_index.trees[clause.attribute] = self._new_tree(rel_index)
-                rel_index.stab_cache.clear()  # tree map changed shape
-            tree.insert(clause.interval, ident)
-        rel_index.indexed_under[ident] = tuple(
-            clause.attribute for clause in entry_clauses
-        )
-
-    def _rollback_add(
-        self, relation: str, rel_index: _RelationIndex, ident: Hashable
-    ) -> None:
-        rel_index.non_indexable.discard(ident)
-        rel_index.indexed_under.pop(ident, None)
-        for attribute in list(rel_index.trees):
-            tree = rel_index.trees[attribute]
-            if ident in tree:
-                tree.delete(ident)
-            if not tree:
-                self._retire_tree(rel_index, tree)
-                del rel_index.trees[attribute]
-                rel_index.stab_cache.clear()
-        if not rel_index.predicates and not rel_index.trees:
-            self._relations.pop(relation, None)
+        return self._catalog.register_many(self._store, predicates)
 
     def remove(self, ident: Hashable) -> Predicate:
         """Un-index and return the predicate registered under *ident*."""
         self._check_mutable()
-        try:
-            relation = self._relation_of.pop(ident)
-        except KeyError:
-            raise UnknownIntervalError(ident) from None
-        rel_index = self._relations[relation]
-        predicate = rel_index.predicates.pop(ident)
-        rel_index.residuals.pop(ident, None)
-        attributes = rel_index.indexed_under.pop(ident, None)
-        if attributes is None:
-            rel_index.non_indexable.discard(ident)
-        else:
-            for attribute in attributes:
-                tree = rel_index.trees[attribute]
-                tree.delete(ident)
-                if not tree:
-                    self._retire_tree(rel_index, tree)
-                    del rel_index.trees[attribute]
-                    rel_index.stab_cache.clear()
-        if not rel_index.predicates:
-            del self._relations[relation]
-        return predicate
+        return self._catalog.unregister(self._store, ident)
 
     # -- matching ----------------------------------------------------------
 
     def match(self, relation: str, tup: Mapping[str, Any]) -> List[Predicate]:
         """All predicates of *relation* that fully match the tuple."""
-        matched = [
-            pred
-            for pred, _ in self.match_with_candidates(relation, tup)
-            if pred is not None
-        ]
+        matched = self._pipeline.match(relation, tup)
         if self._adaptive:
             self._maybe_auto_retune(relation, 1)
         return matched
 
     def match_idents(self, relation: str, tup: Mapping[str, Any]) -> Set[Hashable]:
         """Identifiers of all fully matching predicates."""
-        matched = {
-            pred.ident
-            for pred, _ in self.match_with_candidates(relation, tup)
-            if pred is not None
-        }
+        matched = self._pipeline.match_idents(relation, tup)
         if self._adaptive:
             self._maybe_auto_retune(relation, 1)
         return matched
@@ -569,70 +334,7 @@ class PredicateIndex:
         a full match yields the predicate.  Exposed so benchmarks can
         count partial matches exactly as the cost model does.
         """
-        self.stats.tuples_matched += 1
-        rel_index = self._relations.get(relation)
-        if rel_index is None:
-            return
-        if self._multi_clause:
-            candidates = self._intersect_candidates(rel_index, tup)
-        else:
-            candidates = set()
-            cache_size = self._stab_cache_size
-            cache = rel_index.stab_cache
-            lru = self._cache_lru
-            for attribute, tree in rel_index.trees.items():
-                value = tup.get(attribute)
-                if value is None:
-                    continue  # NULL matches no clause: no tree entry applies
-                key = None
-                if cache_size:
-                    epoch = getattr(tree, "epoch", None)
-                    if epoch is not None:
-                        try:
-                            key = (attribute, epoch, value)
-                            cached = cache.get(key)
-                        except TypeError:
-                            key = None  # unhashable value: uncacheable
-                        else:
-                            if cached is not None:
-                                if lru:
-                                    cache.move_to_end(key)
-                                self.stats.stab_cache_hits += 1
-                                candidates |= cached
-                                continue
-                self.stats.trees_searched += 1
-                try:
-                    if key is None:
-                        tree.stab_into(value, candidates)
-                    else:
-                        stabbed = frozenset(tree.stab(value))
-                        candidates |= stabbed
-                        if lru:
-                            cache[key] = stabbed
-                            if len(cache) > cache_size:
-                                cache.popitem(last=False)
-                        elif len(cache) < cache_size:
-                            # frozen: append-only, never evict
-                            cache[key] = stabbed
-                except TypeError:
-                    # the value's type is incomparable with this
-                    # attribute's indexed bounds (mixed-domain data): no
-                    # interval clause on this attribute can match it
-                    continue
-            if self._adaptive:
-                self.feedback.observe_tuples(relation, 1)
-                if candidates:
-                    self.feedback.observe_candidates(candidates)
-        self.stats.partial_matches += len(candidates)
-        self.stats.non_indexable_tested += len(rel_index.non_indexable)
-        candidates |= rel_index.non_indexable
-        for ident in candidates:
-            predicate = rel_index.predicates[ident]
-            if predicate.matches(tup):
-                self.stats.full_matches += 1
-                yield predicate, ident
-            else:
-                yield None, ident
+        return self._pipeline.match_with_candidates(relation, tup)
 
     def match_batch(
         self, relation: str, tuples: Iterable[Mapping[str, Any]]
@@ -641,405 +343,20 @@ class PredicateIndex:
 
         Semantically identical to ``[self.match(relation, t) for t in
         tuples]`` (the differential tests assert exactly that), but the
-        work is restructured around the batch:
-
-        1. the batch's values are grouped per indexed attribute,
-           deduplicated and sorted, and each attribute tree is stabbed
-           **once per distinct value** via :meth:`IBSTree.stab_many`
-           (sorted order keeps the grouped descent's sibling partitions
-           adjacent and shares search-path prefixes);
-        2. the stab results are fanned back out per tuple (in the
-           paper's single-clause scheme the per-attribute stabbed sets
-           are disjoint, so no per-tuple union is built);
-        3. residual tests run through **compiled evaluators** that
-           skip the clauses already *proven* by the index probe — a
-           stabbed candidate's entry clause is known to match, so only
-           the remaining clauses are tested — and interval-only
-           residuals are **memoized** per batch on ``(ident,
-           restricted-tuple-projection)`` whenever the batch shows
-           enough value repetition for the memo to pay off.
-
-        Function clauses are always (re-)evaluated per tuple, exactly
-        as the per-tuple path does: memoizing them on ``==``-collapsed
-        keys would be unsound for type-sensitive functions (``2`` and
-        ``2.0`` share a key), and the paper assumes nothing about them
-        "except that it returns true or false".  Batches containing
-        unhashable or infinity-sentinel values in indexed attributes
-        fall back to the per-tuple loop transparently.
+        work is restructured around the batch — grouped per-attribute
+        stab descents, compiled residual evaluators, and a per-batch
+        memo; see :meth:`MatchPipeline.match_batch` for the stages.
+        Batches containing unhashable or infinity-sentinel values in
+        indexed attributes fall back to the per-tuple loop
+        transparently.
         """
-        tuples = list(tuples)
-        if not tuples:
-            return []
-        rel_index = self._relations.get(relation)
-        if rel_index is None:
-            self.stats.tuples_matched += len(tuples)
-            self.stats.batches_matched += 1
-            return [[] for _ in tuples]
-        try:
-            stab_tables, memo_on = self._batch_stab_tables(rel_index, tuples)
-        except _Unbatchable:
-            return [self.match(relation, tup) for tup in tuples]
-        if self._multi_clause:
-            per_tuple = self._batch_intersect(rel_index, tuples, stab_tables)
-        else:
-            per_tuple = None
-        stats = self.stats
-        stats.tuples_matched += len(tuples)
-        stats.batches_matched += 1
-        non_indexable = rel_index.non_indexable
-        stats.non_indexable_tested += len(non_indexable) * len(tuples)
-        predicates = rel_index.predicates
-        residuals = rel_index.residuals
-        indexed_under = rel_index.indexed_under
-        if len(residuals) != len(predicates):
-            for ident, predicate in predicates.items():
-                if ident not in residuals:
-                    residuals[ident] = _compile_residual(
-                        predicate, indexed_under.get(ident, ())
-                    )
-        # Non-indexable predicates are tested against *every* tuple:
-        # resolve their entries once per batch into homogeneous
-        # per-kind lists so the tuple loop runs without per-candidate
-        # dict lookups or kind dispatch.
-        ni_trivial: List[Predicate] = []
-        ni_closed: List[Tuple[Any, ...]] = []
-        ni_single: List[Tuple[Hashable, Tuple[Any, ...]]] = []
-        ni_multi: List[Tuple[Hashable, Tuple[Any, ...]]] = []
-        ni_opaque: List[Predicate] = []
-        for ident in non_indexable:
-            entry = residuals[ident]
-            kind = entry[0]
-            if kind == _MULTI:
-                ni_multi.append((ident, entry))
-            elif kind == _SINGLE:
-                ni_single.append((ident, entry))
-            elif kind == _CLOSED:
-                ni_closed.append(entry)
-            elif kind == _TRIVIAL:
-                ni_trivial.append(entry[1])
-            else:
-                ni_opaque.append(entry[1])
-        # With the memo disabled (the common case for low-repetition
-        # batches) the non-indexable loops reduce to bare
-        # ``check(value)`` calls over pre-extracted pairs.
-        ni_single_fast = [(e[1], e[2], e[3]) for _, e in ni_single]
-        ni_multi_fast = [(e[1], e[3]) for _, e in ni_multi]
-        stab_items = list(stab_tables.items())
-        memo: Dict[Tuple[Hashable, Any], bool] = {}
-        memo_get = memo.get
-        partial = full = memo_hits = 0
-        results: List[List[Predicate]] = []
-        for position, tup in enumerate(tuples):
-            tup_get = tup.get
-            row: List[Predicate] = []
-            append = row.append
-            # In the paper's single-clause scheme every predicate is
-            # indexed under exactly one attribute, so the per-attribute
-            # stabbed sets are disjoint: iterate them directly instead
-            # of unioning into a per-tuple candidate set.
-            if per_tuple is None:
-                groups: List[Iterable[Hashable]] = []
-                for attribute, table in stab_items:
-                    value = tup_get(attribute)
-                    if value is None:
-                        continue
-                    stabbed = table.get(value)
-                    if stabbed:
-                        partial += len(stabbed)
-                        groups.append(stabbed)
-            else:
-                candidates = per_tuple[position]
-                partial += len(candidates)
-                groups = [candidates] if candidates else []
-            for group in groups:
-                for ident in group:
-                    entry = residuals[ident]
-                    kind = entry[0]
-                    if kind == _CLOSED:
-                        # (kind, pred, attr, low, high): the dominant
-                        # shape, inlined — a closure call per candidate
-                        # would double the cost of this loop
-                        v = tup_get(entry[2])
-                        try:
-                            ok = v is not None and entry[3] <= v <= entry[4]
-                        except TypeError:
-                            ok = False  # incomparable or sentinel value
-                        if ok:
-                            append(entry[1])
-                    elif kind == _SINGLE:
-                        # (kind, pred, attr, check, memo_ok)
-                        v = tup_get(entry[2])
-                        if memo_on and entry[4]:
-                            key = (ident, v)
-                            try:
-                                verdict = memo_get(key)
-                            except TypeError:
-                                verdict = entry[3](v)  # unhashable value
-                            else:
-                                if verdict is None:
-                                    verdict = memo[key] = entry[3](v)
-                                else:
-                                    memo_hits += 1
-                            if verdict:
-                                append(entry[1])
-                        elif entry[3](v):
-                            append(entry[1])
-                    elif kind == _TRIVIAL:
-                        # every clause was proven by the index probes
-                        append(entry[1])
-                    elif kind == _MULTI:
-                        # (kind, pred, attrs, evaluate, memo_ok);
-                        # evaluate fetches its own values, the
-                        # projection tuple is built only as a memo key
-                        if memo_on and entry[4]:
-                            proj = tuple([tup_get(a) for a in entry[2]])
-                            key = (ident, proj)
-                            try:
-                                verdict = memo_get(key)
-                            except TypeError:
-                                verdict = entry[3](tup_get)
-                            else:
-                                if verdict is None:
-                                    verdict = memo[key] = entry[3](tup_get)
-                                else:
-                                    memo_hits += 1
-                            if verdict:
-                                append(entry[1])
-                        elif entry[3](tup_get):
-                            append(entry[1])
-                    else:  # _OPAQUE: unknown clause subclass
-                        if entry[1].matches(tup):
-                            append(entry[1])
-            for entry in ni_closed:
-                v = tup_get(entry[2])
-                try:
-                    ok = v is not None and entry[3] <= v <= entry[4]
-                except TypeError:
-                    ok = False
-                if ok:
-                    append(entry[1])
-            if not memo_on:
-                for predicate, attribute, check in ni_single_fast:
-                    if check(tup_get(attribute)):
-                        append(predicate)
-                for predicate, evaluate in ni_multi_fast:
-                    if evaluate(tup_get):
-                        append(predicate)
-            else:
-                for ident, entry in ni_single:
-                    v = tup_get(entry[2])
-                    if entry[4]:
-                        key = (ident, v)
-                        try:
-                            verdict = memo_get(key)
-                        except TypeError:
-                            verdict = entry[3](v)
-                        else:
-                            if verdict is None:
-                                verdict = memo[key] = entry[3](v)
-                            else:
-                                memo_hits += 1
-                        if verdict:
-                            append(entry[1])
-                    elif entry[3](v):
-                        append(entry[1])
-                for ident, entry in ni_multi:
-                    if entry[4]:
-                        proj = tuple([tup_get(a) for a in entry[2]])
-                        key = (ident, proj)
-                        try:
-                            verdict = memo_get(key)
-                        except TypeError:
-                            verdict = entry[3](tup_get)
-                        else:
-                            if verdict is None:
-                                verdict = memo[key] = entry[3](tup_get)
-                            else:
-                                memo_hits += 1
-                        if verdict:
-                            append(entry[1])
-                    elif entry[3](tup_get):
-                        append(entry[1])
-            for predicate in ni_trivial:
-                append(predicate)
-            for predicate in ni_opaque:
-                if predicate.matches(tup):
-                    append(predicate)
-            full += len(row)
-            results.append(row)
-        stats.partial_matches += partial
-        stats.full_matches += full
-        stats.residual_memo_hits += memo_hits
-        if self._adaptive and not self._multi_clause:
-            feedback = self.feedback
-            feedback.observe_tuples(relation, len(tuples))
-            # candidate counts reconstructed from the stab tables: each
-            # ident stabbed at a value was a candidate once per tuple
-            # carrying that value
-            for attribute, table in stab_tables.items():
-                counts: Dict[Any, int] = {}
-                for tup in tuples:
-                    value = tup.get(attribute)
-                    if value is not None:
-                        counts[value] = counts.get(value, 0) + 1
-                for value, stabbed in table.items():
-                    if stabbed:
-                        feedback.observe_candidates(stabbed, counts.get(value, 1))
-            self._maybe_auto_retune(relation, len(tuples))
+        tuple_list = list(tuples)
+        results = self._pipeline.match_batch(relation, tuple_list)
+        if self._adaptive:
+            self._maybe_auto_retune(relation, len(tuple_list))
         return results
 
-    def _batch_stab_tables(
-        self, rel_index: _RelationIndex, tuples: List[Mapping[str, Any]]
-    ) -> Tuple[Dict[str, Dict[Any, Optional[Set[Hashable]]]], bool]:
-        """Stab each attribute tree once per distinct batch value.
-
-        Returns ``(stab_tables, memo_on)``: per attribute a table
-        ``value -> stabbed idents`` (``None`` for incomparable values),
-        plus whether the batch shows enough value repetition (>= 10%
-        duplicates across indexed attributes) for the residual memo to
-        pay for its bookkeeping.
-
-        Raises :class:`_Unbatchable` (before touching any statistics)
-        when an indexed attribute holds an unhashable value — the
-        per-value grouping needs to hash it — or an infinity sentinel,
-        for which skipping the proven entry clause would be unsound
-        (``clause.matches`` rejects sentinels that a tree stab may
-        admit).
-        """
-        trees = rel_index.trees
-        stab_tables: Dict[str, Dict[Any, Optional[Set[Hashable]]]] = {}
-        if not trees:
-            return stab_tables, False
-        total = distinct = 0
-        plans: List[Tuple[str, List[Any]]] = []
-        for attribute, tree in trees.items():
-            values: Set[Any] = set()
-            add = values.add
-            for tup in tuples:
-                value = tup.get(attribute)
-                if value is None:
-                    continue
-                if value is MINUS_INF or value is PLUS_INF:
-                    raise _Unbatchable(attribute)
-                total += 1
-                try:
-                    add(value)
-                except TypeError:
-                    raise _Unbatchable(attribute) from None
-            distinct += len(values)
-            if not values:
-                stab_tables[attribute] = {}
-                continue
-            try:
-                ordered: List[Any] = sorted(values)
-            except TypeError:
-                ordered = list(values)  # mixed domains: order is just locality
-            plans.append((attribute, ordered))
-        cache_size = self._stab_cache_size
-        cache = rel_index.stab_cache
-        lru = self._cache_lru
-        cache_hits = 0
-        for attribute, ordered in plans:
-            tree = trees[attribute]
-            epoch = getattr(tree, "epoch", None) if cache_size else None
-            if epoch is None:
-                # one grouped descent per tree per batch
-                self.stats.trees_searched += 1
-                stab_tables[attribute] = tree.stab_many(ordered)
-                continue
-            # answer cached values without touching the tree; stab the
-            # misses in one grouped descent and remember them
-            table: Dict[Any, Optional[Set[Hashable]]] = {}
-            misses: List[Any] = []
-            for value in ordered:
-                key = (attribute, epoch, value)
-                cached = cache.get(key)
-                if cached is None:
-                    misses.append(value)
-                else:
-                    if lru:
-                        cache.move_to_end(key)
-                    cache_hits += 1
-                    table[value] = cached
-            if misses:
-                self.stats.trees_searched += 1
-                for value, stabbed in tree.stab_many(misses).items():
-                    table[value] = stabbed
-                    if stabbed is not None:
-                        if lru:
-                            cache[(attribute, epoch, value)] = frozenset(stabbed)
-                            if len(cache) > cache_size:
-                                cache.popitem(last=False)
-                        elif len(cache) < cache_size:
-                            # frozen: append-only, never evict
-                            cache[(attribute, epoch, value)] = frozenset(stabbed)
-            stab_tables[attribute] = table
-        self.stats.stab_cache_hits += cache_hits
-        memo_on = total > 0 and (total - distinct) * 10 >= total
-        return stab_tables, memo_on
-
-    def _batch_intersect(
-        self,
-        rel_index: _RelationIndex,
-        tuples: List[Mapping[str, Any]],
-        stab_tables: Dict[str, Dict[Any, Optional[Set[Hashable]]]],
-    ) -> List[Set[Hashable]]:
-        """Multi-clause fan-out: candidates hit in *every* indexed tree."""
-        indexed_under = rel_index.indexed_under
-        out: List[Set[Hashable]] = []
-        for tup in tuples:
-            hits: Dict[Hashable, int] = {}
-            probed: Set[str] = set()
-            for attribute, table in stab_tables.items():
-                value = tup.get(attribute)
-                if value is None:
-                    continue
-                stabbed = table.get(value)
-                if stabbed is None:
-                    continue  # incomparable value: attribute not probed
-                probed.add(attribute)
-                for ident in stabbed:
-                    hits[ident] = hits.get(ident, 0) + 1
-            candidates: Set[Hashable] = set()
-            for ident, count in hits.items():
-                attributes = indexed_under[ident]
-                if count == len(attributes) and all(a in probed for a in attributes):
-                    candidates.add(ident)
-            out.append(candidates)
-        return out
-
-    def _intersect_candidates(
-        self, rel_index: _RelationIndex, tup: Mapping[str, Any]
-    ) -> Set[Hashable]:
-        """Multi-clause candidates: hit in *every* indexed attribute.
-
-        An ident is a candidate only if every tree it is indexed under
-        was probed and reported it — a NULL or incomparable value in
-        any indexed attribute disqualifies the predicate outright
-        (that clause cannot match).
-        """
-        hits: Dict[Hashable, int] = {}
-        probed: Set[str] = set()
-        for attribute, tree in rel_index.trees.items():
-            value = tup.get(attribute)
-            if value is None:
-                continue
-            self.stats.trees_searched += 1
-            try:
-                stabbed = tree.stab(value)
-            except TypeError:
-                continue
-            probed.add(attribute)
-            for ident in stabbed:
-                hits[ident] = hits.get(ident, 0) + 1
-        candidates: Set[Hashable] = set()
-        for ident, count in hits.items():
-            attributes = rel_index.indexed_under[ident]
-            if count == len(attributes) and all(a in probed for a in attributes):
-                candidates.add(ident)
-        return candidates
-
-    # -- adaptive entry-clause migration ---------------------------------------
+    # -- adaptive entry-clause migration -----------------------------------
 
     def _maybe_auto_retune(self, relation: str, count: int) -> None:
         """Run :meth:`retune` when the auto-retune interval elapses."""
@@ -1075,117 +392,34 @@ class PredicateIndex:
         ``min_feedback_tuples`` samples.
         """
         self._check_mutable()
-        if self._multi_clause:
-            return []
-        migrated: List[Hashable] = []
-        feedback = self.feedback
-        ratio = self._migration_ratio
-        targets = [relation] if relation is not None else list(self._relations)
-        for rel in targets:
-            rel_index = self._relations.get(rel)
-            if rel_index is None:
-                continue
-            if feedback.tuples_seen(rel) < feedback.min_samples:
-                continue
-            for ident in list(rel_index.indexed_under):
-                observed = feedback.observed_selectivity(rel, ident)
-                if observed is None:
-                    continue
-                current = rel_index.indexed_under.get(ident)
-                if not current:
-                    continue
-                predicate = rel_index.predicates[ident]
-                alternative = None
-                for score, clause in rank_index_clauses(predicate, self._estimator):
-                    if clause.attribute != current[0]:
-                        alternative = (score, clause)
-                        break
-                if alternative is None:
-                    continue  # no different-attribute clause to move to
-                score, clause = alternative
-                if score < observed * ratio:
-                    if self._migrate_entry_clause(rel_index, ident, clause):
-                        migrated.append(ident)
-            feedback.reset(
-                rel,
-                list(rel_index.indexed_under) + list(rel_index.non_indexable),
-            )
-        return migrated
-
-    def _migrate_entry_clause(
-        self, rel_index: _RelationIndex, ident: Hashable, clause: IntervalClause
-    ) -> bool:
-        """Move *ident*'s entry clause into *clause*'s attribute tree."""
-        old_attr = rel_index.indexed_under[ident][0]
-        new_attr = clause.attribute
-        if new_attr == old_attr:
-            return False
-        old_tree = rel_index.trees[old_attr]
-        old_interval = old_tree.get(ident)
-        new_tree = rel_index.trees.get(new_attr)
-        created = new_tree is None
-        if created:
-            new_tree = self._new_tree(rel_index)
-        old_tree.delete(ident)
-        try:
-            new_tree.insert(clause.interval, ident)
-        except BaseException:
-            try:
-                old_tree.insert(old_interval, ident)
-            except BaseException:
-                # Double fault: neither tree accepted the entry.  Brute
-                # force is always sound, so park the predicate on the
-                # non-indexable list rather than lose it.
-                rel_index.indexed_under.pop(ident, None)
-                rel_index.residuals.pop(ident, None)
-                rel_index.non_indexable.add(ident)
-                if not old_tree:
-                    self._retire_tree(rel_index, old_tree)
-                    rel_index.trees.pop(old_attr, None)
-                    rel_index.stab_cache.clear()
-                raise
-            raise
-        if created:
-            rel_index.trees[new_attr] = new_tree
-            rel_index.stab_cache.clear()  # tree map changed shape
-        if not old_tree:
-            self._retire_tree(rel_index, old_tree)
-            del rel_index.trees[old_attr]
-            rel_index.stab_cache.clear()
-        rel_index.indexed_under[ident] = (new_attr,)
-        # the residual must re-test the old entry clause and skip the
-        # new one; match_batch recompiles it lazily
-        rel_index.residuals.pop(ident, None)
-        self.stats.clause_migrations += 1
-        return True
+        return self._catalog.retune(
+            self._store,
+            self.feedback,
+            self._migration_ratio,
+            self._observer,
+            relation,
+        )
 
     # -- introspection ---------------------------------------------------------
 
     def get(self, ident: Hashable) -> Predicate:
         """Return the predicate registered under *ident*."""
-        try:
-            relation = self._relation_of[ident]
-        except KeyError:
-            raise UnknownIntervalError(ident) from None
-        return self._relations[relation].predicates[ident]
+        return self._catalog.get(ident)
 
     def __contains__(self, ident: Hashable) -> bool:
-        return ident in self._relation_of
+        return ident in self._catalog
 
     def __len__(self) -> int:
         """Total number of indexed predicates across all relations."""
-        return len(self._relation_of)
+        return len(self._catalog)
 
     def predicates_for(self, relation: str) -> List[Predicate]:
         """All predicates registered for *relation*."""
-        rel_index = self._relations.get(relation)
-        if rel_index is None:
-            return []
-        return list(rel_index.predicates.values())
+        return self._catalog.predicates_for(relation)
 
     def relations(self) -> List[str]:
         """Relations with at least one registered predicate."""
-        return list(self._relations)
+        return list(self._catalog.relations)
 
     def indexed_attribute(self, ident: Hashable) -> Optional[str]:
         """The (first) attribute whose tree holds this predicate, or None."""
@@ -1194,27 +428,24 @@ class PredicateIndex:
 
     def indexed_attributes(self, ident: Hashable) -> Tuple[str, ...]:
         """Every attribute whose tree holds this predicate (may be empty)."""
-        relation = self._relation_of.get(ident)
-        if relation is None:
-            raise UnknownIntervalError(ident)
-        return self._relations[relation].indexed_under.get(ident, ())
+        return self._catalog.indexed_attributes(ident)
 
     def tree_for(self, relation: str, attribute: str) -> Optional[IBSTree]:
         """The IBS-tree for ``relation.attribute``, if one exists."""
-        rel_index = self._relations.get(relation)
-        if rel_index is None:
+        state = self._catalog.relations.get(relation)
+        if state is None:
             return None
-        return rel_index.trees.get(attribute)
+        return state.trees.get(attribute)
 
     def describe(self) -> Dict[str, Dict[str, Any]]:
         """Structural summary per relation (for reports and debugging)."""
         summary: Dict[str, Dict[str, Any]] = {}
-        for relation, rel_index in self._relations.items():
+        for relation, state in self._catalog.relations.items():
             summary[relation] = {
-                "predicates": len(rel_index.predicates),
-                "non_indexable": len(rel_index.non_indexable),
+                "predicates": len(state.predicates),
+                "non_indexable": len(state.non_indexable),
                 "trees": {
-                    attr: len(tree) for attr, tree in rel_index.trees.items()
+                    attr: len(tree) for attr, tree in state.trees.items()
                 },
             }
         return summary
@@ -1231,13 +462,7 @@ class PredicateIndex:
         reference (see :meth:`audit`).  Returns True when healthy,
         raises :class:`~repro.errors.TreeInvariantError` otherwise.
         """
-        problems = self.audit()
-        if problems:
-            raise TreeInvariantError(
-                f"predicate index corrupt ({len(problems)} problem"
-                f"{'s' if len(problems) != 1 else ''}): " + "; ".join(problems)
-            )
-        return True
+        return _health.check_invariants(self._catalog, self._tree_factory)
 
     def audit(self) -> List[str]:
         """Non-raising health check: a list of problem descriptions.
@@ -1251,119 +476,7 @@ class PredicateIndex:
         structural delete — that is invisible to the internal
         validator, which only proves the markers still present sound.
         """
-        problems: List[str] = []
-        for ident, relation in self._relation_of.items():
-            rel_index = self._relations.get(relation)
-            if rel_index is None or ident not in rel_index.predicates:
-                problems.append(
-                    f"orphaned ident {ident!r}: registered for relation "
-                    f"{relation!r} but missing from its predicates table"
-                )
-        for relation, rel_index in self._relations.items():
-            problems.extend(self._audit_relation(relation, rel_index))
-        return problems
-
-    def _audit_relation(
-        self, relation: str, rel_index: _RelationIndex
-    ) -> List[str]:
-        problems: List[str] = []
-        for ident in rel_index.predicates:
-            if self._relation_of.get(ident) != relation:
-                problems.append(
-                    f"{relation}: predicate {ident!r} missing from the "
-                    f"relation-of registry"
-                )
-        for ident in rel_index.non_indexable:
-            if ident not in rel_index.predicates:
-                problems.append(
-                    f"{relation}: stale non-indexable entry {ident!r}"
-                )
-        for ident, attributes in rel_index.indexed_under.items():
-            if ident not in rel_index.predicates:
-                problems.append(
-                    f"{relation}: stale indexed-under entry {ident!r}"
-                )
-            for attribute in attributes:
-                tree = rel_index.trees.get(attribute)
-                if tree is None or ident not in tree:
-                    problems.append(
-                        f"{relation}.{attribute}: predicate {ident!r} "
-                        f"indexed under the attribute but absent from its tree"
-                    )
-        for attribute, tree in rel_index.trees.items():
-            for ident in tree:
-                if attribute not in rel_index.indexed_under.get(ident, ()):
-                    problems.append(
-                        f"{relation}.{attribute}: stray tree entry {ident!r}"
-                    )
-            for problem in self._tree_problems(tree):
-                problems.append(f"{relation}.{attribute}: {problem}")
-            for problem in self._tree_divergence(tree):
-                problems.append(f"{relation}.{attribute}: {problem}")
-        return problems
-
-    @staticmethod
-    def _tree_problems(tree: Any) -> List[str]:
-        """The tree's own invariant report (tolerant of foreign backends)."""
-        auditor = getattr(tree, "audit", None)
-        if auditor is not None:
-            return list(auditor())
-        validator = getattr(tree, "validate", None)
-        if validator is None:
-            return []
-        try:
-            validator()
-        except Exception as exc:
-            return [f"{type(exc).__name__}: {exc}"]
-        return []
-
-    def _tree_divergence(self, tree: Any) -> List[str]:
-        """Differentially probe *tree* against a freshly built reference.
-
-        Probes are the finite endpoints of every indexed interval: any
-        lost (or phantom) marker changes the stab answer at one of
-        them for the interval's own clauses.  Structure may legally
-        differ between the two trees — only the answers are compared.
-        """
-        items = getattr(tree, "items", None)
-        if items is None:
-            return []  # foreign backend without introspection: skip
-        reference = self._tree_factory()
-        entries = list(items())
-        loader = getattr(reference, "bulk_load", None)
-        if loader is not None:
-            loader((interval, ident) for ident, interval in entries)
-        else:
-            for ident, interval in entries:
-                reference.insert(interval, ident)
-        probes: Set[Any] = set()
-        for _, interval in entries:
-            for value in (interval.low, interval.high):
-                if not is_infinite(value):
-                    try:
-                        probes.add(value)
-                    except TypeError:
-                        pass  # unhashable endpoint: skip the probe
-        problems: List[str] = []
-        for value in probes:
-            try:
-                expected = reference.stab(value)
-                got = tree.stab(value)
-            except TypeError:
-                continue  # mixed domains: nothing to compare at this probe
-            if got != expected:
-                missing = expected - got
-                extra = got - expected
-                detail = []
-                if missing:
-                    detail.append(f"missing {sorted(map(repr, missing))}")
-                if extra:
-                    detail.append(f"extra {sorted(map(repr, extra))}")
-                problems.append(
-                    f"stab({value!r}) diverges from rebuilt reference "
-                    f"({', '.join(detail)})"
-                )
-        return problems
+        return _health.audit(self._catalog, self._tree_factory)
 
     def verify_and_rebuild(self) -> Dict[str, Any]:
         """Detect index corruption and repair it in place.
@@ -1383,254 +496,16 @@ class PredicateIndex:
         damaged beyond repair).
         """
         self._check_mutable()
-        problems: List[str] = []
-        rebuilt: List[str] = []
-        for ident, relation in list(self._relation_of.items()):
-            rel_index = self._relations.get(relation)
-            if rel_index is None or ident not in rel_index.predicates:
-                problems.append(
-                    f"orphaned ident {ident!r} for relation {relation!r}: pruned"
-                )
-                del self._relation_of[ident]
-        for relation, rel_index in list(self._relations.items()):
-            relation_problems = self._audit_relation(relation, rel_index)
-            if not relation_problems:
-                continue
-            problems.extend(relation_problems)
-            self._rebuild_relation(relation, rel_index)
-            rebuilt.append(relation)
-            remaining = self._audit_relation(relation, rel_index)
-            if remaining:
-                raise TreeInvariantError(
-                    f"relation {relation!r} still corrupt after rebuild: "
-                    + "; ".join(remaining)
-                )
-        return {"healthy": not problems, "problems": problems, "rebuilt": rebuilt}
+        return _health.verify_and_rebuild(
+            self._catalog, self._store, self._tree_factory
+        )
 
-    def _rebuild_relation(self, relation: str, rel_index: _RelationIndex) -> None:
-        """Rebuild *relation*'s trees and registries from its predicates.
-
-        Entry clauses are grouped by attribute and each fresh tree is
-        built with :meth:`bulk_load` — O(N) endpoint sorting plus a
-        balanced build, instead of N incremental inserts with their
-        rebalancing and marker-rewrite costs.  Predicates are already
-        normalized in the registry, so nothing is re-normalized here.
-        """
-        for tree in rel_index.trees.values():
-            self._retire_tree(rel_index, tree)
-        rel_index.trees = {}
-        rel_index.non_indexable = set()
-        rel_index.indexed_under = {}
-        rel_index.residuals = {}
-        rel_index.stab_cache.clear()  # dropped trees: epochs jump past the floor
-        per_attribute: Dict[str, List[Tuple[Any, Hashable]]] = {}
-        for ident, predicate in rel_index.predicates.items():
-            self._relation_of[ident] = relation
-            entry_clauses = self._entry_clauses_of(predicate)
-            if not entry_clauses:
-                rel_index.non_indexable.add(ident)
-                continue
-            for clause in entry_clauses:
-                per_attribute.setdefault(clause.attribute, []).append(
-                    (clause.interval, ident)
-                )
-            rel_index.indexed_under[ident] = tuple(
-                clause.attribute for clause in entry_clauses
-            )
-        for attribute, pairs in per_attribute.items():
-            tree = self._new_tree(rel_index)
-            loader = getattr(tree, "bulk_load", None)
-            if loader is not None:
-                loader(pairs)
-            else:  # foreign backend without bulk_load: fall back
-                for interval, ident in pairs:
-                    tree.insert(interval, ident)
-            rel_index.trees[attribute] = tree
+    def _rebuild_relation(self, relation: str, state: RelationState) -> None:
+        """Rebuild *relation*'s trees and registries from its predicates."""
+        self._catalog.rebuild_relation(self._store, relation, state)
 
     def __repr__(self) -> str:
-        return f"<PredicateIndex {len(self)} predicates over {len(self._relations)} relations>"
-
-
-# ----------------------------------------------------------------------
-# compiled residual evaluators (match_batch step 3)
-# ----------------------------------------------------------------------
-#
-# A residual test re-checks a candidate's conjunction against the
-# tuple.  ``Predicate.matches`` pays, per clause, a dict lookup, a
-# method dispatch, and ``Interval.contains``'s sentinel-aware helper
-# chain — and it re-tests the entry clause the index probe already
-# proved.  The compiled form drops the proven clauses (the entry
-# clause in the paper's scheme; every indexed clause under
-# multi-clause indexing) and shape-specializes what remains.  Entries
-# are small tagged tuples dispatched inline by ``match_batch``:
-#
-#   (_TRIVIAL, pred)                      nothing left to test
-#   (_CLOSED,  pred, attr, low, high)     one closed interval, inlined
-#   (_SINGLE,  pred, attr, check, memo)   one residual attribute
-#   (_MULTI,   pred, attrs, eval, memo)   several residual attributes
-#   (_OPAQUE,  pred)                      unknown clause subclass:
-#                                         fall back to pred.matches
-#
-# ``memo`` marks interval-only residuals, whose verdicts depend only
-# on ``==``-interchangeable values (the total-order assumption the
-# tree itself rests on) and are therefore safe to memoize; function
-# clauses are not (a type-sensitive function distinguishes ``2`` from
-# ``2.0``, which share a memo key).  Semantics are identical to
-# clause.matches(): None never matches, the infinity sentinels never
-# match an interval clause, incomparable values fail the clause
-# instead of raising, and function-clause exceptions propagate.
-
-_TRIVIAL, _CLOSED, _SINGLE, _MULTI, _OPAQUE = range(5)
-
-
-def _compile_residual(
-    predicate: Predicate, proven_attrs: Tuple[str, ...]
-) -> Tuple[Any, ...]:
-    """Compile *predicate*'s residual into a tagged dispatch tuple.
-
-    ``proven_attrs`` are the attributes whose interval clauses the
-    index probe has already verified (the tuple stabbed them); those
-    clauses are skipped.  Function clauses are never proven by a probe
-    and are always kept.
-    """
-    residual: List[Any] = []
-    for clause in predicate.clauses:
-        if isinstance(clause, IntervalClause):
-            if clause.attribute in proven_attrs:
-                continue  # proven by the index probe
-            residual.append(clause)
-        elif isinstance(clause, FunctionClause):
-            residual.append(clause)
-        else:
-            return (_OPAQUE, predicate)
-    if not residual:
-        return (_TRIVIAL, predicate)
-    if len(residual) == 1:
-        clause = residual[0]
-        if isinstance(clause, IntervalClause):
-            interval = clause.interval
-            if (
-                interval.low is not MINUS_INF
-                and interval.high is not PLUS_INF
-                and interval.low_inclusive
-                and interval.high_inclusive
-            ):
-                return (_CLOSED, predicate, clause.attribute, interval.low, interval.high)
-            return (
-                _SINGLE,
-                predicate,
-                clause.attribute,
-                _compile_interval_vcheck(interval),
-                True,
-            )
         return (
-            _SINGLE,
-            predicate,
-            clause.attribute,
-            _compile_function_vcheck(clause),
-            False,
+            f"<PredicateIndex {len(self)} predicates over "
+            f"{len(self._catalog.relations)} relations>"
         )
-    attrs: List[str] = []
-    for clause in residual:
-        if clause.attribute not in attrs:
-            attrs.append(clause.attribute)
-    memo_ok = all(isinstance(clause, IntervalClause) for clause in residual)
-    vchecks = [
-        _compile_interval_vcheck(clause.interval)
-        if isinstance(clause, IntervalClause)
-        else _compile_function_vcheck(clause)
-        for clause in residual
-    ]
-    if len(attrs) == 1:
-
-        def combined(v: Any, _vchecks=tuple(vchecks)) -> bool:
-            for vcheck in _vchecks:
-                if not vcheck(v):
-                    return False
-            return True
-
-        return (_SINGLE, predicate, attrs[0], combined, memo_ok)
-    pairs = tuple(
-        (clause.attribute, vcheck) for clause, vcheck in zip(residual, vchecks)
-    )
-    if len(pairs) == 2:
-        (attr_a, check_a), (attr_b, check_b) = pairs
-
-        def evaluate(
-            tup_get: Callable[[str], Any],
-            _a=attr_a,
-            _ca=check_a,
-            _b=attr_b,
-            _cb=check_b,
-        ) -> bool:
-            return _ca(tup_get(_a)) and _cb(tup_get(_b))
-
-    else:
-
-        def evaluate(tup_get: Callable[[str], Any], _pairs=pairs) -> bool:
-            for attribute, vcheck in _pairs:
-                if not vcheck(tup_get(attribute)):
-                    return False
-            return True
-
-    return (_MULTI, predicate, tuple(attrs), evaluate, memo_ok)
-
-
-def _compile_interval_vcheck(interval) -> Callable[[Any], bool]:
-    low, high = interval.low, interval.high
-    low_inc, high_inc = interval.low_inclusive, interval.high_inclusive
-    if low is MINUS_INF and high is PLUS_INF:
-        test = None
-    elif low is MINUS_INF:
-        if high_inc:
-            test = lambda v, _h=high: v <= _h
-        else:
-            test = lambda v, _h=high: v < _h
-    elif high is PLUS_INF:
-        if low_inc:
-            test = lambda v, _l=low: v >= _l
-        else:
-            test = lambda v, _l=low: v > _l
-    elif low_inc and high_inc:
-        test = lambda v, _l=low, _h=high: _l <= v <= _h
-    elif low_inc:
-        test = lambda v, _l=low, _h=high: _l <= v < _h
-    elif high_inc:
-        test = lambda v, _l=low, _h=high: _l < v <= _h
-    else:
-        test = lambda v, _l=low, _h=high: _l < v < _h
-    if test is None:
-
-        def check(v: Any) -> bool:
-            return v is not None and v is not MINUS_INF and v is not PLUS_INF
-
-        return check
-
-    def check(v: Any, _test=test) -> bool:
-        if v is None or v is MINUS_INF or v is PLUS_INF:
-            return False
-        try:
-            return _test(v)
-        except TypeError:
-            return False
-
-    return check
-
-
-def _compile_function_vcheck(clause) -> Callable[[Any], bool]:
-    function = clause.function
-    if clause.negated:
-
-        def check(v: Any, _fn=function) -> bool:
-            if v is None:
-                return False
-            return not _fn(v)
-
-        return check
-
-    def check(v: Any, _fn=function) -> bool:
-        if v is None:
-            return False
-        return True if _fn(v) else False
-
-    return check

@@ -19,7 +19,13 @@ import threading
 from contextlib import contextmanager, nullcontext
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
-from ..errors import DatabaseError, SchemaError, TransactionError, UnknownRelationError
+from ..errors import (
+    DatabaseError,
+    RegistryError,
+    SchemaError,
+    TransactionError,
+    UnknownRelationError,
+)
 from .events import BatchEvent, DeleteEvent, Event, InsertEvent, UpdateEvent, as_compensating
 from .relation import Relation
 from .schema import AttributeSpec, Schema
@@ -161,9 +167,36 @@ class Database:
         reads published snapshots (``"ibs-concurrent"``) for a fully
         thread-safe rule system.  Off by default: the single-threaded
         paper configuration pays no locking overhead.
+    matcher:
+        Default predicate-matcher strategy for rule engines created
+        over this database: a name registered in the
+        :data:`~repro.match.registry.DEFAULT_REGISTRY` (``"ibs"``,
+        ``"ibs-concurrent"``, ``"sequential"``, …) or a ready
+        :class:`~repro.baselines.base.PredicateMatcher` instance.  A
+        :class:`~repro.rules.engine.RuleEngine` constructed without an
+        explicit ``matcher`` picks this up; ``None`` (the default)
+        leaves the engine's own default (``"ibs"``) in charge.  Unknown
+        names raise :class:`~repro.errors.RegistryError` here, at
+        configuration time, rather than when the first engine attaches.
     """
 
-    def __init__(self, threadsafe: bool = False) -> None:
+    def __init__(
+        self,
+        threadsafe: bool = False,
+        matcher: Optional[Any] = None,
+    ) -> None:
+        if isinstance(matcher, str):
+            # Imported here: the db layer must stay importable while
+            # repro.core (which db depends on) is still initialising.
+            from ..match.registry import DEFAULT_REGISTRY
+
+            if matcher not in DEFAULT_REGISTRY.matchers():
+                raise RegistryError(
+                    f"unknown matcher {matcher!r}; registered: "
+                    f"{', '.join(DEFAULT_REGISTRY.matchers())}"
+                )
+        #: Default matcher spec for rule engines over this database.
+        self.default_matcher = matcher
         self._relations: Dict[str, Relation] = {}
         self._subscribers: List[Subscriber] = []
         self._txn: Optional[Transaction] = None

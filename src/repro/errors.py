@@ -32,6 +32,7 @@ __all__ = [
     "RuleCycleError",
     "ActionQuarantinedError",
     "WorkloadError",
+    "RegistryError",
     "ConcurrencyError",
     "ConcurrencyViolation",
     "InjectedFault",
@@ -165,6 +166,13 @@ class ActionQuarantinedError(RuleError, RuntimeError):
 
 class WorkloadError(ReproError, ValueError):
     """A workload generator was configured with inconsistent parameters."""
+
+
+class RegistryError(ReproError, KeyError):
+    """An unknown or duplicate name in the backend registry."""
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep the message
+        return self.args[0] if self.args else ""
 
 
 class ConcurrencyError(ReproError, RuntimeError):

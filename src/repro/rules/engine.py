@@ -50,23 +50,18 @@ from typing import (
 )
 
 from ..baselines.base import PredicateMatcher
-from ..baselines.hash_sequential import HashSequentialMatcher
-from ..baselines.physical_locking import PhysicalLockingMatcher
-from ..baselines.rtree import RTreeMatcher
-from ..baselines.sequential import SequentialMatcher
-from ..core.avl_ibs_tree import AVLIBSTree
-from ..core.rb_ibs_tree import RBIBSTree
-from ..core.predicate_index import PredicateIndex
 from ..core.selectivity import StatisticsEstimator
 from ..db.database import AbortMutation, Database
 from ..db.events import BatchEvent, Event
 from ..errors import (
     ActionQuarantinedError,
     DuplicateRuleError,
+    RegistryError,
     RuleCycleError,
     RuleError,
     UnknownRuleError,
 )
+from ..match.registry import DEFAULT_REGISTRY
 from ..lang.compiler import compile_condition
 from ..testing.faults import fault_point
 from .agenda import Agenda, DeadLetterQueue
@@ -75,17 +70,10 @@ from .rule import Rule, RuleContext
 
 __all__ = ["RuleEngine", "MATCHER_STRATEGIES"]
 
-#: Named matcher strategies accepted by ``RuleEngine(matcher=...)``.
-MATCHER_STRATEGIES = (
-    "ibs",
-    "ibs-avl",
-    "ibs-rb",
-    "ibs-concurrent",
-    "sequential",
-    "hash",
-    "locking",
-    "rtree",
-)
+#: Named matcher strategies accepted by ``RuleEngine(matcher=...)`` —
+#: every matcher registered in the
+#: :data:`~repro.match.registry.DEFAULT_REGISTRY` at import time.
+MATCHER_STRATEGIES = tuple(DEFAULT_REGISTRY.matchers())
 
 
 class RuleEngine:
@@ -97,9 +85,12 @@ class RuleEngine:
         The database to watch.
     matcher:
         A strategy name from :data:`MATCHER_STRATEGIES` or a ready
-        :class:`~repro.baselines.base.PredicateMatcher` instance.  The
-        default ``"ibs"`` is the paper's algorithm with data-driven
-        selectivity estimates.
+        :class:`~repro.baselines.base.PredicateMatcher` instance.
+        ``None`` (the default) uses the database's
+        ``Database(matcher=...)`` default when one was configured,
+        falling back to ``"ibs"`` — the paper's algorithm with
+        data-driven selectivity estimates.  Strategy names resolve
+        through the :data:`~repro.match.registry.DEFAULT_REGISTRY`.
     functions:
         Opaque boolean functions available to rule conditions, by name.
     mode:
@@ -129,7 +120,7 @@ class RuleEngine:
     def __init__(
         self,
         db: Database,
-        matcher: Union[str, PredicateMatcher] = "ibs",
+        matcher: Optional[Union[str, PredicateMatcher]] = None,
         functions: Optional[Mapping[str, Callable[[Any], bool]]] = None,
         mode: str = "immediate",
         max_firings: int = 10_000,
@@ -149,6 +140,10 @@ class RuleEngine:
         self._failure_seq = 0
         self._failure_streaks: Dict[str, int] = {}
         self.functions: Dict[str, Callable[[Any], bool]] = dict(functions or {})
+        if matcher is None:
+            matcher = getattr(db, "default_matcher", None)
+            if matcher is None:
+                matcher = "ibs"
         self.matcher = self._build_matcher(matcher)
         self.agenda = Agenda(max_firings=max_firings)
         self._rules: Dict[str, Rule] = {}
@@ -164,39 +159,15 @@ class RuleEngine:
         self._unsubscribe = db.subscribe(self._on_event)
 
     def _build_matcher(self, matcher: Union[str, PredicateMatcher]) -> PredicateMatcher:
-        if not isinstance(matcher, str):
-            return matcher
-        if matcher == "ibs":
-            return PredicateIndex(estimator=StatisticsEstimator(self.db))
-        if matcher == "ibs-avl":
-            return PredicateIndex(
-                tree_factory=AVLIBSTree, estimator=StatisticsEstimator(self.db)
+        try:
+            return DEFAULT_REGISTRY.create_matcher(
+                matcher, estimator=StatisticsEstimator(self.db)
             )
-        if matcher == "ibs-rb":
-            return PredicateIndex(
-                tree_factory=RBIBSTree, estimator=StatisticsEstimator(self.db)
-            )
-        if matcher == "ibs-concurrent":
-            # Imported here: repro.rules must stay importable without
-            # dragging the concurrency layer (and its pool) in for the
-            # common single-threaded strategies.
-            from ..concurrency import ConcurrentPredicateIndex
-
-            return ConcurrentPredicateIndex(
-                estimator=StatisticsEstimator(self.db)
-            )
-        if matcher == "sequential":
-            return SequentialMatcher()
-        if matcher == "hash":
-            return HashSequentialMatcher()
-        if matcher == "locking":
-            return PhysicalLockingMatcher()
-        if matcher == "rtree":
-            return RTreeMatcher()
-        raise RuleError(
-            f"unknown matcher strategy {matcher!r}; "
-            f"choose one of {', '.join(MATCHER_STRATEGIES)}"
-        )
+        except RegistryError:
+            raise RuleError(
+                f"unknown matcher strategy {matcher!r}; "
+                f"choose one of {', '.join(DEFAULT_REGISTRY.matchers())}"
+            ) from None
 
     # -- rule management -------------------------------------------------
 

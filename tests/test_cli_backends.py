@@ -1,0 +1,63 @@
+"""The ``backends`` / ``describe`` CLI subcommands.
+
+Exercises :func:`repro.__main__.main` in-process; the output contract
+matters because the CI lint job and humans both read it.
+"""
+
+import pytest
+
+from repro.__main__ import main
+from repro.match.registry import DEFAULT_REGISTRY
+
+
+def test_backends_lists_every_registration(capsys):
+    assert main(["repro", "backends"]) == 0
+    out = capsys.readouterr().out
+    for name in DEFAULT_REGISTRY.tree_backends():
+        assert f"  {name}" in out
+    for name in DEFAULT_REGISTRY.matchers():
+        assert f"  {name}" in out
+
+
+@pytest.mark.parametrize("name", ["ibs", "segment", "rtree-1d"])
+def test_describe_backend_shows_capabilities(capsys, name):
+    assert main(["repro", "describe", name]) == 0
+    out = capsys.readouterr().out
+    info = DEFAULT_REGISTRY.describe_backend(name)
+    assert f"tree backend {name!r}" in out
+    assert info["description"] in out
+    for flag in ("supports_dynamic_insert", "supports_open_bounds"):
+        answer = "yes" if info[flag] else "no"
+        assert f"{flag:<24} {answer}" in out
+
+
+def test_describe_matcher_only_name(capsys):
+    assert main(["repro", "describe", "sequential"]) == 0
+    out = capsys.readouterr().out
+    assert "matcher 'sequential'" in out
+    assert "tree backend" not in out
+
+
+def test_describe_dual_name_shows_both(capsys):
+    # "ibs" names both a tree backend and a matcher
+    assert main(["repro", "describe", "ibs"]) == 0
+    out = capsys.readouterr().out
+    assert "tree backend 'ibs'" in out
+    assert "matcher 'ibs'" in out
+
+
+def test_describe_unknown_fails(capsys):
+    assert main(["repro", "describe", "no-such-thing"]) == 2
+    err = capsys.readouterr().err
+    assert "no-such-thing" in err
+
+
+def test_describe_requires_argument(capsys):
+    assert main(["repro", "describe"]) == 2
+    assert "usage" in capsys.readouterr().err
+
+
+def test_unknown_command_mentions_new_subcommands(capsys):
+    assert main(["repro", "bogus"]) == 2
+    err = capsys.readouterr().err
+    assert "backends" in err and "describe" in err

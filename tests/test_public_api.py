@@ -25,6 +25,13 @@ class TestTopLevelExports:
             "repro.core.rotations",
             "repro.core.predicate_index",
             "repro.core.selectivity",
+            "repro.match",
+            "repro.match.catalog",
+            "repro.match.observer",
+            "repro.match.pipeline",
+            "repro.match.registry",
+            "repro.match.store",
+            "repro.match.health",
             "repro.predicates",
             "repro.lang",
             "repro.db",
@@ -47,6 +54,7 @@ class TestTopLevelExports:
             IntervalError,
             ParseError,
             PredicateError,
+            RegistryError,
             ReproError,
             RuleError,
             SchemaError,
@@ -64,6 +72,7 @@ class TestTopLevelExports:
             SchemaError,
             TupleError,
             RuleError,
+            RegistryError,
         ):
             assert issubclass(exc, ReproError), exc
 
