@@ -95,14 +95,32 @@ def compare_rows(name, baseline_rows, fresh_rows, threshold):
     """Return a list of (line, regressed) report entries."""
     baseline = {row_key(r): r for r in baseline_rows}
     fresh = {row_key(r): r for r in fresh_rows}
-    if set(baseline) != set(fresh):
-        missing = [k for k in baseline if k not in fresh]
-        extra = [k for k in fresh if k not in baseline]
+    missing = [k for k in baseline if k not in fresh]
+    if missing:
+        # a committed row without a fresh counterpart means coverage
+        # was silently dropped — that is exactly the drift this guard
+        # exists to catch, so it stays fatal
         raise SystemExit(
-            f"{name}: row shapes diverge\n"
-            f"  only in baseline: {missing}\n  only in fresh: {extra}"
+            f"{name}: baseline rows missing from fresh measurements\n"
+            f"  only in baseline: {missing}"
         )
     report = []
+    for key in fresh:
+        if key not in baseline:
+            # a freshly added configuration has no baseline yet: report
+            # it (so additions are visible) without failing the guard —
+            # it becomes load-bearing once its row is committed
+            label = ", ".join(
+                f"{k}={v}" for k, v in key if k not in ("intervals",)
+            )
+            metric, value = throughput(fresh[key])
+            report.append(
+                (
+                    f"  {label:<42} {metric:>12}  "
+                    f"{value:10.2f} (new row, no baseline)  ok",
+                    False,
+                )
+            )
     for key in baseline:
         metric, base_value = throughput(baseline[key])
         _, fresh_value = throughput(fresh[key])

@@ -75,7 +75,10 @@ def _backends() -> None:
     print(f"\nmatchers ({len(matchers)}):")
     for name in matchers:
         info = DEFAULT_REGISTRY.describe_matcher(name)
-        print(f"  {name:<{width}}  {info['description']}")
+        flags = "".join(
+            f" [{flag}]" for flag, value in info["capabilities"].items() if value
+        )
+        print(f"  {name:<{width}}  {info['description']}{flags}")
     print("\nuse `python -m repro describe NAME` for capability details")
 
 
@@ -108,6 +111,22 @@ def _describe(name: str) -> int:
         print(f"matcher {name!r}")
         print(f"  builder:     {info['builder']}")
         print(f"  description: {info['description']}")
+        if info["capabilities"]:
+            print("  capabilities:")
+            for key, value in sorted(info["capabilities"].items()):
+                print(f"    {key:<24} {value}")
+        if info["capabilities"].get("requires_numpy"):
+            from .match.columnar import HAVE_NUMPY
+
+            if HAVE_NUMPY:
+                print("  numpy:       available (vectorized path active)")
+            else:
+                print(
+                    "  numpy:       NOT INSTALLED — the matcher still works,\n"
+                    "               but batch matching falls back to the scalar\n"
+                    "               pipeline; install the [columnar] extra to\n"
+                    "               enable the vectorized path"
+                )
     if not found:
         print(
             f"unknown backend or matcher {name!r}; "

@@ -104,13 +104,19 @@ class IntervalIndex:
         """Stab several values; ``{value: idents}`` per distinct value.
 
         Values for which :meth:`stab` raises ``TypeError`` (incomparable
-        with the indexed endpoints) map to ``None``.  Default loops
-        :meth:`stab`; the IBS-trees override it with a shared-prefix
-        grouped descent.
+        with the indexed endpoints) map to ``None``, and so does
+        ``None`` itself, unconditionally — SQL NULL stabs nothing, even
+        on an empty index (the NULL rule shared with the IBS-tree
+        implementations and the match pipeline's pre-probe skip).
+        Default loops :meth:`stab`; the IBS-trees override it with a
+        shared-prefix grouped descent.
         """
         out: Dict[Any, Optional[Set[Hashable]]] = {}
         for v in values:
             if v in out:
+                continue
+            if v is None:
+                out[v] = None  # NULL rule: NULL stabs nothing
                 continue
             try:
                 out[v] = self.stab(v)

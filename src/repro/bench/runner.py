@@ -782,6 +782,8 @@ BATCH_CONFIGURATIONS: Tuple[Tuple[str, str], ...] = (
     ("ibs", "batch"),
     ("flat", "single"),
     ("flat", "batch"),
+    ("columnar", "single"),
+    ("columnar", "batch"),
 )
 
 
@@ -794,10 +796,14 @@ def run_batch(
     """Batched-matching throughput against the per-tuple baseline.
 
     Builds the Section 5.2 scenario at *predicates* predicates and
-    measures tuples/second for four configurations: per-tuple
+    measures tuples/second for six configurations: per-tuple
     :meth:`PredicateIndex.match` and whole-batch
     :meth:`PredicateIndex.match_batch`, each over the nested
-    ``IBSTree`` and the flat array-backed ``FlatIBSTree`` backend.
+    ``IBSTree``, the flat array-backed ``FlatIBSTree`` backend, and
+    the ``columnar`` matcher (flat trees plus the vectorized NumPy
+    batch plane; its single-tuple row shows that the plane only pays
+    off on batches).  Without NumPy the columnar rows silently measure
+    the scalar fallback, so the runner works from a bare install.
     Every configuration is checked for agreement with the per-tuple
     reference on a sample before timing; each timing keeps the best of
     *repeats* runs after one warm-up pass (the warm-up compiles the
@@ -814,6 +820,7 @@ def run_batch(
     indexes: Dict[str, PredicateIndex] = {
         "ibs": DEFAULT_REGISTRY.create_matcher("ibs"),
         "flat": DEFAULT_REGISTRY.create_matcher("ibs-flat"),
+        "columnar": DEFAULT_REGISTRY.create_matcher("columnar"),
     }
     for index in indexes.values():
         for predicate in predicate_list:

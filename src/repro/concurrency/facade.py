@@ -99,6 +99,14 @@ class ConcurrentPredicateIndex(PredicateMatcher):
     min_chunk:
         Smallest per-worker tuple chunk worth dispatching; batches
         below ``2 * min_chunk`` run inline to avoid pool overhead.
+    columnar:
+        Forwarded to every internal index: batch reads try the
+        vectorized columnar plane (:mod:`repro.match.columnar`) first.
+        A natural fit for this facade — snapshot bases are frozen, so
+        their mutation version never moves and the plane is built once
+        per compaction.  Safe under lock-free readers: the plane cache
+        is a single GIL-atomic attribute publish of an immutable
+        object.  Silently inert when NumPy is not installed.
     """
 
     name = "ibs-concurrent"
@@ -112,6 +120,7 @@ class ConcurrentPredicateIndex(PredicateMatcher):
         compaction_threshold: int = DEFAULT_COMPACTION_THRESHOLD,
         min_chunk: int = 64,
         snapshot_cache_size: int = 4_096,
+        columnar: bool = False,
     ):
         if isinstance(tree_factory, str):
             from ..match.registry import DEFAULT_REGISTRY
@@ -122,6 +131,7 @@ class ConcurrentPredicateIndex(PredicateMatcher):
         self._multi_clause = bool(multi_clause)
         self._snapshot_cache_size = max(0, int(snapshot_cache_size))
         self._workers = max(0, int(workers))
+        self._columnar = bool(columnar)
         self._compaction_threshold = int(compaction_threshold)
         self._min_chunk = max(1, int(min_chunk))
         #: catalog lock: shard-table and routing-map writes only.
@@ -147,6 +157,7 @@ class ConcurrentPredicateIndex(PredicateMatcher):
             multi_clause=self._multi_clause,
             stab_cache_size=self._snapshot_cache_size,
             adaptive=False,
+            columnar=self._columnar,
         )
 
     def shard(self, relation: str) -> RelationShard:

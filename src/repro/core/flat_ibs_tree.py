@@ -461,7 +461,17 @@ class FlatIBSTree:
 
         Returns ``{value: idents}`` with one entry per distinct input
         value.  Values incomparable with the tree's node values (where
-        a lone :meth:`stab` would raise ``TypeError``) map to ``None``.
+        a lone :meth:`stab` would raise ``TypeError``) map to ``None``,
+        and so does ``None`` itself, unconditionally: SQL NULL stabs
+        nothing.  That NULL rule is part of the tree seam — the match
+        pipeline skips NULL probes before ever reaching a tree, and
+        ``stab_many`` answers the same way for callers that do not
+        pre-filter, on empty and non-empty trees alike (a descent-based
+        answer would accidentally return the empty set on an empty
+        tree).  Unhashable values raise ``TypeError`` — the result is
+        keyed by value — which is why the batched matcher routes tuples
+        carrying them through the per-tuple path instead.
+
         Sorted inputs keep sibling groups adjacent, but any iterable
         works.  The descent visits each tree node at most once per
         value *group*, so the work shared by values with a common
@@ -473,6 +483,8 @@ class FlatIBSTree:
         for v in values:
             if v not in out:
                 out[v] = None  # pre-claim; overwritten on success
+                if v is None:
+                    continue  # NULL rule: NULL stabs nothing, no descent
                 group.append(v)
         if not group:
             return out
@@ -520,6 +532,71 @@ class FlatIBSTree:
                     branch = parts + (slot_set(node, GT, gt_bits[node]),)
                 stack.append((right[node], greater, branch))
         return out
+
+    def export_stab_plane(
+        self,
+    ) -> Tuple[List[Any], List[int], List[int], List[Optional[Hashable]]]:
+        """Precompute every distinct stab outcome of the current tree.
+
+        A stab descent over a fixed BST has only ``2n + 1`` distinct
+        outcomes for ``n`` node values: one per exact value hit and one
+        per gap between consecutive values (including the two outer
+        gaps).  This walks the tree once, in order, carrying the
+        accumulated path mask each descent would have OR-ed together,
+        and returns::
+
+            (values, eq_masks, gap_masks, ident_of)
+
+        * ``values`` — the finite node values, ascending;
+        * ``eq_masks[i]`` — the marker bitset a stab of exactly
+          ``values[i]`` answers (path ``<``/``>`` marks plus the
+          equality node's ``=`` marks);
+        * ``gap_masks[i]`` — the answer for any query strictly between
+          ``values[i-1]`` and ``values[i]`` (``gap_masks[0]`` below the
+          smallest value, ``gap_masks[n]`` above the largest — also the
+          outcome NaN-like values reach, since every ``x < value`` test
+          on their descent is False);
+        * ``ident_of`` — dense bit index -> identifier (``None`` for
+          freed bits, which carry no marks).
+
+        Infinity-sentinel nodes are folded away: a query value never
+        compares equal to a sentinel, and a descent reaching one takes
+        the branch the neighbouring gap outcome already accounts for.
+        The export is a pure read — it works on mutable trees too, but
+        the columnar plane built from it is only cached against an
+        unchanged tree (callers key on the relation's mutation
+        version).
+        """
+        values: List[Any] = []
+        eq_masks: List[int] = []
+        gap_masks: List[int] = []
+        lt_bits, eq_bits, gt_bits = self._marks
+        vals, left, right = self._value, self._left, self._right
+        stack: List[Tuple[int, int]] = []
+        node, acc = self._root, 0
+        while True:
+            while node >= 0:
+                stack.append((node, acc))
+                acc |= lt_bits[node]
+                node = left[node]
+            gap_masks.append(acc)
+            if not stack:
+                break
+            node, acc = stack.pop()
+            values.append(vals[node])
+            eq_masks.append(acc | eq_bits[node])
+            acc |= gt_bits[node]
+            node = right[node]
+        if values and values[0] is MINUS_INF:
+            # queries land in the gap above the sentinel, never on it
+            values.pop(0)
+            eq_masks.pop(0)
+            gap_masks.pop(0)
+        if values and values[-1] is PLUS_INF:
+            values.pop()
+            eq_masks.pop()
+            gap_masks.pop()
+        return values, eq_masks, gap_masks, list(self._ident_of)
 
     def overlapping(self, query: Interval) -> Set[Hashable]:
         """Identifiers of all intervals overlapping the *query* interval."""

@@ -581,8 +581,13 @@ class IBSTree:
         Returns ``{value: idents}`` with one entry per distinct input
         value.  Values incomparable with a node value on their search
         path — where a lone :meth:`stab` would raise ``TypeError`` —
-        map to ``None`` instead.  Sorted inputs keep sibling groups
-        adjacent, but any iterable works.
+        map to ``None`` instead, and so does ``None`` itself,
+        unconditionally: SQL NULL stabs nothing, on empty and non-empty
+        trees alike (the NULL rule, shared with
+        :class:`~repro.core.flat_ibs_tree.FlatIBSTree` and the match
+        pipeline's pre-probe skip).  Unhashable values raise
+        ``TypeError`` — the result is keyed by value.  Sorted inputs
+        keep sibling groups adjacent, but any iterable works.
 
         The descent partitions the value group at each node, so marker
         sets along a shared search-path prefix (the root's above all)
@@ -593,6 +598,8 @@ class IBSTree:
         for v in values:
             if v not in out:
                 out[v] = None  # pre-claim; overwritten on success
+                if v is None:
+                    continue  # NULL rule: NULL stabs nothing, no descent
                 group.append(v)
         if not group:
             return out

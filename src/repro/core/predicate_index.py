@@ -128,6 +128,16 @@ class PredicateIndex:
     auto_retune_interval:
         When set (and ``adaptive``), :meth:`retune` runs automatically
         every N matched tuples; ``None`` leaves retuning manual.
+    columnar:
+        Try the vectorized columnar plane
+        (:mod:`repro.match.columnar`) first on every
+        :meth:`match_batch` call.  The plane is derived lazily from
+        the attribute trees (which must support
+        ``export_stab_plane`` — the flat backend does), cached on the
+        relation's mutation version, and silently skipped when NumPy
+        is not installed or the batch leaves the plane's numeric
+        domain; the scalar pipeline remains the semantics of record.
+        Ignored under ``adaptive`` and multi-clause indexing.
     """
 
     #: Strategy name (matches the PredicateMatcher convention).
@@ -143,6 +153,7 @@ class PredicateIndex:
         min_feedback_tuples: int = 256,
         migration_ratio: float = 0.5,
         auto_retune_interval: Optional[int] = None,
+        columnar: bool = False,
     ):
         if isinstance(tree_factory, str):
             # Imported here, not at module top: the registry's builders
@@ -172,6 +183,7 @@ class PredicateIndex:
             self._observer,
             feedback=self.feedback,
             adaptive=self._adaptive,
+            columnar=bool(columnar),
         )
         self._frozen = False
 

@@ -16,7 +16,11 @@ decomposes into four cooperating layers, each separately testable:
   :class:`MatchObserver`;
 * :mod:`~repro.match.registry` — :class:`BackendRegistry`, the
   string-keyed table of tree backends and matchers every entry point
-  resolves through.
+  resolves through;
+* :mod:`~repro.match.columnar` — the optional vectorized batch plane
+  (NumPy ``searchsorted`` stabs over precomputed outcome rows), tried
+  first by ``match_batch`` when a pipeline is built with
+  ``columnar=True`` and NumPy is available.
 
 :class:`~repro.core.predicate_index.PredicateIndex` survives as a thin
 facade composing these layers; its public API is unchanged.
@@ -42,6 +46,7 @@ from .pipeline import (
     snapshot_match_idents,
 )
 from . import health
+from .columnar import HAVE_NUMPY, build_relation_plane
 from .registry import (
     BackendRegistry,
     DEFAULT_REGISTRY,
@@ -64,6 +69,8 @@ __all__ = [
     "snapshot_match_idents",
     "snapshot_match_batch",
     "health",
+    "HAVE_NUMPY",
+    "build_relation_plane",
     "BackendRegistry",
     "DEFAULT_REGISTRY",
     "register_backend",

@@ -53,6 +53,7 @@ __all__ = [
     "RelationState",
     "ClauseCatalog",
     "compile_residual",
+    "vector_residual_spec",
     "TRIVIAL",
     "CLOSED",
     "SINGLE",
@@ -80,6 +81,8 @@ class RelationState:
         "residuals",
         "stab_cache",
         "epoch_floor",
+        "version",
+        "columnar_plane",
     )
 
     def __init__(self) -> None:
@@ -115,6 +118,21 @@ class RelationState:
         #: reused across tree generations — epoch-keyed caches and
         #: epoch-snapshot readers can rely on monotonicity.
         self.epoch_floor: int = 0
+        #: monotone mutation counter, bumped by every catalog operation
+        #: that changes what this relation matches (register, remove,
+        #: entry-clause migration, rebuild, rollback).  Derived
+        #: read-path structures — the columnar plane below — key their
+        #: caches on it, so a mutation invalidates them by version
+        #: mismatch instead of an explicit notification.
+        self.version: int = 0
+        #: ``(version, plane_or_None)`` — the relation's cached columnar
+        #: batch plane (see :mod:`repro.match.columnar`), or ``None``
+        #: when never built.  ``plane_or_None`` is ``None`` when the
+        #: relation's shape cannot be vectorized.  A frozen relation's
+        #: version never changes, so the plane is built at most once per
+        #: snapshot and shared by lock-free readers (single attribute
+        #: assignment; concurrent builders compute equal planes).
+        self.columnar_plane: Optional[Tuple[int, Any]] = None
 
 
 class ClauseCatalog:
@@ -195,6 +213,7 @@ class ClauseCatalog:
             raise
         state.predicates[ident] = normalized
         self.relation_of[ident] = normalized.relation
+        state.version += 1
         return ident
 
     def register_many(
@@ -249,6 +268,7 @@ class ClauseCatalog:
                 for attribute, pairs in fresh.items():
                     state.trees[attribute] = store.build_tree(state, pairs)
                     state.stab_cache.clear()  # tree map changed shape
+                state.version += 1
         except BaseException:
             for relation, ident in added:
                 state_or_none = self.relations.get(relation)
@@ -283,6 +303,7 @@ class ClauseCatalog:
         self, store: Any, relation: str, state: RelationState, ident: Hashable
     ) -> None:
         """Undo a partially-applied :meth:`register` for *ident*."""
+        state.version += 1
         state.non_indexable.discard(ident)
         state.indexed_under.pop(ident, None)
         for attribute in list(state.trees):
@@ -301,6 +322,7 @@ class ClauseCatalog:
         except KeyError:
             raise UnknownIntervalError(ident) from None
         state = self.relations[relation]
+        state.version += 1
         predicate = state.predicates.pop(ident)
         state.residuals.pop(ident, None)
         attributes = state.indexed_under.pop(ident, None)
@@ -395,6 +417,7 @@ class ClauseCatalog:
         new_attr = clause.attribute
         if new_attr == old_attr:
             return False
+        state.version += 1
         old_tree = state.trees[old_attr]
         old_interval = old_tree.get(ident)
         new_tree = state.trees.get(new_attr)
@@ -443,6 +466,7 @@ class ClauseCatalog:
         are already normalized in the registry, so nothing is
         re-normalized here.
         """
+        state.version += 1
         for tree in state.trees.values():
             store.retire_tree(state, tree)
         state.trees = {}
@@ -545,6 +569,16 @@ class ClauseCatalog:
 # clause.matches(): None never matches, the infinity sentinels never
 # match an interval clause, incomparable values fail the clause
 # instead of raising, and function-clause exceptions propagate.
+#
+# Interval tests are compiled in the same *rejection* style as
+# ``Interval.contains`` — fail when a bound comparison proves the
+# value outside, succeed otherwise — rather than as positive
+# containment tests.  The two styles agree on every totally-ordered
+# value but diverge on partially-ordered ones: ``nan <= high`` and
+# ``nan > high`` are both False, so a positive test rejects NaN while
+# the per-tuple oracle (``contains``) accepts it.  The per-tuple path
+# is the documented semantics, so the compiled form must mirror its
+# branch structure exactly.
 
 TRIVIAL, CLOSED, SINGLE, MULTI, OPAQUE = range(5)
 
@@ -648,6 +682,10 @@ def compile_residual(
 
 
 def _compile_interval_vcheck(interval: Any) -> Callable[[Any], bool]:
+    # Rejection-style tests mirroring Interval.contains: each branch
+    # fails only when a comparison *proves* the value outside a bound,
+    # so values incomparable under <
+    # (NaN) pass exactly as the per-tuple oracle passes them.
     low, high = interval.low, interval.high
     low_inc, high_inc = interval.low_inclusive, interval.high_inclusive
     test: Optional[Callable[[Any], bool]]
@@ -655,22 +693,22 @@ def _compile_interval_vcheck(interval: Any) -> Callable[[Any], bool]:
         test = None
     elif low is MINUS_INF:
         if high_inc:
-            test = lambda v, _h=high: v <= _h  # noqa: E731
+            test = lambda v, _h=high: not v > _h  # noqa: E731
         else:
-            test = lambda v, _h=high: v < _h  # noqa: E731
+            test = lambda v, _h=high: not v >= _h  # noqa: E731
     elif high is PLUS_INF:
         if low_inc:
-            test = lambda v, _l=low: v >= _l  # noqa: E731
+            test = lambda v, _l=low: not v < _l  # noqa: E731
         else:
-            test = lambda v, _l=low: v > _l  # noqa: E731
+            test = lambda v, _l=low: not v <= _l  # noqa: E731
     elif low_inc and high_inc:
-        test = lambda v, _l=low, _h=high: _l <= v <= _h  # noqa: E731
+        test = lambda v, _l=low, _h=high: not (v < _l or v > _h)  # noqa: E731
     elif low_inc:
-        test = lambda v, _l=low, _h=high: _l <= v < _h  # noqa: E731
+        test = lambda v, _l=low, _h=high: not (v < _l or v >= _h)  # noqa: E731
     elif high_inc:
-        test = lambda v, _l=low, _h=high: _l < v <= _h  # noqa: E731
+        test = lambda v, _l=low, _h=high: not (v <= _l or v > _h)  # noqa: E731
     else:
-        test = lambda v, _l=low, _h=high: _l < v < _h  # noqa: E731
+        test = lambda v, _l=low, _h=high: not (v <= _l or v >= _h)  # noqa: E731
     if test is None:
 
         def check_any(v: Any) -> bool:
@@ -687,6 +725,90 @@ def _compile_interval_vcheck(interval: Any) -> Callable[[Any], bool]:
             return False
 
     return check
+
+
+# -- vectorized residual specs (the columnar plane's compiler seam) ----
+#
+# The columnar batch path (repro.match.columnar) evaluates residual
+# conjunctions as NumPy mask expressions over per-attribute column
+# arrays.  vector_residual_spec is the catalog-side half of that
+# compiler: it decides, per predicate, whether the residual conjunction
+# is expressible as bound comparisons over exactly-representable
+# numeric constants, and emits one (attribute, low, high, low_inc,
+# high_inc) row per clause.  Everything else — function clauses,
+# non-numeric or float64-inexact bounds, unknown clause subclasses —
+# returns None, and the plane falls back to per-candidate
+# ``predicate.matches`` for that predicate, the same seam the scalar
+# batch path's OPAQUE entries use.
+
+#: Largest magnitude an int may have and still be exactly representable
+#: as a float64 (columns are float64; 2**53 is the first integer with a
+#: neighbour it cannot distinguish).
+MAX_EXACT_FLOAT_INT = 2 ** 53
+
+
+def _vectorizable_bound(value: Any) -> bool:
+    """Whether *value* can be a float64 bound without changing answers."""
+    kind = type(value)
+    if kind is bool:
+        return True
+    if kind is int:
+        return -MAX_EXACT_FLOAT_INT < value < MAX_EXACT_FLOAT_INT
+    if kind is float:
+        # NaN and infinities are excluded: NaN bounds defeat the
+        # rejection-style comparisons and float infinities would
+        # collide with the unbounded-side encoding.
+        return value == value and value not in (float("inf"), float("-inf"))
+    return False
+
+
+def vector_residual_spec(
+    predicate: Predicate, proven_attrs: Tuple[str, ...]
+) -> Optional[List[Tuple[Any, ...]]]:
+    """*predicate*'s residual as vectorizable tagged rows, or None.
+
+    Rows are either ``("interval", attribute, low, high, low_inclusive,
+    high_inclusive)`` with ``None`` standing for an unbounded side, or
+    ``("function", attribute, function, negated)`` for an opaque
+    predicate function the columnar plane evaluates column-wise.
+    Interval clauses on ``proven_attrs`` are skipped exactly as
+    :func:`compile_residual` skips them; function clauses are never
+    proven by a probe and always kept.  A ``None`` return means the
+    residual cannot be expressed vectorized (an unknown clause
+    subclass, or interval bounds outside the exact float64 domain) and
+    the caller must fall back to ``predicate.matches`` — never a
+    partial spec, so the fallback decision is per predicate, not per
+    clause.
+    """
+    spec: List[Tuple[Any, ...]] = []
+    for clause in predicate.clauses:
+        if isinstance(clause, IntervalClause):
+            if clause.attribute in proven_attrs:
+                continue  # proven by the index probe
+            interval = clause.interval
+            low = None if interval.low is MINUS_INF else interval.low
+            high = None if interval.high is PLUS_INF else interval.high
+            if low is not None and not _vectorizable_bound(low):
+                return None
+            if high is not None and not _vectorizable_bound(high):
+                return None
+            spec.append(
+                (
+                    "interval",
+                    clause.attribute,
+                    low,
+                    high,
+                    interval.low_inclusive,
+                    interval.high_inclusive,
+                )
+            )
+        elif isinstance(clause, FunctionClause):
+            spec.append(
+                ("function", clause.attribute, clause.function, clause.negated)
+            )
+        else:
+            return None  # unknown clause subclass
+    return spec
 
 
 def _compile_function_vcheck(clause: Any) -> Callable[[Any], bool]:

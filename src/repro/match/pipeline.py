@@ -48,11 +48,6 @@ __all__ = [
 ]
 
 
-class _Unbatchable(Exception):
-    """Internal: a batch contains values the batched path cannot handle
-    (e.g. unhashable attribute values); fall back to per-tuple match."""
-
-
 class MatchPipeline:
     """Runs tuples through the staged match against catalog state.
 
@@ -74,9 +69,20 @@ class MatchPipeline:
     adaptive:
         Record observed entry-clause selectivities on the match path
         (never safe on a frozen index read concurrently).
+    columnar:
+        Try the vectorized columnar plane
+        (:mod:`repro.match.columnar`) first on every
+        :meth:`match_batch` call.  The plane is built lazily per
+        relation, cached on the relation's mutation version, and
+        silently skipped whenever NumPy is missing, the relation's
+        shape is not vectorizable, or the batch carries values outside
+        the plane's numeric domain — the scalar stages below remain
+        the semantics of record.  Ignored under ``adaptive`` (the
+        feedback counters need the scalar path's per-candidate
+        bookkeeping) and under multi-clause indexing.
     """
 
-    __slots__ = ("catalog", "store", "observer", "feedback", "adaptive")
+    __slots__ = ("catalog", "store", "observer", "feedback", "adaptive", "columnar")
 
     def __init__(
         self,
@@ -85,12 +91,14 @@ class MatchPipeline:
         observer: MatchObserver,
         feedback: Any = None,
         adaptive: bool = False,
+        columnar: bool = False,
     ) -> None:
         self.catalog = catalog
         self.store = store
         self.observer = observer
         self.feedback = feedback
         self.adaptive = bool(adaptive)
+        self.columnar = bool(columnar)
 
     # -- per-tuple path -------------------------------------------------
 
@@ -252,9 +260,16 @@ class MatchPipeline:
         as the per-tuple path does: memoizing them on ``==``-collapsed
         keys would be unsound for type-sensitive functions (``2`` and
         ``2.0`` share a key), and the paper assumes nothing about them
-        "except that it returns true or false".  Batches containing
-        unhashable or infinity-sentinel values in indexed attributes
-        fall back to the per-tuple loop transparently.
+        "except that it returns true or false".
+
+        Tuples the batch stages cannot handle — an unhashable or
+        infinity-sentinel value in an indexed attribute — are routed
+        through the per-tuple path *individually* while the rest of the
+        batch stays batched (one adversarial tuple no longer degrades
+        the whole batch); the columnar plane falls back through this
+        same seam when it bails out.  ``None``-valued and missing
+        attributes are equivalent everywhere (the NULL rule: NULL
+        matches no clause) and never force a fallback.
         """
         tuples = list(tuples)
         if not tuples:
@@ -264,16 +279,23 @@ class MatchPipeline:
         if state is None:
             observer.on_route(relation, len(tuples), True)
             return [[] for _ in tuples]
-        try:
-            stab_tables, memo_on, probes, descents, cache_hits = (
-                self._batch_stab_tables(state, tuples)
-            )
-        except _Unbatchable:
+        if self.columnar and not self.adaptive and not self.catalog.multi_clause:
+            rows = self._columnar_match_batch(relation, state, tuples)
+            if rows is not None:
+                return rows
+        stab_tables, memo_on, probes, descents, cache_hits, fallback = (
+            self._batch_stab_tables(state, tuples)
+        )
+        if len(fallback) == len(tuples):
+            # nothing batchable: a pure per-tuple run, no batch events
             return [self.match(relation, tup) for tup in tuples]
-        observer.on_route(relation, len(tuples), True)
+        fallback_set = frozenset(fallback)
+        observer.on_route(relation, len(tuples) - len(fallback_set), True)
         observer.on_stab(relation, probes, descents, cache_hits)
         if self.catalog.multi_clause:
-            per_tuple = self._batch_intersect(state, tuples, stab_tables)
+            per_tuple = self._batch_intersect(
+                state, tuples, stab_tables, fallback_set
+            )
         else:
             per_tuple = None
         non_indexable = state.non_indexable
@@ -312,6 +334,11 @@ class MatchPipeline:
         partial = full = memo_hits = 0
         results: List[List[Predicate]] = []
         for position, tup in enumerate(tuples):
+            if position in fallback_set:
+                # unbatchable value: the per-tuple path reports its own
+                # route/stab/candidate/residual events for this tuple
+                results.append(self.match(relation, tup))
+                continue
             tup_get = tup.get
             row: List[Predicate] = []
             append = row.append
@@ -340,12 +367,19 @@ class MatchPipeline:
                     if kind == CLOSED:
                         # (kind, pred, attr, low, high): the dominant
                         # shape, inlined — a closure call per candidate
-                        # would double the cost of this loop
+                        # would double the cost of this loop.  The test
+                        # is rejection-style, like Interval.contains, so
+                        # partially-ordered values (NaN) get the same
+                        # verdict as on the per-tuple path; sentinels
+                        # still fail (one bound comparison proves them
+                        # outside any closed interval).
                         v = tup_get(entry[2])
                         try:
-                            ok = v is not None and entry[3] <= v <= entry[4]
+                            ok = v is not None and not (
+                                v < entry[3] or v > entry[4]
+                            )
                         except TypeError:
-                            ok = False  # incomparable or sentinel value
+                            ok = False  # incomparable value
                         if ok:
                             append(entry[1])
                     elif kind == SINGLE:
@@ -395,7 +429,7 @@ class MatchPipeline:
             for entry in ni_closed:
                 v = tup_get(entry[2])
                 try:
-                    ok = v is not None and entry[3] <= v <= entry[4]
+                    ok = v is not None and not (v < entry[3] or v > entry[4])
                 except TypeError:
                     ok = False
                 if ok:
@@ -450,18 +484,22 @@ class MatchPipeline:
             full += len(row)
             results.append(row)
         observer.on_candidates(
-            relation, partial, len(non_indexable) * len(tuples)
+            relation, partial, len(non_indexable) * (len(tuples) - len(fallback_set))
         )
         observer.on_residual(relation, full, memo_hits)
         if self.adaptive and not self.catalog.multi_clause:
             feedback = self.feedback
-            feedback.observe_tuples(relation, len(tuples))
+            # fallback tuples already reported through the per-tuple
+            # path's own adaptive hooks inside self.match
+            feedback.observe_tuples(relation, len(tuples) - len(fallback_set))
             # candidate counts reconstructed from the stab tables: each
             # ident stabbed at a value was a candidate once per tuple
             # carrying that value
             for attribute, table in stab_tables.items():
                 counts: Dict[Any, int] = {}
-                for tup in tuples:
+                for position, tup in enumerate(tuples):
+                    if position in fallback_set:
+                        continue
                     value = tup.get(attribute)
                     if value is not None:
                         counts[value] = counts.get(value, 0) + 1
@@ -470,48 +508,111 @@ class MatchPipeline:
                         feedback.observe_candidates(stabbed, counts.get(value, 1))
         return results
 
+    def _columnar_match_batch(
+        self,
+        relation: str,
+        state: RelationState,
+        tuples: List[Mapping[str, Any]],
+    ) -> Optional[List[List[Predicate]]]:
+        """Try the vectorized columnar plane; ``None`` means "use scalar".
+
+        The plane is cached on ``state.columnar_plane`` keyed by the
+        relation's mutation version: a mutable index rebuilds it after
+        every catalog change, a frozen index builds it exactly once.
+        The cache write is a single attribute assignment and every
+        builder computes an equivalent plane, so concurrent readers of
+        a frozen index race benignly.  No observer event fires unless
+        the plane actually answers the batch — the scalar fallback
+        must report a virgin stage sequence.
+
+        Fallbacks chain through one seam: the plane bails (``None``)
+        on out-of-domain values, the scalar batch takes over, and the
+        scalar batch in turn routes only the individual tuples *it*
+        cannot handle (unhashable or sentinel values) through the
+        per-tuple path.  ``None``-valued and missing attributes are
+        equivalent at every link (the NULL rule) and bail nothing.
+        """
+        from . import columnar
+
+        if not columnar.HAVE_NUMPY:
+            return None
+        cached = state.columnar_plane
+        if cached is not None and cached[0] == state.version:
+            plane = cached[1]
+        else:
+            plane = columnar.build_relation_plane(state)
+            state.columnar_plane = (state.version, plane)
+        if plane is None:
+            return None
+        return plane.match_batch(tuples, self.observer, relation)
+
     def _batch_stab_tables(
         self, state: RelationState, tuples: List[Mapping[str, Any]]
-    ) -> Tuple[Dict[str, Dict[Any, Optional[Set[Hashable]]]], bool, int, int, int]:
+    ) -> Tuple[
+        Dict[str, Dict[Any, Optional[Set[Hashable]]]], bool, int, int, int, List[int]
+    ]:
         """Stab each attribute tree once per distinct batch value.
 
-        Returns ``(stab_tables, memo_on, probes, descents,
-        cache_hits)``: per attribute a table ``value -> stabbed
-        idents`` (``None`` for incomparable values); whether the batch
-        shows enough value repetition (>= 10% duplicates across indexed
+        Returns ``(stab_tables, memo_on, probes, descents, cache_hits,
+        fallback)``: per attribute a table ``value -> stabbed idents``
+        (``None`` for incomparable values); whether the batch shows
+        enough value repetition (>= 10% duplicates across indexed
         attributes) for the residual memo to pay for its bookkeeping;
-        and the stab-stage counts for the observer (*probes* is the
-        logical per-tuple per-attribute probe count — identical to what
-        the per-tuple path would report — while *descents* counts the
-        grouped ``stab_many`` descents actually performed).
+        the stab-stage counts for the observer (*probes* is the logical
+        per-tuple per-attribute probe count — identical to what the
+        per-tuple path would report — while *descents* counts the
+        grouped ``stab_many`` descents actually performed); and
+        *fallback* — the positions of tuples the batch stages must not
+        touch, in ascending order.
 
-        Raises :class:`_Unbatchable` (before any observer event fires)
-        when an indexed attribute holds an unhashable value — the
-        per-value grouping needs to hash it — or an infinity sentinel,
-        for which skipping the proven entry clause would be unsound
-        (``clause.matches`` rejects sentinels that a tree stab may
-        admit).
+        A tuple lands in *fallback* when an indexed attribute holds an
+        unhashable value — the per-value grouping, the stab tables and
+        the residual memo all need to hash it — or an infinity
+        sentinel, for which skipping the proven entry clause would be
+        unsound (``clause.matches`` rejects sentinels that a tree stab
+        may admit).  The caller routes those positions through the
+        per-tuple path, which needs neither hashing nor the
+        proven-entry shortcut; fallback tuples contribute nothing to
+        the returned tables or counts.  ``None``-valued and *missing*
+        attributes are **not** fallback cases: both mean "no probe" —
+        the NULL rule, NULL matches no clause — on the per-tuple, the
+        batched, and the columnar path alike, so such tuples stay
+        batchable.
         """
         trees = state.trees
         stab_tables: Dict[str, Dict[Any, Optional[Set[Hashable]]]] = {}
         if not trees:
-            return stab_tables, False, 0, 0, 0
+            return stab_tables, False, 0, 0, 0, []
+        attributes = list(trees)
+        by_attribute: Dict[str, Set[Any]] = {a: set() for a in attributes}
+        fallback: List[int] = []
         total = distinct = 0
-        plans: List[Tuple[str, List[Any]]] = []
-        for attribute, tree in trees.items():
-            values: Set[Any] = set()
-            add = values.add
-            for tup in tuples:
-                value = tup.get(attribute)
+        for position, tup in enumerate(tuples):
+            tup_get = tup.get
+            staged: List[Tuple[str, Any]] = []
+            batchable = True
+            for attribute in attributes:
+                value = tup_get(attribute)
                 if value is None:
-                    continue
+                    continue  # NULL rule: no probe, as on the per-tuple path
                 if value is MINUS_INF or value is PLUS_INF:
-                    raise _Unbatchable(attribute)
-                total += 1
+                    batchable = False
+                    break
                 try:
-                    add(value)
+                    hash(value)
                 except TypeError:
-                    raise _Unbatchable(attribute) from None
+                    batchable = False
+                    break
+                staged.append((attribute, value))
+            if not batchable:
+                fallback.append(position)
+                continue
+            total += len(staged)
+            for attribute, value in staged:
+                by_attribute[attribute].add(value)
+        plans: List[Tuple[str, List[Any]]] = []
+        for attribute in attributes:
+            values = by_attribute[attribute]
             distinct += len(values)
             if not values:
                 stab_tables[attribute] = {}
@@ -561,18 +662,28 @@ class MatchPipeline:
                             cache[(attribute, epoch, value)] = frozenset(stabbed)
             stab_tables[attribute] = table
         memo_on = total > 0 and (total - distinct) * 10 >= total
-        return stab_tables, memo_on, total, descents, cache_hits
+        return stab_tables, memo_on, total, descents, cache_hits, fallback
 
     def _batch_intersect(
         self,
         state: RelationState,
         tuples: List[Mapping[str, Any]],
         stab_tables: Dict[str, Dict[Any, Optional[Set[Hashable]]]],
+        fallback_set: "frozenset[int]",
     ) -> List[Set[Hashable]]:
-        """Multi-clause fan-out: candidates hit in *every* indexed tree."""
+        """Multi-clause fan-out: candidates hit in *every* indexed tree.
+
+        Positions in *fallback_set* get an empty placeholder — the emit
+        loop matches those tuples per-tuple and never reads the entry
+        (their values may be unhashable, so the tables cannot answer
+        them).
+        """
         indexed_under = state.indexed_under
         out: List[Set[Hashable]] = []
-        for tup in tuples:
+        for position, tup in enumerate(tuples):
+            if position in fallback_set:
+                out.append(set())
+                continue
             hits: Dict[Hashable, int] = {}
             probed: Set[str] = set()
             for attribute, table in stab_tables.items():

@@ -95,18 +95,27 @@ class BackendRegistry:
         builder: MatcherBuilder,
         description: str = "",
         replace: bool = False,
+        capabilities: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Register a matcher builder under *name*.
 
         *builder* is called with the caller's keyword options (e.g.
         ``estimator``) and must return a ``PredicateMatcher``; builders
         ignore options that do not apply to their backend.
+
+        *capabilities* is a free-form flag mapping surfaced by
+        :meth:`describe_matcher` and the ``backends`` CLI — e.g.
+        ``{"requires_numpy": True}`` for strategies whose fast path
+        depends on an optional extra.  The flags are declarative: a
+        strategy whose optional dependency is absent must still build
+        and answer correctly through its fallback path.
         """
         if name in self._matchers and not replace:
             raise RegistryError(f"matcher {name!r} already registered")
         self._matchers[name] = {
             "builder": builder,
             "description": description,
+            "capabilities": dict(capabilities or {}),
         }
 
     # -- resolution -----------------------------------------------------
@@ -192,6 +201,7 @@ class BackendRegistry:
             "name": name,
             "builder": getattr(builder, "__name__", repr(builder)),
             "description": entry["description"],
+            "capabilities": dict(entry["capabilities"]),
         }
 
     def __contains__(self, name: str) -> bool:
@@ -228,6 +238,7 @@ _IBS_OPTIONS = (
     "min_feedback_tuples",
     "migration_ratio",
     "auto_retune_interval",
+    "columnar",
 )
 
 #: Options the concurrent facade builder forwards.
@@ -239,6 +250,7 @@ _CONCURRENT_OPTIONS = (
     "compaction_threshold",
     "min_chunk",
     "snapshot_cache_size",
+    "columnar",
 )
 
 
@@ -273,6 +285,15 @@ def _build_ibs_flat(**options: Any) -> Any:
 
     kwargs = _accept(options, _IBS_OPTIONS)
     kwargs.setdefault("tree_factory", FlatIBSTree)
+    return PredicateIndex(**kwargs)
+
+
+def _build_columnar(**options: Any) -> Any:
+    from ..core.predicate_index import PredicateIndex
+
+    kwargs = _accept(options, _IBS_OPTIONS)
+    kwargs.setdefault("tree_factory", FlatIBSTree)
+    kwargs.setdefault("columnar", True)
     return PredicateIndex(**kwargs)
 
 
@@ -363,6 +384,12 @@ DEFAULT_REGISTRY.register_matcher(
     "ibs-flat", _build_ibs_flat, "predicate index over flat array trees"
 )
 DEFAULT_REGISTRY.register_matcher(
+    "columnar",
+    _build_columnar,
+    "predicate index with a vectorized columnar batch plane over flat trees",
+    capabilities={"requires_numpy": True, "vectorized_batch": True},
+)
+DEFAULT_REGISTRY.register_matcher(
     "ibs-concurrent",
     _build_ibs_concurrent,
     "sharded epoch-snapshot concurrent predicate index",
@@ -398,8 +425,13 @@ def register_matcher(
     builder: MatcherBuilder,
     description: str = "",
     replace: bool = False,
+    capabilities: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Register a matcher builder in the :data:`DEFAULT_REGISTRY`."""
     DEFAULT_REGISTRY.register_matcher(
-        name, builder, description=description, replace=replace
+        name,
+        builder,
+        description=description,
+        replace=replace,
+        capabilities=capabilities,
     )

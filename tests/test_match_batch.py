@@ -178,6 +178,86 @@ class TestFallbacks:
         expected = [index.match_idents("r", tup) for tup in batch]
         assert ident_rows(index.match_batch("r", batch)) == expected
 
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_one_adversarial_tuple_does_not_degrade_the_batch(self, backend):
+        """Unbatchable values fall back per *tuple*, not per batch.
+
+        The rest of the batch must still go through the batched stages
+        (one batch route event), and the logical counters must stay
+        path-independent — the fallback tuples report theirs through
+        the per-tuple path's own events.
+        """
+        def loaded():
+            index = PredicateIndex(tree_factory=BACKENDS[backend])
+            index.add(
+                Predicate("r", [IntervalClause("a", Interval.closed(0, 10))], ident=1)
+            )
+            index.add(
+                Predicate("r", [IntervalClause("b", Interval.at_most(5))], ident=2)
+            )
+            return index
+
+        batch = [
+            {"a": UnhashablePoint(5), "b": 3},
+            {"a": 5, "b": 100},
+            {"a": MINUS_INF},
+            {"a": 7},
+            {"b": None},
+        ]
+        serial = loaded()
+        expected = [serial.match_idents("r", tup) for tup in batch]
+        batched = loaded()
+        assert ident_rows(batched.match_batch("r", batch)) == expected
+        assert batched.stats.batches_matched == 1
+        assert serial.stats.logical_counts() == batched.stats.logical_counts()
+
+    @pytest.mark.parametrize("backend", sorted(BACKENDS))
+    def test_none_valued_equals_missing_key(self, backend):
+        """The NULL rule: a ``None``-valued attribute behaves exactly
+        like a missing key on the per-tuple and the batched path, for
+        results and for logical counters alike."""
+        def loaded():
+            index = PredicateIndex(tree_factory=BACKENDS[backend])
+            index.add(
+                Predicate("r", [IntervalClause("a", Interval.closed(0, 10))], ident=1)
+            )
+            index.add(
+                Predicate(
+                    "r", [FunctionClause("a", is_odd, negated=True)], ident=2
+                )
+            )
+            return index
+
+        null_batch = [{"a": None, "b": 1}, {"a": None}]
+        missing_batch = [{"b": 1}, {}]
+        runs = {}
+        for name, batch in (("null", null_batch), ("missing", missing_batch)):
+            serial = loaded()
+            per_tuple = [serial.match_idents("r", tup) for tup in batch]
+            batched = loaded()
+            rows = ident_rows(batched.match_batch("r", batch))
+            assert rows == per_tuple
+            assert serial.stats.logical_counts() == batched.stats.logical_counts()
+            runs[name] = (rows, batched.stats.logical_counts())
+        assert runs["null"] == runs["missing"]
+
+    def test_stab_many_null_rule(self):
+        """``stab_many`` maps ``None`` to ``None`` on every tree shape —
+        including the empty tree, where a descent-based answer would
+        accidentally return the empty set — matching the pipeline's
+        pre-probe NULL skip."""
+        from repro.baselines import IntervalList
+
+        for factory in (IBSTree, FlatIBSTree, IntervalList):
+            empty = factory()
+            assert empty.stab_many([None]) == {None: None}
+            loaded = factory()
+            loaded.insert(Interval.closed(0, 10), "i")
+            table = loaded.stab_many([None, 5, 99])
+            assert table[None] is None
+            assert table[5] == {"i"}
+            assert table[99] == set()
+
     def test_unknown_relation_and_empty_batch(self):
         index = PredicateIndex()
         assert index.match_batch("nowhere", [{"a": 1}, {"a": 2}]) == [[], []]

@@ -27,6 +27,7 @@ class TestTopLevelExports:
             "repro.core.selectivity",
             "repro.match",
             "repro.match.catalog",
+            "repro.match.columnar",
             "repro.match.observer",
             "repro.match.pipeline",
             "repro.match.registry",

@@ -57,7 +57,11 @@ def results_and_stats(index, tuples, mode):
     {"tree_factory": "flat"},
     {"stab_cache_size": 64},
     {"multi_clause": True},
-], ids=["default", "flat", "stab-cache", "multi-clause"])
+    # the columnar plane must report the same logical counts as the
+    # scalar paths; without NumPy the option is inert and this row
+    # degenerates to a second "flat" run, which is still a valid check
+    {"tree_factory": "flat", "columnar": True},
+], ids=["default", "flat", "stab-cache", "multi-clause", "columnar"])
 def test_batch_reports_same_logical_counts(workload, options):
     tuples = workload[0].tuples(N_TUPLES)
 
