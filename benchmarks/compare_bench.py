@@ -67,6 +67,7 @@ def _measure_concurrency(scenario):
         batch_size=scenario["batch_size"],
         rounds=scenario["rounds"],
         workers=scenario["workers"],
+        workers_curve=scenario.get("workers_curve"),
     )
 
 

@@ -8,22 +8,36 @@ invalidates its whole cache on every write (each mutation bumps a tree
 epoch, which is the cache key), so a mixed read/write workload re-stabs
 every batch.
 
-Acceptance criterion (checked in ``test_snapshot_speedup_at_workers``):
-on a 10,000-predicate mixed read/write workload (one add + one
-500-tuple batch + one remove per round, values repeating across
-rounds), the concurrent facade at 4 workers sustains at least 2x the
-match throughput of single-threaded ``match_batch`` over the mutable
-index.
+Beyond the thread tier, the supervised multiprocess tier
+(``pool="process"``) is measured across a workers curve, plus one row
+with the process tier forced into degraded mode (restart budget
+exhausted → in-process fallback) to price the graceful-degradation
+latency floor.
 
-Honesty note: this container has one CPU and the GIL, so the speedup is
-*not* parallelism — it is write isolation (snapshot cache retention),
-which the workers=0 row isolates.  See ``docs/concurrency_model.md``.
+Acceptance criteria:
+
+* ``test_snapshot_speedup_at_workers`` — on a 10,000-predicate mixed
+  read/write workload (one add + one 500-tuple batch + one remove per
+  round, values repeating across rounds), the thread facade at 4
+  workers sustains at least 2x the match throughput of single-threaded
+  ``match_batch`` over the mutable index.
+* ``test_process_tier_scales`` — the process tier at 4 workers beats
+  its own 1-worker row by >= 1.5x.  Gated on a >= 4-core host: on this
+  single-CPU container the workers only time-slice one core, so the
+  curve is flat by construction and asserting scaling would be noise.
+
+Honesty note: this container has one CPU and the GIL, so the snapshot
+speedup is *not* parallelism — it is write isolation (snapshot cache
+retention), which the workers=0 row isolates — and the process rows
+pay pickling + IPC per batch with no cores to amortise it.  See
+``docs/concurrency_model.md``.
 
 Running this module rewrites ``BENCH_concurrency.json`` at the repo
 root with the measured rows.
 """
 
 import json
+import os
 import platform
 from pathlib import Path
 
@@ -35,6 +49,9 @@ PREDICATES = 10_000
 BATCH_SIZE = 500
 ROUNDS = 20
 WORKERS = 4
+# Pinned (not cpu_count-derived) so the committed baseline JSON has a
+# machine-independent row set for compare_bench's row_key matching.
+WORKERS_CURVE = (1, 2, 4)
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_concurrency.json"
 
 
@@ -45,6 +62,7 @@ def concurrency_rows():
         batch_size=BATCH_SIZE,
         rounds=ROUNDS,
         workers=WORKERS,
+        workers_curve=WORKERS_CURVE,
     )
     RESULT_PATH.write_text(
         json.dumps(
@@ -55,6 +73,7 @@ def concurrency_rows():
                     "batch_size": BATCH_SIZE,
                     "rounds": ROUNDS,
                     "workers": WORKERS,
+                    "workers_curve": list(WORKERS_CURVE),
                     "workload": "per round: add 1 predicate, match one "
                                 "batch, remove it; batch values repeat "
                                 "across rounds",
@@ -62,7 +81,8 @@ def concurrency_rows():
                 "baseline": "mutable PredicateIndex (FlatIBSTree, stab cache "
                             "on) driven single-threaded",
                 "note": "single-CPU host: speedup measures snapshot write "
-                        "isolation (cache retention), not parallelism",
+                        "isolation (cache retention), not parallelism; "
+                        "process rows pay pickling + IPC per batch",
                 "python": platform.python_version(),
                 "rows": [
                     {key: round(value, 3) if isinstance(value, float) else value
@@ -74,25 +94,44 @@ def concurrency_rows():
         )
         + "\n"
     )
-    return {(row["mode"], row["workers"]): row for row in rows}
+    return {(row["mode"], row["pool"], row["workers"]): row for row in rows}
 
 
 def test_all_configurations_measured(concurrency_rows):
-    assert set(concurrency_rows) == {
-        ("serial", 0),
-        ("snapshot", 0),
-        ("snapshot", WORKERS),
-    }
-    assert concurrency_rows[("serial", 0)]["speedup"] == pytest.approx(1.0)
+    expected = {("serial", "none", 0), ("snapshot", "inline", 0)}
+    expected |= {("snapshot", "thread", count) for count in WORKERS_CURVE}
+    expected |= {("snapshot", "process", count) for count in WORKERS_CURVE}
+    expected.add(("snapshot", "process-degraded", max(WORKERS_CURVE)))
+    assert set(concurrency_rows) == expected
+    assert concurrency_rows[("serial", "none", 0)]["speedup"] == pytest.approx(1.0)
 
 
 def test_snapshot_speedup_at_workers(concurrency_rows):
-    """The ISSUE acceptance bar: facade @ 4 workers >= 2x serial."""
-    assert concurrency_rows[("snapshot", WORKERS)]["speedup"] >= 2.0
+    """The ISSUE acceptance bar: thread facade @ 4 workers >= 2x serial."""
+    assert concurrency_rows[("snapshot", "thread", WORKERS)]["speedup"] >= 2.0
 
 
 def test_speedup_is_isolation_not_parallelism(concurrency_rows):
     """The inline (workers=0) facade already clears the bar: the win is
     write isolation, and claiming otherwise on a 1-CPU GIL host would
     be dishonest."""
-    assert concurrency_rows[("snapshot", 0)]["speedup"] >= 2.0
+    assert concurrency_rows[("snapshot", "inline", 0)]["speedup"] >= 2.0
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="process-tier scaling needs >= 4 cores; this host time-slices one",
+)
+def test_process_tier_scales(concurrency_rows):
+    """ISSUE acceptance bar, multi-core hosts only: the process tier at
+    4 workers beats its own 1-worker row by >= 1.5x."""
+    at_four = concurrency_rows[("snapshot", "process", 4)]["tuples_per_s"]
+    at_one = concurrency_rows[("snapshot", "process", 1)]["tuples_per_s"]
+    assert at_four / at_one >= 1.5
+
+
+def test_degraded_mode_still_answers(concurrency_rows):
+    """Degraded mode trades latency only — the row exists and measured a
+    finite, non-zero throughput (every batch was answered in-process)."""
+    row = concurrency_rows[("snapshot", "process-degraded", max(WORKERS_CURVE))]
+    assert row["tuples_per_s"] > 0

@@ -93,6 +93,21 @@ class ConcurrentPredicateIndex(PredicateMatcher):
         over.  ``0`` or ``1`` disables fan-out (everything runs
         inline).  The pool is created lazily on first use and shut
         down by :meth:`close` (the facade is also a context manager).
+        The string ``"process"`` is shorthand for
+        ``pool="process", workers=os.cpu_count()``.
+    pool:
+        Which worker tier backs the fan-out: ``"thread"`` (default —
+        in-process, snapshot-isolation wins only) or ``"process"`` —
+        the supervised multiprocess tier (:mod:`repro.parallel`), which
+        publishes shard bases into shared memory and matches on
+        per-core worker processes.  The process tier is self-healing:
+        worker crashes, hangs, and torn frames are retried and, past
+        the restart budget, the facade **degrades** to the in-process
+        path — results are identical in every mode, only latency
+        changes.  With ``pool="process"`` all ``match_batch`` rows are
+        returned in the snapshot's canonical order
+        (:meth:`EpochSnapshot.canonical_rank`), whichever tier served
+        them, so results are reproducible across processes and runs.
     compaction_threshold:
         Overlay/tombstone size at which a shard folds its overlay into
         a fresh bulk-loaded base.
@@ -116,21 +131,32 @@ class ConcurrentPredicateIndex(PredicateMatcher):
         tree_factory: Union[str, TreeFactory] = IBSTree,
         estimator: Optional[SelectivityEstimator] = None,
         multi_clause: bool = False,
-        workers: int = 0,
+        workers: Union[int, str] = 0,
         compaction_threshold: int = DEFAULT_COMPACTION_THRESHOLD,
         min_chunk: int = 64,
         snapshot_cache_size: int = 4_096,
         columnar: bool = False,
+        pool: str = "thread",
     ):
         if isinstance(tree_factory, str):
             from ..match.registry import DEFAULT_REGISTRY
 
             tree_factory = DEFAULT_REGISTRY.tree_factory(tree_factory)
+        if workers == "process":
+            import os
+
+            pool = "process"
+            workers = os.cpu_count() or 1
+        if pool not in ("thread", "process"):
+            raise ConcurrencyError(
+                f"unknown pool kind {pool!r}: expected 'thread' or 'process'"
+            )
         self._tree_factory = tree_factory
         self._estimator = estimator
         self._multi_clause = bool(multi_clause)
         self._snapshot_cache_size = max(0, int(snapshot_cache_size))
         self._workers = max(0, int(workers))
+        self._pool_kind = pool
         self._columnar = bool(columnar)
         self._compaction_threshold = int(compaction_threshold)
         self._min_chunk = max(1, int(min_chunk))
@@ -145,6 +171,7 @@ class ConcurrentPredicateIndex(PredicateMatcher):
         #: shared by every shard; appended to by :meth:`on_publish`.
         self._publish_hooks: List[PublishHook] = []
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[Any] = None
         self._pool_lock = threading.Lock()
         self._closed = False
 
@@ -243,17 +270,75 @@ class ConcurrentPredicateIndex(PredicateMatcher):
                     self._pool = pool
         return pool
 
-    def close(self) -> None:
-        """Shut down the worker pool.  Idempotent.
+    def _get_process_pool(self) -> Any:
+        pool = self._process_pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._process_pool
+                if pool is None:
+                    if self._closed:
+                        raise ConcurrencyError(
+                            "ConcurrentPredicateIndex is closed"
+                        )
+                    from ..parallel import ProcessMatchPool
 
-        Matching stays available afterwards (it just runs inline);
-        registration is unaffected.
+                    pool = ProcessMatchPool(
+                        workers=max(1, self._workers),
+                        min_chunk=self._min_chunk,
+                    )
+                    self._process_pool = pool
+        return pool
+
+    def _process_match(
+        self, snapshot: EpochSnapshot, tuple_list: List[Mapping[str, Any]]
+    ) -> Optional[List[List[Predicate]]]:
+        """One attempt at the process tier; ``None`` means fall back."""
+        try:
+            pool = self._get_process_pool()
+            return pool.match_batch(snapshot, tuple_list)
+        except (ConcurrencyError, RuntimeError):
+            # closed (or closing) facade, or a pool that cannot start:
+            # the caller runs the batch in-process instead
+            return None
+
+    def degrade_process_tier(self, reason: str) -> None:
+        """Force the process tier into degraded mode (bench/test hook).
+
+        Subsequent ``match_batch`` calls run on the in-process path with
+        identical results — this is the state the tier enters on its own
+        when every worker slot exhausts its restart budget.  No-op
+        unless ``pool="process"``.
+        """
+        if self._pool_kind != "process":
+            return
+        self._get_process_pool().degrade(reason)
+
+    def process_stats(self) -> Optional[Dict[str, Any]]:
+        """Diagnostics from the process tier (``None`` before first use).
+
+        Keys include ``live``, ``restarts``, ``kills``, ``quarantined``,
+        ``degraded`` and ``segments`` — see
+        :meth:`repro.parallel.ProcessMatchPool.stats`.
+        """
+        pool = self._process_pool
+        return pool.stats() if pool is not None else None
+
+    def close(self) -> None:
+        """Shut down the worker pools.  Idempotent.
+
+        Matching stays available afterwards (it just runs inline, with
+        unchanged results); registration is unaffected.  For the
+        process tier this also reaps every worker process and unlinks
+        every published shared-memory segment.
         """
         with self._pool_lock:
             self._closed = True
             pool, self._pool = self._pool, None
+            process_pool = self._process_pool
         if pool is not None:
             pool.shutdown(wait=True)
+        if process_pool is not None:
+            process_pool.close()
 
     def __enter__(self) -> "ConcurrentPredicateIndex":
         return self
@@ -371,9 +456,31 @@ class ConcurrentPredicateIndex(PredicateMatcher):
         tuple list is cut into contiguous chunks, matched on the pool,
         and the chunk results are concatenated in input order, making
         the output independent of worker scheduling.
+
+        With ``pool="process"`` the batch is first offered to the
+        supervised multiprocess tier; if it declines (too small, no
+        worker available, degraded after exhausting its restart budget,
+        or the facade is closed) the batch runs on this tier's
+        in-process path instead.  Either way the rows are identical and
+        arrive in the snapshot's canonical order.
         """
         snapshot = self.snapshot(relation)
         tuple_list = tuples if isinstance(tuples, list) else list(tuples)
+        if self._pool_kind == "process" and self._workers >= 1:
+            rows = self._process_match(snapshot, tuple_list)
+            if rows is not None:
+                return rows
+            # degraded / declined: in-process answer, same canonical
+            # order as the process tier so results are mode-independent
+            return snapshot.canonical_rows(
+                self._thread_match_batch(snapshot, tuple_list)
+            )
+        return self._thread_match_batch(snapshot, tuple_list)
+
+    def _thread_match_batch(
+        self, snapshot: EpochSnapshot, tuple_list: List[Mapping[str, Any]]
+    ) -> List[List[Predicate]]:
+        """The in-process tier: thread fan-out or inline."""
         if self._workers <= 1 or len(tuple_list) < 2 * self._min_chunk:
             return snapshot.match_batch(tuple_list)
         chunk_size = max(
@@ -419,6 +526,14 @@ class ConcurrentPredicateIndex(PredicateMatcher):
             (relation, tuples if isinstance(tuples, list) else list(tuples))
             for relation, tuples in batches.items()
         ]
+        if self._pool_kind == "process":
+            # the process tier parallelises within each relation's
+            # batch; per-relation dispatch order adds nothing and the
+            # thread pool would only contend with the dispatch loop
+            return {
+                relation: self.match_batch(relation, tuples)
+                for relation, tuples in items
+            }
         if self._workers <= 1 or len(items) <= 1:
             return {
                 relation: self.match_batch(relation, tuples)

@@ -251,6 +251,7 @@ _CONCURRENT_OPTIONS = (
     "min_chunk",
     "snapshot_cache_size",
     "columnar",
+    "pool",
 )
 
 
@@ -393,6 +394,7 @@ DEFAULT_REGISTRY.register_matcher(
     "ibs-concurrent",
     _build_ibs_concurrent,
     "sharded epoch-snapshot concurrent predicate index",
+    capabilities={"process_parallel": True},
 )
 DEFAULT_REGISTRY.register_matcher(
     "sequential", _build_sequential, "Section 2.1: one flat predicate list"

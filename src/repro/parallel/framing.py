@@ -1,0 +1,78 @@
+"""Length-prefixed, CRC-framed messages for the worker pipes.
+
+``multiprocessing.Connection`` already preserves message boundaries,
+but it does *not* protect message contents: a worker killed mid-write,
+a torn pipe buffer, or a corrupted byte anywhere in transit yields a
+payload that unpickles to garbage — or worse, unpickles cleanly to the
+wrong answer.  Every message the process tier sends therefore travels
+inside a frame::
+
+    +-------+----------------+----------------+------------------+
+    | MAGIC | payload length | CRC32(payload) | pickled payload  |
+    | 4 B   | 4 B LE         | 4 B LE         | length bytes     |
+    +-------+----------------+----------------+------------------+
+
+and is validated *before* unpickling.  A failed check raises
+:class:`~repro.errors.FrameError`; the supervisor treats a bad reply
+frame as a worker failure (kill, restart, retry) and a worker treats a
+bad request frame as a reject (reply with an error, no side effects).
+Because frames ride ``send_bytes``/``recv_bytes``, a corrupt frame
+never desynchronises the stream — the next message starts clean.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from typing import Any
+
+from ..errors import FrameError
+
+__all__ = ["MAGIC", "encode_frame", "decode_frame", "send_frame", "recv_frame"]
+
+#: Frame signature; bumping the protocol bumps the digit.
+MAGIC = b"RPF1"
+
+_HEADER = struct.Struct("<4sII")
+
+#: Refuse to allocate for absurd advertised lengths (a corrupted length
+#: field must not become a memory bomb).  512 MiB is far above any real
+#: base publication or batch chunk.
+MAX_FRAME_PAYLOAD = 512 * 1024 * 1024
+
+
+def encode_frame(payload: Any) -> bytes:
+    """Pickle *payload* and wrap it in a validated frame."""
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(MAGIC, len(body), zlib.crc32(body)) + body
+
+
+def decode_frame(data: bytes) -> Any:
+    """Validate and unpickle one frame; raise :class:`FrameError` on damage."""
+    if len(data) < _HEADER.size:
+        raise FrameError(f"truncated frame: {len(data)} bytes < header")
+    magic, length, crc = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME_PAYLOAD:
+        raise FrameError(f"frame advertises absurd payload length {length}")
+    body = data[_HEADER.size :]
+    if len(body) != length:
+        raise FrameError(f"frame length mismatch: header says {length}, got {len(body)}")
+    if zlib.crc32(body) != crc:
+        raise FrameError("frame CRC mismatch")
+    try:
+        return pickle.loads(body)
+    except Exception as exc:  # pickle raises a zoo of types on bad bytes
+        raise FrameError(f"frame payload failed to unpickle: {exc}") from exc
+
+
+def send_frame(conn: Any, payload: Any) -> None:
+    """Encode *payload* and send it as one message on *conn*."""
+    conn.send_bytes(encode_frame(payload))
+
+
+def recv_frame(conn: Any) -> Any:
+    """Receive one message from *conn* and decode it (may raise FrameError)."""
+    return decode_frame(conn.recv_bytes())

@@ -1,0 +1,224 @@
+"""Shared-memory publication of frozen shard bases.
+
+The concurrency layer's :class:`~repro.concurrency.shard.EpochSnapshot`
+splits a relation into a large frozen *base* (rebuilt only on
+compaction) and a small per-epoch overlay.  That split is exactly what
+makes a process tier affordable: the base — the expensive part — is
+serialised **once per compaction** into a ``multiprocessing``
+shared-memory segment keyed by ``(relation, base generation)``, and the
+tiny overlay rides along inside each request frame.  Workers attach the
+segment read-only, deserialise the base a single time, and then answer
+any number of batches against it with zero further transfer of index
+state.
+
+Lifetime discipline (the part that actually matters):
+
+* the **publishing process owns every segment** — workers only ever
+  attach and are explicitly unregistered from their process's
+  ``resource_tracker`` (Python < 3.13 tracks attachments too, and its
+  tracker would otherwise unlink a segment the parent still serves the
+  moment any worker exits — CPython issue 39959);
+* reclamation is **epoch-based**: publishing a new base generation for
+  a relation retires all but the newest ``keep`` generations, so a
+  long-lived facade never accumulates dead segments, while a reader
+  mid-batch on the previous generation still finds it mapped;
+* :meth:`SegmentRegistry.close` unlinks everything and is idempotent;
+  a ``weakref.finalize`` on the registry does the same at interpreter
+  exit, so SIGKILLed workers and abandoned pools leak nothing (the
+  no-``resource_tracker``-warnings test pins this).
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import weakref
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import InjectedFault
+from ..testing.faults import fault_point
+
+__all__ = [
+    "shared_memory_available",
+    "create_segment",
+    "attach_bytes",
+    "SegmentRegistry",
+]
+
+try:  # pragma: no cover - exercised via shared_memory_available()
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platforms without _posixshmem
+    _shared_memory = None  # type: ignore[assignment]
+
+
+def shared_memory_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` is usable here."""
+    return _shared_memory is not None
+
+
+def _attach_untracked(name: str) -> Any:
+    """Attach to segment *name* without tracker registration.
+
+    On Python < 3.13 attaching registers the segment with the attaching
+    process's resource tracker, which believes it owns the segment —
+    under ``spawn`` the worker's tracker would unlink it at worker
+    exit, and under ``fork`` (where every process shares the parent's
+    tracker) two workers attach-then-unregistering the same name race
+    into the tracker's cache (CPython issue 39959).  3.13+ exposes
+    ``track=False``; earlier versions get the registration suppressed
+    at the source by briefly no-op'ing ``register`` around the attach —
+    safe here because workers are single-threaded when attaching.
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original  # type: ignore[assignment]
+
+
+def create_segment(data: bytes) -> Any:
+    """Create a uniquely named segment holding *data*; caller owns it."""
+    if _shared_memory is None:  # pragma: no cover
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    name = f"repro_{secrets.token_hex(6)}"
+    shm = _shared_memory.SharedMemory(name=name, create=True, size=max(1, len(data)))
+    shm.buf[: len(data)] = data
+    return shm
+
+
+def attach_bytes(name: str, length: int) -> bytes:
+    """Copy *length* bytes out of segment *name* and detach immediately.
+
+    Copying (rather than holding the mapping) keeps worker-side segment
+    lifetime trivial: no exported ``memoryview`` ever blocks a
+    ``close()``, and a retired segment can be unlinked the moment the
+    parent decides to.  Raises ``FileNotFoundError`` when the segment
+    is gone (e.g. the ``shm.unlink_early`` drill) — callers treat that
+    as a retryable publication miss, not a crash.
+    """
+    if _shared_memory is None:  # pragma: no cover
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    shm = _attach_untracked(name)
+    try:
+        return bytes(shm.buf[:length])
+    finally:
+        shm.close()
+
+
+class SegmentRegistry:
+    """Parent-side table of published base segments, epoch-reclaimed.
+
+    Keys are ``(relation, token)`` where *token* identifies one base
+    generation (the facade uses the base index's object identity while
+    holding a strong reference, so tokens are never reused while
+    live).  Thread-safe: the facade may publish from several writer
+    threads.
+    """
+
+    def __init__(self, keep_generations: int = 2):
+        self._keep = max(1, int(keep_generations))
+        self._lock = threading.Lock()
+        #: (relation, token) -> (shm, payload length, insertion order)
+        self._segments: Dict[Tuple[str, int], Tuple[Any, int, int]] = {}
+        self._counter = 0
+        self._closed = False
+        # unlink everything at interpreter exit even if close() is
+        # never called (finalize survives SIGKILLed workers: the parent
+        # owns the segments)
+        self._finalizer = weakref.finalize(
+            self, SegmentRegistry._release_all, self._segments
+        )
+
+    # -- publication ---------------------------------------------------
+
+    def publish(self, relation: str, token: int, data: bytes) -> Tuple[str, int]:
+        """Publish *data* for base *token*; returns ``(name, length)``.
+
+        Re-publishing an existing key returns the existing segment.
+        Publishing a new generation retires everything older than the
+        newest ``keep_generations`` for that relation.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("SegmentRegistry is closed")
+            entry = self._segments.get((relation, token))
+            if entry is not None:
+                return entry[0].name, entry[1]
+            shm = create_segment(data)
+            self._counter += 1
+            self._segments[(relation, token)] = (shm, len(data), self._counter)
+            self._reclaim_locked(relation)
+            # the drill for "segment vanished while a worker needed
+            # it": unlink right after publication, keeping the stale
+            # registry entry so the next attach misses
+            try:
+                fault_point("shm.unlink_early")
+            except InjectedFault:
+                name, length = shm.name, len(data)
+                try:
+                    shm.close()
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+                return name, length
+            return shm.name, len(data)
+
+    def forget(self, relation: str, token: int) -> None:
+        """Drop (and unlink) one publication, e.g. after an attach miss."""
+        with self._lock:
+            self._unlink_locked((relation, token))
+
+    def _reclaim_locked(self, relation: str) -> None:
+        mine = sorted(
+            (key for key in self._segments if key[0] == relation),
+            key=lambda key: self._segments[key][2],
+        )
+        for key in mine[: -self._keep]:
+            self._unlink_locked(key)
+
+    def _unlink_locked(self, key: Tuple[str, int]) -> None:
+        entry = self._segments.pop(key, None)
+        if entry is None:
+            return
+        shm = entry[0]
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:
+            pass  # already gone (unlink_early drill or external cleanup)
+
+    # -- introspection / shutdown --------------------------------------
+
+    def live_segments(self) -> List[str]:
+        """Names of currently published segments (for leak tests)."""
+        with self._lock:
+            return [entry[0].name for entry in self._segments.values()]
+
+    def close(self) -> None:
+        """Unlink every published segment.  Idempotent."""
+        with self._lock:
+            self._closed = True
+            for key in list(self._segments):
+                self._unlink_locked(key)
+        self._finalizer.detach()
+
+    @staticmethod
+    def _release_all(segments: Dict[Tuple[str, int], Tuple[Any, int, int]]) -> None:
+        for shm, _length, _order in list(segments.values()):
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:
+                pass
+        segments.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._segments)

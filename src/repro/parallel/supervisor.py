@@ -1,0 +1,432 @@
+"""Worker-process supervision: liveness, restarts, budgets, quarantine.
+
+PR 2 established the discipline for rule actions: a failing unit of
+work is retried a bounded number of times, then quarantined onto a
+dead-letter queue, and a repeat offender is disabled rather than
+allowed to starve everyone else.  Crossing a process boundary makes
+matching itself subject to the same failure modes — workers crash,
+hang, and lie — so this module applies the identical discipline to the
+process-pool matching tier:
+
+* **liveness** — every reply refreshes a worker's heartbeat; idle
+  workers past the heartbeat interval are pinged, and a silent worker
+  is killed and replaced before it can absorb a real batch;
+* **crash detection** — dispatch waits on the pipe *and* the process
+  exit sentinel, so a SIGKILLed worker is detected immediately, not at
+  deadline;
+* **restart with backoff and a budget** — a dead worker's slot is
+  respawned after an exponentially growing delay; a slot that exhausts
+  its restart budget is retired, and when every slot is retired the
+  supervisor flips to **degraded** (the facade then matches in-process,
+  identical results, only latency lost);
+* **quarantine** — a batch that kills its worker twice is recorded as
+  a :class:`QuarantinedBatch` on the dead-letter deque (the process
+  tier's analogue of PR 2's :class:`~repro.rules.failures.ActionFailure`)
+  and answered in-process instead of being retried forever.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from .framing import recv_frame, send_frame
+
+__all__ = ["WorkerHandle", "QuarantinedBatch", "WorkerSupervisor"]
+
+
+def default_mp_context() -> Any:
+    """Pick the cheapest start method that is safe right now.
+
+    ``fork`` is by far the fastest (no interpreter re-exec, the child
+    inherits every imported module) but forking a multi-threaded
+    process is unsafe — and on 3.12+ raises ``DeprecationWarning``,
+    which tier-1 CI escalates to an error.  So: ``fork`` only while
+    this process is still single-threaded, else ``forkserver`` (its
+    server forks from a clean single-threaded process), else ``spawn``.
+    """
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods and threading.active_count() == 1:
+        return multiprocessing.get_context("fork")
+    if "forkserver" in methods:
+        return multiprocessing.get_context("forkserver")
+    return multiprocessing.get_context("spawn")
+
+
+@dataclass
+class QuarantinedBatch:
+    """One poisoned batch on the process tier's dead-letter queue.
+
+    Mirrors :class:`~repro.rules.failures.ActionFailure`: enough context
+    to diagnose and replay, plus how many workers the batch took down
+    before being pulled from rotation.  The tuples themselves are kept
+    so ``requeue`` semantics stay possible; the batch was *answered*
+    in-process, so nothing was dropped — this is a record, not a loss.
+    """
+
+    seq: int
+    relation: str
+    size: int
+    reason: str
+    kills: int
+    tuples: Any = field(repr=False, default=None)
+
+    def describe(self) -> str:
+        return (
+            f"#{self.seq} batch of {self.size} tuples on {self.relation!r}: "
+            f"{self.reason} ({self.kills} worker kill{'s' if self.kills != 1 else ''})"
+        )
+
+
+class WorkerHandle:
+    """One supervised worker slot's live process + pipe."""
+
+    __slots__ = ("slot", "worker_id", "process", "conn", "last_seen", "dispatches")
+
+    def __init__(self, slot: int, worker_id: int, process: Any, conn: Any):
+        self.slot = slot
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.last_seen = time.monotonic()
+        self.dispatches = 0
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def __repr__(self) -> str:
+        return (
+            f"<WorkerHandle slot={self.slot} id={self.worker_id} "
+            f"pid={self.process.pid} alive={self.alive()}>"
+        )
+
+
+class WorkerSupervisor:
+    """Owns a fixed set of worker slots and their failure policy."""
+
+    def __init__(
+        self,
+        workers: int,
+        mp_context: Any = None,
+        deadline: float = 30.0,
+        heartbeat_interval: float = 5.0,
+        max_restarts: int = 3,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        quarantine_limit: int = 64,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+        self._ctx = mp_context  # resolved lazily: context choice depends
+        # on the thread count at spawn time, not at construction
+        self.deadline = float(deadline)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.max_restarts = int(max_restarts)
+        self.backoff = float(backoff)
+        self.backoff_cap = float(backoff_cap)
+        self._lock = threading.Condition()
+        #: slot -> live handle (None: empty, pending respawn or retired)
+        self._slots: List[Optional[WorkerHandle]] = [None] * self.workers
+        #: slot -> how many times this slot has been respawned
+        self._restarts: List[int] = [0] * self.workers
+        #: slot -> monotonic time before which respawn is not allowed
+        self._not_before: List[float] = [0.0] * self.workers
+        #: slots whose restart budget is exhausted
+        self._retired: List[bool] = [False] * self.workers
+        self._busy: Dict[int, WorkerHandle] = {}
+        self._worker_ids = 0
+        self._started = False
+        self._closed = False
+        self._degraded_reason: Optional[str] = None
+        self.restarts_total = 0
+        self.kills_total = 0
+        #: dead-letter queue of poisoned batches (bounded)
+        self.failures: Deque[QuarantinedBatch] = deque(maxlen=quarantine_limit)
+
+    # -- degradation ----------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True once the tier has given up on process workers."""
+        return self._degraded_reason is not None
+
+    @property
+    def degraded_reason(self) -> Optional[str]:
+        return self._degraded_reason
+
+    def force_degrade(self, reason: str) -> None:
+        """Flip to degraded mode now (bench/test hook, and the terminal
+        state of restart-budget exhaustion)."""
+        with self._lock:
+            self._degraded_reason = reason
+            self._kill_all_locked()
+
+    # -- spawning -------------------------------------------------------
+
+    def _context(self) -> Any:
+        if self._ctx is None:
+            self._ctx = default_mp_context()
+        return self._ctx
+
+    def _spawn_locked(self, slot: int) -> Optional[WorkerHandle]:
+        from .worker import worker_main
+
+        ctx = self._context()
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self._worker_ids += 1
+        worker_id = self._worker_ids
+        try:
+            process = ctx.Process(
+                target=worker_main,
+                args=(child_conn, worker_id),
+                name=f"repro-shard-worker-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+        except BaseException:
+            parent_conn.close()
+            child_conn.close()
+            raise
+        child_conn.close()  # child holds its own copy
+        handle = WorkerHandle(slot, worker_id, process, parent_conn)
+        self._slots[slot] = handle
+        return handle
+
+    def _ensure_started_locked(self) -> None:
+        if self._started or self._closed or self.degraded:
+            return
+        self._started = True
+        for slot in range(self.workers):
+            if self._slots[slot] is None and not self._retired[slot]:
+                self._spawn_locked(slot)
+
+    def _respawn_due_locked(self) -> None:
+        """Respawn empty, non-retired slots whose backoff has elapsed."""
+        if self._closed or self.degraded or not self._started:
+            return
+        now = time.monotonic()
+        for slot in range(self.workers):
+            if (
+                self._slots[slot] is None
+                and not self._retired[slot]
+                and slot not in self._busy
+                and now >= self._not_before[slot]
+            ):
+                self._spawn_locked(slot)
+
+    # -- checkout -------------------------------------------------------
+
+    def acquire(self, count: int, timeout: float = 0.25) -> List[WorkerHandle]:
+        """Check out up to *count* live workers; may return fewer (or none).
+
+        Never blocks past *timeout*: the caller's contract is "use
+        whatever workers are available right now, run the rest of the
+        batch in-process" — degradation is always graceful, never a
+        stall.
+        """
+        deadline = time.monotonic() + timeout
+        acquired: List[WorkerHandle] = []
+        with self._lock:
+            if self._closed or self.degraded or count < 1:
+                return []
+            self._ensure_started_locked()
+            while True:
+                self._respawn_due_locked()
+                self._heartbeat_locked()
+                for slot, handle in enumerate(self._slots):
+                    if len(acquired) >= count:
+                        break
+                    if handle is None or slot in self._busy:
+                        continue
+                    if not handle.alive():
+                        self._retire_locked(handle, "found dead at checkout")
+                        continue
+                    self._busy[slot] = handle
+                    acquired.append(handle)
+                if acquired or self._closed or self.degraded:
+                    return acquired
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return acquired
+                self._lock.wait(remaining)
+
+    def release(self, handle: WorkerHandle) -> None:
+        """Return a healthy worker to the free set."""
+        with self._lock:
+            if self._busy.get(handle.slot) is handle:
+                del self._busy[handle.slot]
+            handle.last_seen = time.monotonic()
+            self._lock.notify_all()
+
+    # -- failure handling ----------------------------------------------
+
+    def kill(self, handle: WorkerHandle, reason: str) -> None:
+        """Forcibly terminate *handle* and schedule its slot's respawn.
+
+        The caller has decided the worker is untrustworthy (deadline
+        blown, corrupt reply, crash detected).  SIGKILL, not SIGTERM:
+        a hung worker may never service SIGTERM, and the worker holds
+        no state that needs a graceful exit — published segments are
+        parent-owned and attachments are copy-and-close.
+        """
+        with self._lock:
+            self.kills_total += 1
+            self._kill_handle_locked(handle)
+            self._retire_locked(handle, reason)
+            self._lock.notify_all()
+
+    def _kill_handle_locked(self, handle: WorkerHandle) -> None:
+        try:
+            if handle.process.is_alive():
+                handle.process.kill()
+            handle.process.join(timeout=5.0)
+        except (OSError, ValueError):  # pragma: no cover - already reaped
+            pass
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _retire_locked(self, handle: WorkerHandle, reason: str) -> None:
+        """Take a dead worker out of its slot; respawn or retire the slot."""
+        slot = handle.slot
+        if self._slots[slot] is not handle:
+            return  # already replaced
+        self._slots[slot] = None
+        self._busy.pop(slot, None)
+        if self._closed:
+            return
+        self._restarts[slot] += 1
+        self.restarts_total += 1
+        if self._restarts[slot] > self.max_restarts:
+            self._retired[slot] = True
+            if all(self._retired):
+                self._degraded_reason = (
+                    f"restart budget exhausted on every slot (last: {reason})"
+                )
+                self._kill_all_locked()
+            return
+        delay = min(
+            self.backoff * (2 ** (self._restarts[slot] - 1)), self.backoff_cap
+        )
+        self._not_before[slot] = time.monotonic() + delay
+
+    def quarantine(self, batch: QuarantinedBatch) -> None:
+        """Record a poisoned batch on the dead-letter queue."""
+        self.failures.append(batch)
+
+    # -- liveness -------------------------------------------------------
+
+    def _heartbeat_locked(self, force: bool = False) -> None:
+        now = time.monotonic()
+        for slot, handle in enumerate(self._slots):
+            if handle is None or slot in self._busy:
+                continue
+            if not force and now - handle.last_seen < self.heartbeat_interval:
+                continue
+            if not self._ping_locked(handle):
+                self._kill_handle_locked(handle)
+                self._retire_locked(handle, "heartbeat failed")
+
+    def _ping_locked(self, handle: WorkerHandle) -> bool:
+        if not handle.alive():
+            return False
+        try:
+            send_frame(handle.conn, {"op": "ping", "seq": -1})
+            if not handle.conn.poll(min(2.0, self.deadline)):
+                return False
+            reply = recv_frame(handle.conn)
+            ok = isinstance(reply, dict) and reply.get("op") == "pong"
+        except (OSError, EOFError, ValueError):
+            return False
+        if ok:
+            handle.last_seen = time.monotonic()
+        return ok
+
+    def heartbeat(self) -> int:
+        """Ping every idle worker now; returns the number alive after."""
+        with self._lock:
+            self._ensure_started_locked()
+            self._heartbeat_locked(force=True)
+            self._respawn_due_locked()
+            return sum(
+                1
+                for slot, handle in enumerate(self._slots)
+                if handle is not None and handle.alive()
+            )
+
+    # -- introspection / shutdown --------------------------------------
+
+    def live_workers(self) -> int:
+        with self._lock:
+            return sum(
+                1 for handle in self._slots if handle is not None and handle.alive()
+            )
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "live": sum(
+                    1 for h in self._slots if h is not None and h.alive()
+                ),
+                "retired_slots": sum(self._retired),
+                "restarts": self.restarts_total,
+                "kills": self.kills_total,
+                "quarantined": len(self.failures),
+                "degraded": self.degraded,
+                "degraded_reason": self._degraded_reason,
+            }
+
+    def _kill_all_locked(self) -> None:
+        for handle in self._slots:
+            if handle is not None:
+                self._kill_handle_locked(handle)
+        self._slots = [None] * self.workers
+        self._busy.clear()
+
+    def close(self) -> None:
+        """Shut every worker down.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = [h for h in self._slots if h is not None]
+            self._slots = [None] * self.workers
+            self._busy.clear()
+            self._lock.notify_all()
+        for handle in handles:
+            try:
+                send_frame(handle.conn, {"op": "shutdown"})
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        grace = time.monotonic() + 2.0
+        for handle in handles:
+            handle.process.join(timeout=max(0.0, grace - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:
+        if sys.is_finalizing():  # pragma: no cover - repr during shutdown
+            return "<WorkerSupervisor finalizing>"
+        stats = self.stats()
+        return (
+            f"<WorkerSupervisor {stats['live']}/{self.workers} live, "
+            f"restarts={stats['restarts']}, degraded={stats['degraded']}>"
+        )

@@ -1,0 +1,175 @@
+"""Shard-worker process: attach published bases, answer match batches.
+
+One worker is one OS process running :func:`worker_main` over a duplex
+pipe.  The loop is deliberately boring — receive a frame, validate it,
+answer it — because everything interesting (deadlines, retries,
+restarts, quarantine) lives parent-side in the supervisor, where a
+worker that stops being boring can be killed and replaced.
+
+Protocol (all messages are CRC frames, see :mod:`.framing`):
+
+``{"op": "ping", "seq": n}``
+    Liveness probe; answered with ``{"op": "pong", "seq": n, ...}``
+    carrying cache statistics.
+``{"op": "match", "seq": n, "relation": r, "epoch": e, "shm": name,
+"shm_len": b, "base_token": t, "overlay": idx | None, "removed": fs,
+"overlay_preds": tuple, "tuples": [...], "hang": secs}``
+    Attach/cached-load the base published under ``shm``, rebuild the
+    epoch snapshot with the inline overlay parts, match the tuple
+    chunk, reply ``{"op": "rows", "seq": n, "rows": [[ident, ...], ...]}``.
+    Rows carry identifiers, not predicates — the parent maps them back
+    to its own objects so results are identical to the in-process path.
+    ``hang`` is the deadline drill: sleep that long before answering.
+``{"op": "shutdown"}``
+    Reply ``{"op": "bye"}`` and exit 0.
+
+Failure answers: a request frame that fails CRC gets
+``{"op": "reject", "reason": "bad-frame", ...}`` (no side effects — the
+stream stays usable because frames are message-bounded); a missing
+shared-memory segment gets ``reason: "shm-missing"`` so the parent can
+republish and retry; any other exception is reported as
+``{"op": "error", ...}`` with a traceback string and the worker keeps
+serving.  Only an unreadable pipe ends the loop.
+"""
+
+from __future__ import annotations
+
+import pickle
+import signal
+import time
+import traceback
+from collections import OrderedDict
+from typing import Any, Dict, List
+
+from ..errors import FrameError
+from .framing import decode_frame, send_frame
+from .shm import attach_bytes
+
+__all__ = ["worker_main", "BASE_CACHE_SIZE"]
+
+#: Deserialised bases kept per worker (LRU).  Two covers the steady
+#: state — current generation plus the one a racing batch still holds.
+BASE_CACHE_SIZE = 2
+
+
+def _load_base(
+    cache: "OrderedDict[str, Any]", name: str, length: int
+) -> Any:
+    """The unpickled base for segment *name*, cached LRU."""
+    base = cache.get(name)
+    if base is not None:
+        cache.move_to_end(name)
+        return base
+    base = pickle.loads(attach_bytes(name, length))
+    cache[name] = base
+    while len(cache) > BASE_CACHE_SIZE:
+        cache.popitem(last=False)
+    return base
+
+
+def _match(msg: Dict[str, Any], cache: "OrderedDict[str, Any]") -> List[List[Any]]:
+    # imported here so a spawn-context worker pays the import once, and
+    # so this module stays importable without dragging the concurrency
+    # layer in at module load
+    from ..concurrency.shard import EpochSnapshot
+
+    base = _load_base(cache, msg["shm"], msg["shm_len"])
+    snapshot = EpochSnapshot(
+        msg["relation"],
+        msg["epoch"],
+        base,
+        msg["overlay"],
+        msg["removed"],
+        msg["overlay_preds"],
+    )
+    return [[pred.ident for pred in row] for row in snapshot.match_batch(msg["tuples"])]
+
+
+def worker_main(conn: Any, worker_id: int) -> None:
+    """Serve match requests on *conn* until shutdown or pipe loss."""
+    # a forked worker inherits the parent's installed FaultInjector;
+    # drills are driven parent-side, so the worker must run clean
+    from ..testing import faults
+
+    faults.uninstall()
+    # the supervisor owns this process's lifetime; Ctrl-C belongs to
+    # the parent, and SIGTERM (supervisor kill) should stay default so
+    # terminate() works
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    base_cache: "OrderedDict[str, Any]" = OrderedDict()
+    served = 0
+    while True:
+        try:
+            data = conn.recv_bytes()
+        except (EOFError, OSError):
+            break  # parent went away; nothing to clean up but the pipe
+        try:
+            msg = decode_frame(data)
+        except FrameError as exc:
+            # a torn request frame: reject without side effects; the
+            # message boundary is intact so the stream stays usable
+            try:
+                send_frame(conn, {"op": "reject", "reason": "bad-frame", "detail": str(exc)})
+            except OSError:
+                break
+            continue
+        op = msg.get("op")
+        try:
+            if op == "shutdown":
+                send_frame(conn, {"op": "bye", "id": worker_id})
+                break
+            if op == "ping":
+                send_frame(
+                    conn,
+                    {
+                        "op": "pong",
+                        "seq": msg.get("seq"),
+                        "id": worker_id,
+                        "served": served,
+                        "bases": len(base_cache),
+                    },
+                )
+                continue
+            if op != "match":
+                send_frame(
+                    conn,
+                    {"op": "reject", "reason": "bad-op", "detail": repr(op), "seq": msg.get("seq")},
+                )
+                continue
+            hang = msg.get("hang")
+            if hang:
+                time.sleep(hang)  # deadline drill: blow the budget
+            try:
+                rows = _match(msg, base_cache)
+            except FileNotFoundError:
+                # published segment is gone (early unlink / reclaimed
+                # generation): a publication miss, retryable parent-side
+                send_frame(
+                    conn,
+                    {"op": "reject", "reason": "shm-missing", "seq": msg.get("seq")},
+                )
+                continue
+            served += 1
+            send_frame(conn, {"op": "rows", "seq": msg.get("seq"), "rows": rows})
+        except (EOFError, OSError, BrokenPipeError):
+            break
+        except BaseException as exc:  # noqa: B036 - report, keep serving
+            try:
+                send_frame(
+                    conn,
+                    {
+                        "op": "error",
+                        "seq": msg.get("seq"),
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "traceback": traceback.format_exc(),
+                    },
+                )
+            except OSError:
+                break
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover
+        pass

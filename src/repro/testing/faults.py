@@ -41,6 +41,7 @@ re-inserts intervals — does not trip the same site again while healing.
 
 from __future__ import annotations
 
+import difflib
 import random
 from contextlib import contextmanager
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
@@ -76,6 +77,18 @@ FAULT_SITES: Tuple[str, ...] = (
     "journal.append",
     # engine layer: at the moment a rule action is invoked
     "engine.action",
+    # process-parallel matching tier: a shard worker SIGKILLed after a
+    # batch is dispatched but before it replies, a worker that hangs
+    # past the per-batch deadline, a torn/corrupted IPC frame, and a
+    # shared-memory segment unlinked while a worker still needs it.
+    # These sites fire on the supervisor side and are converted into
+    # the *real* failure (an actual SIGKILL, an actual oversized sleep,
+    # an actually corrupted frame, an actual early unlink), so the
+    # recovery they exercise is genuine, not simulated.
+    "worker.kill_before_reply",
+    "worker.hang",
+    "ipc.corrupt_frame",
+    "shm.unlink_early",
 )
 
 _FAULT_SITE_SET = frozenset(FAULT_SITES)
@@ -186,9 +199,20 @@ class FaultInjector:
 
 
 def _check_site(site: str) -> None:
+    """Reject unknown site names (called at construction AND arm time).
+
+    Validating when a site is *armed* — not just when it is eventually
+    hit — means a seeded CI drill that misspells a site fails loudly at
+    setup instead of silently never firing.  The message names the
+    nearest registered site so the typo is diagnosable from the CI log
+    alone.
+    """
     if site not in _FAULT_SITE_SET:
+        close = difflib.get_close_matches(site, FAULT_SITES, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise ValueError(
-            f"unknown fault site {site!r}; registered sites: {', '.join(FAULT_SITES)}"
+            f"unknown fault site {site!r}{hint}; registered sites: "
+            f"{', '.join(FAULT_SITES)}"
         )
 
 

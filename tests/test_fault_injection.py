@@ -536,4 +536,21 @@ class TestSiteCoverage:
             "persist.replace",
             "journal.append",
             "engine.action",
+            "worker.kill_before_reply",
+            "worker.hang",
+            "ipc.corrupt_frame",
+            "shm.unlink_early",
         }
+
+    def test_unknown_site_rejected_at_arm_time_with_suggestion(self):
+        # a misspelled site must fail when armed (not silently never
+        # fire at trigger time) and the error must name the nearest
+        # registered site so seeded CI failures are diagnosable
+        injector = FaultInjector()
+        with pytest.raises(ValueError, match="did you mean 'tree.insert'"):
+            injector.arm("tree.inserp")
+        with pytest.raises(ValueError, match="did you mean 'worker.hang'"):
+            FaultInjector(rate=0.5, sites=["worker.hangg"])
+        # a name nothing like any site still lists the registry
+        with pytest.raises(ValueError, match="registered sites"):
+            injector.arm("zzz")
