@@ -71,9 +71,20 @@ def _measure_concurrency(scenario):
     )
 
 
+def _measure_autoselect(scenario):
+    from repro.bench.runner import run_autoselect
+
+    return run_autoselect(
+        scenarios=scenario.get("families"),
+        seed=scenario["seed"],
+        scale=scenario.get("scale", 1.0),
+    )
+
+
 EXPERIMENTS["batch"] = ("BENCH_batch.json", _measure_batch)
 EXPERIMENTS["rebuild"] = ("BENCH_rebuild.json", _measure_rebuild)
 EXPERIMENTS["concurrency"] = ("BENCH_concurrency.json", _measure_concurrency)
+EXPERIMENTS["autoselect"] = ("BENCH_autoselect.json", _measure_autoselect)
 
 
 def row_key(row):
@@ -87,6 +98,8 @@ def throughput(row):
     """(metric name, higher-is-better value) for one row."""
     if "tuples_per_s" in row:
         return "tuples_per_s", float(row["tuples_per_s"])
+    if "ops_per_s" in row:
+        return "ops_per_s", float(row["ops_per_s"])
     if "bulk_ms" in row:
         return "1/bulk_ms", 1.0 / float(row["bulk_ms"])
     raise SystemExit(f"row has no throughput metric: {row!r}")

@@ -13,6 +13,7 @@ import sys
 
 from repro.bench.runner import (
     main,
+    print_autoselect,
     print_ablation_balancing,
     print_ablation_indexes,
     print_ablation_multiclause,
@@ -29,6 +30,7 @@ from repro.bench.runner import (
     print_stab_cache,
     run_ablation_balancing,
     run_ablation_indexes,
+    run_autoselect,
     run_ablation_multiclause,
     run_ablation_selectivity,
     run_batch,
@@ -57,6 +59,7 @@ RUNNERS = {
     "rebuild": print_rebuild,
     "stabcache": print_stab_cache,
     "concurrency": print_concurrency,
+    "autoselect": print_autoselect,
 }
 
 #: Reduced-scale arguments per experiment for ``--smoke``.  Each entry
@@ -85,6 +88,10 @@ SMOKE = {
                     {"predicates": 300, "distinct_values": 100,
                      "batch_size": 50, "rounds": 4, "repeats": 1},
                     print_concurrency),
+    "autoselect": (run_autoselect,
+                   {"scale": 0.25, "repeats": 1, "calibration_samples": 60,
+                    "calibration_sizes": (16, 128)},
+                   print_autoselect),
 }
 
 

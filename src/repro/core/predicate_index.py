@@ -60,7 +60,7 @@ from ..match.catalog import (
     RelationState,
     compile_residual as _compile_residual,  # noqa: F401  (compat re-export)
 )
-from ..match.observer import MatchStatistics, StatsObserver
+from ..match.observer import CompositeObserver, MatchStatistics, StatsObserver
 from ..match.pipeline import MatchPipeline
 from ..match.store import TreeStore
 from ..predicates.predicate import Predicate
@@ -138,6 +138,34 @@ class PredicateIndex:
         is not installed or the batch leaves the plane's numeric
         domain; the scalar pipeline remains the semantics of record.
         Ignored under ``adaptive`` and multi-clause indexing.
+    auto_backend:
+        Enable online per-attribute backend auto-selection (see
+        :mod:`repro.match.autoselect`): the pipeline reports
+        per-attribute stab counts, the write paths report interval
+        inserts/deletes, and :meth:`autoselect` prices every candidate
+        backend against the observed workload and transactionally
+        migrates an attribute's tree to the predicted cheapest — the
+        same evidence-floor / hysteresis / quarantine discipline
+        :meth:`retune` applies to entry clauses, one level down the
+        storage stack.  Also reachable as
+        ``Database(matcher="auto")`` through the registry.
+    autoselect_interval:
+        When set (and ``auto_backend``), :meth:`autoselect` runs
+        automatically every N matched tuples; ``None`` leaves tuning
+        passes manual.
+    auto_candidates:
+        Candidate backend names for auto-selection; defaults to the
+        four IBS-tree variants.
+    auto_cost_table:
+        A pre-calibrated
+        :class:`~repro.bench.cost_model.BackendCostTable`; measured
+        lazily on the first pass when omitted.
+    min_evidence_ops:
+        Evidence floor for auto-selection: no migration before this
+        many logical operations were observed for an attribute.
+    auto_migration_ratio:
+        Auto-selection hysteresis: migrate only when the best
+        candidate prices below ``current * auto_migration_ratio``.
     """
 
     #: Strategy name (matches the PredicateMatcher convention).
@@ -154,13 +182,23 @@ class PredicateIndex:
         migration_ratio: float = 0.5,
         auto_retune_interval: Optional[int] = None,
         columnar: bool = False,
+        auto_backend: bool = False,
+        autoselect_interval: Optional[int] = None,
+        auto_candidates: Optional[Iterable[str]] = None,
+        auto_cost_table: Any = None,
+        min_evidence_ops: int = 512,
+        auto_migration_ratio: float = 0.8,
     ):
+        backend_name: Optional[str] = None
         if isinstance(tree_factory, str):
             # Imported here, not at module top: the registry's builders
             # import this module lazily and vice versa.
             from ..match.registry import DEFAULT_REGISTRY
 
+            backend_name = tree_factory
             tree_factory = DEFAULT_REGISTRY.tree_factory(tree_factory)
+        elif tree_factory is IBSTree:
+            backend_name = "ibs"
         self._tree_factory = tree_factory
         self._adaptive = bool(adaptive)
         self._migration_ratio = float(migration_ratio)
@@ -177,10 +215,29 @@ class PredicateIndex:
         self._catalog = ClauseCatalog(estimator, multi_clause)
         self._store = TreeStore(tree_factory, stab_cache_size)
         self._observer = StatsObserver(MatchStatistics())
+        self._selector: Any = None
+        self._autoselect_interval = autoselect_interval
+        self._tuples_since_autoselect = 0
+        pipeline_observer: Any = self._observer
+        if auto_backend:
+            from ..match.autoselect import DEFAULT_CANDIDATES, AutoSelector
+
+            self._selector = AutoSelector(
+                candidates=tuple(auto_candidates)
+                if auto_candidates is not None
+                else DEFAULT_CANDIDATES,
+                cost_table=auto_cost_table,
+                min_evidence_ops=min_evidence_ops,
+                migration_ratio=auto_migration_ratio,
+                default_backend=backend_name,
+            )
+            pipeline_observer = CompositeObserver(
+                [self._observer, self._selector.observer]
+            )
         self._pipeline = MatchPipeline(
             self._catalog,
             self._store,
-            self._observer,
+            pipeline_observer,
             feedback=self.feedback,
             adaptive=self._adaptive,
             columnar=bool(columnar),
@@ -296,7 +353,10 @@ class PredicateIndex:
         a tree insert) leaves no trace of the predicate behind.
         """
         self._check_mutable()
-        return self._catalog.register(self._store, predicate)
+        ident = self._catalog.register(self._store, predicate)
+        if self._selector is not None:
+            self._observe_write(ident, insert=True)
+        return ident
 
     def add_many(self, predicates: Iterable[Predicate]) -> List[Hashable]:
         """Bulk-register *predicates*; returns their identifiers in order.
@@ -314,12 +374,31 @@ class PredicateIndex:
         removed again before the exception propagates.
         """
         self._check_mutable()
-        return self._catalog.register_many(self._store, predicates)
+        idents = self._catalog.register_many(self._store, predicates)
+        if self._selector is not None:
+            for ident in idents:
+                self._observe_write(ident, insert=True)
+        return idents
 
     def remove(self, ident: Hashable) -> Predicate:
         """Un-index and return the predicate registered under *ident*."""
         self._check_mutable()
+        if self._selector is not None:
+            # capture the entry attributes before they are unregistered
+            self._observe_write(ident, insert=False)
         return self._catalog.unregister(self._store, ident)
+
+    def _observe_write(self, ident: Hashable, insert: bool) -> None:
+        """Feed one registration/removal into the selector's evidence."""
+        relation = self._catalog.relation_of.get(ident)
+        if relation is None:
+            return
+        evidence = self._selector.evidence
+        for attribute in self._catalog.indexed_attributes(ident):
+            if insert:
+                evidence.observe_insert(relation, attribute)
+            else:
+                evidence.observe_delete(relation, attribute)
 
     # -- matching ----------------------------------------------------------
 
@@ -328,6 +407,8 @@ class PredicateIndex:
         matched = self._pipeline.match(relation, tup)
         if self._adaptive:
             self._maybe_auto_retune(relation, 1)
+        if self._selector is not None:
+            self._maybe_autoselect(relation, 1)
         return matched
 
     def match_idents(self, relation: str, tup: Mapping[str, Any]) -> Set[Hashable]:
@@ -335,6 +416,8 @@ class PredicateIndex:
         matched = self._pipeline.match_idents(relation, tup)
         if self._adaptive:
             self._maybe_auto_retune(relation, 1)
+        if self._selector is not None:
+            self._maybe_autoselect(relation, 1)
         return matched
 
     def match_with_candidates(
@@ -366,6 +449,8 @@ class PredicateIndex:
         results = self._pipeline.match_batch(relation, tuple_list)
         if self._adaptive:
             self._maybe_auto_retune(relation, len(tuple_list))
+        if self._selector is not None:
+            self._maybe_autoselect(relation, len(tuple_list))
         return results
 
     # -- adaptive entry-clause migration -----------------------------------
@@ -411,6 +496,103 @@ class PredicateIndex:
             self._observer,
             relation,
         )
+
+    # -- backend auto-selection --------------------------------------------
+
+    def _maybe_autoselect(self, relation: str, count: int) -> None:
+        """Run :meth:`autoselect` when the tuning interval elapses."""
+        interval = self._autoselect_interval
+        if not interval or self._frozen:
+            return
+        self._tuples_since_autoselect += count
+        if self._tuples_since_autoselect >= interval:
+            self._tuples_since_autoselect = 0
+            self.autoselect(relation)
+
+    def autoselect(self, relation: Optional[str] = None) -> List[Any]:
+        """One cost-driven backend-selection pass; returns the decisions.
+
+        For every attribute tree of *relation* (or of every relation)
+        whose evidence window cleared the floor, price each candidate
+        backend against the observed stab/insert/delete mix and —
+        when the best one beats the current backend by the hysteresis
+        margin — transactionally rebuild the attribute's tree on it
+        (``bulk_load``, epoch bump, stab-cache clear, version bump).
+        Failed migrations are quarantined and the pass continues.  See
+        :class:`~repro.match.autoselect.AutoSelector` for the
+        discipline's knobs; decisions are
+        :class:`~repro.match.autoselect.BackendDecision` records.
+        """
+        self._check_mutable()
+        if self._selector is None:
+            raise PredicateError(
+                "backend auto-selection is disabled; construct the index "
+                "with auto_backend=True (or Database(matcher='auto'))"
+            )
+        return self._selector.run_pass(
+            self._catalog, self._store, self._pipeline.observer, relation
+        )
+
+    def tuning_report(self) -> Dict[str, Any]:
+        """Introspect the auto-selection loop's state.
+
+        Returns the selector's evidence windows, the latest
+        per-attribute decisions (including kept ones), the committed
+        migration history, active quarantines, and the current
+        per-attribute backend map.
+        """
+        if self._selector is None:
+            raise PredicateError(
+                "backend auto-selection is disabled; construct the index "
+                "with auto_backend=True (or Database(matcher='auto'))"
+            )
+        report = self._selector.report()
+        report["attribute_backends"] = {
+            relation: self.attribute_backends(relation)
+            for relation in self._catalog.relations
+        }
+        return report
+
+    def attribute_backends(self, relation: str) -> Dict[str, Optional[str]]:
+        """``attribute -> backend name`` for *relation*'s live trees.
+
+        Attributes still on the store-wide default report the default
+        backend's registry name, or ``None`` when the index was built
+        with an anonymous factory.
+        """
+        state = self._catalog.relations.get(relation)
+        if state is None:
+            return {}
+        default = None
+        if self._selector is not None:
+            default = self._selector.default_backend
+        elif self._tree_factory is IBSTree:
+            default = "ibs"
+        result: Dict[str, Optional[str]] = {}
+        for attribute in state.trees:
+            override = state.tree_backends.get(attribute)
+            result[attribute] = override[0] if override else default
+        return result
+
+    def set_backend_plan(
+        self, plan: Mapping[str, Mapping[str, Tuple[str, Callable[[], Any]]]]
+    ) -> None:
+        """Seed the catalog's durable per-attribute backend plan.
+
+        Used by the concurrent facade when it builds a fresh frozen
+        base: the plan makes every future tree construction (including
+        this index's first ``add_many``) come up on the auto-selected
+        backends.  Existing live trees are not rebuilt — call
+        :meth:`autoselect` or rebuild for that.
+        """
+        self._catalog.backend_plan = {
+            relation: dict(per_attribute)
+            for relation, per_attribute in plan.items()
+        }
+        for relation, per_attribute in self._catalog.backend_plan.items():
+            state = self._catalog.relations.get(relation)
+            if state is not None:
+                state.tree_backends.update(per_attribute)
 
     # -- introspection ---------------------------------------------------------
 

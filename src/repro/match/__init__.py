@@ -47,6 +47,13 @@ from .pipeline import (
 )
 from . import health
 from .columnar import HAVE_NUMPY, build_relation_plane
+from .autoselect import (
+    AttributeProfile,
+    AutoSelector,
+    BackendDecision,
+    EvidenceObserver,
+    migrate_attribute_tree,
+)
 from .registry import (
     BackendRegistry,
     DEFAULT_REGISTRY,
@@ -71,6 +78,11 @@ __all__ = [
     "health",
     "HAVE_NUMPY",
     "build_relation_plane",
+    "AttributeProfile",
+    "AutoSelector",
+    "BackendDecision",
+    "EvidenceObserver",
+    "migrate_attribute_tree",
     "BackendRegistry",
     "DEFAULT_REGISTRY",
     "register_backend",

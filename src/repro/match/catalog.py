@@ -83,6 +83,7 @@ class RelationState:
         "epoch_floor",
         "version",
         "columnar_plane",
+        "tree_backends",
     )
 
     def __init__(self) -> None:
@@ -133,6 +134,14 @@ class RelationState:
         #: snapshot and shared by lock-free readers (single attribute
         #: assignment; concurrent builders compute equal planes).
         self.columnar_plane: Optional[Tuple[int, Any]] = None
+        #: attribute -> ``(backend name, tree factory)`` override,
+        #: written by the auto-selector (:mod:`repro.match.autoselect`)
+        #: when it migrates an attribute's tree off the store-wide
+        #: default.  Consulted by :meth:`TreeStore.new_tree` /
+        #: ``build_tree`` so the pick survives rebuilds and rollbacks;
+        #: seeded from the catalog's ``backend_plan`` when the state
+        #: record is (re-)created.
+        self.tree_backends: Dict[str, Tuple[str, Any]] = {}
 
 
 class ClauseCatalog:
@@ -162,6 +171,12 @@ class ClauseCatalog:
         self.relations: Dict[str, RelationState] = {}
         #: ident -> relation routing map
         self.relation_of: Dict[Hashable, str] = {}
+        #: relation -> attribute -> ``(backend name, factory)``: the
+        #: auto-selector's durable per-attribute picks.  A relation's
+        #: state record can be dropped (last predicate removed) and
+        #: recreated later; the plan outlives it and re-seeds
+        #: ``RelationState.tree_backends`` on recreation.
+        self.backend_plan: Dict[str, Dict[str, Tuple[str, Any]]] = {}
 
     # -- normalization and entry-clause selection ----------------------
 
@@ -189,6 +204,16 @@ class ClauseCatalog:
 
     # -- registration ---------------------------------------------------
 
+    def _state_for(self, relation: str) -> RelationState:
+        """The relation's state record, created (and plan-seeded) on demand."""
+        state = self.relations.get(relation)
+        if state is None:
+            state = self.relations[relation] = RelationState()
+            plan = self.backend_plan.get(relation)
+            if plan:
+                state.tree_backends = dict(plan)
+        return state
+
     def register(self, store: Any, predicate: Predicate) -> Hashable:
         """Index *predicate*; returns its identifier.
 
@@ -200,7 +225,7 @@ class ClauseCatalog:
         ident = normalized.ident
         if ident in self.relation_of:
             raise PredicateError(f"predicate ident {ident!r} already indexed")
-        state = self.relations.setdefault(normalized.relation, RelationState())
+        state = self._state_for(normalized.relation)
         try:
             self.enter_clauses(store, state, ident, normalized)
         except BaseException:
@@ -243,7 +268,7 @@ class ClauseCatalog:
         added: List[Tuple[str, Hashable]] = []
         try:
             for relation, group in by_relation.items():
-                state = self.relations.setdefault(relation, RelationState())
+                state = self._state_for(relation)
                 fresh: Dict[str, List[Tuple[Any, Hashable]]] = {}
                 for normalized in group:
                     ident = normalized.ident
@@ -266,7 +291,9 @@ class ClauseCatalog:
                         else:
                             tree.insert(clause.interval, ident)
                 for attribute, pairs in fresh.items():
-                    state.trees[attribute] = store.build_tree(state, pairs)
+                    state.trees[attribute] = store.build_tree(
+                        state, pairs, attribute
+                    )
                     state.stab_cache.clear()  # tree map changed shape
                 state.version += 1
         except BaseException:
@@ -292,7 +319,9 @@ class ClauseCatalog:
         for clause in entry_clauses:
             tree = state.trees.get(clause.attribute)
             if tree is None:
-                tree = state.trees[clause.attribute] = store.new_tree(state)
+                tree = state.trees[clause.attribute] = store.new_tree(
+                    state, clause.attribute
+                )
                 state.stab_cache.clear()  # tree map changed shape
             tree.insert(clause.interval, ident)
         state.indexed_under[ident] = tuple(
@@ -423,7 +452,7 @@ class ClauseCatalog:
         new_tree = state.trees.get(new_attr)
         created = new_tree is None
         if created:
-            new_tree = store.new_tree(state)
+            new_tree = store.new_tree(state, new_attr)
         old_tree.delete(ident)
         try:
             new_tree.insert(clause.interval, ident)
@@ -489,7 +518,7 @@ class ClauseCatalog:
                 clause.attribute for clause in entry_clauses
             )
         for attribute, pairs in per_attribute.items():
-            state.trees[attribute] = store.build_tree(state, pairs)
+            state.trees[attribute] = store.build_tree(state, pairs, attribute)
 
     # -- residual cache -------------------------------------------------
 

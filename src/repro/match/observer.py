@@ -37,7 +37,9 @@ and cached paths deliberately reduce:
 * ``batches_matched`` — :meth:`match_batch` invocations;
 * ``residual_memo_hits`` — residual verdicts reused from the
   per-batch memo;
-* ``clause_migrations`` — adaptive entry-clause migrations performed.
+* ``clause_migrations`` — adaptive entry-clause migrations performed;
+* ``backend_migrations`` — auto-selected tree-backend migrations
+  performed (see :mod:`repro.match.autoselect`).
 """
 
 from __future__ import annotations
@@ -73,6 +75,7 @@ class MatchStatistics:
         "residual_memo_hits",
         "stab_cache_hits",
         "clause_migrations",
+        "backend_migrations",
     )
 
     #: Counters whose value depends only on the workload, never on the
@@ -100,6 +103,7 @@ class MatchStatistics:
         self.residual_memo_hits = 0
         self.stab_cache_hits = 0
         self.clause_migrations = 0
+        self.backend_migrations = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Counters as a plain dict (for reports)."""
@@ -126,6 +130,13 @@ class MatchObserver:
 
     __slots__ = ()
 
+    #: Set True by observers that need :meth:`on_attribute_stabs`.
+    #: The per-attribute breakdown costs the batched stab stage an
+    #: extra counting pass, so the pipeline checks this flag once per
+    #: call and skips the bookkeeping entirely for observers (the
+    #: default) that never read it.
+    wants_attribute_stabs = False
+
     def on_route(self, relation: str, count: int, batched: bool) -> None:
         """*count* tuples of *relation* entered the pipeline.
 
@@ -139,6 +150,16 @@ class MatchObserver:
         """The stab stage ran: *probes* logical attribute probes were
         answered by *descents* actual tree descents plus *cache_hits*
         stab-cache hits."""
+
+    def on_attribute_stabs(self, relation: str, counts: Dict[str, int]) -> None:
+        """Per-attribute breakdown of the stab stage's logical probes.
+
+        *counts* maps attribute name to the number of logical probes
+        its tree absorbed (path-independent: batch and per-tuple runs
+        report the same totals).  Fired only when
+        :attr:`wants_attribute_stabs` is True; the dict is owned by the
+        pipeline and must be copied if retained.
+        """
 
     def on_candidates(
         self, relation: str, partial: int, non_indexable: int
@@ -159,6 +180,16 @@ class MatchObserver:
     ) -> None:
         """An adaptive pass migrated *ident*'s entry clause between
         attribute trees."""
+
+    def on_backend_migration(
+        self,
+        relation: str,
+        attribute: str,
+        old_backend: Optional[str],
+        new_backend: str,
+    ) -> None:
+        """An auto-selection pass rebuilt *attribute*'s tree on a new
+        backend (see :mod:`repro.match.autoselect`)."""
 
 
 class StatsObserver(MatchObserver):
@@ -204,14 +235,26 @@ class StatsObserver(MatchObserver):
     ) -> None:
         self.stats.clause_migrations += 1
 
+    def on_backend_migration(
+        self,
+        relation: str,
+        attribute: str,
+        old_backend: Optional[str],
+        new_backend: str,
+    ) -> None:
+        self.stats.backend_migrations += 1
+
 
 class CompositeObserver(MatchObserver):
     """Fan one stream of stage events out to several observers."""
 
-    __slots__ = ("observers",)
+    __slots__ = ("observers", "wants_attribute_stabs")
 
     def __init__(self, observers: Sequence[MatchObserver]) -> None:
         self.observers = tuple(observers)
+        self.wants_attribute_stabs = any(
+            observer.wants_attribute_stabs for observer in self.observers
+        )
 
     def on_route(self, relation: str, count: int, batched: bool) -> None:
         for observer in self.observers:
@@ -222,6 +265,11 @@ class CompositeObserver(MatchObserver):
     ) -> None:
         for observer in self.observers:
             observer.on_stab(relation, probes, descents, cache_hits)
+
+    def on_attribute_stabs(self, relation: str, counts: Dict[str, int]) -> None:
+        for observer in self.observers:
+            if observer.wants_attribute_stabs:
+                observer.on_attribute_stabs(relation, counts)
 
     def on_candidates(
         self, relation: str, partial: int, non_indexable: int
@@ -242,3 +290,15 @@ class CompositeObserver(MatchObserver):
     ) -> None:
         for observer in self.observers:
             observer.on_migration(relation, ident, old_attribute, new_attribute)
+
+    def on_backend_migration(
+        self,
+        relation: str,
+        attribute: str,
+        old_backend: Optional[str],
+        new_backend: str,
+    ) -> None:
+        for observer in self.observers:
+            observer.on_backend_migration(
+                relation, attribute, old_backend, new_backend
+            )

@@ -19,7 +19,7 @@ shares:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, Iterable, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterable, Optional, Tuple
 
 from .catalog import RelationState
 
@@ -60,7 +60,9 @@ class TreeStore:
 
     # -- tree lifecycle -------------------------------------------------
 
-    def new_tree(self, state: RelationState) -> Any:
+    def new_tree(
+        self, state: RelationState, attribute: Optional[str] = None
+    ) -> Any:
         """Create a tree whose epochs continue from the relation's floor.
 
         Fresh backends start at epoch 0; without the floor a tree
@@ -68,8 +70,19 @@ class TreeStore:
         reissue epochs 1, 2, 3 … and an ``(attribute, tree_epoch)``
         cache key (or an epoch-snapshot reader) could silently confuse
         the two generations.
+
+        When *attribute* is given and the relation carries a
+        per-attribute backend override (``state.tree_backends``, written
+        by the auto-selector), that backend's factory is used instead of
+        the store-wide default — this is what makes an auto-selected
+        pick survive rebuilds, rollbacks and snapshot compactions.
         """
-        tree = self.tree_factory()
+        factory = self.tree_factory
+        if attribute is not None and state.tree_backends:
+            override = state.tree_backends.get(attribute)
+            if override is not None:
+                factory = override[1]
+        tree = factory()
         floor = state.epoch_floor
         if floor and hasattr(tree, "epoch"):
             tree.epoch = floor
@@ -97,15 +110,20 @@ class TreeStore:
         state.stab_cache.clear()
 
     def build_tree(
-        self, state: RelationState, pairs: Iterable[Tuple[Any, Hashable]]
+        self,
+        state: RelationState,
+        pairs: Iterable[Tuple[Any, Hashable]],
+        attribute: Optional[str] = None,
     ) -> Any:
         """A fresh tree over ``(interval, ident)`` *pairs*.
 
         Uses the backend's ``bulk_load`` when it has one — sorted
         endpoints, balanced structure, no per-insert rotations — and
         falls back to incremental construction for foreign backends.
+        *attribute* routes through the same per-attribute backend
+        override as :meth:`new_tree`.
         """
-        tree = self.new_tree(state)
+        tree = self.new_tree(state, attribute)
         loader = getattr(tree, "bulk_load", None)
         if loader is not None:
             loader(pairs)

@@ -6,6 +6,13 @@ from .generator import (
     ScenarioWorkload,
     non_indexable_probe,
 )
+from .scenarios import (
+    SCENARIO_FAMILIES,
+    ScenarioSpec,
+    SyntheticScenario,
+    scenario_names,
+    synthesize,
+)
 from .schemas import (
     DEPARTMENTS,
     JOBS,
@@ -21,6 +28,11 @@ __all__ = [
     "ScenarioConfig",
     "ScenarioWorkload",
     "non_indexable_probe",
+    "ScenarioSpec",
+    "SyntheticScenario",
+    "SCENARIO_FAMILIES",
+    "scenario_names",
+    "synthesize",
     "emp_schema",
     "grocery_schema",
     "wide_schema",

@@ -60,4 +60,33 @@ def test_describe_requires_argument(capsys):
 def test_unknown_command_mentions_new_subcommands(capsys):
     assert main(["repro", "bogus"]) == 2
     err = capsys.readouterr().err
-    assert "backends" in err and "describe" in err
+    assert "backends" in err and "describe" in err and "tune" in err
+
+
+def test_tune_prints_cost_table_and_picks(capsys):
+    assert main(["repro", "tune", "--quick", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "calibrated backend costs" in out
+    # every auto-selection candidate backend gets a cost-model line
+    for backend in ("ibs", "avl", "rb", "flat"):
+        assert f"  {backend}" in out
+        assert "stab@1000" in out
+    # every scenario family gets a picks section with live backends
+    assert "per-attribute picks" in out
+    from repro.workloads.scenarios import scenario_names
+
+    for family in scenario_names():
+        assert f"  {family}:" in out
+    assert "live backends:" in out
+    # decisions print with their pricing rationale (arrow notation)
+    assert " -> " in out
+
+
+def test_tune_bad_seed_is_usage_error(capsys):
+    assert main(["repro", "tune", "--seed", "nope"]) == 2
+    assert "usage" in capsys.readouterr().err
+
+
+def test_tune_seed_flag_without_value_is_usage_error(capsys):
+    assert main(["repro", "tune", "--seed"]) == 2
+    assert "usage" in capsys.readouterr().err
