@@ -12,7 +12,7 @@ path".
 
 Usage::
 
-    python benchmarks/compare_bench.py                 # all three experiments
+    python benchmarks/compare_bench.py                 # every experiment
     python benchmarks/compare_bench.py batch           # just BENCH_batch.json
     python benchmarks/compare_bench.py --threshold 0.1
     python benchmarks/compare_bench.py --against DIR   # diff two file sets,
@@ -25,7 +25,8 @@ before the benchmark modules overwrite them.
 
 Throughput metrics: rows carrying ``tuples_per_s`` compare on it
 directly (higher is better); rebuild rows compare on ``1 / bulk_ms``
-(bulk-load latency, lower is better).  Rows are matched on every
+(bulk-load latency, lower is better); disk-tier cold-start rows
+compare on ``1 / coldstart_s``.  Rows are matched on every
 non-float field (backend, mode, order, workers, …); a fresh/baseline
 row without a partner is an error, not a skip — silent shape drift is
 how regressions hide.
@@ -59,6 +60,14 @@ def _measure_rebuild(scenario):
     )
 
 
+def _measure_coldstart(scenario):
+    from repro.bench.runner import run_coldstart
+
+    return run_coldstart(
+        predicates=scenario["predicates"], probes=scenario.get("probes", 100)
+    )
+
+
 def _measure_concurrency(scenario):
     from repro.bench.runner import run_concurrency
 
@@ -81,10 +90,16 @@ def _measure_autoselect(scenario):
     )
 
 
-EXPERIMENTS["batch"] = ("BENCH_batch.json", _measure_batch)
-EXPERIMENTS["rebuild"] = ("BENCH_rebuild.json", _measure_rebuild)
-EXPERIMENTS["concurrency"] = ("BENCH_concurrency.json", _measure_concurrency)
-EXPERIMENTS["autoselect"] = ("BENCH_autoselect.json", _measure_autoselect)
+#: experiment key -> (file name, measure, optional sub-document key).
+#: A sub-document key means the experiment's scenario/rows live under
+#: that key of the file instead of at top level (BENCH_rebuild.json
+#: carries the rebuild rows at top level and the cold-start experiment
+#: under "coldstart").
+EXPERIMENTS["batch"] = ("BENCH_batch.json", _measure_batch, None)
+EXPERIMENTS["rebuild"] = ("BENCH_rebuild.json", _measure_rebuild, None)
+EXPERIMENTS["coldstart"] = ("BENCH_rebuild.json", _measure_coldstart, "coldstart")
+EXPERIMENTS["concurrency"] = ("BENCH_concurrency.json", _measure_concurrency, None)
+EXPERIMENTS["autoselect"] = ("BENCH_autoselect.json", _measure_autoselect, None)
 
 
 def row_key(row):
@@ -102,6 +117,10 @@ def throughput(row):
         return "ops_per_s", float(row["ops_per_s"])
     if "bulk_ms" in row:
         return "1/bulk_ms", 1.0 / float(row["bulk_ms"])
+    if "coldstart_s" in row:
+        # cold-start latency, lower is better — guards the lazy
+        # segment-attach path against quietly re-growing a rebuild
+        return "1/coldstart_s", 1.0 / float(row["coldstart_s"])
     raise SystemExit(f"row has no throughput metric: {row!r}")
 
 
@@ -189,19 +208,24 @@ def main(argv=None):
 
     failures = 0
     for key in selected:
-        file_name, measure = EXPERIMENTS[key]
+        file_name, measure, section = EXPERIMENTS[key]
+        label = file_name if section is None else f"{file_name}[{section}]"
         if args.against:
             baseline_doc = load(Path(args.against) / file_name)
             fresh_doc = load(REPO_ROOT / file_name)
-            fresh_rows = fresh_doc["rows"]
+            baseline_part = baseline_doc if section is None else baseline_doc[section]
+            fresh_rows = (
+                fresh_doc if section is None else fresh_doc[section]
+            )["rows"]
         else:
             baseline_doc = load(REPO_ROOT / file_name)
-            print(f"{file_name}: re-measuring at scenario scale "
-                  f"{baseline_doc['scenario']} ...")
-            fresh_rows = measure(baseline_doc["scenario"])
-        print(f"{file_name} (threshold {args.threshold:.0%}):")
+            baseline_part = baseline_doc if section is None else baseline_doc[section]
+            print(f"{label}: re-measuring at scenario scale "
+                  f"{baseline_part['scenario']} ...")
+            fresh_rows = measure(baseline_part["scenario"])
+        print(f"{label} (threshold {args.threshold:.0%}):")
         for line, regressed in compare_rows(
-            file_name, baseline_doc["rows"], fresh_rows, args.threshold
+            label, baseline_part["rows"], fresh_rows, args.threshold
         ):
             print(line)
             failures += regressed

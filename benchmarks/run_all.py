@@ -3,7 +3,7 @@
 
 Equivalent to ``python -m repro.bench.runner``.  Individual figures::
 
-    python benchmarks/run_all.py fig7 fig8 fig9 cost space abl1 abl2 e2e batch rebuild stabcache concurrency
+    python benchmarks/run_all.py fig7 fig8 fig9 cost space abl1 abl2 e2e batch rebuild coldstart stabcache concurrency
 
 ``--smoke`` runs every selected experiment (default: all) at a reduced
 scale — a fast sanity pass for CI, not a measurement.
@@ -19,6 +19,7 @@ from repro.bench.runner import (
     print_ablation_multiclause,
     print_ablation_selectivity,
     print_batch,
+    print_coldstart,
     print_concurrency,
     print_cost_model,
     print_e2e,
@@ -34,6 +35,7 @@ from repro.bench.runner import (
     run_ablation_multiclause,
     run_ablation_selectivity,
     run_batch,
+    run_coldstart,
     run_concurrency,
     run_e2e,
     run_fig7,
@@ -57,6 +59,7 @@ RUNNERS = {
     "e2e": print_e2e,
     "batch": print_batch,
     "rebuild": print_rebuild,
+    "coldstart": print_coldstart,
     "stabcache": print_stab_cache,
     "concurrency": print_concurrency,
     "autoselect": print_autoselect,
@@ -80,6 +83,8 @@ SMOKE = {
     "batch": (run_batch, {"predicates": 500, "batch_size": 100, "repeats": 1},
               print_batch),
     "rebuild": (run_rebuild, {"intervals": 300, "repeats": 1}, print_rebuild),
+    "coldstart": (run_coldstart, {"predicates": 300, "probes": 20, "repeats": 1},
+                  print_coldstart),
     "stabcache": (run_stab_cache,
                   {"predicates": 200, "tuples": 500, "distinct_values": 32,
                    "cache_size": 256, "repeats": 1},

@@ -9,6 +9,8 @@ Subcommands::
     python -m repro describe NAME     # capability card for one backend/matcher
     python -m repro tune              # calibrated cost table + per-scenario
                                       # auto-selection picks (--quick, --seed N)
+    python -m repro segments DIR      # list a disk tier's segment files,
+                                      # verifying every checksum
 """
 
 from __future__ import annotations
@@ -212,6 +214,51 @@ def _tune(arguments: list) -> int:
     return 0
 
 
+def _segments(data_dir: str) -> int:
+    """List every segment file under *data_dir* with checksum verification.
+
+    Walks ``data_dir`` for ``*.seg`` files, opens each with a full
+    payload-CRC verify, and prints one line per segment.  Exit status:
+    0 when every segment verifies, 1 when any is corrupt or unreadable.
+    """
+    import os
+
+    from .disk.segment import SEGMENT_SUFFIX, SegmentReader
+    from .errors import CorruptSegmentError
+
+    if not os.path.isdir(data_dir):
+        print(f"not a directory: {data_dir}", file=sys.stderr)
+        return 2
+    paths = []
+    for root, _dirs, files in os.walk(data_dir):
+        for name in sorted(files):
+            if name.endswith(SEGMENT_SUFFIX):
+                paths.append(os.path.join(root, name))
+    paths.sort()
+    if not paths:
+        print(f"no segment files under {data_dir}")
+        return 0
+    bad = 0
+    for path in paths:
+        rel = os.path.relpath(path, data_dir)
+        try:
+            reader = SegmentReader(path)
+            try:
+                reader.verify()
+                print(
+                    f"  ok       {rel}  {reader.relation}.{reader.attribute}"
+                    f"  epoch={reader.epoch} intervals={reader.count}"
+                    f" crc={reader.payload_crc:08x}"
+                )
+            finally:
+                reader.close()
+        except (CorruptSegmentError, OSError) as exc:
+            bad += 1
+            print(f"  CORRUPT  {rel}  {exc}")
+    print(f"{len(paths)} segment(s), {bad} corrupt")
+    return 1 if bad else 0
+
+
 def main(argv: list) -> int:
     command = argv[1] if len(argv) > 1 else "info"
     if command == "info":
@@ -231,10 +278,15 @@ def main(argv: list) -> int:
         return _describe(argv[2])
     elif command == "tune":
         return _tune(argv[2:])
+    elif command == "segments":
+        if len(argv) < 3:
+            print("usage: python -m repro segments DATA_DIR", file=sys.stderr)
+            return 2
+        return _segments(argv[2])
     else:
         print(
             f"unknown command {command!r}; "
-            "use: info | demo | bench | backends | describe | tune",
+            "use: info | demo | bench | backends | describe | tune | segments",
             file=sys.stderr,
         )
         return 2

@@ -156,6 +156,9 @@ class ConcurrentPredicateIndex(PredicateMatcher):
         auto_candidates: Optional[Iterable[str]] = None,
         auto_cost_table: Optional[Any] = None,
         min_evidence_ops: int = 512,
+        storage: str = "memory",
+        data_dir: Optional[str] = None,
+        memory_budget: Optional[int] = None,
     ):
         backend_name: Optional[str] = None
         if isinstance(tree_factory, str):
@@ -174,6 +177,17 @@ class ConcurrentPredicateIndex(PredicateMatcher):
             raise ConcurrencyError(
                 f"unknown pool kind {pool!r}: expected 'thread' or 'process'"
             )
+        if storage not in ("memory", "disk"):
+            raise ConcurrencyError(
+                f"unknown storage {storage!r}: expected 'memory' or 'disk'"
+            )
+        if storage == "disk" and data_dir is None:
+            import tempfile
+
+            data_dir = tempfile.mkdtemp(prefix="repro-disk-")
+        self._storage = storage
+        self._data_dir = data_dir
+        self._memory_budget = memory_budget
         self._tree_factory = tree_factory
         self._estimator = estimator
         self._multi_clause = bool(multi_clause)
@@ -233,6 +247,9 @@ class ConcurrentPredicateIndex(PredicateMatcher):
             stab_cache_size=self._snapshot_cache_size,
             adaptive=False,
             columnar=self._columnar,
+            storage=self._storage,
+            data_dir=self._data_dir,
+            memory_budget=self._memory_budget,
         )
         # The auto-selection plan rides on every fresh base/overlay:
         # the plan dict is replaced wholesale under _auto_lock, so a
@@ -258,6 +275,61 @@ class ConcurrentPredicateIndex(PredicateMatcher):
                 )
                 self._shards[relation] = shard
             return shard
+
+    @property
+    def storage(self) -> str:
+        """``"memory"`` or ``"disk"``."""
+        return self._storage
+
+    @property
+    def data_dir(self) -> Optional[str]:
+        """The disk tier's data directory (``None`` on the memory tier)."""
+        return self._data_dir
+
+    def resident_bytes(self) -> int:
+        """Decoded-object residency summed over every published snapshot.
+
+        Counts the current epoch's base and overlay of each shard; old
+        epochs still pinned by in-flight readers are unreachable from
+        here and die with their readers.
+        """
+        total = 0
+        for _relation, shard in self._shard_items():
+            snap = shard.snapshot
+            for index in (snap.base, snap.overlay):
+                counter = getattr(index, "resident_bytes", None)
+                if counter is not None:
+                    total += counter()
+        return total
+
+    def _adopt_shard(
+        self,
+        relation: str,
+        shard: RelationShard,
+        idents: Iterable[Hashable],
+    ) -> None:
+        """Install a recovered shard and its ident routing (cold start).
+
+        Recovery seam for :func:`repro.disk.checkpoint.recover_concurrent`:
+        the shard arrives pre-built from checkpoint segments at its
+        manifest epoch, *idents* are the predicates it already holds.
+        Refuses to replace a live shard — recovery populates an empty
+        facade, it never clobbers one in use.
+        """
+        with self._catalog_lock:
+            if relation in self._shards:
+                raise ConcurrencyError(
+                    f"cannot adopt shard {relation!r}: relation already live"
+                )
+            for ident in idents:
+                existing = self._relation_of.get(ident)
+                if existing is not None and existing != relation:
+                    raise PredicateError(
+                        f"predicate ident {ident!r} already indexed under "
+                        f"relation {existing!r}"
+                    )
+                self._relation_of[ident] = relation
+            self._shards[relation] = shard
 
     def _shard_items(self) -> List[Tuple[str, RelationShard]]:
         """Stable snapshot of the shard table, taken under the catalog lock.

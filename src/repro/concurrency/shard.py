@@ -243,6 +243,8 @@ class RelationShard:
         index_factory: Callable[[], PredicateIndex],
         compaction_threshold: int = DEFAULT_COMPACTION_THRESHOLD,
         publish_hooks: Optional[List[PublishHook]] = None,
+        initial_base: Optional[PredicateIndex] = None,
+        initial_epoch: int = 0,
     ):
         self.relation = relation
         self._index_factory = index_factory
@@ -251,9 +253,20 @@ class RelationShard:
         #: (append is atomic) but is only iterated under the write lock.
         self._publish_hooks = publish_hooks if publish_hooks is not None else []
         self._lock = threading.Lock()
-        base = index_factory()
-        base.freeze()
-        self._snapshot = EpochSnapshot(relation, 0, base, None, frozenset(), ())
+        # ``initial_base``/``initial_epoch`` are the disk tier's recovery
+        # seam: a cold start attaches a base recovered from segment
+        # files at the epoch its checkpoint manifest recorded, so the
+        # journal tail replays on top of exactly the state it follows.
+        if initial_base is None:
+            base = index_factory()
+            base.freeze()
+        else:
+            base = initial_base
+            if not base.frozen:
+                base.freeze()
+        self._snapshot = EpochSnapshot(
+            relation, int(initial_epoch), base, None, frozenset(), ()
+        )
         self.compactions = 0
 
     # -- read side (lock-free) -----------------------------------------

@@ -188,6 +188,9 @@ class PredicateIndex:
         auto_cost_table: Any = None,
         min_evidence_ops: int = 512,
         auto_migration_ratio: float = 0.8,
+        storage: str = "memory",
+        data_dir: Optional[str] = None,
+        memory_budget: Optional[int] = None,
     ):
         backend_name: Optional[str] = None
         if isinstance(tree_factory, str):
@@ -213,7 +216,28 @@ class PredicateIndex:
         #: only when ``adaptive`` is set.
         self.feedback = EntryClauseFeedback(min_samples=min_feedback_tuples)
         self._catalog = ClauseCatalog(estimator, multi_clause)
-        self._store = TreeStore(tree_factory, stab_cache_size)
+        if storage not in ("memory", "disk"):
+            raise ValueError(
+                f"unknown storage {storage!r}; expected 'memory' or 'disk'"
+            )
+        self._storage = storage
+        self._data_dir = data_dir
+        if storage == "disk":
+            # Imported lazily: the disk tier is optional machinery most
+            # indexes never touch.
+            import tempfile as _tempfile
+
+            from ..disk.store import DiskTreeStore
+
+            if data_dir is None:
+                self._data_dir = _tempfile.mkdtemp(prefix="repro-disk-")
+            self._store: TreeStore = DiskTreeStore(
+                self._data_dir, stab_cache_size, memory_budget
+            )
+        else:
+            if memory_budget is not None:
+                raise ValueError("memory_budget requires storage='disk'")
+            self._store = TreeStore(tree_factory, stab_cache_size)
         self._observer = StatsObserver(MatchStatistics())
         self._selector: Any = None
         self._autoselect_interval = autoselect_interval
@@ -341,6 +365,70 @@ class PredicateIndex:
         if state is None:
             return {}
         return self._store.tree_epochs(state)
+
+    # -- disk-tier introspection --------------------------------------------
+
+    @property
+    def storage(self) -> str:
+        """``"memory"`` or ``"disk"``."""
+        return self._storage
+
+    @property
+    def data_dir(self) -> Optional[str]:
+        """The disk tier's data directory (``None`` on the memory tier)."""
+        return self._data_dir
+
+    def resident_bytes(self) -> int:
+        """Approximate decoded-object bytes the trees hold in RAM.
+
+        On the disk tier this is the evictable residency the store's
+        ``memory_budget`` bounds — mmap'd pages are *not* counted, they
+        belong to the OS page cache.  On the memory tier it is a
+        per-interval/per-node approximation of the full object graph
+        (there is nowhere to evict to, so the number is diagnostic).
+        """
+        counter = getattr(self._store, "resident_bytes", None)
+        if counter is not None:
+            return int(counter())
+        total = 0
+        for state in self._catalog.relations.values():
+            for tree in state.trees.values():
+                total += 200 * len(tree) + 120 * getattr(tree, "node_count", 0)
+        return total
+
+    def seal(self, release: bool = False) -> Dict[str, Dict[str, str]]:
+        """Seal every disk-backed tree to its segment file.
+
+        Returns ``{relation: {attribute: segment path}}``.  With
+        ``release`` the staging copies are dropped afterwards (they
+        rehydrate on demand).  No-op trees (memory tier) are skipped.
+        """
+        out: Dict[str, Dict[str, str]] = {}
+        for relation, state in self._catalog.relations.items():
+            sealed: Dict[str, str] = {}
+            for attribute, tree in state.trees.items():
+                sealer = getattr(tree, "seal", None)
+                if sealer is not None:
+                    sealed[attribute] = sealer(release=release)
+            if sealed:
+                out[relation] = sealed
+        return out
+
+    def segment_catalog(self) -> Dict[str, Dict[str, Optional[str]]]:
+        """``{relation: {attribute: current segment path or None}}``.
+
+        ``None`` marks a dirty tree (staged mutations not yet sealed).
+        Empty on the memory tier.
+        """
+        out: Dict[str, Dict[str, Optional[str]]] = {}
+        for relation, state in self._catalog.relations.items():
+            row: Dict[str, Optional[str]] = {}
+            for attribute, tree in state.trees.items():
+                if getattr(tree, "disk_backed", False):
+                    row[attribute] = tree.segment_path
+            if row:
+                out[relation] = row
+        return out
 
     # -- registration -------------------------------------------------------
 

@@ -63,9 +63,12 @@ __all__ = [
     "database_to_dict",
     "database_from_dict",
     "OperationJournal",
+    "crc_line",
     "read_journal",
     "replay_journal",
     "recover_database",
+    "write_checksummed_lines",
+    "write_json_atomic",
 ]
 
 FORMAT_VERSION = 2
@@ -263,6 +266,92 @@ def load_database(source: Union[str, os.PathLike, IO[str]]) -> Database:
 
 
 # ----------------------------------------------------------------------
+# shared crash-safe encoding helpers
+# ----------------------------------------------------------------------
+#
+# The CRC-tagged line format and the atomic temp+fsync+replace dance are
+# used by three persistence surfaces — the database journal below, the
+# disk tier's checkpoint journal, and its per-relation predicate files
+# (repro.disk.checkpoint) — so they live here as the single encoding of
+# record.  read_journal (further down) is the matching generic reader.
+
+
+def crc_line(record: Dict[str, Any]) -> str:
+    """One record as a CRC-32-tagged JSON line (the journal line format)."""
+    line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(line.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {line}\n"
+
+
+def write_checksummed_lines(
+    path: Union[str, os.PathLike],
+    records: List[Dict[str, Any]],
+    fault_site: Optional[str] = None,
+) -> None:
+    """Atomically write *records* as CRC-tagged lines readable by
+    :func:`read_journal`.
+
+    Same durability discipline as :func:`save_database`: temp file in
+    the target directory, flush, fsync, rename.  When *fault_site* is
+    given, a fault point fires halfway through the payload so crash
+    drills produce a genuinely torn temp file.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            mid = len(records) // 2
+            for record in records[:mid]:
+                handle.write(crc_line(record))
+            if fault_site is not None:
+                fault_point(fault_site)
+            for record in records[mid:]:
+                handle.write(crc_line(record))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def write_json_atomic(
+    path: Union[str, os.PathLike],
+    data: Dict[str, Any],
+    fault_site: Optional[str] = None,
+) -> None:
+    """Atomically write *data* as indented JSON (manifest discipline)."""
+    payload = json.dumps(data, indent=1, sort_keys=True)
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            mid = len(payload) // 2
+            handle.write(payload[:mid])
+            if fault_site is not None:
+                fault_point(fault_site)
+            handle.write(payload[mid:])
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+# ----------------------------------------------------------------------
 # operation journal: append-only log between snapshots
 # ----------------------------------------------------------------------
 
@@ -309,10 +398,8 @@ class OperationJournal:
 
     def append(self, op: Dict[str, Any]) -> None:
         """Write one operation record durably."""
-        line = json.dumps(op, sort_keys=True, separators=(",", ":"))
-        crc = zlib.crc32(line.encode("utf-8")) & 0xFFFFFFFF
         handle = self._ensure_open()
-        handle.write(f"{crc:08x} {line}\n")
+        handle.write(crc_line(op))
         handle.flush()
         # the record is in the OS buffer; a fault here models an fsync
         # failure *after* the data was written, so the journal never

@@ -1,0 +1,558 @@
+"""The on-disk segment format: one frozen interval tree as flat arrays.
+
+A **segment** is the durable form of one ``(relation, attribute)``
+interval tree.  It stores the tree's *stab plane* — the ``2n + 1``
+distinct stabbing-query outcomes a fixed search tree can produce (see
+:meth:`~repro.core.flat_ibs_tree.FlatIBSTree.export_stab_plane`) — as
+flat arrays that can be served straight from an ``mmap`` without
+rehydrating the tree into Python objects::
+
+    +-----------------------------------------------------------+
+    | magic "RSEGMT01" | u32 header_len | header JSON           |
+    +-----------------------------------------------------------+
+    | values   : n_values x f64 LE   (or pickled list)          |
+    | eq_masks : n_values x mask_bytes   (bitset rows, LE)      |
+    | gap_masks: (n_values + 1) x mask_bytes                    |
+    | idents   : pickled list  (bit index -> identifier)        |
+    | intervals: pickled list  (bit index -> Interval)          |
+    +-----------------------------------------------------------+
+    | footer "RSEGEND." | u32 payload crc32 | u64 payload len   |
+    +-----------------------------------------------------------+
+
+The header names every section's offset and length, the payload CRC,
+and the tree's identity (relation, attribute, epoch, interval count).
+The footer repeats the CRC and length so a *torn* write — a crash that
+truncated the file — is detectable from the last 20 bytes alone,
+without reading the payload.  Writers never expose a torn segment at
+the target path: the bytes go to a temp file in the same directory,
+are fsynced, and are renamed into place atomically (the
+``disk.torn_segment`` fault site fires between the two payload halves,
+so crash drills exercise exactly the wreckage a real kill produces).
+
+A stab against a :class:`SegmentReader` is a binary search over the
+values section (eight bytes read per probe step in the common numeric
+layout) followed by one mask-row read; decoded identifier sets are
+memoised per row, so repeated probes of hot values cost one dict hit.
+Everything the reader materialises in RAM — decoded rows, the lazily
+unpickled identifier and interval tables — is accounted in
+:meth:`SegmentReader.resident_bytes` and droppable via
+:meth:`SegmentReader.release`; the mapped pages themselves belong to
+the OS page cache, which is the point of the tier.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import mmap
+import os
+import pickle
+import struct
+import sys
+import tempfile
+import zlib
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..core.intervals import Interval
+from ..errors import CorruptSegmentError, UnknownIntervalError
+from ..testing.faults import fault_point
+
+__all__ = [
+    "SEGMENT_MAGIC",
+    "SEGMENT_SUFFIX",
+    "SEGMENT_VERSION",
+    "SegmentReader",
+    "write_segment",
+]
+
+SEGMENT_MAGIC = b"RSEGMT01"
+SEGMENT_FOOTER_MAGIC = b"RSEGEND."
+SEGMENT_VERSION = 1
+#: Every segment file ends with this suffix; the CLI and the checkpoint
+#: garbage collector discover segments by it.
+SEGMENT_SUFFIX = ".seg"
+
+_FOOTER = struct.Struct("<8sIQ")
+_F64 = struct.Struct("<d")
+
+#: Largest magnitude at which every int is exactly a float64.
+_EXACT_INT = 2**53
+
+
+def _numeric_values(values: List[Any]) -> bool:
+    """True when *values* can live in a fixed-width float64 array.
+
+    ``bool`` is excluded (it is an ``int`` subclass but a different
+    domain value), as are ints beyond the 2**53 exact-float64 range —
+    two distinct big ints could collide after conversion and corrupt
+    the search order.  Python compares ``int`` to ``float`` exactly,
+    so queries of either type binary-search correctly over the array.
+    """
+    for v in values:
+        if type(v) is float:
+            continue
+        if type(v) is int and -_EXACT_INT <= v <= _EXACT_INT:
+            continue
+        return False
+    return True
+
+
+def write_segment(
+    path: str,
+    tree: Any,
+    relation: str,
+    attribute: str,
+) -> Dict[str, Any]:
+    """Serialise *tree* (a ``FlatIBSTree``-compatible index) to *path*.
+
+    Returns the manifest entry for the written segment: file name,
+    payload CRC, total length, epoch, and interval count.  The write is
+    atomic (temp + fsync + rename); the ``disk.torn_segment`` fault
+    site fires between the two payload halves of the temp file, so an
+    injected crash leaves the target untouched.
+    """
+    exporter = getattr(tree, "export_arrays", None)
+    if exporter is not None:
+        arrays = exporter()
+        values = arrays["values"]
+        eq_masks = arrays["eq_masks"]
+        gap_masks = arrays["gap_masks"]
+        ident_of = arrays["ident_of"]
+        interval_of: List[Optional[Interval]] = arrays["interval_of"]
+    else:  # any IntervalIndex exposing the plane export works
+        values, eq_masks, gap_masks, ident_of = tree.export_stab_plane()
+        interval_of = [
+            None if ident is None else tree.get(ident) for ident in ident_of
+        ]
+    n_bits = len(ident_of)
+    mask_bytes = max(1, (n_bits + 7) // 8)
+    numeric = _numeric_values(values)
+
+    buf = io.BytesIO()
+    sections: Dict[str, Tuple[int, int]] = {}
+
+    def section(name: str, data: bytes) -> None:
+        sections[name] = (buf.tell(), len(data))
+        buf.write(data)
+
+    if numeric:
+        packed = bytearray(len(values) * 8)
+        for i, v in enumerate(values):
+            _F64.pack_into(packed, i * 8, float(v))
+        section("values", bytes(packed))
+    else:
+        section("values", pickle.dumps(list(values), protocol=4))
+    section(
+        "eq", b"".join(mask.to_bytes(mask_bytes, "little") for mask in eq_masks)
+    )
+    section(
+        "gap", b"".join(mask.to_bytes(mask_bytes, "little") for mask in gap_masks)
+    )
+    section("idents", pickle.dumps(ident_of, protocol=4))
+    section("intervals", pickle.dumps(interval_of, protocol=4))
+    payload = buf.getvalue()
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+
+    header = {
+        "format": "repro-segment",
+        "version": SEGMENT_VERSION,
+        "relation": relation,
+        "attribute": attribute,
+        "epoch": int(getattr(tree, "epoch", 0)),
+        "count": len(tree),
+        "n_values": len(values),
+        "n_bits": n_bits,
+        "mask_bytes": mask_bytes,
+        "numeric": numeric,
+        "sections": sections,
+        "payload_len": len(payload),
+        "payload_crc": crc,
+    }
+    header_bytes = json.dumps(header, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    footer = _FOOTER.pack(SEGMENT_FOOTER_MAGIC, crc, len(payload))
+
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(SEGMENT_MAGIC)
+            handle.write(struct.pack("<I", len(header_bytes)))
+            handle.write(header_bytes)
+            # two writes with a fault point between them: an injected
+            # crash leaves a *torn* temp file — the exact wreckage of a
+            # real kill mid-write — and never touches the target
+            mid = len(payload) // 2
+            handle.write(payload[:mid])
+            fault_point("disk.torn_segment")
+            handle.write(payload[mid:])
+            handle.write(footer)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    total_len = len(SEGMENT_MAGIC) + 4 + len(header_bytes) + len(payload) + _FOOTER.size
+    return {
+        "file": os.path.basename(path),
+        "crc": crc,
+        "length": total_len,
+        "epoch": header["epoch"],
+        "count": header["count"],
+        "n_values": header["n_values"],
+    }
+
+
+class SegmentReader:
+    """Serve stabbing queries straight from an mmap'd segment file.
+
+    Opening validates the cheap structural invariants — magic, version,
+    header shape, file length, and that the footer's CRC/length agree
+    with the header's — which is what catches a torn or truncated
+    write without touching the payload pages.  :meth:`verify` addition-
+    ally recomputes the payload CRC (the CLI and crash drills use it).
+
+    The backing file may be unlinked while the reader is open: POSIX
+    keeps the mapping valid until it is closed, which is what lets a
+    checkpoint garbage-collect superseded generations under live
+    readers (and what the ``disk.mmap_unlink`` drill proves).
+    """
+
+    def __init__(self, path: str, verify_payload: bool = False):
+        self.path = os.fspath(path)
+        try:
+            with open(self.path, "rb") as handle:
+                prelude = handle.read(len(SEGMENT_MAGIC) + 4)
+                if len(prelude) < len(SEGMENT_MAGIC) + 4:
+                    raise CorruptSegmentError(
+                        f"segment {self.path!r} is truncated before its header"
+                    )
+                if prelude[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
+                    raise CorruptSegmentError(
+                        f"segment {self.path!r} has a bad magic "
+                        f"{prelude[:len(SEGMENT_MAGIC)]!r}"
+                    )
+                (header_len,) = struct.unpack_from("<I", prelude, len(SEGMENT_MAGIC))
+                header_bytes = handle.read(header_len)
+                if len(header_bytes) < header_len:
+                    raise CorruptSegmentError(
+                        f"segment {self.path!r} is truncated inside its header"
+                    )
+                try:
+                    header = json.loads(header_bytes.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise CorruptSegmentError(
+                        f"segment {self.path!r} header is not decodable: {exc}"
+                    ) from exc
+                self._mmap = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+        except FileNotFoundError:
+            raise
+        except OSError as exc:
+            if isinstance(exc, CorruptSegmentError):
+                raise
+            raise CorruptSegmentError(
+                f"segment {self.path!r} cannot be opened: {exc}"
+            ) from exc
+        try:
+            self._load_header(header, header_len)
+        except BaseException:
+            self._mmap.close()
+            raise
+        if verify_payload:
+            try:
+                self.verify()
+            except BaseException:
+                self._mmap.close()
+                raise
+        # -- lazily materialised, droppable state (resident accounting) --
+        self._ident_of: Optional[List[Optional[Hashable]]] = None
+        self._interval_of: Optional[List[Optional[Interval]]] = None
+        self._values_list: Optional[List[Any]] = None
+        self._bit_of: Optional[Dict[Hashable, int]] = None
+        self._eq_cache: Dict[int, frozenset] = {}
+        self._gap_cache: Dict[int, frozenset] = {}
+
+    def _load_header(self, header: Dict[str, Any], header_len: int) -> None:
+        if header.get("format") != "repro-segment":
+            raise CorruptSegmentError(
+                f"segment {self.path!r} is not a repro segment"
+            )
+        if header.get("version") != SEGMENT_VERSION:
+            raise CorruptSegmentError(
+                f"segment {self.path!r} has unsupported version "
+                f"{header.get('version')!r} (this build reads {SEGMENT_VERSION})"
+            )
+        try:
+            self.relation: str = header["relation"]
+            self.attribute: str = header["attribute"]
+            self.epoch: int = int(header["epoch"])
+            self.count: int = int(header["count"])
+            self.n_values: int = int(header["n_values"])
+            self.n_bits: int = int(header["n_bits"])
+            self.mask_bytes: int = int(header["mask_bytes"])
+            self.numeric: bool = bool(header["numeric"])
+            payload_len = int(header["payload_len"])
+            self.payload_crc: int = int(header["payload_crc"])
+            sections = {
+                name: (int(off), int(length))
+                for name, (off, length) in header["sections"].items()
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorruptSegmentError(
+                f"segment {self.path!r} header is malformed: {exc}"
+            ) from exc
+        self._payload_start = len(SEGMENT_MAGIC) + 4 + header_len
+        self._payload_len = payload_len
+        expected_total = self._payload_start + payload_len + _FOOTER.size
+        if len(self._mmap) != expected_total:
+            raise CorruptSegmentError(
+                f"segment {self.path!r} is {len(self._mmap)} bytes, "
+                f"expected {expected_total} — torn or truncated write"
+            )
+        magic, crc, length = _FOOTER.unpack_from(
+            self._mmap, self._payload_start + payload_len
+        )
+        if magic != SEGMENT_FOOTER_MAGIC or crc != self.payload_crc or (
+            length != payload_len
+        ):
+            raise CorruptSegmentError(
+                f"segment {self.path!r} footer disagrees with its header — "
+                "torn or truncated write"
+            )
+        self._sections = {
+            name: (self._payload_start + off, length)
+            for name, (off, length) in sections.items()
+        }
+        for name in ("values", "eq", "gap", "idents", "intervals"):
+            if name not in self._sections:
+                raise CorruptSegmentError(
+                    f"segment {self.path!r} is missing section {name!r}"
+                )
+
+    # -- integrity -------------------------------------------------------
+
+    def verify(self) -> bool:
+        """Recompute the payload CRC; raises on mismatch, returns True."""
+        actual = (
+            zlib.crc32(
+                self._mmap[self._payload_start : self._payload_start + self._payload_len]
+            )
+            & 0xFFFFFFFF
+        )
+        if actual != self.payload_crc:
+            raise CorruptSegmentError(
+                f"segment {self.path!r} payload checksum mismatch: recorded "
+                f"{self.payload_crc:08x}, computed {actual:08x}"
+            )
+        return True
+
+    # -- lazy tables -----------------------------------------------------
+
+    def _pickled(self, name: str) -> Any:
+        off, length = self._sections[name]
+        try:
+            return pickle.loads(self._mmap[off : off + length])
+        except Exception as exc:  # pickle raises a zoo of types
+            raise CorruptSegmentError(
+                f"segment {self.path!r} section {name!r} is not decodable: {exc}"
+            ) from exc
+
+    def ident_table(self) -> List[Optional[Hashable]]:
+        if self._ident_of is None:
+            self._ident_of = self._pickled("idents")
+        return self._ident_of
+
+    def interval_table(self) -> List[Optional[Interval]]:
+        if self._interval_of is None:
+            self._interval_of = self._pickled("intervals")
+        return self._interval_of
+
+    def _bits(self) -> Dict[Hashable, int]:
+        if self._bit_of is None:
+            self._bit_of = {
+                ident: bit
+                for bit, ident in enumerate(self.ident_table())
+                if ident is not None
+            }
+        return self._bit_of
+
+    def _value_at(self, i: int) -> Any:
+        if self.numeric:
+            off, _ = self._sections["values"]
+            return _F64.unpack_from(self._mmap, off + 8 * i)[0]
+        if self._values_list is None:
+            self._values_list = self._pickled("values")
+        return self._values_list[i]
+
+    # -- stabbing --------------------------------------------------------
+
+    def _locate(self, x: Any) -> Tuple[bool, int]:
+        """Binary-search *x*: ``(True, i)`` on an exact value hit,
+        ``(False, gap_index)`` otherwise.
+
+        Mirrors the tree descent's comparison discipline (``==`` first,
+        then ``<``), so NaN-like values — every comparison False — fall
+        through to the rightmost gap exactly as they do in the tree,
+        and incomparable values raise ``TypeError`` like a tree stab.
+        """
+        lo, hi = 0, self.n_values - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            v = self._value_at(mid)
+            if x == v:
+                return True, mid
+            if x < v:
+                hi = mid - 1
+            else:
+                lo = mid + 1
+        return False, lo
+
+    def _mask_row(self, section: str, i: int) -> int:
+        off, _ = self._sections[section]
+        start = off + i * self.mask_bytes
+        return int.from_bytes(self._mmap[start : start + self.mask_bytes], "little")
+
+    def _decode(self, mask: int) -> frozenset:
+        ident_of = self.ident_table()
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(ident_of[low.bit_length() - 1])
+            mask ^= low
+        return frozenset(out)
+
+    def _stab_frozen(self, x: Any) -> frozenset:
+        exact, i = self._locate(x)
+        cache = self._eq_cache if exact else self._gap_cache
+        hit = cache.get(i)
+        if hit is None:
+            hit = self._decode(self._mask_row("eq" if exact else "gap", i))
+            cache[i] = hit
+        return hit
+
+    def stab(self, x: Any) -> Set[Hashable]:
+        """Identifiers of all intervals containing *x*."""
+        return set(self._stab_frozen(x))
+
+    def stab_into(self, x: Any, out: Set[Hashable]) -> Set[Hashable]:
+        out.update(self._stab_frozen(x))
+        return out
+
+    def stab_many(self, values: Iterable[Any]) -> Dict[Any, Optional[Set[Hashable]]]:
+        """Batch stab with the tree seam's NULL/incomparable contract."""
+        out: Dict[Any, Optional[Set[Hashable]]] = {}
+        for v in values:
+            if v in out:
+                continue
+            if v is None:
+                out[v] = None
+                continue
+            try:
+                out[v] = set(self._stab_frozen(v))
+            except TypeError:
+                out[v] = None
+        return out
+
+    def overlapping(self, query: Interval) -> Set[Hashable]:
+        """Identifiers of all intervals overlapping *query* (table scan)."""
+        ident_of = self.ident_table()
+        return {
+            ident_of[bit]
+            for bit, interval in enumerate(self.interval_table())
+            if interval is not None and interval.overlaps(query)
+        }
+
+    def export_stab_plane(
+        self,
+    ) -> Tuple[List[Any], List[int], List[int], List[Optional[Hashable]]]:
+        """The stored arrays, decoded — same shape as the tree's export."""
+        values = [self._value_at(i) for i in range(self.n_values)]
+        eq_masks = [self._mask_row("eq", i) for i in range(self.n_values)]
+        gap_masks = [self._mask_row("gap", i) for i in range(self.n_values + 1)]
+        return values, eq_masks, gap_masks, list(self.ident_table())
+
+    # -- table access ----------------------------------------------------
+
+    def get(self, ident: Hashable) -> Interval:
+        try:
+            bit = self._bits()[ident]
+        except KeyError:
+            raise UnknownIntervalError(ident) from None
+        interval = self.interval_table()[bit]
+        assert interval is not None
+        return interval
+
+    def items(self) -> Iterator[Tuple[Hashable, Interval]]:
+        intervals = self.interval_table()
+        for ident, bit in self._bits().items():
+            interval = intervals[bit]
+            if interval is not None:
+                yield ident, interval
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __contains__(self, ident: Hashable) -> bool:
+        return ident in self._bits()
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._bits())
+
+    # -- residency -------------------------------------------------------
+
+    def resident_bytes(self) -> int:
+        """Approximate bytes of decoded state held in Python memory.
+
+        Mapped pages are *not* counted — they are reclaimable by the OS
+        at any time; this measures what :meth:`release` can drop.
+        """
+        total = 0
+        for cache in (self._eq_cache, self._gap_cache):
+            total += sys.getsizeof(cache)
+            for row in cache.values():
+                total += sys.getsizeof(row)
+        for table in (
+            self._ident_of,
+            self._interval_of,
+            self._values_list,
+            self._bit_of,
+        ):
+            if table is not None:
+                total += sys.getsizeof(table) + 32 * len(table)
+        return total
+
+    def release(self) -> int:
+        """Drop every decoded cache; returns the bytes released."""
+        freed = self.resident_bytes()
+        self._eq_cache = {}
+        self._gap_cache = {}
+        self._ident_of = None
+        self._interval_of = None
+        self._values_list = None
+        self._bit_of = None
+        return freed
+
+    def close(self) -> None:
+        self.release()
+        try:
+            self._mmap.close()
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"<SegmentReader {self.relation}.{self.attribute} "
+            f"epoch={self.epoch} intervals={self.count} "
+            f"values={self.n_values} path={self.path!r}>"
+        )

@@ -1,0 +1,382 @@
+"""``DiskIBSTree``: a FlatIBSTree whose frozen form lives in a segment file.
+
+The disk tier's interval index is a two-state machine behind the same
+``IntervalIndex`` interface every RAM backend implements:
+
+* **staging** — mutations go to an in-memory
+  :class:`~repro.core.flat_ibs_tree.FlatIBSTree`, exactly as the flat
+  backend would handle them;
+* **sealed** — :meth:`seal` serialises the staging tree's stab plane to
+  a segment file (see :mod:`repro.disk.segment`) and stabbing queries
+  are answered by a :class:`~repro.disk.segment.SegmentReader` straight
+  off the mmap.  :meth:`freeze` seals *and releases* the staging tree,
+  so a frozen base published into an
+  :class:`~repro.concurrency.shard.EpochSnapshot` holds no per-interval
+  Python objects at all — the epoch-snapshot tier literally publishes
+  mmap'd bases.
+
+A mutation against a sealed-but-unfrozen tree transparently rehydrates
+the staging tree from the reader (``bulk_load`` of the segment's
+interval table, epoch preserved), mutates it, and marks the segment
+stale; the next :meth:`seal` writes a fresh generation.  The invariant
+throughout: *either the reader is current (its epoch equals the tree's)
+or the staging tree exists* — reads never have nowhere to go.
+
+Trees created without an explicit path write their segments to a
+private temporary directory that is removed when the tree is garbage
+collected, so ``DiskIBSTree`` works as a drop-in registry backend even
+outside a managed ``data_dir``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import weakref
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..core.flat_ibs_tree import FlatIBSTree
+from ..core.intervals import Interval
+from ..errors import TreeError
+from .segment import SegmentReader, write_segment
+
+__all__ = ["DiskIBSTree"]
+
+
+class DiskIBSTree:
+    """Disk-backed interval index: RAM staging tree + mmap'd sealed base."""
+
+    # capability flags read by the backend registry
+    supports_dynamic_insert = True
+    supports_dynamic_delete = True
+    supports_open_bounds = True
+    supports_unbounded = True
+    disk_backed = True
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        relation: str = "?",
+        attribute: str = "?",
+    ) -> None:
+        self._path = os.fspath(path) if path is not None else None
+        self._relation = relation
+        self._attribute = attribute
+        self._mem: Optional[FlatIBSTree] = FlatIBSTree()
+        self._reader: Optional[SegmentReader] = None
+        self._epoch = 0
+        self._frozen = False
+        self._tempdir: Optional[str] = None
+        #: set by the disk tree store so eviction can track hot trees
+        self.on_touch = None
+
+    # -- epoch / freeze (same contract as FlatIBSTree) -------------------
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @epoch.setter
+    def epoch(self, value: int) -> None:
+        self._epoch = int(value)
+        if self._mem is not None:
+            self._mem.epoch = self._epoch
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Seal to disk and drop the staging tree; then refuse mutation.
+
+        This is what the epoch-snapshot tier calls before publishing a
+        base, so every frozen base a concurrent reader stabs is an
+        mmap'd segment, not a Python object graph.
+        """
+        if not self._frozen:
+            self.seal(release=True)
+            self._frozen = True
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise TreeError(
+                f"{type(self).__name__} is frozen (published in an epoch "
+                "snapshot); build a new tree instead of mutating"
+            )
+
+    # -- the two-state machine -------------------------------------------
+
+    @property
+    def sealed(self) -> bool:
+        """Whether the current contents are served from a segment file."""
+        return self._reader is not None and self._reader.epoch == self._epoch
+
+    @property
+    def segment_path(self) -> Optional[str]:
+        """Path of the current segment file, if sealed."""
+        return self._reader.path if self.sealed else None
+
+    def set_path(self, path: str) -> None:
+        """Redirect future seals to *path* (the store names generations)."""
+        self._path = os.fspath(path)
+
+    def _target_path(self) -> str:
+        if self._path is not None:
+            return self._path
+        if self._tempdir is None:
+            self._tempdir = tempfile.mkdtemp(prefix="repro-disk-")
+            weakref.finalize(self, shutil.rmtree, self._tempdir, True)
+        return os.path.join(self._tempdir, f"anon.e{self._epoch}.seg")
+
+    def seal(self, release: bool = False) -> str:
+        """Write the current contents to a segment and serve reads from it.
+
+        Idempotent when already sealed and current.  With ``release``
+        the staging tree is dropped afterwards (rehydrated on demand if
+        a later mutation needs it).  Returns the segment path.
+        """
+        if not self.sealed:
+            assert self._mem is not None, "stale seal without a staging tree"
+            path = self._target_path()
+            self._mem.epoch = self._epoch
+            write_segment(path, self._mem, self._relation, self._attribute)
+            old = self._reader
+            self._reader = SegmentReader(path)
+            if old is not None:
+                old.close()
+        if release:
+            self._mem = None
+        return self._reader.path  # type: ignore[union-attr]
+
+    def _ensure_mem(self) -> FlatIBSTree:
+        """The staging tree, rehydrating from the sealed segment if needed."""
+        if self._mem is None:
+            assert self._reader is not None
+            mem = FlatIBSTree()
+            mem.bulk_load(
+                (interval, ident) for ident, interval in self._reader.items()
+            )
+            mem.epoch = self._epoch
+            self._mem = mem
+        return self._mem
+
+    def _read_source(self) -> Any:
+        """Whoever currently answers reads: the reader when sealed-and-
+        current, the staging tree otherwise."""
+        if self.on_touch is not None:
+            self.on_touch(self)
+        if self._reader is not None and self._reader.epoch == self._epoch:
+            return self._reader
+        return self._ensure_mem()
+
+    # -- residency ------------------------------------------------------
+
+    def resident_bytes(self) -> int:
+        """Decoded Python-object bytes held for this tree.
+
+        A fully cold sealed tree (post-:meth:`release_cache`) reports 0
+        even though its mmap is open — mapped pages belong to the OS
+        page cache and are reclaimable without our cooperation.
+        """
+        total = 0
+        if self._reader is not None:
+            total += self._reader.resident_bytes()
+        if self._mem is not None:
+            # the staging tree holds the full object graph; approximate
+            # with a per-interval + per-node constant (diagnostic, not
+            # an allocator audit)
+            mem = self._mem
+            total += 200 * len(mem) + 120 * mem.node_count
+        return total
+
+    def release_cache(self) -> int:
+        """Drop decoded reader caches (and the staging tree when sealed).
+
+        Only safe state is dropped: a dirty staging tree (segment stale
+        or absent) is untouched.  Returns bytes released.
+        """
+        freed = 0
+        if self.sealed and self._mem is not None and not self._frozen:
+            freed += 200 * len(self._mem) + 120 * self._mem.node_count
+            self._mem = None
+        if self._reader is not None:
+            freed += self._reader.release()
+        return freed
+
+    def close(self) -> None:
+        if self._reader is not None:
+            self._reader.close()
+            self._reader = None
+
+    # -- mutation (delegates to the staging tree) ------------------------
+
+    def insert(self, interval: Interval, ident: Optional[Hashable] = None) -> Hashable:
+        self._check_mutable()
+        mem = self._ensure_mem()
+        result = mem.insert(interval, ident)
+        self._epoch = mem.epoch
+        return result
+
+    def delete(self, ident: Hashable) -> None:
+        self._check_mutable()
+        mem = self._ensure_mem()
+        mem.delete(ident)
+        self._epoch = mem.epoch
+
+    def bulk_load(
+        self, items: Iterable[Tuple[Interval, Optional[Hashable]]]
+    ) -> List[Hashable]:
+        self._check_mutable()
+        mem = self._ensure_mem()
+        result = mem.bulk_load(items)
+        self._epoch = mem.epoch
+        return result
+
+    def clear(self) -> None:
+        self._check_mutable()
+        mem = self._ensure_mem()
+        mem.clear()
+        self._epoch = mem.epoch
+
+    # -- reads (reader when sealed, staging tree otherwise) --------------
+
+    def stab(self, x: Any) -> Set[Hashable]:
+        return self._read_source().stab(x)
+
+    find_intervals = stab
+
+    def stab_into(self, x: Any, out: Set[Hashable]) -> Set[Hashable]:
+        return self._read_source().stab_into(x, out)
+
+    def stab_many(self, values: Iterable[Any]) -> Dict[Any, Optional[Set[Hashable]]]:
+        return self._read_source().stab_many(values)
+
+    def export_stab_plane(
+        self,
+    ) -> Tuple[List[Any], List[int], List[int], List[Optional[Hashable]]]:
+        return self._read_source().export_stab_plane()
+
+    def overlapping(self, query: Interval) -> Set[Hashable]:
+        return self._read_source().overlapping(query)
+
+    def get(self, ident: Hashable) -> Interval:
+        return self._read_source().get(ident)
+
+    def items(self) -> Iterator[Tuple[Hashable, Interval]]:
+        return iter(list(self._read_source().items()))
+
+    def __len__(self) -> int:
+        source = self._reader if self.sealed else self._ensure_mem()
+        return len(source)  # type: ignore[arg-type]
+
+    def __contains__(self, ident: Hashable) -> bool:
+        return ident in self._read_source()
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(list(self._read_source()))
+
+    # -- diagnostics ----------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        if self.sealed and self._mem is None:
+            return self._reader.n_values  # type: ignore[union-attr]
+        return self._ensure_mem().node_count
+
+    @property
+    def height(self) -> int:
+        if self.sealed and self._mem is None:
+            n = self._reader.n_values  # type: ignore[union-attr]
+            return max(0, n.bit_length())
+        return self._ensure_mem().height
+
+    @property
+    def marker_count(self) -> int:
+        return self._hydrated_for_audit().marker_count
+
+    def markers_of(self, ident: Hashable) -> int:
+        return self._hydrated_for_audit().markers_of(ident)
+
+    def _hydrated_for_audit(self) -> FlatIBSTree:
+        """A staging tree for structural diagnostics.
+
+        A frozen tree must not regain a resident ``_mem`` (the whole
+        point of freezing is releasing it), so audits of frozen trees
+        work on a throwaway rehydration.
+        """
+        if self._mem is not None:
+            return self._mem
+        assert self._reader is not None
+        tree = FlatIBSTree()
+        tree.bulk_load(
+            (interval, ident) for ident, interval in self._reader.items()
+        )
+        tree.epoch = self._epoch
+        if not self._frozen:
+            self._mem = tree
+        return tree
+
+    def validate(self) -> None:
+        self._hydrated_for_audit().validate()
+        if self.sealed:
+            self._reader.verify()  # type: ignore[union-attr]
+
+    def check_invariants(self) -> bool:
+        self.validate()
+        return True
+
+    def audit(self) -> List[str]:
+        problems = self._hydrated_for_audit().audit()
+        if self.sealed:
+            try:
+                self._reader.verify()  # type: ignore[union-attr]
+            except Exception as exc:  # CorruptSegmentError, OSError...
+                problems.append(f"segment: {exc}")
+        return problems
+
+    def dump(self) -> str:
+        return self._hydrated_for_audit().dump()
+
+    def segment_meta(self) -> Optional[Dict[str, Any]]:
+        """Manifest row for the current segment (``None`` when dirty)."""
+        if not self.sealed:
+            return None
+        reader = self._reader
+        assert reader is not None
+        return {
+            "file": os.path.basename(reader.path),
+            "crc": reader.payload_crc,
+            "epoch": reader.epoch,
+            "count": reader.count,
+            "n_values": reader.n_values,
+        }
+
+    # -- recovery -------------------------------------------------------
+
+    @classmethod
+    def from_segment(cls, path: str) -> "DiskIBSTree":
+        """Attach a tree *cold* to an existing segment file.
+
+        The returned tree serves reads straight from the mmap without
+        ever materialising per-interval objects; a mutation (on an
+        unfrozen tree) rehydrates on demand.  Raises
+        :class:`~repro.errors.CorruptSegmentError` if the segment fails
+        its structural checks.
+        """
+        reader = SegmentReader(path)
+        tree = cls(path, relation=reader.relation, attribute=reader.attribute)
+        tree._mem = None
+        tree._reader = reader
+        tree._epoch = reader.epoch
+        return tree
+
+    def __repr__(self) -> str:
+        state = "sealed" if self.sealed else "staging"
+        return (
+            f"<DiskIBSTree {self._relation}.{self._attribute} "
+            f"epoch={self._epoch} intervals={len(self)} {state}>"
+        )

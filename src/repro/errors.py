@@ -26,6 +26,7 @@ __all__ = [
     "TupleError",
     "TransactionError",
     "CorruptSnapshotError",
+    "CorruptSegmentError",
     "RuleError",
     "UnknownRuleError",
     "DuplicateRuleError",
@@ -137,6 +138,18 @@ class CorruptSnapshotError(DatabaseError, ValueError):
     (truncated or otherwise not decodable) or its checksum does not
     match its payload — the typed alternative to silently loading
     garbage data after a crash mid-write.
+    """
+
+
+class CorruptSegmentError(CorruptSnapshotError):
+    """A disk-tier segment file failed its integrity checks.
+
+    Raised by :mod:`repro.disk.segment` when a segment is torn
+    (truncated mid-write), carries a bad magic/version, or its payload
+    checksum does not match its header and footer.  Subclasses
+    :class:`CorruptSnapshotError` so recovery code that already treats
+    corrupt persistence artifacts as "rebuild from the journal" handles
+    segments the same way.
     """
 
 

@@ -74,6 +74,7 @@ class RelationState:
     """
 
     __slots__ = (
+        "name",
         "trees",
         "non_indexable",
         "indexed_under",
@@ -86,7 +87,11 @@ class RelationState:
         "tree_backends",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = "?") -> None:
+        #: the relation this record indexes — purely informational for
+        #: most stores, but the disk tree store names segment files
+        #: ``<relation>/<attribute>.g<N>.seg`` from it
+        self.name = name
         #: attribute name -> interval index over that attribute's clauses
         self.trees: Dict[str, Any] = {}
         #: idents of predicates with no indexable clause
@@ -208,7 +213,7 @@ class ClauseCatalog:
         """The relation's state record, created (and plan-seeded) on demand."""
         state = self.relations.get(relation)
         if state is None:
-            state = self.relations[relation] = RelationState()
+            state = self.relations[relation] = RelationState(relation)
             plan = self.backend_plan.get(relation)
             if plan:
                 state.tree_backends = dict(plan)
@@ -307,6 +312,36 @@ class ClauseCatalog:
                 self.rollback_add(store, relation, state_or_none, ident)
             raise
         return [normalized.ident for normalized in normalized_list]
+
+    def attach_entry(
+        self,
+        relation: str,
+        normalized: Predicate,
+        under: Tuple[str, ...],
+    ) -> Hashable:
+        """Register *normalized* in the catalog **without touching trees**.
+
+        Cold-start seam for the disk tier: recovery already has the
+        predicate's entry attributes (recorded at checkpoint time) and
+        the attribute trees arrive separately as mmap'd segments, so
+        re-running entry-clause selection — or worse, re-inserting into
+        trees that are about to be attached — would be wasted work and
+        could disagree with the sealed segments.  *under* is the entry
+        attribute tuple from the checkpoint; empty means non-indexable.
+        The predicate must already be normalized.
+        """
+        ident = normalized.ident
+        if ident in self.relation_of:
+            raise PredicateError(f"predicate ident {ident!r} already indexed")
+        state = self._state_for(relation)
+        state.predicates[ident] = normalized
+        self.relation_of[ident] = relation
+        if under:
+            state.indexed_under[ident] = tuple(under)
+        else:
+            state.non_indexable.add(ident)
+        state.version += 1
+        return ident
 
     def enter_clauses(
         self, store: Any, state: RelationState, ident: Hashable, normalized: Predicate

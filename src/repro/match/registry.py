@@ -59,6 +59,11 @@ _CAPABILITY_FLAGS = (
     "supports_unbounded",
 )
 
+#: Flags that default to *False* when a backend doesn't declare them —
+#: opting in is the exception (e.g. ``disk_backed`` on the disk tier's
+#: segment-file tree), so absence must not read as capability.
+_OPT_IN_FLAGS = ("disk_backed",)
+
 
 class BackendRegistry:
     """String-keyed registry of interval-index backends and matchers."""
@@ -185,6 +190,8 @@ class BackendRegistry:
         }
         for flag in _CAPABILITY_FLAGS:
             info[flag] = bool(getattr(factory, flag, True))
+        for flag in _OPT_IN_FLAGS:
+            info[flag] = bool(getattr(factory, flag, False))
         return info
 
     def describe_matcher(self, name: str) -> Dict[str, Any]:
@@ -245,6 +252,9 @@ _IBS_OPTIONS = (
     "auto_cost_table",
     "min_evidence_ops",
     "auto_migration_ratio",
+    "storage",
+    "data_dir",
+    "memory_budget",
 )
 
 #: Options the concurrent facade builder forwards.
@@ -262,6 +272,9 @@ _CONCURRENT_OPTIONS = (
     "auto_candidates",
     "auto_cost_table",
     "min_evidence_ops",
+    "storage",
+    "data_dir",
+    "memory_budget",
 )
 
 
@@ -314,6 +327,46 @@ def _build_auto(**options: Any) -> Any:
     kwargs = _accept(options, _IBS_OPTIONS)
     kwargs.setdefault("auto_backend", True)
     return PredicateIndex(**kwargs)
+
+
+def _disk_tree() -> Any:
+    """Zero-argument factory for the disk tier's segment-backed tree.
+
+    Imported lazily: the registry is populated while the core package
+    is still initialising, and the disk tier pulls in the match-layer
+    store.  A bare ``DiskIBSTree()`` writes its segments to a private
+    temporary directory; managed placement comes from
+    ``PredicateIndex(storage="disk", data_dir=...)``.
+    """
+    from ..disk.tree import DiskIBSTree
+
+    return DiskIBSTree()
+
+
+# declarative mirror of DiskIBSTree's flags, so `describe_backend` can
+# answer without importing the disk tier
+_disk_tree.supports_dynamic_insert = True  # type: ignore[attr-defined]
+_disk_tree.supports_dynamic_delete = True  # type: ignore[attr-defined]
+_disk_tree.supports_open_bounds = True  # type: ignore[attr-defined]
+_disk_tree.supports_unbounded = True  # type: ignore[attr-defined]
+_disk_tree.disk_backed = True  # type: ignore[attr-defined]
+_disk_tree.__name__ = "DiskIBSTree"
+
+
+def _build_disk(**options: Any) -> Any:
+    from ..core.predicate_index import PredicateIndex
+
+    kwargs = _accept(options, _IBS_OPTIONS)
+    kwargs["storage"] = "disk"
+    return PredicateIndex(**kwargs)
+
+
+def _build_disk_concurrent(**options: Any) -> Any:
+    from ..concurrency import ConcurrentPredicateIndex
+
+    kwargs = _accept(options, _CONCURRENT_OPTIONS)
+    kwargs["storage"] = "disk"
+    return ConcurrentPredicateIndex(**kwargs)
 
 
 def _build_ibs_concurrent(**options: Any) -> Any:
@@ -389,6 +442,11 @@ DEFAULT_REGISTRY.register_backend(
 DEFAULT_REGISTRY.register_backend(
     "rplus", RPlusTree1D, "1-D R+-tree (non-overlapping leaf regions)"
 )
+DEFAULT_REGISTRY.register_backend(
+    "disk",
+    _disk_tree,
+    "disk-backed IBS-tree: RAM staging tree sealed into mmap'd segment files",
+)
 
 DEFAULT_REGISTRY.register_matcher(
     "ibs", _build_ibs, "the paper's two-level predicate index"
@@ -420,6 +478,20 @@ DEFAULT_REGISTRY.register_matcher(
     _build_ibs_concurrent,
     "sharded epoch-snapshot concurrent predicate index",
     capabilities={"process_parallel": True},
+)
+DEFAULT_REGISTRY.register_matcher(
+    "disk",
+    _build_disk,
+    "disk-tier predicate index: mmap'd segment bases with bounded "
+    "resident memory and cold-start from segment files",
+    capabilities={"disk_backed": True},
+)
+DEFAULT_REGISTRY.register_matcher(
+    "disk-concurrent",
+    _build_disk_concurrent,
+    "concurrent disk-tier index: compaction publishes mmap'd bases, "
+    "checkpoints are incremental per shard",
+    capabilities={"disk_backed": True, "process_parallel": True},
 )
 DEFAULT_REGISTRY.register_matcher(
     "sequential", _build_sequential, "Section 2.1: one flat predicate list"

@@ -77,12 +77,28 @@ class TreeStore:
         the store-wide default — this is what makes an auto-selected
         pick survive rebuilds, rollbacks and snapshot compactions.
         """
-        factory = self.tree_factory
+        tree = self._resolve_factory(state, attribute)()
+        self.seed_epoch(state, tree)
+        return tree
+
+    def _resolve_factory(
+        self, state: RelationState, attribute: Optional[str]
+    ) -> TreeFactory:
+        """The factory for *attribute*: per-attribute override or default.
+
+        Subclasses that pin their own backend (the disk store must —
+        an auto-selected RAM structure cannot be sealed to a segment
+        file) override this instead of re-implementing ``new_tree``.
+        """
         if attribute is not None and state.tree_backends:
             override = state.tree_backends.get(attribute)
             if override is not None:
-                factory = override[1]
-        tree = factory()
+                return override[1]
+        return self.tree_factory
+
+    @staticmethod
+    def seed_epoch(state: RelationState, tree: Any) -> Any:
+        """Continue *tree*'s epochs from the relation's floor (see above)."""
         floor = state.epoch_floor
         if floor and hasattr(tree, "epoch"):
             tree.epoch = floor

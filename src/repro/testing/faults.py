@@ -89,6 +89,19 @@ FAULT_SITES: Tuple[str, ...] = (
     "worker.hang",
     "ipc.corrupt_frame",
     "shm.unlink_early",
+    # disk tier: a segment write torn halfway through its payload (the
+    # temp file is abandoned, the target untouched), a checkpoint that
+    # crashes after writing new-generation segments but before the
+    # manifest is published, and a segment file unlinked while a reader
+    # still has it mmap'd.  Like the worker sites, ``disk.mmap_unlink``
+    # is converted into the *real* failure — an actual unlink of a
+    # manifest-referenced segment — so the recovery it exercises
+    # (serving reads from the surviving mapping, then rebuilding the
+    # attribute from the predicate log at the next cold start) is
+    # genuine.
+    "disk.torn_segment",
+    "disk.partial_checkpoint",
+    "disk.mmap_unlink",
 )
 
 _FAULT_SITE_SET = frozenset(FAULT_SITES)

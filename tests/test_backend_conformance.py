@@ -273,6 +273,14 @@ class TestRegistryIntrospection:
             ):
                 assert isinstance(info[flag], bool)
 
+    def test_disk_backed_is_opt_in(self):
+        # `disk_backed` defaults to False: a backend that doesn't
+        # declare it must not read as disk-capable
+        assert DEFAULT_REGISTRY.describe_backend("disk")["disk_backed"] is True
+        for name in BACKENDS:
+            if name != "disk":
+                assert DEFAULT_REGISTRY.describe_backend(name)["disk_backed"] is False, name
+
     def test_unknown_backend_raises(self):
         from repro.errors import RegistryError
 

@@ -61,6 +61,71 @@ def test_unknown_command_mentions_new_subcommands(capsys):
     assert main(["repro", "bogus"]) == 2
     err = capsys.readouterr().err
     assert "backends" in err and "describe" in err and "tune" in err
+    assert "segments" in err
+
+
+def test_describe_disk_matcher_shows_disk_backed(capsys):
+    assert main(["repro", "describe", "disk"]) == 0
+    out = capsys.readouterr().out
+    assert "tree backend 'disk'" in out
+    assert "matcher 'disk'" in out
+    assert "disk_backed" in out
+
+
+def test_segments_requires_argument(capsys):
+    assert main(["repro", "segments"]) == 2
+    assert "usage" in capsys.readouterr().err
+
+
+def test_segments_rejects_missing_directory(tmp_path, capsys):
+    assert main(["repro", "segments", str(tmp_path / "nope")]) == 2
+    assert "not a directory" in capsys.readouterr().err
+
+
+def test_segments_empty_directory(tmp_path, capsys):
+    assert main(["repro", "segments", str(tmp_path)]) == 0
+    assert "no segment files" in capsys.readouterr().out
+
+
+def test_segments_lists_and_verifies(tmp_path, capsys):
+    from repro.core.intervals import Interval
+    from repro.core.predicate_index import PredicateIndex
+    from repro.predicates import IntervalClause, Predicate
+
+    index = PredicateIndex(storage="disk", data_dir=str(tmp_path))
+    for i in range(8):
+        index.add(
+            Predicate(
+                "emp",
+                [IntervalClause("salary", Interval.closed(i, i + 5))],
+                ident=i,
+            )
+        )
+    index.seal()
+    assert main(["repro", "segments", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "ok" in out and "emp.salary" in out and "0 corrupt" in out
+
+
+def test_segments_flags_corruption(tmp_path, capsys):
+    import glob
+    import os
+
+    from repro.core.intervals import Interval
+    from repro.core.predicate_index import PredicateIndex
+    from repro.predicates import IntervalClause, Predicate
+
+    index = PredicateIndex(storage="disk", data_dir=str(tmp_path))
+    index.add(
+        Predicate("emp", [IntervalClause("salary", Interval.closed(1, 9))], ident=0)
+    )
+    index.seal(release=True)
+    victim = glob.glob(os.path.join(str(tmp_path), "**", "*.seg"), recursive=True)[0]
+    data = bytearray(open(victim, "rb").read())
+    data[len(data) // 2] ^= 0xFF  # flip one payload byte
+    open(victim, "wb").write(bytes(data))
+    assert main(["repro", "segments", str(tmp_path)]) == 1
+    assert "CORRUPT" in capsys.readouterr().out
 
 
 def test_tune_prints_cost_table_and_picks(capsys):

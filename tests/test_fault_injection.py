@@ -17,6 +17,7 @@ environment variable (comma-separated integers).
 
 import inspect
 import os
+import pathlib
 import random
 import sys
 
@@ -520,7 +521,11 @@ class TestActionFaults:
 
 class TestSiteCoverage:
     def test_every_fault_site_is_exercised(self):
+        # disk-tier crash drills live in tests/test_disk_tier.py; every
+        # other site must be armed somewhere in this module
         source = inspect.getsource(sys.modules[__name__])
+        disk_drills = pathlib.Path(__file__).with_name("test_disk_tier.py")
+        source += disk_drills.read_text(encoding="utf-8")
         for site in FAULT_SITES:
             assert f'"{site}"' in source, f"no scenario covers site {site!r}"
 
@@ -540,6 +545,9 @@ class TestSiteCoverage:
             "worker.hang",
             "ipc.corrupt_frame",
             "shm.unlink_early",
+            "disk.torn_segment",
+            "disk.partial_checkpoint",
+            "disk.mmap_unlink",
         }
 
     def test_unknown_site_rejected_at_arm_time_with_suggestion(self):
