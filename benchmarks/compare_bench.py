@@ -102,6 +102,22 @@ EXPERIMENTS["concurrency"] = ("BENCH_concurrency.json", _measure_concurrency, No
 EXPERIMENTS["autoselect"] = ("BENCH_autoselect.json", _measure_autoselect, None)
 
 
+def _measure_maint(scenario):
+    from repro.bench.runner import run_maintenance
+
+    return run_maintenance(
+        predicates=scenario["predicates"],
+        distinct_values=scenario["distinct_values"],
+        batch_size=scenario["batch_size"],
+        rounds=scenario["rounds"],
+        checkpoint_every=scenario.get("checkpoint_every", 6),
+        seed=scenario.get("seed", 53),
+    )
+
+
+EXPERIMENTS["maint"] = ("BENCH_maint.json", _measure_maint, None)
+
+
 def row_key(row):
     """Configuration identity: every non-float field of the row."""
     return tuple(

@@ -3,7 +3,7 @@
 
 Equivalent to ``python -m repro.bench.runner``.  Individual figures::
 
-    python benchmarks/run_all.py fig7 fig8 fig9 cost space abl1 abl2 e2e batch rebuild coldstart stabcache concurrency
+    python benchmarks/run_all.py fig7 fig8 fig9 cost space abl1 abl2 e2e batch rebuild coldstart stabcache concurrency maint
 
 ``--smoke`` runs every selected experiment (default: all) at a reduced
 scale — a fast sanity pass for CI, not a measurement.
@@ -26,6 +26,7 @@ from repro.bench.runner import (
     print_fig7,
     print_fig8,
     print_fig9,
+    print_maintenance,
     print_rebuild,
     print_space,
     print_stab_cache,
@@ -41,6 +42,7 @@ from repro.bench.runner import (
     run_fig7,
     run_fig8,
     run_fig9,
+    run_maintenance,
     run_rebuild,
     run_space,
     run_stab_cache,
@@ -63,6 +65,7 @@ RUNNERS = {
     "stabcache": print_stab_cache,
     "concurrency": print_concurrency,
     "autoselect": print_autoselect,
+    "maint": print_maintenance,
 }
 
 #: Reduced-scale arguments per experiment for ``--smoke``.  Each entry
@@ -97,6 +100,10 @@ SMOKE = {
                    {"scale": 0.25, "repeats": 1, "calibration_samples": 60,
                     "calibration_sizes": (16, 128)},
                    print_autoselect),
+    "maint": (run_maintenance,
+              {"predicates": 300, "distinct_values": 100, "batch_size": 50,
+               "rounds": 6, "repeats": 1, "checkpoint_every": 2},
+              print_maintenance),
 }
 
 

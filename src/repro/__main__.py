@@ -11,6 +11,9 @@ Subcommands::
                                       # auto-selection picks (--quick, --seed N)
     python -m repro segments DIR      # list a disk tier's segment files,
                                       # verifying every checksum
+    python -m repro maintenance       # play a scenario through the unified
+                                      # maintenance scheduler and print its
+                                      # task table (--quick, --seed N)
 """
 
 from __future__ import annotations
@@ -214,6 +217,77 @@ def _tune(arguments: list) -> int:
     return 0
 
 
+def _maintenance(arguments: list) -> int:
+    """Drive the unified maintenance scheduler over a synthetic workload.
+
+    Builds one adaptive, auto-selecting ``PredicateIndex`` per scenario
+    family with a :class:`~repro.maintenance.MaintenancePolicy`, plays
+    the family's churn and batches (every write and matched tuple ticks
+    the clock), then prints the scheduler's task table — runs, failures,
+    next-due op — and the dead-letter queue, mirroring
+    ``maintenance_report()``.
+    """
+    quick = "--quick" in arguments
+    seed = 42
+    if "--seed" in arguments:
+        try:
+            seed = int(arguments[arguments.index("--seed") + 1])
+        except (IndexError, ValueError):
+            print(
+                "usage: python -m repro maintenance [--quick] [--seed N]",
+                file=sys.stderr,
+            )
+            return 2
+    from .core.predicate_index import PredicateIndex
+    from .maintenance import MaintenancePolicy
+    from .workloads.scenarios import scenario_names, synthesize
+
+    scale = 0.25 if quick else 1.0
+    policy = MaintenancePolicy(
+        retune_interval=64,
+        autoselect_interval=256,
+        quarantine_failures=3,
+    )
+    print(
+        f"unified maintenance plane over the synthesized scenarios "
+        f"(seed {seed}, scale {scale:g}):"
+    )
+    print(f"  policy: {policy.as_dict()}")
+    for family in scenario_names():
+        scenario = synthesize(family, seed=seed, scale=scale)
+        relation = scenario.spec.relation
+        index = PredicateIndex(
+            adaptive=True,
+            min_feedback_tuples=16,
+            auto_backend=True,
+            min_evidence_ops=32,
+            maintenance=policy,
+        )
+        for predicate in scenario.predicates():
+            index.add(predicate)
+        for op, payload in scenario.churn():
+            if op == "add":
+                index.add(payload)
+            else:
+                index.remove(payload)
+        for batch in scenario.batches():
+            index.match_batch(relation, batch)
+        report = index.maintenance_report()
+        print(f"  {family}: clock_ops={report['clock_ops']}")
+        for name, state in sorted(report["tasks"].items()):
+            line = (
+                f"    {name:<12} runs={state['runs']}"
+                f" failures={state['failures']}"
+                f" next_due_ops={state['next_due_ops']}"
+            )
+            if state["quarantined"]:
+                line += "  QUARANTINED"
+            print(line)
+        for failure in report["failures"]:
+            print(f"    dead-letter: {failure}")
+    return 0
+
+
 def _segments(data_dir: str) -> int:
     """List every segment file under *data_dir* with checksum verification.
 
@@ -283,10 +357,13 @@ def main(argv: list) -> int:
             print("usage: python -m repro segments DATA_DIR", file=sys.stderr)
             return 2
         return _segments(argv[2])
+    elif command == "maintenance":
+        return _maintenance(argv[2:])
     else:
         print(
             f"unknown command {command!r}; "
-            "use: info | demo | bench | backends | describe | tune | segments",
+            "use: info | demo | bench | backends | describe | tune | "
+            "segments | maintenance",
             file=sys.stderr,
         )
         return 2

@@ -54,6 +54,8 @@ from ..core.ibs_tree import IBSTree
 from ..core.predicate_index import PredicateIndex, TreeFactory
 from ..core.selectivity import SelectivityEstimator
 from ..errors import ConcurrencyError, PredicateError, UnknownIntervalError
+from ..maintenance import MaintenancePolicy, MaintenanceScheduler
+from ..match.observer import MatchStatistics, StatsObserver
 from ..predicates.predicate import Predicate
 from .shard import (
     DEFAULT_COMPACTION_THRESHOLD,
@@ -137,6 +139,20 @@ class ConcurrentPredicateIndex(PredicateMatcher):
         Forwarded to the :class:`~repro.match.autoselect.AutoSelector`
         — candidate backend names, a pre-calibrated cost table, and
         the evidence floor below which no decision is made.
+    maintenance:
+        A :class:`~repro.maintenance.MaintenancePolicy` driving this
+        facade's background work off the unified maintenance clock:
+        ``compact_interval`` compacts shards proactively (folding
+        overlays *before* the synchronous size threshold forces a
+        write-side fold), ``autoselect_interval`` retunes backends
+        continuously off that same clock instead of explicit
+        :meth:`autoselect` calls, ``evict_interval`` sweeps disk-tier
+        residency, and a :class:`~repro.disk.checkpoint.DiskCheckpointer`
+        attached to this facade registers its budgeted checkpoint task
+        here.  The policy's ``compaction_threshold`` also becomes the
+        shards' synchronous backstop threshold unless the
+        ``compaction_threshold`` argument overrides it explicitly.  See
+        :meth:`maintenance_report`.
     """
 
     name = "ibs-concurrent"
@@ -159,6 +175,7 @@ class ConcurrentPredicateIndex(PredicateMatcher):
         storage: str = "memory",
         data_dir: Optional[str] = None,
         memory_budget: Optional[int] = None,
+        maintenance: Optional[MaintenancePolicy] = None,
     ):
         backend_name: Optional[str] = None
         if isinstance(tree_factory, str):
@@ -195,6 +212,13 @@ class ConcurrentPredicateIndex(PredicateMatcher):
         self._workers = max(0, int(workers))
         self._pool_kind = pool
         self._columnar = bool(columnar)
+        if (
+            maintenance is not None
+            and compaction_threshold == DEFAULT_COMPACTION_THRESHOLD
+        ):
+            # the policy owns the synchronous backstop threshold unless
+            # the caller pinned one explicitly
+            compaction_threshold = maintenance.compaction_threshold
         self._compaction_threshold = int(compaction_threshold)
         self._min_chunk = max(1, int(min_chunk))
         #: catalog lock: shard-table and routing-map writes only.
@@ -236,6 +260,87 @@ class ConcurrentPredicateIndex(PredicateMatcher):
                 min_evidence_ops=min_evidence_ops,
                 default_backend=backend_name,
             )
+        self._maint_observer = StatsObserver(MatchStatistics())
+        self._maintenance = self._build_maintenance(maintenance)
+
+    def _build_maintenance(
+        self, policy: Optional[MaintenancePolicy]
+    ) -> Optional[MaintenanceScheduler]:
+        """Register the facade's background work as scheduler tasks.
+
+        ``compact`` (closing ROADMAP item 4's follow-on: background
+        compaction off one clock) and ``autoselect`` (closing item 5's:
+        continuous retune-by-compaction) register here; the disk tier's
+        ``checkpoint`` task is registered by the
+        :class:`~repro.disk.checkpoint.DiskCheckpointer` that attaches
+        to this facade, and ``evict`` sweeps each shard's disk store.
+        The shards' synchronous size-threshold fold stays as the
+        structural backstop — a write burst can always outrun any
+        periodic schedule — but its threshold is sourced from the same
+        policy, so there is one place to tune both.
+        """
+        if policy is None:
+            return None
+        scheduler = MaintenanceScheduler(
+            policy=policy, observer=self._maint_observer
+        )
+        if policy.compact_interval is not None:
+            scheduler.register_callback(
+                "compact",
+                lambda budget, relation: self.compact(relation),
+                interval_ops=policy.compact_interval,
+                priority=5,
+                cost_class="bulk",
+            )
+        if self._selector is not None and policy.autoselect_interval is not None:
+            scheduler.register_callback(
+                "autoselect",
+                lambda budget, relation: self.autoselect(relation),
+                interval_ops=policy.autoselect_interval,
+                priority=3,
+                cost_class="bulk",
+            )
+        if policy.evict_interval is not None and self._storage == "disk":
+            scheduler.register_callback(
+                "evict",
+                lambda budget, relation: self._evict_pass(),
+                interval_ops=policy.evict_interval,
+                priority=0,
+                cost_class="io",
+            )
+        return scheduler
+
+    def _evict_pass(self) -> int:
+        """Ask every live shard index to shed cold decoded trees."""
+        evicted = 0
+        for _relation, shard in self._shard_items():
+            snap = shard.snapshot
+            for index in (snap.base, snap.overlay):
+                if index is not None and index.maybe_evict():
+                    evicted += 1
+        return evicted
+
+    def _tick(self, relation: Optional[str], count: int) -> None:
+        """Advance the maintenance clock (one op per matched tuple or
+        predicate write — the unified semantics documented on
+        :class:`~repro.maintenance.MaintenanceClock`)."""
+        self._maintenance.advance(count, relation=relation)
+
+    @property
+    def maintenance_scheduler(self) -> Optional[MaintenanceScheduler]:
+        """The facade's scheduler, or ``None`` without a policy."""
+        return self._maintenance
+
+    @property
+    def maintenance_stats(self) -> MatchStatistics:
+        """Counters fed by the scheduler's ``on_maintenance`` hook."""
+        return self._maint_observer.stats
+
+    def maintenance_report(self) -> Dict[str, Any]:
+        """Introspect the maintenance plane (mirrors :meth:`tuning_report`)."""
+        if self._maintenance is None:
+            return {"enabled": False, "clock_ops": 0, "tasks": {}, "failures": []}
+        return self._maintenance.report()
 
     # -- shard / pool management ---------------------------------------
 
@@ -564,6 +669,8 @@ class ConcurrentPredicateIndex(PredicateMatcher):
             self._record_write(
                 relation, self._indexed_attrs(relation, ident), insert=True
             )
+        if self._maintenance is not None:
+            self._tick(relation, 1)
         return ident
 
     def add_many(self, predicates: Iterable[Predicate]) -> List[Hashable]:
@@ -597,6 +704,8 @@ class ConcurrentPredicateIndex(PredicateMatcher):
                         self._indexed_attrs(relation, normalized.ident),
                         insert=True,
                     )
+            if self._maintenance is not None:
+                self._tick(relation, len(group))
         return ordered
 
     def remove(self, ident: Hashable) -> Predicate:
@@ -620,6 +729,8 @@ class ConcurrentPredicateIndex(PredicateMatcher):
             raise
         if attrs:
             self._record_write(relation, attrs, insert=False)
+        if self._maintenance is not None:
+            self._tick(relation, 1)
         return predicate
 
     # -- PredicateMatcher: matching (lock-free reads) ------------------
@@ -633,14 +744,20 @@ class ConcurrentPredicateIndex(PredicateMatcher):
         snapshot = self.snapshot(relation)
         if self._selector is not None:
             self._observe_read(relation, snapshot, (tup,))
-        return snapshot.match(tup)
+        matched = snapshot.match(tup)
+        if self._maintenance is not None:
+            self._tick(relation, 1)
+        return matched
 
     def match_idents(self, relation: str, tup: Mapping[str, Any]) -> Set[Hashable]:
         """Identifiers of all matching predicates at one epoch."""
         snapshot = self.snapshot(relation)
         if self._selector is not None:
             self._observe_read(relation, snapshot, (tup,))
-        return snapshot.match_idents(tup)
+        matched = snapshot.match_idents(tup)
+        if self._maintenance is not None:
+            self._tick(relation, 1)
+        return matched
 
     def match_idents_at(
         self, relation: str, tup: Mapping[str, Any]
@@ -679,14 +796,17 @@ class ConcurrentPredicateIndex(PredicateMatcher):
             self._observe_read(relation, snapshot, tuple_list)
         if self._pool_kind == "process" and self._workers >= 1:
             rows = self._process_match(snapshot, tuple_list)
-            if rows is not None:
-                return rows
-            # degraded / declined: in-process answer, same canonical
-            # order as the process tier so results are mode-independent
-            return snapshot.canonical_rows(
-                self._thread_match_batch(snapshot, tuple_list)
-            )
-        return self._thread_match_batch(snapshot, tuple_list)
+            if rows is None:
+                # degraded / declined: in-process answer, same canonical
+                # order as the process tier so results are mode-independent
+                rows = snapshot.canonical_rows(
+                    self._thread_match_batch(snapshot, tuple_list)
+                )
+        else:
+            rows = self._thread_match_batch(snapshot, tuple_list)
+        if self._maintenance is not None and tuple_list:
+            self._tick(relation, len(tuple_list))
+        return rows
 
     def _thread_match_batch(
         self, snapshot: EpochSnapshot, tuple_list: List[Mapping[str, Any]]

@@ -54,6 +54,7 @@ from typing import (
 )
 
 from ..errors import PredicateError, UnknownIntervalError
+from ..maintenance import MaintenancePolicy, MaintenanceScheduler
 from ..match import health as _health
 from ..match.catalog import (
     ClauseCatalog,
@@ -127,7 +128,11 @@ class PredicateIndex:
         alternative must promise a decisive improvement, not a tie.
     auto_retune_interval:
         When set (and ``adaptive``), :meth:`retune` runs automatically
-        every N matched tuples; ``None`` leaves retuning manual.
+        every N clock ops (see :mod:`repro.maintenance` for the op
+        semantics — matched tuples plus predicate writes); ``None``
+        leaves retuning manual.  Sugar for a
+        :class:`~repro.maintenance.MaintenancePolicy` with
+        ``retune_interval`` set.
     columnar:
         Try the vectorized columnar plane
         (:mod:`repro.match.columnar`) first on every
@@ -151,8 +156,10 @@ class PredicateIndex:
         ``Database(matcher="auto")`` through the registry.
     autoselect_interval:
         When set (and ``auto_backend``), :meth:`autoselect` runs
-        automatically every N matched tuples; ``None`` leaves tuning
-        passes manual.
+        automatically every N clock ops; ``None`` leaves tuning
+        passes manual.  Sugar for a
+        :class:`~repro.maintenance.MaintenancePolicy` with
+        ``autoselect_interval`` set.
     auto_candidates:
         Candidate backend names for auto-selection; defaults to the
         four IBS-tree variants.
@@ -166,6 +173,16 @@ class PredicateIndex:
     auto_migration_ratio:
         Auto-selection hysteresis: migrate only when the best
         candidate prices below ``current * auto_migration_ratio``.
+    maintenance:
+        A :class:`~repro.maintenance.MaintenancePolicy` routing every
+        periodic mechanism (retune, autoselect, disk-tier eviction)
+        through one deterministic
+        :class:`~repro.maintenance.MaintenanceScheduler`.  Policy
+        intervals take precedence over the legacy
+        ``auto_retune_interval`` / ``autoselect_interval`` sugar; the
+        scheduler's clock advances once per matched tuple and once per
+        predicate write, and never while the index is frozen.  See
+        :meth:`maintenance_report`.
     """
 
     #: Strategy name (matches the PredicateMatcher convention).
@@ -191,6 +208,7 @@ class PredicateIndex:
         storage: str = "memory",
         data_dir: Optional[str] = None,
         memory_budget: Optional[int] = None,
+        maintenance: Optional[MaintenancePolicy] = None,
     ):
         backend_name: Optional[str] = None
         if isinstance(tree_factory, str):
@@ -205,8 +223,6 @@ class PredicateIndex:
         self._tree_factory = tree_factory
         self._adaptive = bool(adaptive)
         self._migration_ratio = float(migration_ratio)
-        self._auto_retune_interval = auto_retune_interval
-        self._tuples_since_retune = 0
         # Imported lazily: repro.core must stay importable before
         # repro.db finishes initialising (db imports core).
         from ..db.statistics import EntryClauseFeedback
@@ -240,8 +256,6 @@ class PredicateIndex:
             self._store = TreeStore(tree_factory, stab_cache_size)
         self._observer = StatsObserver(MatchStatistics())
         self._selector: Any = None
-        self._autoselect_interval = autoselect_interval
-        self._tuples_since_autoselect = 0
         pipeline_observer: Any = self._observer
         if auto_backend:
             from ..match.autoselect import DEFAULT_CANDIDATES, AutoSelector
@@ -267,6 +281,98 @@ class PredicateIndex:
             columnar=bool(columnar),
         )
         self._frozen = False
+        self._maintenance = self._build_maintenance(
+            maintenance, auto_retune_interval, autoselect_interval
+        )
+
+    def _build_maintenance(
+        self,
+        policy: Optional[MaintenancePolicy],
+        retune_interval: Optional[int],
+        autoselect_interval: Optional[int],
+    ) -> Optional[MaintenanceScheduler]:
+        """Register this index's periodic mechanisms as scheduler tasks.
+
+        The legacy ``auto_retune_interval`` / ``autoselect_interval``
+        constructor sugar maps to policy intervals (the policy wins
+        when both are given).  When nothing is periodic and no policy
+        was passed, no scheduler is built and the hot paths skip
+        ticking entirely.
+        """
+        if policy is not None:
+            if policy.retune_interval is not None:
+                retune_interval = policy.retune_interval
+            if policy.autoselect_interval is not None:
+                autoselect_interval = policy.autoselect_interval
+        wants_retune = self._adaptive and retune_interval is not None
+        wants_autoselect = (
+            self._selector is not None and autoselect_interval is not None
+        )
+        wants_evict = (
+            policy is not None
+            and policy.evict_interval is not None
+            and hasattr(self._store, "maybe_evict")
+        )
+        if policy is None and not (wants_retune or wants_autoselect):
+            return None
+        scheduler = MaintenanceScheduler(
+            policy=policy, observer=self._pipeline.observer
+        )
+        if wants_retune:
+            scheduler.register_callback(
+                "retune",
+                lambda budget, relation: self.retune(relation),
+                interval_ops=retune_interval,
+                priority=10,
+                cost_class="cheap",
+            )
+        if wants_autoselect:
+            scheduler.register_callback(
+                "autoselect",
+                lambda budget, relation: self.autoselect(relation),
+                interval_ops=autoselect_interval,
+                priority=5,
+                cost_class="bulk",
+            )
+        if wants_evict:
+            scheduler.register_callback(
+                "evict",
+                lambda budget, relation: self._store.maybe_evict(),
+                interval_ops=policy.evict_interval,
+                priority=0,
+                cost_class="io",
+            )
+        return scheduler
+
+    def _tick(self, relation: Optional[str], count: int) -> None:
+        """Advance the maintenance clock by *count* ops.
+
+        The one op-count semantics (documented on
+        :class:`~repro.maintenance.MaintenanceClock`): matched tuples
+        and predicate writes tick, candidate-supplied matching does
+        not, and a frozen index never ticks — so no maintenance task
+        can run against frozen state.
+        """
+        if self._frozen:
+            return
+        self._maintenance.advance(count, relation=relation)
+
+    @property
+    def maintenance_scheduler(self) -> Optional[MaintenanceScheduler]:
+        """The index's scheduler, or ``None`` when nothing is periodic."""
+        return self._maintenance
+
+    def maintenance_report(self) -> Dict[str, Any]:
+        """Introspect the maintenance plane (mirrors :meth:`tuning_report`).
+
+        Returns the clock position, the per-task table (intervals,
+        runs, failures, backoff marks, quarantine flags), the active
+        policy, and the dead-letter tail.  An index with no scheduler
+        reports ``enabled: False``.
+        """
+        if self._maintenance is None:
+            return {"enabled": False, "clock_ops": 0, "tasks": {}, "failures": []}
+        return self._maintenance.report()
 
     # -- layer access (compat: tests reach into these) ---------------------
 
@@ -396,6 +502,21 @@ class PredicateIndex:
                 total += 200 * len(tree) + 120 * getattr(tree, "node_count", 0)
         return total
 
+    def maybe_evict(self) -> bool:
+        """Shed cold decoded trees if the store is over its budget.
+
+        Disk-tier stores run their coldest-first eviction sweep and
+        return True; memory-tier stores have nowhere to evict to and
+        return False.  Safe on a frozen index (eviction drops caches,
+        never structure) — the maintenance plane's ``evict`` task calls
+        this on every live shard base.
+        """
+        sweep = getattr(self._store, "maybe_evict", None)
+        if sweep is None:
+            return False
+        sweep()
+        return True
+
     def seal(self, release: bool = False) -> Dict[str, Dict[str, str]]:
         """Seal every disk-backed tree to its segment file.
 
@@ -444,6 +565,8 @@ class PredicateIndex:
         ident = self._catalog.register(self._store, predicate)
         if self._selector is not None:
             self._observe_write(ident, insert=True)
+        if self._maintenance is not None:
+            self._tick(self._catalog.relation_of.get(ident), 1)
         return ident
 
     def add_many(self, predicates: Iterable[Predicate]) -> List[Hashable]:
@@ -466,6 +589,8 @@ class PredicateIndex:
         if self._selector is not None:
             for ident in idents:
                 self._observe_write(ident, insert=True)
+        if self._maintenance is not None and idents:
+            self._tick(None, len(idents))
         return idents
 
     def remove(self, ident: Hashable) -> Predicate:
@@ -474,7 +599,11 @@ class PredicateIndex:
         if self._selector is not None:
             # capture the entry attributes before they are unregistered
             self._observe_write(ident, insert=False)
-        return self._catalog.unregister(self._store, ident)
+        relation = self._catalog.relation_of.get(ident)
+        predicate = self._catalog.unregister(self._store, ident)
+        if self._maintenance is not None:
+            self._tick(relation, 1)
+        return predicate
 
     def _observe_write(self, ident: Hashable, insert: bool) -> None:
         """Feed one registration/removal into the selector's evidence."""
@@ -493,19 +622,15 @@ class PredicateIndex:
     def match(self, relation: str, tup: Mapping[str, Any]) -> List[Predicate]:
         """All predicates of *relation* that fully match the tuple."""
         matched = self._pipeline.match(relation, tup)
-        if self._adaptive:
-            self._maybe_auto_retune(relation, 1)
-        if self._selector is not None:
-            self._maybe_autoselect(relation, 1)
+        if self._maintenance is not None:
+            self._tick(relation, 1)
         return matched
 
     def match_idents(self, relation: str, tup: Mapping[str, Any]) -> Set[Hashable]:
         """Identifiers of all fully matching predicates."""
         matched = self._pipeline.match_idents(relation, tup)
-        if self._adaptive:
-            self._maybe_auto_retune(relation, 1)
-        if self._selector is not None:
-            self._maybe_autoselect(relation, 1)
+        if self._maintenance is not None:
+            self._tick(relation, 1)
         return matched
 
     def match_with_candidates(
@@ -535,23 +660,11 @@ class PredicateIndex:
         """
         tuple_list = list(tuples)
         results = self._pipeline.match_batch(relation, tuple_list)
-        if self._adaptive:
-            self._maybe_auto_retune(relation, len(tuple_list))
-        if self._selector is not None:
-            self._maybe_autoselect(relation, len(tuple_list))
+        if self._maintenance is not None and tuple_list:
+            self._tick(relation, len(tuple_list))
         return results
 
     # -- adaptive entry-clause migration -----------------------------------
-
-    def _maybe_auto_retune(self, relation: str, count: int) -> None:
-        """Run :meth:`retune` when the auto-retune interval elapses."""
-        interval = self._auto_retune_interval
-        if not interval:
-            return
-        self._tuples_since_retune += count
-        if self._tuples_since_retune >= interval:
-            self._tuples_since_retune = 0
-            self.retune(relation)
 
     def retune(self, relation: Optional[str] = None) -> List[Hashable]:
         """One feedback-driven migration pass; returns migrated idents.
@@ -586,16 +699,6 @@ class PredicateIndex:
         )
 
     # -- backend auto-selection --------------------------------------------
-
-    def _maybe_autoselect(self, relation: str, count: int) -> None:
-        """Run :meth:`autoselect` when the tuning interval elapses."""
-        interval = self._autoselect_interval
-        if not interval or self._frozen:
-            return
-        self._tuples_since_autoselect += count
-        if self._tuples_since_autoselect >= interval:
-            self._tuples_since_autoselect = 0
-            self.autoselect(relation)
 
     def autoselect(self, relation: Optional[str] = None) -> List[Any]:
         """One cost-driven backend-selection pass; returns the decisions.

@@ -178,12 +178,21 @@ class Database:
         leaves the engine's own default (``"ibs"``) in charge.  Unknown
         names raise :class:`~repro.errors.RegistryError` here, at
         configuration time, rather than when the first engine attaches.
+    maintenance:
+        A :class:`~repro.maintenance.MaintenancePolicy` forwarded (via
+        the registry) to every matcher a rule engine builds over this
+        database, routing its periodic work — retune, backend
+        auto-selection, shard compaction, disk checkpoints, eviction —
+        through one deterministic scheduler.  ``None`` (the default)
+        leaves every mechanism manual or on its legacy per-matcher
+        sugar.
     """
 
     def __init__(
         self,
         threadsafe: bool = False,
         matcher: Optional[Any] = None,
+        maintenance: Optional[Any] = None,
     ) -> None:
         if isinstance(matcher, str):
             # Imported here: the db layer must stay importable while
@@ -197,6 +206,8 @@ class Database:
                 )
         #: Default matcher spec for rule engines over this database.
         self.default_matcher = matcher
+        #: Default maintenance policy for those engines' matchers.
+        self.default_maintenance = maintenance
         self._relations: Dict[str, Relation] = {}
         self._subscribers: List[Subscriber] = []
         self._txn: Optional[Transaction] = None

@@ -538,6 +538,23 @@ class DiskCheckpointer:
         except CorruptSnapshotError:
             self._manifest = {}
         index.on_publish(self._on_publish)
+        # Route the checkpoint cadence through the maintenance plane:
+        # when the facade carries a scheduler whose policy names a
+        # checkpoint interval, background incremental checkpoints run
+        # off the unified clock (budgeted, so one tick never turns into
+        # a stop-the-world pass) instead of manual checkpoint() calls.
+        scheduler = getattr(index, "maintenance_scheduler", None)
+        if (
+            scheduler is not None
+            and scheduler.policy.checkpoint_interval is not None
+        ):
+            scheduler.register_callback(
+                "checkpoint",
+                lambda budget, relation: self.checkpoint(budget=budget),
+                interval_ops=scheduler.policy.checkpoint_interval,
+                priority=1,
+                cost_class="io",
+            )
 
     # -- journaling (runs inside shard write locks; keep it short) ------
 
@@ -571,7 +588,9 @@ class DiskCheckpointer:
 
     # -- checkpointing ---------------------------------------------------
 
-    def checkpoint(self, relation: Optional[str] = None) -> Dict[str, int]:
+    def checkpoint(
+        self, relation: Optional[str] = None, budget: Optional[Any] = None
+    ) -> Dict[str, int]:
         """Make the current state durable; returns ``relation -> epoch``.
 
         Per shard: compact if the overlay or tombstone set is non-empty
@@ -581,6 +600,18 @@ class DiskCheckpointer:
         published atomically at the end; a crash before that point
         (the ``disk.partial_checkpoint`` drill) leaves the previous
         manifest — and therefore a consistent recovery point — intact.
+
+        A :class:`~repro.maintenance.MaintenanceBudget` caps the work
+        of one pass: each checkpointed shard charges one op, and when
+        the budget exhausts the pass stops *between* shards and still
+        publishes its manifest.  That partial-coverage manifest is
+        consistent by construction — every entry it carries is an
+        individually sealed shard state, and :meth:`compact_journal`
+        keeps the journal tail for every shard whose entry is older —
+        so a preempted background checkpoint (the
+        ``maint.checkpoint_preempted`` drill) narrows coverage, never
+        correctness.  The skipped shards are simply first in line on
+        the next tick.
         """
         shards = self.index._shard_items()
         if relation is not None:
@@ -589,16 +620,21 @@ class DiskCheckpointer:
         checkpointed: Dict[str, int] = {}
         for name, shard in shards:
             snap = shard.snapshot
-            if snap.overlay_preds or snap.removed:
-                shard.compact()
-                snap = shard.snapshot
             previous = relations.get(name)
             if previous is not None and previous.get("epoch") == snap.epoch:
                 checkpointed[name] = snap.epoch
                 continue  # incremental skip: nothing changed since
+            if budget is not None and budget.exhausted():
+                break  # between shards: the manifest below stays consistent
+            fault_point("maint.checkpoint_preempted")
+            if snap.overlay_preds or snap.removed:
+                shard.compact()
+                snap = shard.snapshot
             base = snap.base
             relations[name] = _relation_entry(base, name, snap.epoch, self.data_dir)
             checkpointed[name] = snap.epoch
+            if budget is not None:
+                budget.charge(1)
         _write_manifest(
             self.data_dir, relations, fault_site="disk.partial_checkpoint"
         )

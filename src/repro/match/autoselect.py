@@ -55,6 +55,7 @@ from typing import (
 from ..core.intervals import is_infinite
 from ..errors import PredicateError
 from ..predicates.clauses import IntervalClause
+from ..testing.faults import fault_point
 from .catalog import ClauseCatalog, RelationState
 from .observer import MatchObserver
 from .store import TreeStore
@@ -262,13 +263,33 @@ class AutoSelector:
         if not self.candidates:
             raise PredicateError("auto-selection needs at least one candidate backend")
         self._cost_table = cost_table
+        self._registry = registry
+        #: candidate name -> why it was capability-gated out of the
+        #: pool (never trial-built, never migrated to); surfaced in
+        #: :meth:`report` so an operator can see the whole story.
+        self.excluded_candidates: Dict[str, str] = {}
+        eligible = []
+        for name in self.candidates:
+            reason = self._capability_gate(name)
+            if reason is not None:
+                self.excluded_candidates[name] = reason
+            else:
+                eligible.append(name)
+        if not eligible:
+            gated = ", ".join(
+                f"{name} ({reason})"
+                for name, reason in self.excluded_candidates.items()
+            )
+            raise PredicateError(
+                f"every auto-selection candidate was capability-gated: {gated}"
+            )
+        self.candidates = tuple(eligible)
         self.min_evidence_ops = int(min_evidence_ops)
         self.migration_ratio = float(migration_ratio)
         self.quarantine_passes = int(quarantine_passes)
         self.probe_samples = int(probe_samples)
         self.trial_candidates = int(trial_candidates)
         self.default_backend = default_backend
-        self._registry = registry
         self._timer = timer
         self.evidence = IndexWorkloadEvidence(min_ops=self.min_evidence_ops)
         self.observer = EvidenceObserver(self.evidence)
@@ -300,6 +321,34 @@ class AutoSelector:
 
     def factory_for(self, backend: str) -> Callable[[], Any]:
         return self.registry.tree_factory(backend)
+
+    def _capability_gate(self, backend: str) -> Optional[str]:
+        """Why *backend* cannot be a migration target, or ``None``.
+
+        A migrated tree must keep absorbing the live write stream, so
+        static structures (``segment``, ``static-interval``) that
+        declare ``supports_dynamic_insert/delete = False`` are never
+        trial-built; the ``disk`` backend is likewise excluded — its
+        trees belong to a :class:`~repro.disk.store.DiskTreeStore`
+        with segment-file lifecycle the in-memory migration path does
+        not manage.  Names the registry cannot describe pass through
+        un-gated and fail (loudly, then quarantined) at trial-build
+        time, exactly as before gating existed.
+        """
+        try:
+            card = self.registry.describe_backend(backend)
+        except Exception:  # noqa: BLE001 - unknown names keep legacy path
+            return None
+        reasons = []
+        if not card.get("supports_dynamic_insert", True):
+            reasons.append("no dynamic insert")
+        if not card.get("supports_dynamic_delete", True):
+            reasons.append("no dynamic delete")
+        if card.get("disk_backed", False):
+            reasons.append("disk-backed tree store")
+        if not reasons:
+            return None
+        return ", ".join(reasons)
 
     # -- the decision procedure -----------------------------------------
 
@@ -576,6 +625,7 @@ class AutoSelector:
         """The ``tuning_report()`` payload: evidence, picks, history."""
         return {
             "candidates": list(self.candidates),
+            "excluded_candidates": dict(self.excluded_candidates),
             "min_evidence_ops": self.min_evidence_ops,
             "migration_ratio": self.migration_ratio,
             "passes": self.passes,
@@ -672,6 +722,10 @@ def migrate_attribute_tree(
             f"backend {backend!r} dropped entries during migration of "
             f"{relation}.{attribute}: {len(replacement)} != {len(pairs)}"
         )
+    # a maintenance tick interrupting the migration right here (the
+    # ``maint.tick_during_migration`` drill) aborts before the commit:
+    # the replacement is garbage-collected and the old tree stays live
+    fault_point("maint.tick_during_migration")
     # ---- commit point: nothing above mutated shared state ----
     state.trees[attribute] = replacement
     store.retire_tree(state, old_tree)

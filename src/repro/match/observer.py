@@ -39,7 +39,10 @@ and cached paths deliberately reduce:
   per-batch memo;
 * ``clause_migrations`` — adaptive entry-clause migrations performed;
 * ``backend_migrations`` — auto-selected tree-backend migrations
-  performed (see :mod:`repro.match.autoselect`).
+  performed (see :mod:`repro.match.autoselect`);
+* ``maintenance_runs`` / ``maintenance_failures`` — scheduled
+  maintenance-task executions and how many of them failed (see
+  :mod:`repro.maintenance`).
 """
 
 from __future__ import annotations
@@ -76,6 +79,8 @@ class MatchStatistics:
         "stab_cache_hits",
         "clause_migrations",
         "backend_migrations",
+        "maintenance_runs",
+        "maintenance_failures",
     )
 
     #: Counters whose value depends only on the workload, never on the
@@ -104,6 +109,8 @@ class MatchStatistics:
         self.stab_cache_hits = 0
         self.clause_migrations = 0
         self.backend_migrations = 0
+        self.maintenance_runs = 0
+        self.maintenance_failures = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Counters as a plain dict (for reports)."""
@@ -191,6 +198,11 @@ class MatchObserver:
         """An auto-selection pass rebuilt *attribute*'s tree on a new
         backend (see :mod:`repro.match.autoselect`)."""
 
+    def on_maintenance(self, task: str, ok: bool, spent_ops: int) -> None:
+        """The maintenance scheduler ran *task*: ``ok`` says whether it
+        completed, *spent_ops* is the work it charged to its budget
+        (see :mod:`repro.maintenance`)."""
+
 
 class StatsObserver(MatchObserver):
     """The default observer: maintains a :class:`MatchStatistics`."""
@@ -243,6 +255,12 @@ class StatsObserver(MatchObserver):
         new_backend: str,
     ) -> None:
         self.stats.backend_migrations += 1
+
+    def on_maintenance(self, task: str, ok: bool, spent_ops: int) -> None:
+        stats = self.stats
+        stats.maintenance_runs += 1
+        if not ok:
+            stats.maintenance_failures += 1
 
 
 class CompositeObserver(MatchObserver):
@@ -302,3 +320,7 @@ class CompositeObserver(MatchObserver):
             observer.on_backend_migration(
                 relation, attribute, old_backend, new_backend
             )
+
+    def on_maintenance(self, task: str, ok: bool, spent_ops: int) -> None:
+        for observer in self.observers:
+            observer.on_maintenance(task, ok, spent_ops)

@@ -255,6 +255,7 @@ _IBS_OPTIONS = (
     "storage",
     "data_dir",
     "memory_budget",
+    "maintenance",
 )
 
 #: Options the concurrent facade builder forwards.
@@ -275,6 +276,7 @@ _CONCURRENT_OPTIONS = (
     "storage",
     "data_dir",
     "memory_budget",
+    "maintenance",
 )
 
 

@@ -159,10 +159,15 @@ class RuleEngine:
         self._unsubscribe = db.subscribe(self._on_event)
 
     def _build_matcher(self, matcher: Union[str, PredicateMatcher]) -> PredicateMatcher:
+        options: Dict[str, Any] = {"estimator": StatisticsEstimator(self.db)}
+        # A database-level maintenance policy rides along to every
+        # matcher built for it; builders that have no maintenance plane
+        # (the sequential baselines) simply drop the option.
+        maintenance = getattr(self.db, "default_maintenance", None)
+        if maintenance is not None:
+            options["maintenance"] = maintenance
         try:
-            return DEFAULT_REGISTRY.create_matcher(
-                matcher, estimator=StatisticsEstimator(self.db)
-            )
+            return DEFAULT_REGISTRY.create_matcher(matcher, **options)
         except RegistryError:
             raise RuleError(
                 f"unknown matcher strategy {matcher!r}; "

@@ -155,3 +155,29 @@ def test_tune_bad_seed_is_usage_error(capsys):
 def test_tune_seed_flag_without_value_is_usage_error(capsys):
     assert main(["repro", "tune", "--seed"]) == 2
     assert "usage" in capsys.readouterr().err
+
+
+def test_maintenance_prints_task_table(capsys):
+    assert main(["repro", "maintenance", "--quick", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "unified maintenance plane" in out
+    assert "policy:" in out
+    from repro.workloads.scenarios import scenario_names
+
+    for family in scenario_names():
+        assert f"  {family}:" in out
+    assert "clock_ops=" in out
+    assert "retune" in out and "autoselect" in out
+    assert "runs=" in out and "next_due_ops=" in out
+    # a healthy run dead-letters nothing
+    assert "dead-letter" not in out
+
+
+def test_maintenance_bad_seed_is_usage_error(capsys):
+    assert main(["repro", "maintenance", "--seed", "nope"]) == 2
+    assert "usage" in capsys.readouterr().err
+
+
+def test_unknown_command_mentions_maintenance(capsys):
+    assert main(["repro", "bogus"]) == 2
+    assert "maintenance" in capsys.readouterr().err

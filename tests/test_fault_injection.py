@@ -521,11 +521,14 @@ class TestActionFaults:
 
 class TestSiteCoverage:
     def test_every_fault_site_is_exercised(self):
-        # disk-tier crash drills live in tests/test_disk_tier.py; every
+        # disk-tier crash drills live in tests/test_disk_tier.py and
+        # maintenance-plane drills in tests/test_maintenance.py; every
         # other site must be armed somewhere in this module
         source = inspect.getsource(sys.modules[__name__])
         disk_drills = pathlib.Path(__file__).with_name("test_disk_tier.py")
         source += disk_drills.read_text(encoding="utf-8")
+        maint_drills = pathlib.Path(__file__).with_name("test_maintenance.py")
+        source += maint_drills.read_text(encoding="utf-8")
         for site in FAULT_SITES:
             assert f'"{site}"' in source, f"no scenario covers site {site!r}"
 
@@ -548,6 +551,9 @@ class TestSiteCoverage:
             "disk.torn_segment",
             "disk.partial_checkpoint",
             "disk.mmap_unlink",
+            "maint.task_raises",
+            "maint.tick_during_migration",
+            "maint.checkpoint_preempted",
         }
 
     def test_unknown_site_rejected_at_arm_time_with_suggestion(self):
